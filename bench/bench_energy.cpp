@@ -1,0 +1,77 @@
+// Energy per inference — the quantified version of the paper's efficiency
+// motivation ("the lower-power processing capability of CSDs ... decreases
+// energy consumption under heavy workloads"). The FPGA side uses the power
+// model over the actually-placed resources; the host sides use the
+// baselines' package/board power at their measured mean latencies.
+#include <iostream>
+
+#include "baselines/host_baseline.hpp"
+#include "bench_util.hpp"
+#include "common/stats.hpp"
+#include "hls/power.hpp"
+#include "kernels/engine.hpp"
+
+int main() {
+  using namespace csdml;
+  bench::print_header("Energy per item inference (extension experiment)");
+
+  const nn::LstmConfig config;
+  Rng rng(5);
+  const nn::LstmParams params = nn::LstmParams::glorot(config, rng);
+
+  // FPGA: placed design power x per-item time.
+  csd::SmartSsd board{csd::SmartSsdConfig{}};
+  xrt::Device device{board};
+  kernels::CsdLstmEngine engine(
+      device, config, params,
+      kernels::EngineConfig{.level = kernels::OptimizationLevel::FixedPoint});
+  const hls::PowerModel power;
+  const double fpga_watts = power.estimate_watts(board.fpga().placed());
+  const Duration fpga_item = engine.per_item_timings().total();
+  const double fpga_uj = hls::microjoules(fpga_watts, fpga_item);
+
+  // Hosts: package power x long-run mean latency.
+  const auto cpu_cfg = baselines::HostLatencyConfig::xeon_cpu();
+  const auto gpu_cfg = baselines::HostLatencyConfig::a100_gpu();
+  baselines::HostBaseline cpu("cpu", config, params, cpu_cfg);
+  baselines::HostBaseline gpu("gpu", config, params, gpu_cfg);
+  Rng sample_rng(17);
+  RunningStats cpu_stats;
+  for (const double s : cpu.measure_item_latencies(20'000, sample_rng)) {
+    cpu_stats.add(s);
+  }
+  RunningStats gpu_stats;
+  for (const double s : gpu.measure_item_latencies(20'000, sample_rng)) {
+    gpu_stats.add(s);
+  }
+  const double cpu_uj =
+      hls::microjoules(cpu_cfg.active_watts,
+                       Duration::microseconds(cpu_stats.mean()));
+  const double gpu_uj =
+      hls::microjoules(gpu_cfg.active_watts,
+                       Duration::microseconds(gpu_stats.mean()));
+
+  TextTable table({"platform", "power_w", "item_latency_us", "energy_uJ",
+                   "vs FPGA"});
+  table.add_row({"FPGA (CSD)", TextTable::num(fpga_watts, 2),
+                 TextTable::num(fpga_item.as_microseconds(), 3),
+                 TextTable::num(fpga_uj, 3), "1.0x"});
+  table.add_row({"CPU (Xeon)", TextTable::num(cpu_cfg.active_watts, 1),
+                 TextTable::num(cpu_stats.mean(), 1),
+                 TextTable::num(cpu_uj, 1),
+                 TextTable::num(cpu_uj / fpga_uj, 0) + "x"});
+  table.add_row({"GPU (A100)", TextTable::num(gpu_cfg.active_watts, 1),
+                 TextTable::num(gpu_stats.mean(), 1),
+                 TextTable::num(gpu_uj, 1),
+                 TextTable::num(gpu_uj / fpga_uj, 0) + "x"});
+  table.print(std::cout);
+  std::cout << "\nContinuous background scanning (the paper's deployment) at\n"
+               "1000 classifications/s of 100-item windows:\n";
+  const double windows_per_s = 1000.0;
+  std::cout << "  FPGA: " << TextTable::num(fpga_uj * 100 * windows_per_s / 1e6, 2)
+            << " W equivalent  |  CPU: "
+            << TextTable::num(cpu_uj * 100 * windows_per_s / 1e6, 1)
+            << " W  |  GPU: "
+            << TextTable::num(gpu_uj * 100 * windows_per_s / 1e6, 1) << " W\n";
+  return 0;
+}

@@ -1,0 +1,33 @@
+// Prints Vitis-style synthesis reports for every kernel at every
+// optimization level — the artefacts a developer of the real system would
+// tune against (loop IIs, limiting factors, per-kernel resources).
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "hls/report.hpp"
+#include "kernels/specs.hpp"
+
+int main() {
+  using namespace csdml;
+  const hls::HlsCostModel model = hls::HlsCostModel::ultrascale_default();
+  const hls::FpgaPart part = hls::FpgaPart::ku15p();  // the SmartSSD's FPGA
+  const nn::LstmConfig config;
+
+  for (const auto level :
+       {kernels::OptimizationLevel::Vanilla, kernels::OptimizationLevel::II,
+        kernels::OptimizationLevel::FixedPoint}) {
+    bench::print_header(std::string("xclbin lstm_") +
+                        kernels::optimization_name(level));
+    std::cout << hls::synthesis_report(
+                     kernels::make_preprocess_spec(config, level, 4), model, part)
+              << '\n';
+    std::cout << hls::synthesis_report(kernels::make_gates_spec(config, level),
+                                       model, part)
+              << "\n(x4 compute units)\n\n";
+    std::cout << hls::synthesis_report(
+                     kernels::make_hidden_state_spec(config, level, 4), model,
+                     part)
+              << '\n';
+  }
+  return 0;
+}

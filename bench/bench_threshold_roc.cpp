@@ -1,0 +1,68 @@
+// Extension experiment: the detector's operating curve. The paper reports
+// one operating point (threshold 0.5 -> accuracy/precision/recall/F1);
+// a deployed guard exposes the threshold as policy (alert vs quarantine
+// tiers in detect::MitigationPolicy), so this bench sweeps it and reports
+// the ROC AUC of the trained model, for both the float and the deployed
+// fixed-point datapaths.
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "kernels/engine.hpp"
+#include "nn/train.hpp"
+#include "ransomware/dataset_builder.hpp"
+
+int main() {
+  using namespace csdml;
+  bench::print_header("Detector operating curve (threshold sweep + ROC AUC)");
+
+  ransomware::DatasetSpec spec = ransomware::DatasetSpec::small();
+  spec.ransomware_windows = 600;
+  spec.benign_windows = 705;
+  const ransomware::BuiltDataset built = ransomware::build_dataset(spec);
+  Rng rng(7);
+  const nn::TrainTestSplit split = nn::split_dataset(built.data, 0.2, rng);
+  nn::LstmConfig config;
+  nn::LstmClassifier model(config, rng);
+  nn::TrainConfig tc;
+  tc.epochs = 10;
+  tc.batch_size = 32;
+  nn::train(model, split.train, split.test, tc);
+
+  // Scores from the float model and the deployed fixed-point engine.
+  csd::SmartSsd board{csd::SmartSsdConfig{}};
+  xrt::Device device{board};
+  kernels::CsdLstmEngine engine(
+      device, config, model.params(),
+      kernels::EngineConfig{.level = kernels::OptimizationLevel::FixedPoint});
+  std::vector<double> float_scores;
+  std::vector<double> fixed_scores;
+  for (const auto& window : split.test.sequences) {
+    float_scores.push_back(model.forward(window, nullptr));
+    fixed_scores.push_back(engine.infer(window).probability);
+  }
+
+  TextTable table({"threshold", "precision", "recall", "f1", "fpr"});
+  for (const double threshold : {0.1, 0.3, 0.5, 0.7, 0.9, 0.99}) {
+    const nn::ConfusionMatrix cm =
+        nn::confusion_at_threshold(fixed_scores, split.test.labels, threshold);
+    const double fpr =
+        cm.false_positive + cm.true_negative > 0
+            ? static_cast<double>(cm.false_positive) /
+                  static_cast<double>(cm.false_positive + cm.true_negative)
+            : 0.0;
+    table.add_row({TextTable::num(threshold, 2), TextTable::num(cm.precision(), 4),
+                   TextTable::num(cm.recall(), 4), TextTable::num(cm.f1(), 4),
+                   TextTable::num(fpr, 4)});
+  }
+  table.print(std::cout);
+
+  std::cout << "\nROC AUC: float " << TextTable::num(
+                   nn::roc_auc(float_scores, split.test.labels), 4)
+            << "   on-CSD fixed-point "
+            << TextTable::num(nn::roc_auc(fixed_scores, split.test.labels), 4)
+            << "\n";
+  std::cout << "The guard's two-tier policy (alert at 0.5, quarantine at 0.9)\n"
+               "picks two points on this curve: a sensitive alert tier and a\n"
+               "near-zero-FPR automatic-mitigation tier.\n";
+  return 0;
+}

@@ -1,0 +1,25 @@
+// Shared helpers for the bench harness: every binary prints the paper's
+// rows next to the values this reproduction measures.
+#pragma once
+
+#include <iostream>
+#include <string>
+
+#include "common/table.hpp"
+
+namespace csdml::bench {
+
+inline void print_header(const std::string& title) {
+  std::cout << "\n=== " << title << " ===\n\n";
+}
+
+/// Relative deviation as a percentage string, e.g. "+4.2%".
+inline std::string deviation(double measured, double paper) {
+  if (paper == 0.0) return "n/a";
+  const double pct = (measured - paper) / paper * 100.0;
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%+.1f%%", pct);
+  return buffer;
+}
+
+}  // namespace csdml::bench

@@ -1,0 +1,173 @@
+// ransomware_guard: the paper's use case end-to-end — a CSD that watches
+// the API calls of live processes and quarantines ransomware at the drive,
+// blocking its encryption writes "near-instantaneously".
+//
+//   $ ./build/examples/ransomware_guard
+//
+// Replays a Wannacry sandbox trace and a handful of benign application
+// traces as concurrent processes against a CsdGuard.
+#include <iomanip>
+#include <iostream>
+#include <set>
+
+#include "common/log.hpp"
+#include "detect/attribution.hpp"
+#include "detect/guarded_ssd.hpp"
+#include "detect/mitigation.hpp"
+#include "nn/train.hpp"
+#include "ransomware/api_vocab.hpp"
+#include "ransomware/dataset_builder.hpp"
+
+namespace {
+
+using namespace csdml;
+
+const ransomware::FamilyProfile& family(const std::string& name) {
+  for (const auto& f : ransomware::ransomware_families()) {
+    if (f.name == name) return f;
+  }
+  throw Error("unknown family " + name);
+}
+
+}  // namespace
+
+int main() {
+  set_log_level(LogLevel::Info);
+
+  // Offline phase: train the classifier on the synthetic corpus.
+  ransomware::DatasetSpec spec = ransomware::DatasetSpec::small();
+  spec.ransomware_windows = 500;
+  spec.benign_windows = 588;
+  const ransomware::BuiltDataset built = ransomware::build_dataset(spec);
+  Rng rng(3);
+  const nn::TrainTestSplit split = nn::split_dataset(built.data, 0.2, rng);
+  nn::LstmConfig config;
+  nn::LstmClassifier model(config, rng);
+  nn::TrainConfig tc;
+  tc.epochs = 6;
+  tc.batch_size = 32;
+  const nn::TrainResult trained = nn::train(model, split.train, split.test, tc);
+  std::cout << "offline model: accuracy " << trained.best_test_accuracy
+            << " on held-out windows\n\n";
+
+  // Deploy: SmartSSD + engine + guard (debounced quarantine policy).
+  csd::SmartSsd board{csd::SmartSsdConfig{}};
+  xrt::Device device{board};
+  kernels::CsdLstmEngine engine(
+      device, config, model.params(),
+      kernels::EngineConfig{.level = kernels::OptimizationLevel::FixedPoint});
+  detect::CsdGuard guard(
+      engine,
+      detect::DetectorConfig{.window_length = 100, .hop = 25,
+                             .consecutive_alerts = 3},
+      detect::MitigationPolicy{.quarantine_threshold = 0.9,
+                               .alert_threshold = 0.5});
+
+  // The drive-side write path with copy-on-write pre-images: whatever the
+  // malware encrypts before detection is rolled back on quarantine.
+  detect::GuardedSsd guarded(board, guard);
+
+  // Victim files on the drive before the attack.
+  TimePoint now{};
+  constexpr std::uint64_t kVictimLba = 5'000;
+  constexpr int kVictimBlocks = 16;
+  for (int b = 0; b < kVictimBlocks; ++b) {
+    now = board.ssd().write(kVictimLba + static_cast<std::uint64_t>(b),
+                            std::vector<std::uint8_t>(4'096, 0x11), now);
+  }
+
+  // Live phase: interleave a Wannacry process with benign workloads; every
+  // WriteFile call becomes an encrypted overwrite of the next victim block.
+  const ransomware::SandboxTraceGenerator sandbox{ransomware::SandboxConfig{}};
+  const auto malicious = sandbox.ransomware_trace(family("Wannacry"), 4, 2'500);
+  const auto& benign_apps = ransomware::benign_profiles();
+  std::vector<std::vector<nn::TokenId>> benign_traces;
+  for (int i = 0; i < 3; ++i) {
+    benign_traces.push_back(sandbox.benign_trace(benign_apps[static_cast<std::size_t>(i)], 7, 2'500));
+  }
+
+  const detect::ProcessId kMalware = 666;
+  const auto& vocab = ransomware::ApiVocabulary::instance();
+  const std::set<nn::TokenId> write_tokens = {
+      vocab.require("WriteFile"), vocab.require("NtWriteFile"),
+      vocab.require("CopyFileW"), vocab.require("MoveFileExW")};
+
+  std::size_t quarantine_call = 0;
+  std::size_t encrypted_before = 0;
+  std::size_t writes_blocked = 0;
+  for (std::size_t i = 0; i < malicious.size(); ++i) {
+    // Malware stream (the guarded drive restores pre-images on quarantine).
+    guarded.on_api_call(kMalware, malicious[i], now);
+    if (write_tokens.contains(malicious[i])) {
+      const auto result = guarded.write(
+          kMalware, kVictimLba + encrypted_before % kVictimBlocks,
+          std::vector<std::uint8_t>(4'096, 0xEE), now);
+      if (result.accepted) {
+        now = result.done;
+        ++encrypted_before;
+      } else {
+        ++writes_blocked;
+      }
+    }
+    if (quarantine_call == 0 && guard.is_quarantined(kMalware)) {
+      quarantine_call = i + 1;
+    }
+    // Benign streams advance in lockstep.
+    for (std::size_t b = 0; b < benign_traces.size(); ++b) {
+      if (i < benign_traces[b].size()) {
+        guarded.on_api_call(static_cast<detect::ProcessId>(b + 1),
+                            benign_traces[b][i], now);
+      }
+    }
+  }
+
+  // How many victim blocks still hold their original data?
+  std::size_t intact = 0;
+  for (int b = 0; b < kVictimBlocks; ++b) {
+    intact += board.ssd()
+                  .read(kVictimLba + static_cast<std::uint64_t>(b), 1, now)
+                  .data.front() == 0x11;
+  }
+
+  std::cout << "\n--- outcome ---\n";
+  std::cout << "Wannacry quarantined after " << quarantine_call << " of "
+            << malicious.size() << " API calls\n";
+  std::cout << "blocks encrypted before quarantine: " << encrypted_before
+            << ", writes blocked afterwards: " << writes_blocked << '\n';
+  std::cout << "victim blocks intact after rollback: " << intact << "/"
+            << kVictimBlocks << "  (pre-images restored: "
+            << guarded.stats().blocks_restored << ")\n";
+  for (std::size_t b = 0; b < benign_traces.size(); ++b) {
+    std::cout << benign_apps[b].name << ": "
+              << (guard.is_quarantined(static_cast<detect::ProcessId>(b + 1))
+                      ? "QUARANTINED (false positive)"
+                      : "running normally")
+              << '\n';
+  }
+  // SOC triage: why was this process quarantined? Occlusion attribution
+  // over the window that completed at the quarantine point.
+  if (quarantine_call >= 100) {
+    const nn::Sequence window(
+        malicious.begin() + static_cast<std::ptrdiff_t>(quarantine_call - 100),
+        malicious.begin() + static_cast<std::ptrdiff_t>(quarantine_call));
+    const detect::AttributionReport why =
+        detect::attribute_window(model, window, {.top_k = 5});
+    std::cout << "\ntop contributing API calls (occlusion attribution, p="
+              << why.probability << "):\n";
+    for (const auto& call : why.top_calls) {
+      std::cout << "  [" << call.position << "] " << call.api_name << "  (+"
+                << call.contribution << ")\n";
+    }
+  }
+
+  const detect::GuardStats& stats = guard.stats();
+  std::cout << "\nguard stats: " << stats.calls_observed << " calls observed, "
+            << guard.detector().classifications_run() << " classifications, "
+            << stats.detections << " detections, " << stats.quarantines
+            << " quarantines\n";
+  std::cout << "device time spent classifying: " << std::fixed
+            << std::setprecision(1)
+            << guard.detector().device_time_spent().as_microseconds()
+            << " us total\n";
+  return 0;
+}

@@ -1,0 +1,113 @@
+// soc_workflow: day-2 operations end to end.
+//
+//   1. Deploy the trained classifier across a 4-drive storage node.
+//   2. A DriftMonitor watches live traffic against the training
+//      distribution; a stealth strain (unknown to the model) appears and
+//      the monitor raises a drift alarm.
+//   3. The operator answers with the CTI loop: retrain on detonations of
+//      the new strain + replay buffer, then hot-update every drive.
+//   4. Verify: the strain is now caught, the stock workload still scans
+//      clean, and every alert comes with an occlusion attribution.
+//
+//   $ ./build/examples/soc_workflow
+#include <iostream>
+
+#include "detect/attribution.hpp"
+#include "detect/cti.hpp"
+#include "detect/drift.hpp"
+#include "host/node.hpp"
+#include "nn/train.hpp"
+#include "ransomware/dataset_builder.hpp"
+
+int main() {
+  using namespace csdml;
+
+  // --- 1. offline training + fleet deployment ---------------------------
+  ransomware::DatasetSpec spec = ransomware::DatasetSpec::small();
+  spec.ransomware_windows = 500;
+  spec.benign_windows = 588;
+  const ransomware::BuiltDataset built = ransomware::build_dataset(spec);
+  Rng rng(3);
+  const nn::TrainTestSplit split = nn::split_dataset(built.data, 0.2, rng);
+  nn::LstmConfig config;
+  nn::LstmClassifier model(config, rng);
+  nn::TrainConfig tc;
+  tc.epochs = 6;
+  tc.batch_size = 32;
+  nn::train(model, split.train, split.test, tc);
+
+  host::StorageNode node(nn::ModelSnapshot{config, model.params()},
+                         host::NodeConfig{.drive_count = 4});
+  std::cout << "deployed weight image v" << node.weight_version() << " to "
+            << node.drive_count() << " drives; stock test accuracy "
+            << nn::evaluate(model, split.test).accuracy() << "\n\n";
+
+  // --- 2. drift monitoring over live traffic ----------------------------
+  detect::DriftMonitor monitor(
+      detect::category_distribution(built.data),
+      detect::DriftConfig{.window_tokens = 2'000, .psi_threshold = 0.25,
+                          .consecutive_windows = 2});
+
+  const auto strain = detect::make_emerging_strain(
+      ransomware::ransomware_families()[1], 7);
+  const nn::SequenceDataset strain_traffic =
+      detect::windows_from_strain(strain, 120, 100, 25, 11);
+
+  std::size_t drift_at_window = 0;
+  for (std::size_t w = 0; w < strain_traffic.size() && drift_at_window == 0;
+       ++w) {
+    for (const nn::TokenId token : strain_traffic.sequences[w]) {
+      if (monitor.observe(token)) drift_at_window = w + 1;
+    }
+  }
+  std::cout << "drift alarm after " << drift_at_window
+            << " traffic windows (PSI " << monitor.last_psi()
+            << " vs threshold 0.25)\n";
+
+  const nn::SequenceDataset strain_eval =
+      detect::windows_from_strain(strain, 60, 100, 37, 13);
+  std::size_t caught_before = 0;
+  for (const auto& w : strain_eval.sequences) {
+    caught_before += model.predict(w) == 1;
+  }
+  std::cout << "strain recall before update: "
+            << static_cast<double>(caught_before) / strain_eval.size() << "\n\n";
+
+  // --- 3. CTI retraining + fleet hot update ------------------------------
+  nn::TrainConfig fine_tune = tc;
+  fine_tune.epochs = 8;
+  fine_tune.learning_rate = 0.005;
+  const detect::CtiUpdateReport report = detect::incorporate_strain(
+      model, node.engine(0), strain, split.train, fine_tune);
+  // Drive 0 was updated by incorporate_strain; roll the rest of the fleet.
+  for (std::size_t d = 1; d < node.drive_count(); ++d) {
+    node.engine(d).update_weights(model.params());
+  }
+  monitor.reset();
+  std::cout << "CTI update applied: strain recall "
+            << report.strain_recall_before << " -> "
+            << report.strain_recall_after << ", replay accuracy "
+            << report.replay_accuracy_after << ", fleet at weight image v"
+            << node.weight_version() << "\n\n";
+
+  // --- 4. verification + attribution -------------------------------------
+  const host::ScanReport scan = node.scan(strain_eval.sequences);
+  std::cout << "fleet re-scan of strain traffic: " << scan.flagged << "/"
+            << scan.scanned << " flagged across " << node.drive_count()
+            << " drives (makespan " << scan.makespan.as_microseconds()
+            << " us)\n";
+
+  for (std::size_t i = 0; i < strain_eval.size(); ++i) {
+    if (scan.labels[i] == 1) {
+      const detect::AttributionReport why = detect::attribute_window(
+          model, strain_eval.sequences[i], {.top_k = 4});
+      std::cout << "\nsample alert attribution (p=" << why.probability << "):\n";
+      for (const auto& call : why.top_calls) {
+        std::cout << "  [" << call.position << "] " << call.api_name << "  (+"
+                  << call.contribution << ")\n";
+      }
+      break;
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,114 @@
+#include "baselines/host_baseline.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace csdml::baselines {
+
+HostLatencyConfig HostLatencyConfig::xeon_cpu() {
+  HostLatencyConfig config;
+  config.ops_per_item = 12;
+  config.op_overhead_us = 72.0;  // TF executor dispatch on a loaded server
+  config.op_sigma = 0.35;
+  config.fixed_overhead_us = 40.0;  // session + feed/fetch bookkeeping
+  config.gflops = 2.0;              // single-core effective
+  config.load_sigma = 0.90;         // the paper's CPU CI spans ~8x
+  config.preempt_probability = 0.04;
+  config.preempt_mean_us = 900.0;
+  config.active_watts = 70.0;  // Xeon Silver 4114 package under load (TDP 85 W)
+  return config;
+}
+
+HostLatencyConfig HostLatencyConfig::a100_gpu() {
+  HostLatencyConfig config;
+  config.ops_per_item = 12;
+  config.op_overhead_us = 42.0;  // kernel launch + CUDA driver path
+  config.op_sigma = 0.20;
+  config.fixed_overhead_us = 190.0;  // H2D x_t, D2H h_t, stream sync
+  config.gflops = 1000.0;            // tiny kernels barely load the SMs
+  config.load_sigma = 0.42;          // the paper's GPU CI spans ~2.8x
+  config.preempt_probability = 0.01;
+  config.preempt_mean_us = 400.0;
+  config.active_watts = 90.0;  // A100 board mostly idle on 7.4K-param kernels
+  return config;
+}
+
+double flops_per_item(const nn::LstmConfig& config) {
+  const double embed = static_cast<double>(config.embed_dim);
+  const double hidden = static_cast<double>(config.hidden_dim);
+  // 4 gates x (embed + hidden) MACs x 2 flops, plus elementwise updates.
+  return 4.0 * (embed + hidden) * hidden * 2.0 + 10.0 * hidden;
+}
+
+HostBaseline::HostBaseline(std::string name, const nn::LstmConfig& model_config,
+                           const nn::LstmParams& params, HostLatencyConfig latency)
+    : name_(std::move(name)), model_(model_config, params), latency_(latency) {
+  CSDML_REQUIRE(latency_.ops_per_item > 0, "ops_per_item must be positive");
+  CSDML_REQUIRE(latency_.gflops > 0.0, "gflops must be positive");
+}
+
+double HostBaseline::infer(const nn::Sequence& sequence) const {
+  return model_.forward(sequence, nullptr);
+}
+
+int HostBaseline::predict(const nn::Sequence& sequence) const {
+  return model_.predict(sequence);
+}
+
+Duration HostBaseline::sample_item_latency(Rng& rng) const {
+  // Per-op dispatch overheads (independent lognormals with mean
+  // op_overhead_us: mu = ln(mean) - sigma^2/2).
+  double total_us = 0.0;
+  if (latency_.op_overhead_us > 0.0) {
+    const double mu =
+        std::log(latency_.op_overhead_us) - 0.5 * latency_.op_sigma * latency_.op_sigma;
+    for (std::uint32_t i = 0; i < latency_.ops_per_item; ++i) {
+      total_us += rng.lognormal(mu, latency_.op_sigma);
+    }
+  }
+  total_us += latency_.fixed_overhead_us;
+  // Raw arithmetic.
+  total_us += flops_per_item(model_.config()) / (latency_.gflops * 1e3);
+
+  // Shared run-to-run load factor (unit mean).
+  if (latency_.load_sigma > 0.0) {
+    const double mu = -0.5 * latency_.load_sigma * latency_.load_sigma;
+    total_us *= rng.lognormal(mu, latency_.load_sigma);
+  }
+  // Rare preemption spike.
+  if (latency_.preempt_probability > 0.0 && rng.chance(latency_.preempt_probability)) {
+    // Exponential via inverse transform.
+    double u = rng.uniform();
+    if (u <= 0.0) u = 1e-12;
+    total_us += -latency_.preempt_mean_us * std::log(u);
+  }
+  return Duration::microseconds(total_us);
+}
+
+Duration HostBaseline::batch_window_latency(std::size_t batch,
+                                            std::size_t length) const {
+  CSDML_REQUIRE(batch > 0 && length > 0, "batch/length must be positive");
+  // Per timestep the framework still dispatches ops_per_item kernels, but
+  // each kernel now covers the whole batch; arithmetic scales with batch.
+  const double per_step_us =
+      static_cast<double>(latency_.ops_per_item) * latency_.op_overhead_us +
+      static_cast<double>(batch) * flops_per_item(model_.config()) /
+          (latency_.gflops * 1e3);
+  const double total_us =
+      static_cast<double>(length) * per_step_us + latency_.fixed_overhead_us;
+  return Duration::microseconds(total_us);
+}
+
+std::vector<double> HostBaseline::measure_item_latencies(std::size_t n,
+                                                         Rng& rng) const {
+  CSDML_REQUIRE(n > 0, "need at least one sample");
+  std::vector<double> samples;
+  samples.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    samples.push_back(sample_item_latency(rng).as_microseconds());
+  }
+  return samples;
+}
+
+}  // namespace csdml::baselines

@@ -1,0 +1,100 @@
+#include "common/csv.hpp"
+
+#include <fstream>
+#include <ostream>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace csdml {
+namespace {
+
+/// Splits one logical CSV record starting at `pos`; advances `pos` past the
+/// record's terminating newline (or to text.size()).
+std::vector<std::string> parse_record(const std::string& text, std::size_t& pos) {
+  std::vector<std::string> fields;
+  std::string field;
+  bool in_quotes = false;
+  while (pos < text.size()) {
+    const char c = text[pos];
+    if (in_quotes) {
+      if (c == '"') {
+        if (pos + 1 < text.size() && text[pos + 1] == '"') {
+          field.push_back('"');
+          ++pos;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        field.push_back(c);
+      }
+    } else {
+      if (c == '"') {
+        in_quotes = true;
+      } else if (c == ',') {
+        fields.push_back(std::move(field));
+        field.clear();
+      } else if (c == '\n') {
+        ++pos;
+        break;
+      } else if (c == '\r') {
+        // swallow; the following \n (if any) terminates the record
+      } else {
+        field.push_back(c);
+      }
+    }
+    ++pos;
+  }
+  if (in_quotes) throw ParseError("unterminated quoted CSV field");
+  fields.push_back(std::move(field));
+  return fields;
+}
+
+}  // namespace
+
+CsvDocument parse_csv(const std::string& text, bool has_header) {
+  CsvDocument doc;
+  std::size_t pos = 0;
+  bool first = true;
+  while (pos < text.size()) {
+    auto fields = parse_record(text, pos);
+    if (fields.size() == 1 && fields[0].empty()) continue;  // blank line
+    if (first && has_header) {
+      doc.header = std::move(fields);
+    } else {
+      doc.rows.push_back(std::move(fields));
+    }
+    first = false;
+  }
+  return doc;
+}
+
+CsvDocument read_csv_file(const std::string& path, bool has_header) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw ParseError("cannot open CSV file: " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return parse_csv(buffer.str(), has_header);
+}
+
+std::string csv_escape(const std::string& field) {
+  const bool needs_quotes = field.find_first_of(",\"\r\n") != std::string::npos;
+  if (!needs_quotes) return field;
+  std::string out = "\"";
+  for (const char c : field) {
+    if (c == '"') out += "\"\"";
+    else out.push_back(c);
+  }
+  out += "\"";
+  return out;
+}
+
+void CsvWriter::write_row(const std::vector<std::string>& fields) {
+  for (std::size_t i = 0; i < fields.size(); ++i) {
+    if (i) out_ << ',';
+    out_ << csv_escape(fields[i]);
+  }
+  out_ << '\n';
+}
+
+}  // namespace csdml

@@ -1,0 +1,43 @@
+// Minimal CSV reader/writer.
+//
+// The paper's offline training pipeline "consumes a CSV dataset consisting
+// of n+1 columns and N rows for sequences of n items plus a label"; the
+// ransomware dataset builder writes exactly that layout and the nn data
+// loader reads it back through this module.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace csdml {
+
+/// One parsed CSV document: a header row (possibly empty) plus data rows.
+struct CsvDocument {
+  std::vector<std::string> header;
+  std::vector<std::vector<std::string>> rows;
+};
+
+/// Parses CSV text. Handles quoted fields with embedded commas/quotes and
+/// both \n and \r\n line endings. If `has_header` the first row becomes
+/// `header`.
+CsvDocument parse_csv(const std::string& text, bool has_header);
+
+/// Reads and parses a CSV file; throws ParseError on I/O failure.
+CsvDocument read_csv_file(const std::string& path, bool has_header);
+
+/// Escapes a field per RFC 4180 when needed.
+std::string csv_escape(const std::string& field);
+
+/// Streaming writer.
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::ostream& out) : out_(out) {}
+
+  void write_row(const std::vector<std::string>& fields);
+
+ private:
+  std::ostream& out_;
+};
+
+}  // namespace csdml

@@ -1,0 +1,55 @@
+// Error-handling helpers shared by every csdml module.
+//
+// Policy (per C++ Core Guidelines E.2/E.14): throw exceptions derived from
+// std::runtime_error for violated runtime preconditions; use assertions only
+// for internal logic errors that indicate a bug in csdml itself.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace csdml {
+
+/// Base class for every error thrown by the library.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// A caller violated a documented precondition of a public API.
+class PreconditionError : public Error {
+ public:
+  explicit PreconditionError(const std::string& what) : Error(what) {}
+};
+
+/// A device/simulation object was asked to do something its configured
+/// resources cannot support (e.g. more AXI ports than the FPGA exposes).
+class ResourceError : public Error {
+ public:
+  explicit ResourceError(const std::string& what) : Error(what) {}
+};
+
+/// Malformed external input (weight file, CSV dataset, ...).
+class ParseError : public Error {
+ public:
+  explicit ParseError(const std::string& what) : Error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void fail_precondition(const char* expr, const char* file,
+                                           int line, const std::string& msg) {
+  throw PreconditionError(std::string(file) + ":" + std::to_string(line) +
+                          ": requirement `" + expr + "` failed" +
+                          (msg.empty() ? "" : (": " + msg)));
+}
+}  // namespace detail
+
+}  // namespace csdml
+
+/// Validate a documented precondition of a public entry point.
+#define CSDML_REQUIRE(expr, msg)                                         \
+  do {                                                                   \
+    if (!(expr)) {                                                       \
+      ::csdml::detail::fail_precondition(#expr, __FILE__, __LINE__, msg); \
+    }                                                                    \
+  } while (false)

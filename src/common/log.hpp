@@ -1,0 +1,49 @@
+// Tiny leveled logger. Off-by-default below Warn so benches stay quiet;
+// examples flip the level to Info to narrate what the CSD is doing.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace csdml {
+
+enum class LogLevel { Trace = 0, Debug = 1, Info = 2, Warn = 3, Error = 4, Off = 5 };
+
+/// Global threshold; messages below it are discarded.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// Emits one formatted line to stderr (thread-safe at line granularity).
+void log_message(LogLevel level, const std::string& component,
+                 const std::string& message);
+
+namespace detail {
+class LogLine {
+ public:
+  LogLine(LogLevel level, std::string component)
+      : level_(level), component_(std::move(component)) {}
+  ~LogLine();
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::string component_;
+  std::ostringstream stream_;
+};
+}  // namespace detail
+
+/// Stream-style helpers: CSDML_LOG_INFO("csd") << "flash read " << pages;
+#define CSDML_LOG_TRACE(component) ::csdml::detail::LogLine(::csdml::LogLevel::Trace, component)
+#define CSDML_LOG_DEBUG(component) ::csdml::detail::LogLine(::csdml::LogLevel::Debug, component)
+#define CSDML_LOG_INFO(component) ::csdml::detail::LogLine(::csdml::LogLevel::Info, component)
+#define CSDML_LOG_WARN(component) ::csdml::detail::LogLine(::csdml::LogLevel::Warn, component)
+#define CSDML_LOG_ERROR(component) ::csdml::detail::LogLine(::csdml::LogLevel::Error, component)
+
+}  // namespace csdml

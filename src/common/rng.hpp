@@ -1,0 +1,80 @@
+// Deterministic pseudo-random number generation.
+//
+// Every stochastic component in csdml (weight init, dataset synthesis,
+// latency jitter) draws from an explicitly seeded Rng so that experiments
+// are reproducible run-to-run. The generator is xoshiro256**, which is
+// fast, passes BigCrush, and — unlike std::mt19937 — has a trivially
+// documented state layout that will never change between standard-library
+// releases.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+namespace csdml {
+
+/// xoshiro256** by Blackman & Vigna (public domain reference construction).
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds the full 256-bit state from a 64-bit seed via splitmix64.
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ULL);
+
+  /// Derives an independent stream for a named subsystem. Identical
+  /// (parent seed, name) pairs always yield the same child stream.
+  Rng fork(std::string_view stream_name) const;
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~0ULL; }
+  result_type operator()() { return next(); }
+
+  std::uint64_t next();
+
+  /// Uniform in [0, 1).
+  double uniform();
+  /// Uniform in [lo, hi).
+  double uniform(double lo, double hi);
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+  /// Standard normal via Box–Muller (cached spare).
+  double normal();
+  /// Normal with given mean / stddev.
+  double normal(double mean, double stddev);
+  /// Log-normal distribution parameterised by the mean/stddev of the
+  /// underlying normal (natural log scale).
+  double lognormal(double log_mean, double log_stddev);
+  /// Bernoulli trial.
+  bool chance(double probability);
+  /// Samples an index according to non-negative weights (need not sum to 1).
+  std::size_t weighted_index(const std::vector<double>& weights);
+
+  /// Fisher–Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& items) {
+    for (std::size_t i = items.size(); i > 1; --i) {
+      const auto j =
+          static_cast<std::size_t>(uniform_int(0, static_cast<std::int64_t>(i) - 1));
+      using std::swap;
+      swap(items[i - 1], items[j]);
+    }
+  }
+
+  /// Picks a uniformly random element. Requires non-empty input.
+  template <typename T>
+  const T& pick(const std::vector<T>& items) {
+    return items[static_cast<std::size_t>(
+        uniform_int(0, static_cast<std::int64_t>(items.size()) - 1))];
+  }
+
+ private:
+  explicit Rng(const std::array<std::uint64_t, 4>& state) : state_(state) {}
+
+  std::array<std::uint64_t, 4> state_{};
+  double spare_normal_{0.0};
+  bool has_spare_normal_{false};
+};
+
+}  // namespace csdml

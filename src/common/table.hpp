@@ -1,0 +1,28 @@
+// ASCII table renderer used by the bench harness so every reproduced
+// paper table/figure prints with aligned, labelled rows.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace csdml {
+
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> row);
+  /// Convenience: formats doubles with fixed precision.
+  static std::string num(double value, int precision = 5);
+
+  /// Renders with a box-drawing rule under the header.
+  void print(std::ostream& out) const;
+  std::string to_string() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace csdml

@@ -1,0 +1,160 @@
+// Strong types for time, frequency and data size used across the simulator.
+//
+// All device models account internally in picoseconds (integer) so that
+// cycle↔time conversions at realistic clock rates (100 MHz – 1.5 GHz) are
+// exact; reporting helpers convert to µs doubles only at the edge.
+#pragma once
+
+#include <cstdint>
+#include <compare>
+
+#include "common/error.hpp"
+
+namespace csdml {
+
+/// Integral count of clock cycles of some (externally known) clock.
+struct Cycles {
+  std::uint64_t count{0};
+
+  constexpr Cycles() = default;
+  constexpr explicit Cycles(std::uint64_t c) : count(c) {}
+
+  friend constexpr Cycles operator+(Cycles a, Cycles b) {
+    return Cycles{a.count + b.count};
+  }
+  friend constexpr Cycles operator*(Cycles a, std::uint64_t k) {
+    return Cycles{a.count * k};
+  }
+  friend constexpr Cycles operator*(std::uint64_t k, Cycles a) { return a * k; }
+  Cycles& operator+=(Cycles other) {
+    count += other.count;
+    return *this;
+  }
+  friend constexpr auto operator<=>(Cycles, Cycles) = default;
+};
+
+/// Simulated wall-clock duration, integer picoseconds.
+struct Duration {
+  std::int64_t picos{0};
+
+  constexpr Duration() = default;
+  constexpr explicit Duration(std::int64_t ps) : picos(ps) {}
+
+  static constexpr Duration picoseconds(std::int64_t ps) { return Duration{ps}; }
+  static constexpr Duration nanoseconds(double ns) {
+    return Duration{static_cast<std::int64_t>(ns * 1e3)};
+  }
+  static constexpr Duration microseconds(double us) {
+    return Duration{static_cast<std::int64_t>(us * 1e6)};
+  }
+  static constexpr Duration zero() { return Duration{0}; }
+
+  constexpr double as_nanoseconds() const { return static_cast<double>(picos) / 1e3; }
+  constexpr double as_microseconds() const { return static_cast<double>(picos) / 1e6; }
+  constexpr double as_milliseconds() const { return static_cast<double>(picos) / 1e9; }
+
+  friend constexpr Duration operator+(Duration a, Duration b) {
+    return Duration{a.picos + b.picos};
+  }
+  friend constexpr Duration operator-(Duration a, Duration b) {
+    return Duration{a.picos - b.picos};
+  }
+  friend constexpr Duration operator*(Duration a, std::int64_t k) {
+    return Duration{a.picos * k};
+  }
+  Duration& operator+=(Duration other) {
+    picos += other.picos;
+    return *this;
+  }
+  friend constexpr auto operator<=>(Duration, Duration) = default;
+};
+
+/// Absolute simulated time since simulation start, integer picoseconds.
+struct TimePoint {
+  std::int64_t picos{0};
+
+  constexpr TimePoint() = default;
+  constexpr explicit TimePoint(std::int64_t ps) : picos(ps) {}
+
+  friend constexpr TimePoint operator+(TimePoint t, Duration d) {
+    return TimePoint{t.picos + d.picos};
+  }
+  friend constexpr Duration operator-(TimePoint a, TimePoint b) {
+    return Duration{a.picos - b.picos};
+  }
+  friend constexpr auto operator<=>(TimePoint, TimePoint) = default;
+};
+
+/// A clock frequency; converts cycle counts to durations exactly.
+class Frequency {
+ public:
+  constexpr Frequency() = default;
+  static constexpr Frequency megahertz(double mhz) {
+    // Period in picoseconds: 1e12 / (mhz * 1e6) = 1e6 / mhz.
+    return Frequency{static_cast<std::int64_t>(1e6 / mhz), mhz};
+  }
+
+  /// Clock period.
+  constexpr Duration period() const { return Duration{period_picos_}; }
+
+  constexpr double mhz() const { return mhz_; }
+
+  /// Duration of `c` cycles of this clock.
+  constexpr Duration duration_of(Cycles c) const {
+    return Duration{static_cast<std::int64_t>(c.count) * period_picos_};
+  }
+
+  /// Cycles (rounded up) needed to cover duration `d`.
+  constexpr Cycles cycles_for(Duration d) const {
+    if (d.picos <= 0) return Cycles{0};
+    return Cycles{static_cast<std::uint64_t>((d.picos + period_picos_ - 1) /
+                                             period_picos_)};
+  }
+
+ private:
+  constexpr Frequency(std::int64_t period_ps, double mhz)
+      : period_picos_(period_ps), mhz_(mhz) {}
+  std::int64_t period_picos_{1};
+  double mhz_{0.0};
+};
+
+/// Data sizes in bytes with readable constructors.
+struct Bytes {
+  std::uint64_t count{0};
+
+  constexpr Bytes() = default;
+  constexpr explicit Bytes(std::uint64_t b) : count(b) {}
+  static constexpr Bytes kib(std::uint64_t k) { return Bytes{k * 1024ULL}; }
+  static constexpr Bytes mib(std::uint64_t m) { return Bytes{m * 1024ULL * 1024ULL}; }
+  static constexpr Bytes gib(std::uint64_t g) {
+    return Bytes{g * 1024ULL * 1024ULL * 1024ULL};
+  }
+
+  friend constexpr Bytes operator+(Bytes a, Bytes b) { return Bytes{a.count + b.count}; }
+  friend constexpr auto operator<=>(Bytes, Bytes) = default;
+};
+
+/// Throughput; computes transfer times for byte counts.
+class Bandwidth {
+ public:
+  constexpr Bandwidth() = default;
+  static constexpr Bandwidth gib_per_s(double g) {
+    return Bandwidth{g * 1024.0 * 1024.0 * 1024.0};
+  }
+  static constexpr Bandwidth gb_per_s(double g) { return Bandwidth{g * 1e9}; }
+
+  constexpr double bytes_per_second() const { return bytes_per_s_; }
+
+  /// Time to move `b` bytes at this rate (no per-transfer overhead).
+  Duration transfer_time(Bytes b) const {
+    CSDML_REQUIRE(bytes_per_s_ > 0.0, "bandwidth must be positive");
+    const double seconds = static_cast<double>(b.count) / bytes_per_s_;
+    return Duration{static_cast<std::int64_t>(seconds * 1e12)};
+  }
+
+ private:
+  constexpr explicit Bandwidth(double bps) : bytes_per_s_(bps) {}
+  double bytes_per_s_{0.0};
+};
+
+}  // namespace csdml

@@ -1,0 +1,71 @@
+#include "csd/fpga_device.hpp"
+
+#include "common/error.hpp"
+#include "common/log.hpp"
+
+namespace csdml::csd {
+
+DdrBank::DdrBank(DdrBankConfig config) : config_(config) {
+  CSDML_REQUIRE(config_.capacity.count > 0, "bank needs capacity");
+}
+
+TimePoint DdrBank::access(Bytes bytes, TimePoint at) {
+  CSDML_REQUIRE(bytes.count > 0, "zero-byte DDR access");
+  const Duration hold =
+      config_.access_latency + config_.bandwidth.transfer_time(bytes);
+  const TimePoint start = port_.acquire(at, hold);
+  return start + hold;
+}
+
+void DdrBank::store(std::uint64_t offset, const std::vector<std::uint8_t>& data) {
+  CSDML_REQUIRE(offset + data.size() <= config_.capacity.count,
+                "DDR store out of range");
+  if (memory_.size() < offset + data.size()) memory_.resize(offset + data.size());
+  std::copy(data.begin(), data.end(),
+            memory_.begin() + static_cast<std::ptrdiff_t>(offset));
+}
+
+std::vector<std::uint8_t> DdrBank::load(std::uint64_t offset, std::size_t size) const {
+  CSDML_REQUIRE(offset + size <= config_.capacity.count, "DDR load out of range");
+  std::vector<std::uint8_t> out(size, 0);
+  if (offset < memory_.size()) {
+    const std::size_t available =
+        std::min<std::size_t>(size, memory_.size() - offset);
+    std::copy_n(memory_.begin() + static_cast<std::ptrdiff_t>(offset), available,
+                out.begin());
+  }
+  return out;
+}
+
+FpgaDevice::FpgaDevice(FpgaConfig config) : config_(config) {
+  CSDML_REQUIRE(config_.ddr_banks > 0, "FPGA needs at least one DDR bank");
+  banks_.reserve(config_.ddr_banks);
+  for (std::uint32_t i = 0; i < config_.ddr_banks; ++i) {
+    banks_.emplace_back(config_.bank);
+  }
+}
+
+DdrBank& FpgaDevice::bank(std::uint32_t index) {
+  CSDML_REQUIRE(index < banks_.size(), "bank index out of range");
+  return banks_[index];
+}
+
+const DdrBank& FpgaDevice::bank(std::uint32_t index) const {
+  CSDML_REQUIRE(index < banks_.size(), "bank index out of range");
+  return banks_[index];
+}
+
+void FpgaDevice::place(const std::string& label,
+                       const hls::ResourceEstimate& estimate) {
+  hls::ResourceEstimate next = placed_;
+  next += estimate;
+  if (!next.fits(config_.part)) {
+    throw ResourceError("design '" + label + "' does not fit " +
+                        config_.part.name);
+  }
+  placed_ = next;
+  CSDML_LOG_DEBUG("fpga") << "placed " << label << ", utilization now "
+                          << utilization();
+}
+
+}  // namespace csdml::csd

@@ -1,0 +1,73 @@
+// The FPGA half of the SmartSSD: DDR banks with functional storage, a
+// kernel clock, and the part description used for placement checks.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/units.hpp"
+#include "hls/resources.hpp"
+#include "sim/simulation.hpp"
+
+namespace csdml::csd {
+
+struct DdrBankConfig {
+  Bytes capacity{Bytes::gib(1)};
+  Bandwidth bandwidth{Bandwidth::gb_per_s(15.0)};  ///< DDR4-2400 effective
+  Duration access_latency{Duration::nanoseconds(100)};
+};
+
+/// One DDR bank: serialised timed access plus functional byte storage.
+class DdrBank {
+ public:
+  explicit DdrBank(DdrBankConfig config);
+
+  const DdrBankConfig& config() const { return config_; }
+
+  /// Timed bulk access of `bytes` (read or write); returns completion.
+  TimePoint access(Bytes bytes, TimePoint at);
+
+  /// Functional storage.
+  void store(std::uint64_t offset, const std::vector<std::uint8_t>& data);
+  std::vector<std::uint8_t> load(std::uint64_t offset, std::size_t size) const;
+
+  Duration busy_time() const { return port_.busy_time(); }
+
+ private:
+  DdrBankConfig config_;
+  sim::SerialResource port_;
+  std::vector<std::uint8_t> memory_;
+};
+
+struct FpgaConfig {
+  hls::FpgaPart part{hls::FpgaPart::ku15p()};
+  Frequency kernel_clock{Frequency::megahertz(300.0)};
+  std::uint32_t ddr_banks{2};  ///< the paper's "conservative two banks"
+  DdrBankConfig bank{};
+};
+
+class FpgaDevice {
+ public:
+  explicit FpgaDevice(FpgaConfig config);
+
+  const FpgaConfig& config() const { return config_; }
+  Frequency clock() const { return config_.kernel_clock; }
+  std::uint32_t bank_count() const { return static_cast<std::uint32_t>(banks_.size()); }
+
+  DdrBank& bank(std::uint32_t index);
+  const DdrBank& bank(std::uint32_t index) const;
+
+  /// Registers resource usage (one "xclbin load"); throws ResourceError if
+  /// the accumulated design no longer fits the part.
+  void place(const std::string& label, const hls::ResourceEstimate& estimate);
+  const hls::ResourceEstimate& placed() const { return placed_; }
+  double utilization() const { return placed_.utilization(config_.part); }
+
+ private:
+  FpgaConfig config_;
+  std::vector<DdrBank> banks_;
+  hls::ResourceEstimate placed_{};
+};
+
+}  // namespace csdml::csd

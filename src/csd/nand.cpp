@@ -1,0 +1,146 @@
+#include "csd/nand.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace csdml::csd {
+
+NandArray::NandArray(NandConfig config)
+    : config_(config),
+      channel_bus_(config.channels),
+      die_(static_cast<std::size_t>(config.channels) * config.dies_per_channel),
+      reliability_rng_(Rng(config.reliability_seed).fork("nand-ber")) {
+  CSDML_REQUIRE(config_.channels > 0 && config_.dies_per_channel > 0,
+                "NAND needs at least one channel and die");
+  CSDML_REQUIRE(config_.page_size.count > 0, "page size must be positive");
+  CSDML_REQUIRE(config_.raw_bit_error_rate >= 0.0 &&
+                    config_.raw_bit_error_rate < 1.0,
+                "bit error rate must be in [0, 1)");
+  CSDML_REQUIRE(config_.ecc_codeword.count > 0, "codeword must be positive");
+}
+
+void NandArray::validate(const PageAddress& addr) const {
+  CSDML_REQUIRE(addr.channel < config_.channels, "channel out of range");
+  CSDML_REQUIRE(addr.die < config_.dies_per_channel, "die out of range");
+}
+
+std::uint64_t NandArray::die_index(const PageAddress& addr) const {
+  return static_cast<std::uint64_t>(addr.channel) * config_.dies_per_channel +
+         addr.die;
+}
+
+std::uint64_t NandArray::page_key(const PageAddress& addr) const {
+  // 8 bits channel | 8 bits die | 48 bits page.
+  return (static_cast<std::uint64_t>(addr.channel) << 56) |
+         (static_cast<std::uint64_t>(addr.die) << 48) | addr.page;
+}
+
+NandArray::ReadResult NandArray::read_page(const PageAddress& addr, TimePoint at,
+                                            std::vector<std::uint8_t>* out) {
+  validate(addr);
+  // The die is busy for tR; the channel bus then moves the page out.
+  const TimePoint sense_start =
+      die_[die_index(addr)].acquire(at, config_.read_latency);
+  const TimePoint sense_done = sense_start + config_.read_latency;
+  const Duration transfer = config_.channel_bandwidth.transfer_time(config_.page_size);
+  const TimePoint bus_start = channel_bus_[addr.channel].acquire(sense_done, transfer);
+  TimePoint done = bus_start + transfer;
+
+  ReadResult result;
+  // Failure injection: raw bit errors per read, Poisson(bits x BER),
+  // spread uniformly across the page's ECC codewords. A codeword holding
+  // more errors than the LDPC budget is uncorrectable.
+  if (config_.raw_bit_error_rate > 0.0) {
+    const double bits = static_cast<double>(config_.page_size.count) * 8.0;
+    const double lambda = bits * config_.raw_bit_error_rate;
+    // Poisson via thinning of expected count (exact for small lambda; the
+    // normal approximation takes over above 64).
+    std::uint32_t errors = 0;
+    if (lambda < 64.0) {
+      double threshold = std::exp(-lambda);
+      double p = 1.0;
+      while (true) {
+        p *= reliability_rng_.uniform();
+        if (p <= threshold) break;
+        ++errors;
+      }
+    } else {
+      errors = static_cast<std::uint32_t>(std::max(
+          0.0, reliability_rng_.normal(lambda, std::sqrt(lambda))));
+    }
+    result.raw_bit_errors = errors;
+    if (errors > 0) {
+      const std::uint64_t codewords =
+          (config_.page_size.count + config_.ecc_codeword.count - 1) /
+          config_.ecc_codeword.count;
+      // Worst-loaded codeword: distribute errors over codewords randomly.
+      std::vector<std::uint32_t> per_codeword(codewords, 0);
+      for (std::uint32_t e = 0; e < errors; ++e) {
+        ++per_codeword[static_cast<std::size_t>(reliability_rng_.uniform_int(
+            0, static_cast<std::int64_t>(codewords) - 1))];
+      }
+      for (const std::uint32_t load : per_codeword) {
+        if (load > config_.ecc_correctable_bits) {
+          result.uncorrectable = true;
+          break;
+        }
+      }
+      if (result.uncorrectable) {
+        ++uncorrectable_reads_;
+      } else {
+        ++corrected_reads_;
+        done = done + config_.ecc_correction_latency;
+      }
+    }
+  }
+
+  if (out != nullptr) {
+    const auto it = pages_.find(page_key(addr));
+    if (it != pages_.end()) {
+      *out = it->second;
+    } else {
+      out->assign(config_.page_size.count, 0xFF);  // erased flash reads 1s
+    }
+  }
+  result.done = done;
+  return result;
+}
+
+TimePoint NandArray::program_page(const PageAddress& addr, TimePoint at,
+                                  const std::vector<std::uint8_t>& data) {
+  validate(addr);
+  CSDML_REQUIRE(data.size() <= config_.page_size.count,
+                "program data exceeds page size");
+  const Duration transfer = config_.channel_bandwidth.transfer_time(config_.page_size);
+  const TimePoint bus_start = channel_bus_[addr.channel].acquire(at, transfer);
+  const TimePoint in_register = bus_start + transfer;
+  const TimePoint prog_start =
+      die_[die_index(addr)].acquire(in_register, config_.program_latency);
+  pages_[page_key(addr)] = data;
+  ++pages_programmed_;
+  return prog_start + config_.program_latency;
+}
+
+TimePoint NandArray::erase_block(const PageAddress& addr, TimePoint at) {
+  validate(addr);
+  const std::uint64_t block_base =
+      addr.page / config_.pages_per_block * config_.pages_per_block;
+  for (std::uint64_t p = 0; p < config_.pages_per_block; ++p) {
+    PageAddress victim = addr;
+    victim.page = block_base + p;
+    pages_.erase(page_key(victim));
+  }
+  const TimePoint start = die_[die_index(addr)].acquire(at, config_.erase_latency);
+  ++blocks_erased_;
+  return start + config_.erase_latency;
+}
+
+Duration NandArray::total_channel_busy() const {
+  Duration total{};
+  for (const auto& bus : channel_bus_) total += bus.busy_time();
+  return total;
+}
+
+}  // namespace csdml::csd

@@ -1,0 +1,102 @@
+// NAND flash array model: channels × dies of pages with realistic read /
+// program / erase timing, plus functional page storage so data actually
+// round-trips through the simulated drive.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/units.hpp"
+#include "sim/simulation.hpp"
+
+namespace csdml::csd {
+
+struct NandConfig {
+  std::uint32_t channels{8};
+  std::uint32_t dies_per_channel{4};
+  Bytes page_size{Bytes::kib(16)};
+  std::uint32_t pages_per_block{256};
+  Duration read_latency{Duration::microseconds(60)};     ///< tR (TLC)
+  Duration program_latency{Duration::microseconds(350)}; ///< tPROG
+  Duration erase_latency{Duration::microseconds(2000)};  ///< tBERS
+  Bandwidth channel_bandwidth{Bandwidth::gb_per_s(1.2)}; ///< ONFI transfer
+  // --- reliability (failure injection) ---
+  /// Raw NAND bit-error rate per read. TLC mid-life is ~1e-6..1e-4 raw;
+  /// the controller's ECC absorbs it.
+  double raw_bit_error_rate{1e-9};
+  /// Bits the LDPC engine can correct per codeword.
+  std::uint32_t ecc_correctable_bits{40};
+  Bytes ecc_codeword{Bytes{2048}};
+  /// Extra decode latency when a codeword needed correction.
+  Duration ecc_correction_latency{Duration::nanoseconds(800)};
+  std::uint64_t reliability_seed{7};
+};
+
+/// Physical page address.
+struct PageAddress {
+  std::uint32_t channel{0};
+  std::uint32_t die{0};
+  std::uint64_t page{0};
+
+  friend constexpr bool operator==(const PageAddress&, const PageAddress&) = default;
+};
+
+class NandArray {
+ public:
+  explicit NandArray(NandConfig config);
+
+  const NandConfig& config() const { return config_; }
+
+  struct ReadResult {
+    TimePoint done;
+    /// Raw bit errors sampled for this read (before ECC).
+    std::uint32_t raw_bit_errors{0};
+    /// True when some codeword exceeded the ECC correction budget; the
+    /// data returned is then unreliable and the controller must handle it.
+    bool uncorrectable{false};
+  };
+
+  /// Issues a page read at `at`; data (if previously programmed) is copied
+  /// into `out`. Returns the completion time — die tR, then the channel
+  /// transfer (channels serialise transfers, dies overlap tR), plus ECC
+  /// decode latency when raw bit errors were corrected.
+  ReadResult read_page(const PageAddress& addr, TimePoint at,
+                       std::vector<std::uint8_t>* out);
+
+  /// Reads corrected / uncorrectable counters (reliability accounting).
+  std::uint64_t corrected_reads() const { return corrected_reads_; }
+  std::uint64_t uncorrectable_reads() const { return uncorrectable_reads_; }
+
+  /// Endurance accounting.
+  std::uint64_t pages_programmed() const { return pages_programmed_; }
+  std::uint64_t blocks_erased() const { return blocks_erased_; }
+
+  /// Programs a page; returns completion time.
+  TimePoint program_page(const PageAddress& addr, TimePoint at,
+                         const std::vector<std::uint8_t>& data);
+
+  /// Erases the block containing `page` on the given die.
+  TimePoint erase_block(const PageAddress& addr, TimePoint at);
+
+  /// Aggregate busy time of all channel buses (utilisation accounting).
+  Duration total_channel_busy() const;
+
+ private:
+  std::uint64_t die_index(const PageAddress& addr) const;
+  std::uint64_t page_key(const PageAddress& addr) const;
+  void validate(const PageAddress& addr) const;
+
+  NandConfig config_;
+  std::vector<sim::SerialResource> channel_bus_;   // ONFI bus per channel
+  std::vector<sim::SerialResource> die_;           // die busy (tR/tPROG)
+  std::unordered_map<std::uint64_t, std::vector<std::uint8_t>> pages_;
+  Rng reliability_rng_;
+  std::uint64_t corrected_reads_{0};
+  std::uint64_t uncorrectable_reads_{0};
+  std::uint64_t pages_programmed_{0};
+  std::uint64_t blocks_erased_{0};
+};
+
+}  // namespace csdml::csd

@@ -1,0 +1,95 @@
+#include "csd/nvme.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace csdml::csd {
+
+NvmeQueue::NvmeQueue(SmartSsd& device, NvmeQueueConfig config)
+    : device_(device), config_(config) {
+  CSDML_REQUIRE(config_.queue_depth > 0, "queue depth must be positive");
+}
+
+void NvmeQueue::submit(NvmeCommand command, TimePoint at) {
+  if (inflight_.size() >= config_.queue_depth) {
+    throw ResourceError("NVMe submission queue full (depth " +
+                        std::to_string(config_.queue_depth) + ")");
+  }
+  const TimePoint start = at + config_.doorbell_latency;
+  inflight_.push_back(execute(command, start));
+}
+
+NvmeCompletion NvmeQueue::execute(const NvmeCommand& command, TimePoint start) {
+  NvmeCompletion completion;
+  completion.command_id = command.command_id;
+  TimePoint done = start;
+  switch (command.opcode) {
+    case NvmeOpcode::Read: {
+      CSDML_REQUIRE(command.block_count > 0, "read needs blocks");
+      IoResult io = device_.ssd().read(command.lba, command.block_count, start);
+      completion.data = std::move(io.data);
+      done = io.done;
+      break;
+    }
+    case NvmeOpcode::Write: {
+      CSDML_REQUIRE(!command.payload.empty(), "write needs payload");
+      done = device_.ssd().write(command.lba, command.payload, start);
+      break;
+    }
+    case NvmeOpcode::Flush:
+      done = start + Duration::microseconds(50);  // firmware cache flush
+      break;
+    case NvmeOpcode::FpgaDmaWrite: {
+      CSDML_REQUIRE(!command.payload.empty(), "DMA write needs payload");
+      const TransferResult result = device_.host_write_to_fpga(
+          command.payload, command.bank, command.bank_offset, start);
+      done = result.done;
+      break;
+    }
+    case NvmeOpcode::FpgaDmaRead: {
+      CSDML_REQUIRE(command.read_size > 0, "DMA read needs size");
+      IoResult io = device_.host_read_from_fpga(command.bank, command.bank_offset,
+                                                command.read_size, start);
+      completion.data = std::move(io.data);
+      done = io.done;
+      break;
+    }
+    case NvmeOpcode::FpgaP2pLoad: {
+      CSDML_REQUIRE(command.block_count > 0, "P2P load needs blocks");
+      const TransferResult result = device_.p2p_read_to_fpga(
+          command.lba, command.block_count, command.bank, command.bank_offset,
+          start);
+      done = result.done;
+      break;
+    }
+    case NvmeOpcode::FpgaCompute: {
+      CSDML_REQUIRE(command.compute_time.picos > 0, "compute needs a duration");
+      done = start + command.compute_time;
+      device_.trace().record("nvme_compute", start, done);
+      break;
+    }
+  }
+  completion.completed_at = done + config_.completion_latency;
+  return completion;
+}
+
+std::optional<NvmeCompletion> NvmeQueue::reap(TimePoint now) {
+  if (inflight_.empty() || inflight_.front().completed_at > now) {
+    return std::nullopt;
+  }
+  NvmeCompletion completion = std::move(inflight_.front());
+  inflight_.pop_front();
+  ++completed_count_;
+  return completion;
+}
+
+NvmeCompletion NvmeQueue::wait_oldest() {
+  CSDML_REQUIRE(!inflight_.empty(), "nothing outstanding");
+  NvmeCompletion completion = std::move(inflight_.front());
+  inflight_.pop_front();
+  ++completed_count_;
+  return completion;
+}
+
+}  // namespace csdml::csd

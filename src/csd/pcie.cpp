@@ -1,0 +1,16 @@
+#include "csd/pcie.hpp"
+
+#include "common/error.hpp"
+
+namespace csdml::csd {
+
+TimePoint PcieLink::transfer(Bytes bytes, TimePoint at) {
+  CSDML_REQUIRE(bytes.count > 0, "zero-byte PCIe transfer");
+  const Duration hold =
+      config_.per_transfer_overhead + config_.bandwidth.transfer_time(bytes);
+  const TimePoint start = link_.acquire(at, hold);
+  moved_ = moved_ + bytes;
+  return start + hold;
+}
+
+}  // namespace csdml::csd

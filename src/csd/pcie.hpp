@@ -1,0 +1,68 @@
+// PCIe link and the SmartSSD's onboard switch.
+//
+// The switch is what makes the device interesting: it gives the SSD and
+// the FPGA a peer-to-peer (P2P) path through FPGA DRAM that never crosses
+// the host root complex, "drastically reducing PCIe traffic and CPU
+// overhead" (paper, Section II).
+#pragma once
+
+#include <cstdint>
+
+#include "common/units.hpp"
+#include "sim/simulation.hpp"
+
+namespace csdml::csd {
+
+struct PcieLinkConfig {
+  /// Effective data rate after encoding/protocol overhead.
+  Bandwidth bandwidth{Bandwidth::gb_per_s(3.2)};  ///< Gen3 x4 effective
+  Duration per_transfer_overhead{Duration::nanoseconds(700)};  ///< DMA setup + TLP
+};
+
+/// A single full-duplex-simplified PCIe link modelled as a serial resource.
+class PcieLink {
+ public:
+  explicit PcieLink(PcieLinkConfig config) : config_(config) {}
+
+  const PcieLinkConfig& config() const { return config_; }
+
+  /// Schedules a transfer of `bytes` starting no earlier than `at`;
+  /// returns the completion time.
+  TimePoint transfer(Bytes bytes, TimePoint at);
+
+  Duration busy_time() const { return link_.busy_time(); }
+  Bytes bytes_moved() const { return moved_; }
+
+ private:
+  PcieLinkConfig config_;
+  sim::SerialResource link_;
+  Bytes moved_{};
+};
+
+/// The SmartSSD's PCIe topology: one upstream link to the host and an
+/// internal switch port between SSD and FPGA for P2P.
+class PcieSwitch {
+ public:
+  PcieSwitch(PcieLinkConfig upstream, PcieLinkConfig internal)
+      : upstream_(upstream), internal_(internal) {}
+
+  /// Device <-> host traffic (crosses the host root complex).
+  TimePoint to_host(Bytes bytes, TimePoint at) { return upstream_.transfer(bytes, at); }
+  TimePoint from_host(Bytes bytes, TimePoint at) {
+    return upstream_.transfer(bytes, at);
+  }
+
+  /// SSD <-> FPGA DRAM traffic staying inside the device (P2P).
+  TimePoint peer_to_peer(Bytes bytes, TimePoint at) {
+    return internal_.transfer(bytes, at);
+  }
+
+  const PcieLink& upstream() const { return upstream_; }
+  const PcieLink& internal() const { return internal_; }
+
+ private:
+  PcieLink upstream_;
+  PcieLink internal_;
+};
+
+}  // namespace csdml::csd

@@ -1,0 +1,133 @@
+#include "csd/ssd.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace csdml::csd {
+
+SsdController::SsdController(SsdConfig config)
+    : config_(config), nand_(config.nand) {
+  CSDML_REQUIRE(config_.logical_block.count > 0, "logical block must be positive");
+  CSDML_REQUIRE(config_.nand.page_size.count % config_.logical_block.count == 0,
+                "page size must be a multiple of the logical block");
+}
+
+std::uint32_t SsdController::blocks_per_page() const {
+  return static_cast<std::uint32_t>(config_.nand.page_size.count /
+                                    config_.logical_block.count);
+}
+
+PageAddress SsdController::map_block(std::uint64_t lba) const {
+  const std::uint64_t page_index = lba / blocks_per_page();
+  PageAddress addr;
+  addr.channel = static_cast<std::uint32_t>(page_index % config_.nand.channels);
+  const std::uint64_t per_channel = page_index / config_.nand.channels;
+  addr.die =
+      static_cast<std::uint32_t>(per_channel % config_.nand.dies_per_channel);
+  addr.page = per_channel / config_.nand.dies_per_channel;
+  return addr;
+}
+
+IoResult SsdController::read(std::uint64_t lba, std::uint32_t count, TimePoint at) {
+  CSDML_REQUIRE(count > 0, "zero-length read");
+  const TimePoint issued = firmware_.acquire(at, config_.command_overhead) +
+                           config_.command_overhead;
+
+  IoResult result;
+  result.data.resize(static_cast<std::size_t>(count) * config_.logical_block.count);
+  TimePoint latest = issued;
+
+  const std::uint32_t bpp = blocks_per_page();
+  std::uint64_t block = lba;
+  std::size_t cursor = 0;
+  while (block < lba + count) {
+    const PageAddress addr = map_block(block);
+    std::vector<std::uint8_t> page;
+    NandArray::ReadResult nand_read = nand_.read_page(addr, issued, &page);
+    if (nand_read.uncorrectable) {
+      // Read-retry with a shifted reference voltage: one more array read.
+      nand_read = nand_.read_page(addr, nand_read.done, &page);
+      if (nand_read.uncorrectable) result.uncorrectable = true;
+    }
+    latest = std::max(latest, nand_read.done);
+    // Copy the blocks of this page that the request covers.
+    const std::uint64_t first_in_page = block % bpp;
+    for (std::uint64_t b = first_in_page; b < bpp && block < lba + count;
+         ++b, ++block) {
+      const std::size_t offset =
+          static_cast<std::size_t>(b) * config_.logical_block.count;
+      const std::size_t n = config_.logical_block.count;
+      std::copy_n(page.begin() + static_cast<std::ptrdiff_t>(offset), n,
+                  result.data.begin() + static_cast<std::ptrdiff_t>(cursor));
+      cursor += n;
+    }
+  }
+  result.done = latest;
+  bytes_read_ = bytes_read_ + Bytes{result.data.size()};
+  return result;
+}
+
+TimePoint SsdController::write(std::uint64_t lba,
+                               const std::vector<std::uint8_t>& data, TimePoint at) {
+  CSDML_REQUIRE(!data.empty(), "zero-length write");
+  const TimePoint issued = firmware_.acquire(at, config_.command_overhead) +
+                           config_.command_overhead;
+
+  const std::uint32_t bpp = blocks_per_page();
+  const std::uint64_t block_count =
+      (data.size() + config_.logical_block.count - 1) / config_.logical_block.count;
+
+  TimePoint latest = issued;
+  std::uint64_t block = lba;
+  std::size_t cursor = 0;
+  while (block < lba + block_count) {
+    const PageAddress addr = map_block(block);
+    // Read-modify-write the page image (functional content only; timing
+    // charges the program, as the mapping layer absorbs merges in DRAM).
+    std::vector<std::uint8_t> page;
+    (void)nand_.read_page(addr, issued, &page);  // content fetch, timing ignored
+    const std::uint64_t first_in_page = block % bpp;
+    for (std::uint64_t b = first_in_page; b < bpp && block < lba + block_count;
+         ++b, ++block) {
+      const std::size_t offset =
+          static_cast<std::size_t>(b) * config_.logical_block.count;
+      const std::size_t n =
+          std::min<std::size_t>(config_.logical_block.count, data.size() - cursor);
+      std::copy_n(data.begin() + static_cast<std::ptrdiff_t>(cursor), n,
+                  page.begin() + static_cast<std::ptrdiff_t>(offset));
+      cursor += n;
+      if (cursor >= data.size()) {
+        block = lba + block_count;  // done copying; exit outer loop too
+        break;
+      }
+    }
+    const TimePoint done = nand_.program_page(addr, issued, page);
+    latest = std::max(latest, done);
+  }
+  bytes_written_ = bytes_written_ + Bytes{data.size()};
+  return latest;
+}
+
+SsdController::SmartHealth SsdController::smart() const {
+  SmartHealth health;
+  health.host_bytes_read = bytes_read_;
+  health.host_bytes_written = bytes_written_;
+  health.pages_programmed = nand_.pages_programmed();
+  health.blocks_erased = nand_.blocks_erased();
+  health.corrected_reads = nand_.corrected_reads();
+  health.uncorrectable_reads = nand_.uncorrectable_reads();
+  const double total_pages =
+      static_cast<double>(config_.modelled_capacity.count) /
+      static_cast<double>(config_.nand.page_size.count);
+  const double lifetime_programs =
+      total_pages * static_cast<double>(config_.rated_pe_cycles);
+  health.media_wear_percent =
+      lifetime_programs > 0.0
+          ? 100.0 * static_cast<double>(health.pages_programmed) /
+                lifetime_programs
+          : 0.0;
+  return health;
+}
+
+}  // namespace csdml::csd

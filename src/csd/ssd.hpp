@@ -1,0 +1,82 @@
+// SSD controller + FTL over the NAND array: the PM1733 half of the
+// SmartSSD. Exposes a logical-block read/write interface with command
+// processing overhead, page-level striping across channels, and functional
+// data storage (what you write is what you later read).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/units.hpp"
+#include "csd/nand.hpp"
+
+namespace csdml::csd {
+
+struct SsdConfig {
+  NandConfig nand{};
+  Bytes logical_block{Bytes::kib(4)};
+  Duration command_overhead{Duration::microseconds(5)};  ///< firmware + NVMe
+  std::uint32_t queue_depth{64};
+  /// Rated program/erase cycles per cell (TLC-class endurance), used by
+  /// the SMART media-wear estimate.
+  std::uint64_t rated_pe_cycles{3'000};
+  /// Modelled physical capacity for the wear estimate (the PM1733 is 4 TB;
+  /// a smaller default keeps wear percentages visible in simulations).
+  Bytes modelled_capacity{Bytes::gib(4)};
+};
+
+/// Result of a logical I/O: completion time plus (for reads) the bytes.
+struct IoResult {
+  TimePoint done;
+  std::vector<std::uint8_t> data;
+  /// True when NAND ECC failed even after read-retry; data is suspect.
+  bool uncorrectable{false};
+};
+
+class SsdController {
+ public:
+  explicit SsdController(SsdConfig config);
+
+  const SsdConfig& config() const { return config_; }
+
+  /// Reads `count` logical blocks starting at `lba`, issued at `at`.
+  IoResult read(std::uint64_t lba, std::uint32_t count, TimePoint at);
+
+  /// Writes the data (padded to whole blocks) starting at `lba`.
+  TimePoint write(std::uint64_t lba, const std::vector<std::uint8_t>& data,
+                  TimePoint at);
+
+  /// Total logical bytes read/written (accounting).
+  Bytes bytes_read() const { return bytes_read_; }
+  Bytes bytes_written() const { return bytes_written_; }
+
+  /// Reliability counters from the NAND layer.
+  const NandArray& nand() const { return nand_; }
+
+  /// SMART-style health snapshot.
+  struct SmartHealth {
+    Bytes host_bytes_read{};
+    Bytes host_bytes_written{};
+    std::uint64_t pages_programmed{0};
+    std::uint64_t blocks_erased{0};
+    std::uint64_t corrected_reads{0};
+    std::uint64_t uncorrectable_reads{0};
+    /// Programs consumed / (pages x rated cycles), as a percentage.
+    double media_wear_percent{0.0};
+  };
+  SmartHealth smart() const;
+
+ private:
+  /// Static FTL: logical block -> physical page slice, striped across
+  /// channels then dies for parallelism.
+  PageAddress map_block(std::uint64_t lba) const;
+  std::uint32_t blocks_per_page() const;
+
+  SsdConfig config_;
+  NandArray nand_;
+  sim::SerialResource firmware_;  // command processing serialisation
+  Bytes bytes_read_{};
+  Bytes bytes_written_{};
+};
+
+}  // namespace csdml::csd

@@ -1,0 +1,53 @@
+#include "detect/attribution.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "ransomware/api_vocab.hpp"
+
+namespace csdml::detect {
+
+AttributionReport attribute_window(const nn::LstmClassifier& model,
+                                   const nn::Sequence& window,
+                                   const AttributionConfig& config) {
+  CSDML_REQUIRE(!window.empty(), "empty window");
+  CSDML_REQUIRE(config.top_k > 0, "top_k must be positive");
+
+  const auto& vocab = ransomware::ApiVocabulary::instance();
+  nn::TokenId mask = config.mask_token;
+  if (mask < 0) mask = vocab.require("HeapAlloc");
+  CSDML_REQUIRE(mask < model.config().vocab_size, "mask token out of range");
+
+  AttributionReport report;
+  report.probability = model.forward(window, nullptr);
+
+  std::vector<CallAttribution> all;
+  all.reserve(window.size());
+  nn::Sequence masked = window;
+  for (std::size_t i = 0; i < window.size(); ++i) {
+    if (window[i] == mask) continue;  // masking a mask is a no-op
+    masked[i] = mask;
+    const double p = model.forward(masked, nullptr);
+    masked[i] = window[i];
+
+    CallAttribution attribution;
+    attribution.position = i;
+    attribution.token = window[i];
+    attribution.api_name =
+        static_cast<std::size_t>(window[i]) < vocab.size()
+            ? std::string(vocab.call(window[i]).name)
+            : "token#" + std::to_string(window[i]);
+    attribution.contribution = report.probability - p;
+    all.push_back(std::move(attribution));
+  }
+
+  std::sort(all.begin(), all.end(),
+            [](const CallAttribution& a, const CallAttribution& b) {
+              return a.contribution > b.contribution;
+            });
+  if (all.size() > config.top_k) all.resize(config.top_k);
+  report.top_calls = std::move(all);
+  return report;
+}
+
+}  // namespace csdml::detect

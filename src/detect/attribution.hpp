@@ -1,0 +1,44 @@
+// Alert attribution: which API calls in a detected window drove the
+// classification.
+//
+// A SOC operator receiving "process 4711 quarantined" needs to see *why*.
+// This module produces occlusion-based attributions: each position of the
+// window is masked (replaced with an innocuous background call) and the
+// probability drop measures that call's contribution. Runs of adjacent
+// high-contribution calls are then grouped into the spans an analyst reads
+// ("ReadFile CryptEncrypt WriteFile MoveFileExW ...").
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "nn/lstm.hpp"
+
+namespace csdml::detect {
+
+struct CallAttribution {
+  std::size_t position{0};     ///< index within the window
+  nn::TokenId token{0};
+  std::string api_name;        ///< resolved against the API vocabulary
+  double contribution{0.0};    ///< probability drop when this call is masked
+};
+
+struct AttributionReport {
+  double probability{0.0};                  ///< unmasked model output
+  std::vector<CallAttribution> top_calls;   ///< sorted by contribution, desc
+};
+
+struct AttributionConfig {
+  std::size_t top_k{10};
+  /// Token used to occlude positions; defaults to a neutral background
+  /// call (HeapAlloc) when negative.
+  nn::TokenId mask_token{-1};
+};
+
+/// Computes occlusion attributions for one window under `model`.
+/// Cost: one forward pass per window position.
+AttributionReport attribute_window(const nn::LstmClassifier& model,
+                                   const nn::Sequence& window,
+                                   const AttributionConfig& config = {});
+
+}  // namespace csdml::detect

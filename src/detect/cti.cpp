@@ -1,0 +1,123 @@
+#include "detect/cti.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "common/log.hpp"
+
+namespace csdml::detect {
+
+ransomware::FamilyProfile make_emerging_strain(
+    const ransomware::FamilyProfile& base, std::uint32_t strain_id) {
+  using ransomware::MotifKind;
+  using ransomware::Phase;
+  ransomware::FamilyProfile strain;
+  strain.name = base.name + "-Nova" + std::to_string(strain_id);
+  strain.variants = 1;
+  strain.encrypts = true;
+  strain.self_propagates = false;
+
+  // A slow-and-low, living-off-the-land rewrite of the family:
+  //  * loads like an ordinary application (no packed-dropper burst),
+  //  * encrypts through in-place container writes (no rename sweep),
+  //  * throttles — every couple of encrypted files it browses and idles,
+  //    so no window shows the dense CryptEncrypt stream the deployed
+  //    model keys on; the density matches benign disk-encryption tools,
+  //  * keeps a light C2 heartbeat (extortion moves off-host) and re-keys
+  //    periodically — the residual signals retraining must learn.
+  strain.script = {Phase{MotifKind::AppStartup, 1, 1},
+                   Phase{MotifKind::ConfigLoad, 1, 2},
+                   Phase{MotifKind::UiIdle, 1, 2},
+                   Phase{MotifKind::KeyGeneration, 1, 1}};
+  // Enough throttled cycles that even long sandbox detonations never fall
+  // back to the generator's dense filler phase.
+  for (int cycle = 0; cycle < 40 + static_cast<int>(strain_id % 3); ++cycle) {
+    strain.script.push_back(Phase{MotifKind::FileBrowse, 1, 1});
+    strain.script.push_back(Phase{MotifKind::VolumeEncryptionLoop, 2, 3});
+    strain.script.push_back(Phase{MotifKind::UiIdle, 1, 2});
+    if (cycle % 3 == 0) {
+      strain.script.push_back(Phase{MotifKind::C2Beacon, 1, 1});
+      strain.script.push_back(Phase{MotifKind::KeyGeneration, 0, 1});
+    }
+  }
+  return strain;
+}
+
+nn::SequenceDataset windows_from_strain(const ransomware::FamilyProfile& strain,
+                                        std::size_t window_count,
+                                        std::size_t window_length,
+                                        std::size_t stride, std::uint64_t seed) {
+  CSDML_REQUIRE(window_count > 0, "need at least one window");
+  ransomware::SandboxConfig sandbox_config;
+  sandbox_config.seed = seed;
+  const ransomware::SandboxTraceGenerator sandbox(sandbox_config);
+  const std::size_t length = window_length + stride * (window_count - 1);
+  // The strain's filler differs from stock families: extend with its own
+  // dominant phase by re-running the script generator at full length.
+  const auto trace = sandbox.ransomware_trace(strain, 0, length);
+  auto windows = ransomware::sliding_windows(trace, window_length, stride);
+  if (windows.size() > window_count) windows.resize(window_count);
+
+  nn::SequenceDataset dataset;
+  for (auto& window : windows) {
+    dataset.sequences.push_back(std::move(window));
+    dataset.labels.push_back(1);
+  }
+  return dataset;
+}
+
+namespace {
+
+double recall_on(const nn::LstmClassifier& model, const nn::SequenceDataset& set) {
+  CSDML_REQUIRE(!set.empty(), "empty evaluation set");
+  std::size_t hits = 0;
+  for (std::size_t i = 0; i < set.size(); ++i) {
+    hits += model.predict(set.sequences[i]) == 1;
+  }
+  return static_cast<double>(hits) / static_cast<double>(set.size());
+}
+
+}  // namespace
+
+CtiUpdateReport incorporate_strain(nn::LstmClassifier& model,
+                                   kernels::CsdLstmEngine& engine,
+                                   const ransomware::FamilyProfile& strain,
+                                   const nn::SequenceDataset& replay,
+                                   const nn::TrainConfig& fine_tune_config,
+                                   std::uint64_t seed) {
+  CSDML_REQUIRE(!replay.empty(), "replay buffer must be non-empty");
+  const std::size_t window = replay.sequences.front().size();
+
+  // Fresh detonations: disjoint train/eval windows of the new strain.
+  nn::SequenceDataset strain_train =
+      windows_from_strain(strain, 200, window, 25, seed);
+  const nn::SequenceDataset strain_eval =
+      windows_from_strain(strain, 60, window, 37, seed + 1);
+
+  CtiUpdateReport report;
+  report.strain_recall_before = recall_on(model, strain_eval);
+
+  // Fine-tune on new windows + replay buffer so old behaviour is retained.
+  nn::SequenceDataset combined = strain_train;
+  combined.append(replay);
+  Rng shuffle_rng = Rng(seed).fork("cti-finetune");
+  combined.shuffle(shuffle_rng);
+  nn::train(model, combined, strain_eval, fine_tune_config);
+
+  report.strain_recall_after = recall_on(model, strain_eval);
+  nn::ConfusionMatrix replay_cm = nn::evaluate(model, replay);
+  report.replay_accuracy_after = replay_cm.accuracy();
+  report.windows_added = strain_train.size();
+
+  // Hot-swap into the drive: same xclbin, new weight image.
+  engine.update_weights(model.params());
+  report.engine_weight_version = engine.weight_updates();
+
+  CSDML_LOG_INFO("cti") << strain.name << ": recall "
+                        << report.strain_recall_before << " -> "
+                        << report.strain_recall_after << ", engine at v"
+                        << report.engine_weight_version;
+  return report;
+}
+
+}  // namespace csdml::detect

@@ -1,0 +1,54 @@
+// Cyber-Threat-Intelligence-driven model updates.
+//
+// The paper: "it is advisable to update the FPGA-based model with a
+// version that has been retrained on new ransomware strains once they are
+// uncovered in Cyber Threat Intelligence (CTI) feeds" — possible because
+// the FPGA binary is compiled once and only the weight image changes.
+//
+// This module provides that loop end-to-end:
+//   * make_emerging_strain() synthesizes a novel, evasive variant of a
+//     known family (container-style encryption without the rename sweep,
+//     no shadow-copy wipe — the behaviours the deployed model keyed on),
+//   * windows_from_strain() turns its sandbox detonation into labelled
+//     training windows,
+//   * incorporate_strain() fine-tunes the offline model on the new
+//     windows plus a replay buffer of the old corpus (so nothing is
+//     forgotten) and hot-swaps the weights into the CSD engine.
+#pragma once
+
+#include "kernels/engine.hpp"
+#include "nn/train.hpp"
+#include "ransomware/dataset_builder.hpp"
+
+namespace csdml::detect {
+
+/// A previously unseen strain derived from `base`: keeps the family's
+/// masquerade and C2 habits but encrypts through seek-in-place container
+/// writes (no MoveFile rename sweep) and skips the noisy shadow-copy wipe.
+ransomware::FamilyProfile make_emerging_strain(
+    const ransomware::FamilyProfile& base, std::uint32_t strain_id);
+
+/// Sandbox-detonates the profile and windows the trace (label 1).
+nn::SequenceDataset windows_from_strain(const ransomware::FamilyProfile& strain,
+                                        std::size_t window_count,
+                                        std::size_t window_length,
+                                        std::size_t stride, std::uint64_t seed);
+
+struct CtiUpdateReport {
+  double strain_recall_before{0.0};  ///< on held-out strain windows
+  double strain_recall_after{0.0};
+  double replay_accuracy_after{0.0}; ///< no catastrophic forgetting
+  std::size_t windows_added{0};
+  std::uint32_t engine_weight_version{0};
+};
+
+/// Fine-tunes `model` on strain windows + `replay`, evaluates before/after,
+/// and pushes the new weights into `engine` (no recompile).
+CtiUpdateReport incorporate_strain(nn::LstmClassifier& model,
+                                   kernels::CsdLstmEngine& engine,
+                                   const ransomware::FamilyProfile& strain,
+                                   const nn::SequenceDataset& replay,
+                                   const nn::TrainConfig& fine_tune_config,
+                                   std::uint64_t seed = 99);
+
+}  // namespace csdml::detect

@@ -1,0 +1,53 @@
+#include "detect/detector.hpp"
+
+#include "common/error.hpp"
+
+namespace csdml::detect {
+
+StreamingDetector::StreamingDetector(kernels::CsdLstmEngine& engine,
+                                     DetectorConfig config)
+    : engine_(engine), config_(config) {
+  CSDML_REQUIRE(config_.window_length > 0, "window must be positive");
+  CSDML_REQUIRE(config_.hop > 0, "hop must be positive");
+  CSDML_REQUIRE(config_.consecutive_alerts > 0,
+                "consecutive_alerts must be positive");
+}
+
+std::optional<Detection> StreamingDetector::on_api_call(ProcessId process,
+                                                        nn::TokenId token) {
+  ProcessState& state = processes_[process];
+  state.window.push_back(token);
+  if (state.window.size() > config_.window_length) state.window.pop_front();
+  ++state.calls_seen;
+  ++state.calls_since_eval;
+
+  if (state.window.size() < config_.window_length) return std::nullopt;
+  const bool first_full_window = state.calls_seen == config_.window_length;
+  if (!first_full_window && state.calls_since_eval < config_.hop) {
+    return std::nullopt;
+  }
+  state.calls_since_eval = 0;
+
+  const nn::Sequence sequence(state.window.begin(), state.window.end());
+  const kernels::InferenceResult result = engine_.infer(sequence);
+  ++classifications_;
+  device_time_ += result.device_time;
+
+  if (result.probability >= config_.threshold) {
+    ++state.alert_streak;
+  } else {
+    state.alert_streak = 0;
+  }
+  if (state.alert_streak < config_.consecutive_alerts) return std::nullopt;
+
+  Detection detection;
+  detection.process = process;
+  detection.probability = result.probability;
+  detection.call_index = state.calls_seen;
+  detection.inference_time = result.device_time;
+  return detection;
+}
+
+void StreamingDetector::forget(ProcessId process) { processes_.erase(process); }
+
+}  // namespace csdml::detect

@@ -1,0 +1,73 @@
+// Streaming ransomware detection over live API-call streams.
+//
+// The deployed model watches the API calls of every process on the host
+// that houses the CSD; once a process has emitted a full window of calls
+// the engine classifies it, and re-classifies on a configurable hop as the
+// window slides — the paper's "classify API call sequences associated with
+// ransomware on the system housing the CSD".
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "kernels/engine.hpp"
+#include "nn/dataset.hpp"
+
+namespace csdml::detect {
+
+using ProcessId = std::uint32_t;
+
+struct DetectorConfig {
+  std::size_t window_length{100};
+  /// Calls between consecutive classifications of one process once its
+  /// window is full (1 = classify on every call).
+  std::size_t hop{25};
+  double threshold{0.5};
+  /// Consecutive over-threshold classifications required before alerting
+  /// (debounce against one-off false positives).
+  std::size_t consecutive_alerts{1};
+};
+
+struct Detection {
+  ProcessId process{0};
+  double probability{0.0};
+  /// Index (per process) of the API call that completed the window.
+  std::uint64_t call_index{0};
+  /// Simulated device time charged for the classification.
+  Duration inference_time;
+};
+
+class StreamingDetector {
+ public:
+  StreamingDetector(kernels::CsdLstmEngine& engine, DetectorConfig config);
+
+  /// Feeds one API call of one process. Returns a Detection when this call
+  /// triggered a classification that crossed the alert threshold (with
+  /// debouncing applied).
+  std::optional<Detection> on_api_call(ProcessId process, nn::TokenId token);
+
+  /// Forgets a terminated process.
+  void forget(ProcessId process);
+
+  std::uint64_t classifications_run() const { return classifications_; }
+  Duration device_time_spent() const { return device_time_; }
+
+ private:
+  struct ProcessState {
+    std::deque<nn::TokenId> window;
+    std::uint64_t calls_seen{0};
+    std::uint64_t calls_since_eval{0};
+    std::size_t alert_streak{0};
+  };
+
+  kernels::CsdLstmEngine& engine_;
+  DetectorConfig config_;
+  std::unordered_map<ProcessId, ProcessState> processes_;
+  std::uint64_t classifications_{0};
+  Duration device_time_{};
+};
+
+}  // namespace csdml::detect

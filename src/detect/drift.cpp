@@ -1,0 +1,85 @@
+#include "detect/drift.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace csdml::detect {
+
+namespace {
+constexpr double kSmoothing = 1e-4;  // avoids log(0) on empty categories
+}
+
+CategoryDistribution category_distribution(const std::vector<nn::TokenId>& tokens) {
+  CSDML_REQUIRE(!tokens.empty(), "empty token stream");
+  const auto& vocab = ransomware::ApiVocabulary::instance();
+  CategoryDistribution dist{};
+  for (const nn::TokenId token : tokens) {
+    dist[static_cast<std::size_t>(vocab.call(token).category)] += 1.0;
+  }
+  for (double& v : dist) v /= static_cast<double>(tokens.size());
+  return dist;
+}
+
+CategoryDistribution category_distribution(const nn::SequenceDataset& dataset) {
+  CSDML_REQUIRE(!dataset.empty(), "empty dataset");
+  std::vector<nn::TokenId> all;
+  for (const auto& seq : dataset.sequences) {
+    all.insert(all.end(), seq.begin(), seq.end());
+  }
+  return category_distribution(all);
+}
+
+double population_stability_index(const CategoryDistribution& reference,
+                                  const CategoryDistribution& observed) {
+  double psi = 0.0;
+  for (std::size_t c = 0; c < kCategoryCount; ++c) {
+    const double r = reference[c] + kSmoothing;
+    const double o = observed[c] + kSmoothing;
+    psi += (o - r) * std::log(o / r);
+  }
+  return psi;
+}
+
+DriftMonitor::DriftMonitor(CategoryDistribution reference, DriftConfig config)
+    : reference_(reference), config_(config) {
+  CSDML_REQUIRE(config_.window_tokens > 0, "window must be positive");
+  CSDML_REQUIRE(config_.consecutive_windows > 0,
+                "consecutive_windows must be positive");
+  CSDML_REQUIRE(config_.psi_threshold > 0.0, "threshold must be positive");
+}
+
+bool DriftMonitor::observe(nn::TokenId token) {
+  const auto& vocab = ransomware::ApiVocabulary::instance();
+  counts_[static_cast<std::size_t>(vocab.call(token).category)] += 1;
+  if (++tokens_in_window_ < config_.window_tokens) return false;
+
+  // Window complete: evaluate and reset the accumulator.
+  CategoryDistribution observed{};
+  for (std::size_t c = 0; c < kCategoryCount; ++c) {
+    observed[c] = static_cast<double>(counts_[c]) /
+                  static_cast<double>(config_.window_tokens);
+  }
+  counts_.fill(0);
+  tokens_in_window_ = 0;
+  ++windows_;
+
+  last_psi_ = population_stability_index(reference_, observed);
+  if (last_psi_ >= config_.psi_threshold) {
+    ++over_threshold_streak_;
+  } else {
+    over_threshold_streak_ = 0;
+  }
+  if (!drifted_ && over_threshold_streak_ >= config_.consecutive_windows) {
+    drifted_ = true;
+    return true;
+  }
+  return false;
+}
+
+void DriftMonitor::reset() {
+  drifted_ = false;
+  over_threshold_streak_ = 0;
+}
+
+}  // namespace csdml::detect

@@ -1,0 +1,88 @@
+#include "detect/guarded_ssd.hpp"
+
+#include "common/error.hpp"
+#include "common/log.hpp"
+
+namespace csdml::detect {
+
+GuardedSsd::GuardedSsd(csd::SmartSsd& board, CsdGuard& guard)
+    : board_(board), guard_(guard) {}
+
+MitigationAction GuardedSsd::on_api_call(ProcessId process, nn::TokenId token,
+                                         TimePoint at) {
+  const bool was_quarantined = guard_.is_quarantined(process);
+  const MitigationAction action = guard_.on_api_call(process, token);
+  // Roll back exactly once, on the quarantine transition.
+  if (action == MitigationAction::QuarantineProcess && !was_quarantined) {
+    const std::uint64_t before = stats_.blocks_restored;
+    restore(process, at);
+    CSDML_LOG_INFO("guarded-ssd")
+        << "process " << process << " quarantined; "
+        << stats_.blocks_restored - before << " blocks rolled back";
+  }
+  return action;
+}
+
+GuardedWriteResult GuardedSsd::write(ProcessId process, std::uint64_t lba,
+                                     const std::vector<std::uint8_t>& data,
+                                     TimePoint at) {
+  CSDML_REQUIRE(!data.empty(), "empty write");
+  GuardedWriteResult result;
+  if (!guard_.allow_write(process)) {
+    return result;  // rejected at the drive
+  }
+
+  const std::uint64_t block_bytes = board_.ssd().config().logical_block.count;
+  const auto block_count = static_cast<std::uint32_t>(
+      (data.size() + block_bytes - 1) / block_bytes);
+
+  // Copy-on-write: preserve pre-images of blocks this process has not
+  // touched before. (A quarantined process never reaches this point, and a
+  // resolved-benign one has an empty shadow map that simply regrows.)
+  auto& shadow = shadows_[process];
+  csd::IoResult pre = board_.ssd().read(lba, block_count, at);
+  TimePoint cursor = pre.done;
+  bool snapshotted = false;
+  for (std::uint32_t b = 0; b < block_count; ++b) {
+    const std::uint64_t block_lba = lba + b;
+    if (shadow.contains(block_lba)) continue;  // first pre-image wins
+    const auto begin =
+        pre.data.begin() + static_cast<std::ptrdiff_t>(b * block_bytes);
+    shadow.emplace(block_lba,
+                   std::vector<std::uint8_t>(begin, begin + static_cast<std::ptrdiff_t>(block_bytes)));
+    ++stats_.blocks_preserved;
+    stats_.shadow_bytes = stats_.shadow_bytes + Bytes{block_bytes};
+    snapshotted = true;
+  }
+
+  result.done = board_.ssd().write(lba, data, cursor);
+  result.accepted = true;
+  result.snapshotted = snapshotted;
+  return result;
+}
+
+TimePoint GuardedSsd::restore(ProcessId process, TimePoint at) {
+  const auto it = shadows_.find(process);
+  if (it == shadows_.end()) return at;
+  TimePoint cursor = at;
+  for (const auto& [lba, pre_image] : it->second) {
+    cursor = board_.ssd().write(lba, pre_image, cursor);
+    ++stats_.blocks_restored;
+  }
+  shadows_.erase(it);
+  return cursor;
+}
+
+void GuardedSsd::resolve_benign(ProcessId process) {
+  const auto it = shadows_.find(process);
+  if (it == shadows_.end()) return;
+  stats_.blocks_discarded += it->second.size();
+  shadows_.erase(it);
+}
+
+std::size_t GuardedSsd::preserved_blocks(ProcessId process) const {
+  const auto it = shadows_.find(process);
+  return it == shadows_.end() ? 0 : it->second.size();
+}
+
+}  // namespace csdml::detect

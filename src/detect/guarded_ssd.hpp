@@ -1,0 +1,76 @@
+// GuardedSsd — the drive-side write path with pre-image snapshots.
+//
+// The paper's mitigation stops *subsequent* encryption once ransomware is
+// detected; whatever the malware wrote during the detection window (the
+// first ~100+ calls) is already encrypted. Because the guard lives in the
+// drive, it can do better: while a process is unresolved (observed but not
+// yet cleared or quarantined), the drive preserves the pre-image of every
+// block that process overwrites. On quarantine the pre-images roll back —
+// the victim loses nothing. Pre-images of processes that prove benign are
+// discarded.
+//
+// This is the storage-level analogue of the "near-instantaneous
+// mitigation" argument: only a computational storage device sees both the
+// verdict and the blocks.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+#include "detect/mitigation.hpp"
+
+namespace csdml::detect {
+
+struct GuardedWriteResult {
+  bool accepted{false};     ///< false: quarantined process, write rejected
+  bool snapshotted{false};  ///< pre-images preserved for this write
+  TimePoint done{};
+};
+
+struct SnapshotStats {
+  std::uint64_t blocks_preserved{0};
+  std::uint64_t blocks_restored{0};
+  std::uint64_t blocks_discarded{0};
+  Bytes shadow_bytes{};
+};
+
+/// Wraps a SmartSSD's write path with guard consultation + copy-on-write
+/// pre-image tracking per process.
+class GuardedSsd {
+ public:
+  GuardedSsd(csd::SmartSsd& board, CsdGuard& guard);
+
+  /// One API call observed for `process` (feeds the guard/detector). If
+  /// this call quarantines the process, its pre-images are restored
+  /// immediately and the restore time is charged to the drive.
+  MitigationAction on_api_call(ProcessId process, nn::TokenId token,
+                               TimePoint at);
+
+  /// A write issued by `process`. While the process is unresolved the old
+  /// block contents are preserved before being overwritten.
+  GuardedWriteResult write(ProcessId process, std::uint64_t lba,
+                           const std::vector<std::uint8_t>& data, TimePoint at);
+
+  /// Marks a process as resolved-benign (e.g. it exited cleanly): its
+  /// pre-images are discarded.
+  void resolve_benign(ProcessId process);
+
+  /// Blocks currently preserved for a process.
+  std::size_t preserved_blocks(ProcessId process) const;
+  const SnapshotStats& stats() const { return stats_; }
+
+ private:
+  /// Restores every preserved pre-image of `process`; returns completion.
+  TimePoint restore(ProcessId process, TimePoint at);
+
+  csd::SmartSsd& board_;
+  CsdGuard& guard_;
+  /// process -> (lba -> pre-image block). std::map keeps restores ordered.
+  std::unordered_map<ProcessId, std::map<std::uint64_t, std::vector<std::uint8_t>>>
+      shadows_;
+  SnapshotStats stats_;
+};
+
+}  // namespace csdml::detect

@@ -1,0 +1,48 @@
+#include "detect/mitigation.hpp"
+
+#include "common/error.hpp"
+#include "common/log.hpp"
+
+namespace csdml::detect {
+
+CsdGuard::CsdGuard(kernels::CsdLstmEngine& engine, DetectorConfig detector_config,
+                   MitigationPolicy policy)
+    : detector_(engine, detector_config), policy_(policy) {
+  CSDML_REQUIRE(policy_.alert_threshold <= policy_.quarantine_threshold,
+                "alert threshold must not exceed quarantine threshold");
+}
+
+MitigationAction CsdGuard::on_api_call(ProcessId process, nn::TokenId token) {
+  ++stats_.calls_observed;
+  const std::optional<Detection> detection = detector_.on_api_call(process, token);
+  if (!detection.has_value()) return MitigationAction::None;
+
+  ++stats_.detections;
+  if (detection->probability >= policy_.quarantine_threshold) {
+    if (quarantined_.insert(process).second) {
+      ++stats_.quarantines;
+      CSDML_LOG_INFO("guard") << "quarantined process " << process
+                              << " (p=" << detection->probability << " after "
+                              << detection->call_index << " calls)";
+    }
+    return MitigationAction::QuarantineProcess;
+  }
+  return MitigationAction::AlertOnly;
+}
+
+bool CsdGuard::allow_write(ProcessId process) {
+  if (quarantined_.contains(process)) {
+    ++stats_.writes_blocked;
+    return false;
+  }
+  ++stats_.writes_allowed;
+  return true;
+}
+
+bool CsdGuard::is_quarantined(ProcessId process) const {
+  return quarantined_.contains(process);
+}
+
+void CsdGuard::release(ProcessId process) { quarantined_.erase(process); }
+
+}  // namespace csdml::detect

@@ -1,0 +1,65 @@
+// In-CSD mitigation: what happens after a detection.
+//
+// Because the classifier "resides next to the data that it is protecting",
+// mitigation is immediate: the guard quarantines the offending process and
+// the drive rejects its writes from that point on — the paper's
+// "near-instantaneous mitigation ... thwarting any subsequent encryption".
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "detect/detector.hpp"
+
+namespace csdml::detect {
+
+enum class MitigationAction {
+  None,
+  AlertOnly,          ///< below the hard threshold: notify operators
+  QuarantineProcess,  ///< reject all further writes from the process
+};
+
+struct MitigationPolicy {
+  /// probability >= quarantine_threshold -> QuarantineProcess.
+  double quarantine_threshold{0.90};
+  /// probability >= alert_threshold -> AlertOnly.
+  double alert_threshold{0.50};
+};
+
+struct GuardStats {
+  std::uint64_t calls_observed{0};
+  std::uint64_t detections{0};
+  std::uint64_t quarantines{0};
+  std::uint64_t writes_allowed{0};
+  std::uint64_t writes_blocked{0};
+};
+
+/// The complete in-storage defence: streaming detection + write gating.
+class CsdGuard {
+ public:
+  CsdGuard(kernels::CsdLstmEngine& engine, DetectorConfig detector_config,
+           MitigationPolicy policy);
+
+  /// Observes one API call. Returns the action taken for this call.
+  MitigationAction on_api_call(ProcessId process, nn::TokenId token);
+
+  /// The SSD write path asks the guard before servicing a write.
+  /// Returns false (and counts a blocked write) for quarantined processes.
+  bool allow_write(ProcessId process);
+
+  bool is_quarantined(ProcessId process) const;
+  void release(ProcessId process);
+
+  const GuardStats& stats() const { return stats_; }
+  const StreamingDetector& detector() const { return detector_; }
+
+ private:
+  StreamingDetector detector_;
+  MitigationPolicy policy_;
+  std::unordered_set<ProcessId> quarantined_;
+  GuardStats stats_;
+};
+
+}  // namespace csdml::detect

@@ -1,0 +1,45 @@
+// Activation functions in float and in the paper's decimal fixed point.
+//
+// The paper replaces every tanh in the LSTM with softsign(x) = x/(|x|+1)
+// because softsign shares tanh's S-shape and asymptotes while avoiding
+// exp() on the FPGA. The fixed-point sigmoid uses a piecewise-linear
+// approximation (the standard PLAN scheme) so that, like softsign, it
+// needs no exponentials — only shifts, adds and one bounded division.
+#pragma once
+
+#include "fixed/scaled_fixed.hpp"
+
+namespace csdml::fixedpt {
+
+// --- float reference implementations -----------------------------------
+
+double sigmoid(double x);
+double tanh_ref(double x);
+double softsign(double x);
+/// d/dx softsign = 1 / (|x|+1)^2 — used by the trainer when the model is
+/// trained with the same activation it will run with on the CSD.
+double softsign_derivative(double x);
+double sigmoid_derivative(double x);
+
+// --- fixed-point implementations ----------------------------------------
+
+/// softsign on scaled integers: raw / (|raw|/scale + 1) stays exact in
+/// integer arithmetic — x/(|x|+1) == raw / ((|raw| + scale) / scale).
+ScaledFixed softsign_fixed(ScaledFixed x);
+
+/// PLAN piecewise-linear sigmoid (Amin, Curtis & Hayes-Gill, 1997):
+///   |x| >= 5        -> 1
+///   2.375 <= |x| < 5 -> 0.03125*|x| + 0.84375
+///   1 <= |x| < 2.375 -> 0.125*|x| + 0.625
+///   0 <= |x| < 1     -> 0.25*|x| + 0.5
+/// with sigmoid(-x) = 1 - sigmoid(x). Max abs error ≈ 0.0189.
+ScaledFixed sigmoid_fixed(ScaledFixed x);
+
+/// Float mirror of sigmoid_fixed for error analysis in tests/benches.
+double sigmoid_plan(double x);
+
+/// Max abs deviation |softsign - tanh| on [-r, r] sampled at `samples`
+/// points; used by the activation ablation bench.
+double softsign_tanh_max_gap(double radius, int samples);
+
+}  // namespace csdml::fixedpt

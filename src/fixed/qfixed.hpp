@@ -1,0 +1,74 @@
+// Generic binary Q-format fixed point (Qm.n), the representation HLS's
+// ap_fixed<> provides on real Vitis toolchains. Offered alongside the
+// paper's decimal scheme so the ablation benches can compare binary
+// against decimal scaling, and to support the mixed-precision direction
+// the paper lists as future work.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <type_traits>
+
+#include "common/error.hpp"
+
+namespace csdml::fixedpt {
+
+/// Qm.n two's-complement fixed point in an int64 container.
+/// `FracBits` = n; integer bits are implicitly 63 - n.
+template <int FracBits>
+class QFixed {
+  static_assert(FracBits > 0 && FracBits < 63, "FracBits must be in (0, 63)");
+
+ public:
+  static constexpr int kFracBits = FracBits;
+  static constexpr std::int64_t kOne = std::int64_t{1} << FracBits;
+
+  constexpr QFixed() = default;
+
+  static QFixed from_double(double value) {
+    const double scaled = value * static_cast<double>(kOne);
+    CSDML_REQUIRE(std::abs(scaled) <
+                      static_cast<double>(std::numeric_limits<std::int64_t>::max()),
+                  "value out of range for Q format");
+    return QFixed(std::llround(scaled));
+  }
+  static constexpr QFixed from_raw(std::int64_t raw) { return QFixed(raw); }
+
+  constexpr std::int64_t raw() const { return raw_; }
+  double to_double() const {
+    return static_cast<double>(raw_) / static_cast<double>(kOne);
+  }
+
+  friend constexpr QFixed operator+(QFixed a, QFixed b) { return QFixed(a.raw_ + b.raw_); }
+  friend constexpr QFixed operator-(QFixed a, QFixed b) { return QFixed(a.raw_ - b.raw_); }
+  friend constexpr QFixed operator-(QFixed a) { return QFixed(-a.raw_); }
+
+  friend QFixed operator*(QFixed a, QFixed b) {
+    const __int128 p = static_cast<__int128>(a.raw_) * b.raw_;
+    // Round to nearest by adding half an LSB before the arithmetic shift.
+    const __int128 rounded = p + (__int128{1} << (FracBits - 1));
+    return QFixed(static_cast<std::int64_t>(rounded >> FracBits));
+  }
+
+  friend QFixed operator/(QFixed a, QFixed b) {
+    CSDML_REQUIRE(b.raw_ != 0, "division by zero");
+    const __int128 n = static_cast<__int128>(a.raw_) << FracBits;
+    return QFixed(static_cast<std::int64_t>(n / b.raw_));
+  }
+
+  QFixed& operator+=(QFixed other) { raw_ += other.raw_; return *this; }
+  friend constexpr auto operator<=>(QFixed, QFixed) = default;
+
+  static constexpr double resolution() { return 1.0 / static_cast<double>(kOne); }
+
+ private:
+  constexpr explicit QFixed(std::int64_t raw) : raw_(raw) {}
+  std::int64_t raw_{0};
+};
+
+using Q16 = QFixed<16>;  ///< ~1.5e-5 resolution; comparable to the 1e6 decimal scale... one bit coarser
+using Q20 = QFixed<20>;  ///< ~9.5e-7 resolution; matches the paper's 1e-6 quantum
+using Q24 = QFixed<24>;  ///< ~6e-8 resolution; the "higher precision" arm of mixed precision
+
+}  // namespace csdml::fixedpt

@@ -1,0 +1,120 @@
+// Decimal scaled fixed-point arithmetic, as used by the paper's FPGA port.
+//
+// The paper multiplies weights, biases and embeddings by a decimal scaling
+// factor of 10^6 ("placing more emphasis on maintaining the mantissa"),
+// rounds to the nearest integer, and performs all kernel arithmetic on the
+// resulting integers so that multiplies map onto DSP slices. Each product
+// of two scaled values carries a factor of 10^12 and is corrected back to
+// the working scale. This class reproduces that scheme exactly, with a
+// 128-bit intermediate so products of the magnitudes that occur in the
+// LSTM (|x| ≲ 10^3) never overflow.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+
+#include "common/error.hpp"
+
+namespace csdml::fixedpt {
+
+/// The paper's scaling factor.
+inline constexpr std::int64_t kPaperScale = 1'000'000;
+
+class ScaledFixed {
+ public:
+  /// Zero at the paper's default scale.
+  constexpr ScaledFixed() = default;
+
+  /// Converts a real value, rounding to the nearest representable number
+  /// (ties away from zero, matching std::llround).
+  static ScaledFixed from_double(double value, std::int64_t scale = kPaperScale) {
+    CSDML_REQUIRE(scale > 0, "scale must be positive");
+    const double scaled = value * static_cast<double>(scale);
+    CSDML_REQUIRE(std::abs(scaled) <
+                      static_cast<double>(std::numeric_limits<std::int64_t>::max()),
+                  "value out of range for this scale");
+    return ScaledFixed(std::llround(scaled), scale);
+  }
+
+  /// Adopts an already-scaled raw integer.
+  static constexpr ScaledFixed from_raw(std::int64_t raw,
+                                        std::int64_t scale = kPaperScale) {
+    return ScaledFixed(raw, scale);
+  }
+
+  constexpr std::int64_t raw() const { return raw_; }
+  constexpr std::int64_t scale() const { return scale_; }
+
+  double to_double() const {
+    return static_cast<double>(raw_) / static_cast<double>(scale_);
+  }
+
+  /// Addition: both operands must share a scale (enforced).
+  friend ScaledFixed operator+(ScaledFixed a, ScaledFixed b) {
+    CSDML_REQUIRE(a.scale_ == b.scale_, "mixed-scale addition");
+    return ScaledFixed(a.raw_ + b.raw_, a.scale_);
+  }
+  friend ScaledFixed operator-(ScaledFixed a, ScaledFixed b) {
+    CSDML_REQUIRE(a.scale_ == b.scale_, "mixed-scale subtraction");
+    return ScaledFixed(a.raw_ - b.raw_, a.scale_);
+  }
+  friend constexpr ScaledFixed operator-(ScaledFixed a) {
+    return ScaledFixed(-a.raw_, a.scale_);
+  }
+
+  /// Multiplication with the paper's post-product correction: the raw
+  /// product carries scale^2 and is divided back down to scale, with
+  /// round-to-nearest to "minimize errors from finite precision".
+  friend ScaledFixed operator*(ScaledFixed a, ScaledFixed b) {
+    CSDML_REQUIRE(a.scale_ == b.scale_, "mixed-scale multiplication");
+    const __int128 product = static_cast<__int128>(a.raw_) * b.raw_;
+    return ScaledFixed(round_div(product, a.scale_), a.scale_);
+  }
+
+  /// Division, rounded to nearest.
+  friend ScaledFixed operator/(ScaledFixed a, ScaledFixed b) {
+    CSDML_REQUIRE(a.scale_ == b.scale_, "mixed-scale division");
+    CSDML_REQUIRE(b.raw_ != 0, "division by zero");
+    const __int128 numerator = static_cast<__int128>(a.raw_) * a.scale_;
+    return ScaledFixed(round_div(numerator, b.raw_), a.scale_);
+  }
+
+  ScaledFixed& operator+=(ScaledFixed other) { return *this = *this + other; }
+  ScaledFixed& operator-=(ScaledFixed other) { return *this = *this - other; }
+  ScaledFixed& operator*=(ScaledFixed other) { return *this = *this * other; }
+
+  friend constexpr bool operator==(ScaledFixed a, ScaledFixed b) {
+    return a.raw_ == b.raw_ && a.scale_ == b.scale_;
+  }
+  friend bool operator<(ScaledFixed a, ScaledFixed b) {
+    CSDML_REQUIRE(a.scale_ == b.scale_, "mixed-scale comparison");
+    return a.raw_ < b.raw_;
+  }
+
+  ScaledFixed abs() const { return ScaledFixed(raw_ < 0 ? -raw_ : raw_, scale_); }
+
+  /// Largest representable magnitude error of a conversion: 0.5 / scale.
+  double quantum() const { return 0.5 / static_cast<double>(scale_); }
+
+ private:
+  constexpr ScaledFixed(std::int64_t raw, std::int64_t scale)
+      : raw_(raw), scale_(scale) {}
+
+  /// Round-to-nearest signed integer division (ties away from zero).
+  static std::int64_t round_div(__int128 numerator, std::int64_t denominator) {
+    const __int128 den = denominator;
+    const __int128 half = den / 2;
+    const __int128 adjusted = numerator >= 0 ? numerator + half : numerator - half;
+    const __int128 q = adjusted / den;
+    CSDML_REQUIRE(q <= std::numeric_limits<std::int64_t>::max() &&
+                      q >= std::numeric_limits<std::int64_t>::min(),
+                  "fixed-point overflow");
+    return static_cast<std::int64_t>(q);
+  }
+
+  std::int64_t raw_{0};
+  std::int64_t scale_{kPaperScale};
+};
+
+}  // namespace csdml::fixedpt

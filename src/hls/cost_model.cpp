@@ -1,0 +1,125 @@
+#include "hls/cost_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace csdml::hls {
+
+HlsCostModel::HlsCostModel(OpLatencyTable ops, AxiConfig axi, Frequency clock)
+    : ops_(ops), axi_(axi), clock_(clock) {}
+
+HlsCostModel HlsCostModel::ultrascale_default() {
+  return HlsCostModel(OpLatencyTable::vitis_ultrascale_300mhz(), AxiConfig{},
+                      Frequency::megahertz(300.0));
+}
+
+namespace {
+
+constexpr std::uint64_t kLoopIterationOverhead = 2;  // index update + exit test
+
+std::uint64_t ceil_div(std::uint64_t a, std::uint64_t b) { return (a + b - 1) / b; }
+
+}  // namespace
+
+LoopReport HlsCostModel::analyze_loop(const LoopSpec& loop) const {
+  CSDML_REQUIRE(loop.trip_count > 0, "loop with zero trip count");
+  CSDML_REQUIRE(loop.pragmas.unroll >= 1, "unroll factor must be >= 1");
+  CSDML_REQUIRE(loop.pragmas.target_ii >= 1, "target II must be >= 1");
+
+  LoopReport report;
+  report.name = loop.name;
+
+  const auto unroll = static_cast<std::uint64_t>(loop.pragmas.unroll);
+  const std::uint64_t effective_trips = ceil_div(loop.trip_count, unroll);
+
+  // Memory accesses per (unrolled) iteration and the ports serving them.
+  const std::uint64_t accesses =
+      static_cast<std::uint64_t>(loop.buffer_accesses) * unroll;
+  const bool registers = loop.binding == BufferBinding::Registers ||
+                         loop.pragmas.array_partition_complete;
+  const std::uint64_t ports = registers
+                                  ? std::max<std::uint64_t>(accesses, 1)
+                                  : std::max<std::uint64_t>(loop.memory_ports, 1);
+  const std::uint64_t memory_cycles =
+      accesses == 0 ? 0 : ceil_div(accesses, ports);
+
+  // Critical-path depth: one traversal of each distinct op kind in the body
+  // (parallel instances of the same op share the stage), plus a cycle per
+  // serialized memory group.
+  Cycles depth{0};
+  for (const LoopOp& op : loop.body_ops) {
+    if (op.count > 0) depth += ops_.latency(op.kind);
+  }
+  depth += Cycles{memory_cycles};
+  if (depth.count == 0) depth = Cycles{1};
+  report.pipeline_depth = depth;
+
+  if (loop.pragmas.pipeline) {
+    std::uint64_t ii = static_cast<std::uint64_t>(loop.pragmas.target_ii);
+    report.limiting_factor = "target";
+    if (memory_cycles > ii) {
+      ii = memory_cycles;
+      report.limiting_factor = "ports";
+    }
+    if (loop.carried_dependency.has_value()) {
+      const std::uint64_t dep = ops_.latency(*loop.carried_dependency).count;
+      if (dep > ii) {
+        ii = dep;
+        report.limiting_factor = "dependence";
+      }
+    }
+    report.achieved_ii = ii;
+    report.cycles = Cycles{depth.count + (effective_trips - 1) * ii};
+  } else {
+    // Sequential schedule: every op occurrence executes in turn.
+    std::uint64_t body = 0;
+    for (const LoopOp& op : loop.body_ops) {
+      body += static_cast<std::uint64_t>(op.count) * unroll *
+              ops_.latency(op.kind).count;
+    }
+    body += memory_cycles;
+    report.achieved_ii = 0;
+    report.limiting_factor = "-";
+    report.cycles = Cycles{effective_trips * (body + kLoopIterationOverhead)};
+  }
+  return report;
+}
+
+Cycles HlsCostModel::analyze_transfer(const AxiTransferSpec& transfer) const {
+  CSDML_REQUIRE(transfer.contention >= 1.0, "contention factor must be >= 1");
+  const std::uint64_t beats =
+      ceil_div(transfer.bytes.count, axi_.bytes_per_beat);
+  const double beat_cycles =
+      static_cast<double>(beats) / axi_.beats_per_cycle * transfer.contention;
+  return Cycles{axi_.setup_latency.count +
+                static_cast<std::uint64_t>(std::llround(beat_cycles))};
+}
+
+KernelReport HlsCostModel::analyze(const KernelSpec& kernel) const {
+  KernelReport report;
+  report.name = kernel.name;
+
+  Cycles sum{0};
+  Cycles longest{0};
+  for (const LoopSpec& loop : kernel.loops) {
+    LoopReport lr = analyze_loop(loop);
+    sum += lr.cycles;
+    longest = std::max(longest, lr.cycles);
+    report.loops.push_back(std::move(lr));
+  }
+  report.compute = kernel.dataflow ? longest : sum;
+
+  Cycles axi{0};
+  for (const AxiTransferSpec& transfer : kernel.transfers) {
+    axi += analyze_transfer(transfer);
+  }
+  report.axi = axi;
+  // DATAFLOW also overlaps the AXI stages with the compute stages.
+  report.total = kernel.dataflow ? std::max(report.compute, report.axi)
+                                 : report.compute + report.axi;
+  return report;
+}
+
+}  // namespace csdml::hls

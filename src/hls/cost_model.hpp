@@ -1,0 +1,70 @@
+// The HLS scheduling cost model: KernelSpec -> cycles -> microseconds.
+//
+// Substitutes for Vitis hardware emulation (see DESIGN.md). The rules it
+// implements are the ones every HLS user budgets with:
+//   * unpipelined loop:  trip × (Σ op latencies + memory cycles + overhead)
+//   * pipelined loop:    depth + (trip - 1) × II
+//   * achieved II =      max(target II, port-limited II, dependence II)
+//   * UNROLL divides trip count and multiplies per-iteration work/accesses
+//   * ARRAY_PARTITION complete lifts the port limit (registers)
+//   * DATAFLOW overlaps loop regions (and AXI with compute):
+//     kernel time = max stage
+//   * AXI transfers pay a fixed setup latency plus one beat per bus word,
+//     stretched by a contention factor when masters share a DDR bank.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/units.hpp"
+#include "hls/kernel_spec.hpp"
+#include "hls/op_latency.hpp"
+
+namespace csdml::hls {
+
+struct AxiConfig {
+  Cycles setup_latency{Cycles{40}};  ///< address phase + DDR access
+  std::uint32_t bytes_per_beat{64};  ///< 512-bit AXI data bus
+  double beats_per_cycle{1.0};
+};
+
+struct LoopReport {
+  std::string name;
+  Cycles cycles;
+  std::uint64_t achieved_ii{0};  ///< 0 for unpipelined loops
+  Cycles pipeline_depth;
+  std::string limiting_factor;   ///< "target", "ports", "dependence", "-"
+};
+
+struct KernelReport {
+  std::string name;
+  Cycles total;
+  Cycles compute;                ///< loop cycles (after dataflow overlap)
+  Cycles axi;                    ///< transfer cycles
+  std::vector<LoopReport> loops;
+
+  Duration duration(Frequency clock) const { return clock.duration_of(total); }
+};
+
+class HlsCostModel {
+ public:
+  HlsCostModel(OpLatencyTable ops, AxiConfig axi, Frequency clock);
+
+  /// Convenience: the defaults the paper's platform implies (UltraScale,
+  /// 300 MHz kernel clock, 512-bit AXI).
+  static HlsCostModel ultrascale_default();
+
+  const Frequency& clock() const { return clock_; }
+  const OpLatencyTable& ops() const { return ops_; }
+
+  LoopReport analyze_loop(const LoopSpec& loop) const;
+  Cycles analyze_transfer(const AxiTransferSpec& transfer) const;
+  KernelReport analyze(const KernelSpec& kernel) const;
+
+ private:
+  OpLatencyTable ops_;
+  AxiConfig axi_;
+  Frequency clock_;
+};
+
+}  // namespace csdml::hls

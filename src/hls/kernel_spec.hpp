@@ -1,0 +1,75 @@
+// Structural description of an HLS kernel: loop nests with pragma sets,
+// buffer bindings, and AXI traffic. The cost model (cost_model.hpp) turns
+// one of these into cycle counts the way Vitis hardware emulation turns
+// C++ + pragmas into a latency report.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/units.hpp"
+#include "hls/op_latency.hpp"
+
+namespace csdml::hls {
+
+/// The pragmas the paper applies (Section III-D).
+struct PragmaSet {
+  bool pipeline{false};                ///< #pragma HLS PIPELINE II=target_ii
+  int target_ii{1};
+  int unroll{1};                       ///< #pragma HLS UNROLL factor=
+  bool array_partition_complete{false};///< #pragma HLS ARRAY_PARTITION complete
+};
+
+/// Where the dominant buffer of a loop lives.
+enum class BufferBinding {
+  Registers,  ///< fully partitioned into FFs — unlimited parallel access
+  Bram,       ///< on-chip block RAM
+  DdrAxi,     ///< global memory behind an AXI master
+};
+
+struct LoopOp {
+  OpKind kind;
+  std::uint32_t count{1};  ///< occurrences per loop iteration
+};
+
+struct LoopSpec {
+  std::string name;
+  std::uint64_t trip_count{1};
+  std::vector<LoopOp> body_ops;            ///< ops per iteration
+  std::uint32_t buffer_accesses{0};        ///< loads+stores per iteration to `binding`
+  BufferBinding binding{BufferBinding::Bram};
+  std::uint32_t memory_ports{2};           ///< ports of the bound memory (BRAM = 2)
+  /// Loop-carried dependency through this op (e.g. a float accumulator);
+  /// bounds the achievable II at that op's latency.
+  std::optional<OpKind> carried_dependency;
+  PragmaSet pragmas;
+};
+
+/// A one-shot AXI master transfer performed by the kernel per invocation.
+struct AxiTransferSpec {
+  std::string name;
+  Bytes bytes;
+  /// Concurrent AXI masters contending for the same DDR bank during this
+  /// transfer (1 = exclusive). Set by the engine from CU/bank topology.
+  double contention{1.0};
+};
+
+/// An on-chip buffer declared by the kernel (weights, state, scratch).
+struct LocalBufferSpec {
+  std::string name;
+  Bytes size;
+  BufferBinding binding{BufferBinding::Bram};
+};
+
+struct KernelSpec {
+  std::string name;
+  std::vector<LoopSpec> loops;
+  std::vector<AxiTransferSpec> transfers;
+  std::vector<LocalBufferSpec> buffers;
+  /// #pragma HLS DATAFLOW: loops overlap, kernel latency = max stage, not sum.
+  bool dataflow{false};
+};
+
+}  // namespace csdml::hls

@@ -1,0 +1,51 @@
+#include "hls/op_latency.hpp"
+
+#include "common/error.hpp"
+
+namespace csdml::hls {
+
+const char* op_name(OpKind kind) {
+  switch (kind) {
+    case OpKind::IntAdd: return "int_add";
+    case OpKind::IntMul: return "int_mul";
+    case OpKind::IntDiv: return "int_div";
+    case OpKind::IntCmp: return "int_cmp";
+    case OpKind::Shift: return "shift";
+    case OpKind::Select: return "select";
+    case OpKind::FloatAdd: return "fadd";
+    case OpKind::FloatMul: return "fmul";
+    case OpKind::FloatDiv: return "fdiv";
+    case OpKind::FloatExp: return "fexp";
+    case OpKind::kCount: break;
+  }
+  throw PreconditionError("invalid op kind");
+}
+
+OpLatencyTable OpLatencyTable::vitis_ultrascale_300mhz() {
+  OpLatencyTable table;
+  table.set_latency(OpKind::IntAdd, Cycles{1});
+  table.set_latency(OpKind::IntMul, Cycles{3});
+  table.set_latency(OpKind::IntDiv, Cycles{18});
+  table.set_latency(OpKind::IntCmp, Cycles{1});
+  table.set_latency(OpKind::Shift, Cycles{1});
+  table.set_latency(OpKind::Select, Cycles{1});
+  table.set_latency(OpKind::FloatAdd, Cycles{7});
+  table.set_latency(OpKind::FloatMul, Cycles{4});
+  // Medium-latency (DSP-assisted) single-precision divider configuration.
+  table.set_latency(OpKind::FloatDiv, Cycles{8});
+  table.set_latency(OpKind::FloatExp, Cycles{22});
+  return table;
+}
+
+bool OpLatencyTable::uses_dsp(OpKind kind) {
+  switch (kind) {
+    case OpKind::IntMul:
+    case OpKind::FloatAdd:
+    case OpKind::FloatMul:
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace csdml::hls

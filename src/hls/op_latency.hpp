@@ -1,0 +1,53 @@
+// Per-operation latency table for the HLS cost model.
+//
+// Real Vitis HLS schedules each RTL operator with a device- and
+// clock-dependent latency; these defaults follow the characteristic values
+// Vitis reports for UltraScale parts around 300 MHz: single-cycle integer
+// add/compare, few-cycle DSP multiplies, multi-cycle floating-point cores,
+// and long dividers/exponentials. The table is injectable so tests and
+// ablations can explore other operating points.
+#pragma once
+
+#include <array>
+#include <cstddef>
+
+#include "common/units.hpp"
+
+namespace csdml::hls {
+
+enum class OpKind : std::size_t {
+  IntAdd = 0,   // LUT adder
+  IntMul,       // DSP48 multiply
+  IntDiv,       // sequential divider
+  IntCmp,
+  Shift,
+  Select,       // mux
+  FloatAdd,
+  FloatMul,
+  FloatDiv,
+  FloatExp,     // exp() core (CORDIC/poly)
+  kCount
+};
+
+const char* op_name(OpKind kind);
+
+class OpLatencyTable {
+ public:
+  /// Latencies representative of Vitis HLS on UltraScale at 300 MHz.
+  static OpLatencyTable vitis_ultrascale_300mhz();
+
+  Cycles latency(OpKind kind) const {
+    return latencies_[static_cast<std::size_t>(kind)];
+  }
+  void set_latency(OpKind kind, Cycles cycles) {
+    latencies_[static_cast<std::size_t>(kind)] = cycles;
+  }
+
+  /// True when the op consumes a DSP slice.
+  static bool uses_dsp(OpKind kind);
+
+ private:
+  std::array<Cycles, static_cast<std::size_t>(OpKind::kCount)> latencies_{};
+};
+
+}  // namespace csdml::hls

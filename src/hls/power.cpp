@@ -1,0 +1,26 @@
+#include "hls/power.hpp"
+
+#include "common/error.hpp"
+
+namespace csdml::hls {
+
+double PowerModel::estimate_watts(const ResourceEstimate& placed) const {
+  return static_watts +
+         static_cast<double>(placed.dsp) * dsp_milliwatts * 1e-3 +
+         static_cast<double>(placed.bram36) * bram_milliwatts * 1e-3 +
+         static_cast<double>(placed.luts) * lut_microwatts * 1e-6 +
+         static_cast<double>(placed.flip_flops) * ff_microwatts * 1e-6;
+}
+
+double PowerModel::energy_joules(const ResourceEstimate& placed,
+                                 Duration active) const {
+  CSDML_REQUIRE(active.picos >= 0, "negative active time");
+  return estimate_watts(placed) * (static_cast<double>(active.picos) * 1e-12);
+}
+
+double microjoules(double watts, Duration latency) {
+  CSDML_REQUIRE(watts >= 0.0, "negative power");
+  return watts * (static_cast<double>(latency.picos) * 1e-12) * 1e6;
+}
+
+}  // namespace csdml::hls

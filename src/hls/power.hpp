@@ -1,0 +1,34 @@
+// FPGA power estimation from placed resources.
+//
+// The paper's motivation leans on CSDs' "lower-power processing
+// capability ... compared to high-performance CPUs and GPUs"; this model
+// quantifies it: static shell power plus per-resource dynamic power at the
+// kernel clock, in the ranges Xilinx Power Estimator reports for
+// UltraScale+ designs around 300 MHz. Energy per inference is then
+// power x modelled latency, comparable against the host baselines'
+// package/board power.
+#pragma once
+
+#include "common/units.hpp"
+#include "hls/resources.hpp"
+
+namespace csdml::hls {
+
+struct PowerModel {
+  double static_watts{2.5};        ///< shell, transceivers, PCIe hard IP
+  double dsp_milliwatts{1.2};      ///< per active DSP48 at 300 MHz
+  double bram_milliwatts{0.8};     ///< per active BRAM36
+  double lut_microwatts{2.0};      ///< per LUT of active logic
+  double ff_microwatts{0.5};       ///< per flip-flop
+
+  /// Total device power with the given design placed and active.
+  double estimate_watts(const ResourceEstimate& placed) const;
+
+  /// Energy (joules) the design burns over `active` at full activity.
+  double energy_joules(const ResourceEstimate& placed, Duration active) const;
+};
+
+/// Microjoules for one event of `latency` at `watts`.
+double microjoules(double watts, Duration latency);
+
+}  // namespace csdml::hls

@@ -1,0 +1,105 @@
+#include "hls/report.hpp"
+
+#include <iomanip>
+#include <sstream>
+
+#include "common/table.hpp"
+
+namespace csdml::hls {
+
+namespace {
+
+std::string pragma_string(const PragmaSet& pragmas) {
+  std::string out;
+  if (pragmas.pipeline) {
+    out += "PIPELINE II=" + std::to_string(pragmas.target_ii);
+  }
+  if (pragmas.unroll > 1) {
+    if (!out.empty()) out += " ";
+    out += "UNROLL=" + std::to_string(pragmas.unroll);
+  }
+  if (pragmas.array_partition_complete) {
+    if (!out.empty()) out += " ";
+    out += "ARRAY_PARTITION";
+  }
+  return out.empty() ? "-" : out;
+}
+
+}  // namespace
+
+std::string synthesis_report(const KernelSpec& kernel, const HlsCostModel& model,
+                             const FpgaPart& part) {
+  const KernelReport report = model.analyze(kernel);
+  const ResourceEstimate resources = estimate_resources(kernel);
+  const Frequency clock = model.clock();
+
+  std::ostringstream out;
+  out << "== Synthesis report: " << kernel.name << " ==\n";
+  out << "target: " << part.name << " @ " << clock.mhz() << " MHz"
+      << (kernel.dataflow ? "   [DATAFLOW]" : "") << "\n\n";
+
+  out << "timing: " << report.total.count << " cycles  ("
+      << std::fixed << std::setprecision(5)
+      << report.duration(clock).as_microseconds() << " us)   compute "
+      << report.compute.count << " + axi " << report.axi.count
+      << (kernel.dataflow ? " (overlapped)" : "") << "\n\n";
+
+  if (!kernel.loops.empty()) {
+    TextTable loops({"loop", "trip", "pragmas", "II", "limited_by", "depth",
+                     "cycles"});
+    for (std::size_t i = 0; i < kernel.loops.size(); ++i) {
+      const LoopSpec& spec = kernel.loops[i];
+      const LoopReport& lr = report.loops[i];
+      loops.add_row({spec.name, std::to_string(spec.trip_count),
+                     pragma_string(spec.pragmas),
+                     lr.achieved_ii == 0 ? "-" : std::to_string(lr.achieved_ii),
+                     lr.limiting_factor,
+                     std::to_string(lr.pipeline_depth.count),
+                     std::to_string(lr.cycles.count)});
+    }
+    out << loops.to_string() << '\n';
+  }
+
+  if (!kernel.transfers.empty()) {
+    TextTable transfers({"axi transfer", "bytes", "cycles"});
+    for (const AxiTransferSpec& transfer : kernel.transfers) {
+      transfers.add_row({transfer.name, std::to_string(transfer.bytes.count),
+                         std::to_string(model.analyze_transfer(transfer).count)});
+    }
+    out << transfers.to_string() << '\n';
+  }
+
+  TextTable util({"resource", "used", "available", "util%"});
+  const auto row = [&](const char* name, std::uint64_t used,
+                       std::uint64_t available) {
+    util.add_row({name, std::to_string(used), std::to_string(available),
+                  TextTable::num(available > 0
+                                     ? 100.0 * static_cast<double>(used) /
+                                           static_cast<double>(available)
+                                     : 0.0,
+                                 2)});
+  };
+  row("LUT", resources.luts, part.luts);
+  row("FF", resources.flip_flops, part.flip_flops);
+  row("BRAM36", resources.bram36, part.bram36);
+  row("DSP", resources.dsp, part.dsp);
+  out << util.to_string();
+  return out.str();
+}
+
+std::string summary_line(const KernelSpec& kernel, const HlsCostModel& model) {
+  const KernelReport report = model.analyze(kernel);
+  const ResourceEstimate resources = estimate_resources(kernel);
+  std::ostringstream out;
+  out << kernel.name << ": " << report.total.count << " cycles ("
+      << std::fixed << std::setprecision(3)
+      << report.duration(model.clock()).as_microseconds() << " us)";
+  if (!report.loops.empty() && report.loops.front().achieved_ii > 0) {
+    out << ", II=" << report.loops.front().achieved_ii << " ["
+        << report.loops.front().limiting_factor << "]";
+  }
+  out << ", " << resources.dsp << " DSP";
+  return out.str();
+}
+
+}  // namespace csdml::hls

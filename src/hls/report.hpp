@@ -1,0 +1,26 @@
+// Vitis-style synthesis reports.
+//
+// `v++` emits per-kernel reports (loop II, latency, resource estimates);
+// developers tune pragmas against them. This generator renders the same
+// information from a KernelSpec + cost model so the simulated toolchain's
+// decisions are as inspectable as the real one's.
+#pragma once
+
+#include <string>
+
+#include "hls/cost_model.hpp"
+#include "hls/resources.hpp"
+
+namespace csdml::hls {
+
+/// Full text report for one kernel: timing summary, loop table (trip
+/// count, pragmas, achieved II, limiting factor, cycles), AXI transfer
+/// table, and the resource estimate against a part.
+std::string synthesis_report(const KernelSpec& kernel, const HlsCostModel& model,
+                             const FpgaPart& part);
+
+/// One-line summary, e.g. for logs:
+/// "kernel_gates: 363 cycles (1.210 us), II=10 [ports], 208 DSP".
+std::string summary_line(const KernelSpec& kernel, const HlsCostModel& model);
+
+}  // namespace csdml::hls

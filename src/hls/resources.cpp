@@ -1,0 +1,130 @@
+#include "hls/resources.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace csdml::hls {
+
+FpgaPart FpgaPart::ku15p() {
+  // Kintex UltraScale+ KU15P datasheet-scale figures.
+  return FpgaPart{.name = "xcku15p",
+                  .luts = 522'720,
+                  .flip_flops = 1'045'440,
+                  .bram36 = 984,
+                  .dsp = 1'968,
+                  .ddr_banks = 1};
+}
+
+FpgaPart FpgaPart::alveo_u200() {
+  // VU9P on the Alveo U200 shell; 4 DDR4 banks (paper uses 2).
+  return FpgaPart{.name = "alveo-u200",
+                  .luts = 1'182'240,
+                  .flip_flops = 2'364'480,
+                  .bram36 = 2'160,
+                  .dsp = 6'840,
+                  .ddr_banks = 4};
+}
+
+ResourceEstimate& ResourceEstimate::operator+=(const ResourceEstimate& other) {
+  luts += other.luts;
+  flip_flops += other.flip_flops;
+  bram36 += other.bram36;
+  dsp += other.dsp;
+  return *this;
+}
+
+ResourceEstimate operator*(ResourceEstimate est, std::uint64_t copies) {
+  est.luts *= copies;
+  est.flip_flops *= copies;
+  est.bram36 *= copies;
+  est.dsp *= copies;
+  return est;
+}
+
+bool ResourceEstimate::fits(const FpgaPart& part) const {
+  return luts <= part.luts && flip_flops <= part.flip_flops &&
+         bram36 <= part.bram36 && dsp <= part.dsp;
+}
+
+double ResourceEstimate::utilization(const FpgaPart& part) const {
+  CSDML_REQUIRE(part.luts > 0 && part.bram36 > 0 && part.dsp > 0 &&
+                    part.flip_flops > 0,
+                "part with zero resources");
+  double worst = static_cast<double>(luts) / static_cast<double>(part.luts);
+  worst = std::max(worst,
+                   static_cast<double>(flip_flops) / static_cast<double>(part.flip_flops));
+  worst = std::max(worst, static_cast<double>(bram36) / static_cast<double>(part.bram36));
+  worst = std::max(worst, static_cast<double>(dsp) / static_cast<double>(part.dsp));
+  return worst;
+}
+
+namespace {
+
+/// Rough LUT cost per occurrence of an op that doesn't map to DSP.
+std::uint64_t lut_cost(OpKind kind) {
+  switch (kind) {
+    case OpKind::IntAdd: return 32;
+    case OpKind::IntCmp: return 16;
+    case OpKind::Shift: return 8;
+    case OpKind::Select: return 16;
+    case OpKind::IntDiv: return 900;   // sequential divider core
+    case OpKind::FloatDiv: return 800;
+    case OpKind::FloatExp: return 1'200;
+    case OpKind::IntMul: return 40;    // glue around the DSP
+    case OpKind::FloatAdd: return 200;
+    case OpKind::FloatMul: return 100;
+    case OpKind::kCount: break;
+  }
+  return 16;
+}
+
+std::uint64_t dsp_cost(OpKind kind) {
+  switch (kind) {
+    case OpKind::IntMul: return 2;    // 64x64 product splits across DSPs
+    case OpKind::FloatMul: return 3;
+    case OpKind::FloatAdd: return 2;
+    default: return 0;
+  }
+}
+
+}  // namespace
+
+ResourceEstimate estimate_resources(const KernelSpec& kernel) {
+  ResourceEstimate est;
+  // Fixed kernel shell: AXI adapters, control FSM.
+  est.luts = 4'000;
+  est.flip_flops = 6'000;
+  est.bram36 = 2;
+
+  for (const LoopSpec& loop : kernel.loops) {
+    const auto unroll = static_cast<std::uint64_t>(loop.pragmas.unroll);
+    for (const LoopOp& op : loop.body_ops) {
+      const std::uint64_t instances =
+          loop.pragmas.pipeline || unroll > 1
+              ? static_cast<std::uint64_t>(op.count) * unroll
+              : op.count;  // sequential loops share one operator instance
+      est.luts += lut_cost(op.kind) * instances;
+      est.dsp += dsp_cost(op.kind) * instances;
+      est.flip_flops += 64 * instances;  // pipeline registers
+    }
+  }
+
+  for (const LocalBufferSpec& buffer : kernel.buffers) {
+    switch (buffer.binding) {
+      case BufferBinding::Bram:
+        // One BRAM36 holds 4.5 KiB.
+        est.bram36 += (buffer.size.count + 4607) / 4608;
+        break;
+      case BufferBinding::Registers:
+        est.flip_flops += buffer.size.count * 8;
+        est.luts += buffer.size.count * 2;  // read muxing
+        break;
+      case BufferBinding::DdrAxi:
+        break;  // off-chip
+    }
+  }
+  return est;
+}
+
+}  // namespace csdml::hls

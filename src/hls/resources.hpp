@@ -1,0 +1,49 @@
+// FPGA parts and per-kernel resource estimation.
+//
+// The paper targets the SmartSSD's Kintex KU15P and evaluates on the
+// "similar" Alveo U200 (Virtex VU9P); both are modelled here so the
+// engine can reject configurations (CU counts, unroll factors) that the
+// real devices could not place — the resource constraint the paper's
+// Limitations section highlights.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "hls/kernel_spec.hpp"
+
+namespace csdml::hls {
+
+struct FpgaPart {
+  std::string name;
+  std::uint64_t luts{0};
+  std::uint64_t flip_flops{0};
+  std::uint64_t bram36{0};
+  std::uint64_t dsp{0};
+  std::uint64_t ddr_banks{0};
+
+  /// SmartSSD compute element (Kintex UltraScale+ KU15P).
+  static FpgaPart ku15p();
+  /// Alveo U200 (Virtex UltraScale+ VU9P), the paper's test platform.
+  static FpgaPart alveo_u200();
+};
+
+struct ResourceEstimate {
+  std::uint64_t luts{0};
+  std::uint64_t flip_flops{0};
+  std::uint64_t bram36{0};
+  std::uint64_t dsp{0};
+
+  ResourceEstimate& operator+=(const ResourceEstimate& other);
+  /// Scales all counts, e.g. for multiple compute units of one kernel.
+  friend ResourceEstimate operator*(ResourceEstimate est, std::uint64_t copies);
+
+  bool fits(const FpgaPart& part) const;
+  /// Largest utilisation fraction across resource classes.
+  double utilization(const FpgaPart& part) const;
+};
+
+/// Estimates the post-synthesis footprint of one compute unit of `kernel`.
+ResourceEstimate estimate_resources(const KernelSpec& kernel);
+
+}  // namespace csdml::hls

@@ -1,0 +1,314 @@
+#include "host/cli.hpp"
+
+#include <map>
+#include <optional>
+#include <ostream>
+
+#include "common/error.hpp"
+#include "common/table.hpp"
+#include "detect/attribution.hpp"
+#include "hls/report.hpp"
+#include "kernels/engine.hpp"
+#include "nn/train.hpp"
+#include "nn/weights_io.hpp"
+#include "ransomware/dataset_builder.hpp"
+#include "ransomware/trace_io.hpp"
+
+namespace csdml::host {
+
+namespace {
+
+constexpr const char* kUsage = R"(csdml — CSD-based ransomware-detection toolkit
+
+usage: csdml <command> [options]
+
+commands:
+  gen-dataset  --out PATH [--ransomware N] [--benign N] [--window N]
+               [--stride N] [--seed N] [--paper-size]
+               synthesize the sliding-window training corpus as CSV
+  gen-traces   --out PATH [--seed N] [--length N]
+               detonate every family variant + benign profile, write JSONL
+  train        --dataset PATH --weights PATH [--epochs N] [--lr X]
+               [--batch N] [--test-fraction F] [--seed N]
+               train the 7,472-parameter LSTM, export the weight text file
+  classify     --weights PATH --dataset PATH [--level vanilla|ii|fixed-point]
+               deploy on the simulated SmartSSD and report metrics + AUC
+  attribute    --weights PATH --dataset PATH --row N [--top K]
+               explain one window: occlusion attribution of its API calls
+  timings      [--level L] [--cus N] [--stream]
+               per-item kernel timings under the HLS cost model
+  reports      Vitis-style synthesis reports for every kernel/level
+  help         this text
+)";
+
+/// Tiny flag parser: --key value pairs plus boolean switches.
+class Flags {
+ public:
+  Flags(const std::vector<std::string>& args, std::size_t start,
+        const std::vector<std::string>& switches) {
+    for (std::size_t i = start; i < args.size(); ++i) {
+      const std::string& arg = args[i];
+      if (arg.rfind("--", 0) != 0) {
+        throw PreconditionError("unexpected positional argument: " + arg);
+      }
+      const std::string key = arg.substr(2);
+      if (std::find(switches.begin(), switches.end(), key) != switches.end()) {
+        values_[key] = "true";
+      } else {
+        if (i + 1 >= args.size()) {
+          throw PreconditionError("missing value for --" + key);
+        }
+        values_[key] = args[++i];
+      }
+    }
+  }
+
+  std::optional<std::string> get(const std::string& key) const {
+    const auto it = values_.find(key);
+    if (it == values_.end()) return std::nullopt;
+    return it->second;
+  }
+  std::string require(const std::string& key) const {
+    const auto value = get(key);
+    if (!value.has_value()) throw PreconditionError("missing required --" + key);
+    return *value;
+  }
+  long get_long(const std::string& key, long fallback) const {
+    const auto value = get(key);
+    return value.has_value() ? std::stol(*value) : fallback;
+  }
+  double get_double(const std::string& key, double fallback) const {
+    const auto value = get(key);
+    return value.has_value() ? std::stod(*value) : fallback;
+  }
+  bool has(const std::string& key) const { return values_.contains(key); }
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+kernels::OptimizationLevel parse_level(const std::string& name) {
+  if (name == "vanilla") return kernels::OptimizationLevel::Vanilla;
+  if (name == "ii") return kernels::OptimizationLevel::II;
+  if (name == "fixed-point") return kernels::OptimizationLevel::FixedPoint;
+  throw PreconditionError("unknown level '" + name +
+                          "' (vanilla | ii | fixed-point)");
+}
+
+int cmd_gen_dataset(const Flags& flags, std::ostream& out) {
+  ransomware::DatasetSpec spec = flags.has("paper-size")
+                                     ? ransomware::DatasetSpec::paper()
+                                     : ransomware::DatasetSpec::small();
+  spec.ransomware_windows = static_cast<std::size_t>(
+      flags.get_long("ransomware", static_cast<long>(spec.ransomware_windows)));
+  spec.benign_windows = static_cast<std::size_t>(
+      flags.get_long("benign", static_cast<long>(spec.benign_windows)));
+  spec.window_length =
+      static_cast<std::size_t>(flags.get_long("window", 100));
+  spec.stride = static_cast<std::size_t>(flags.get_long("stride", 25));
+  spec.seed = static_cast<std::uint64_t>(flags.get_long("seed", 2024));
+
+  const ransomware::BuiltDataset built = ransomware::build_dataset(spec);
+  const std::string path = flags.require("out");
+  nn::write_dataset_csv(built.data, path);
+  out << "wrote " << built.data.size() << " windows (" << built.data.positives()
+      << " ransomware, " << built.data.size() - built.data.positives()
+      << " benign) of length " << spec.window_length << " to " << path << "\n";
+  return 0;
+}
+
+int cmd_gen_traces(const Flags& flags, std::ostream& out) {
+  const auto seed = static_cast<std::uint64_t>(flags.get_long("seed", 2024));
+  const auto length = static_cast<std::size_t>(flags.get_long("length", 1'000));
+  const auto records = ransomware::export_corpus_traces(seed, length);
+  const std::string path = flags.require("out");
+  ransomware::write_traces_jsonl_file(path, records);
+  out << "wrote " << records.size() << " sample traces to " << path << "\n";
+  return 0;
+}
+
+int cmd_train(const Flags& flags, std::ostream& out) {
+  const nn::SequenceDataset dataset =
+      nn::read_dataset_csv(flags.require("dataset"));
+  Rng rng(static_cast<std::uint64_t>(flags.get_long("seed", 7)));
+  const double test_fraction = flags.get_double("test-fraction", 0.2);
+  const nn::TrainTestSplit split = nn::split_dataset(dataset, test_fraction, rng);
+
+  nn::LstmConfig config;
+  nn::LstmClassifier model(config, rng);
+  nn::TrainConfig tc;
+  tc.epochs = static_cast<std::size_t>(flags.get_long("epochs", 10));
+  tc.batch_size = static_cast<std::size_t>(flags.get_long("batch", 32));
+  tc.learning_rate = flags.get_double("lr", 0.01);
+
+  const nn::TrainResult result =
+      nn::train(model, split.train, split.test, tc, [&](const nn::EpochRecord& r) {
+        out << "epoch " << r.epoch << ": loss "
+            << TextTable::num(r.mean_train_loss, 4) << ", test accuracy "
+            << TextTable::num(r.test_accuracy, 4) << "\n";
+      });
+  const std::string weights = flags.require("weights");
+  nn::save_weights_file(weights, config, model.params());
+  out << "best accuracy " << TextTable::num(result.best_test_accuracy, 4)
+      << " (epoch " << result.best_epoch << "); weights -> " << weights << "\n";
+  return 0;
+}
+
+int cmd_classify(const Flags& flags, std::ostream& out) {
+  const nn::ModelSnapshot snapshot =
+      nn::load_weights_file(flags.require("weights"));
+  const nn::SequenceDataset dataset =
+      nn::read_dataset_csv(flags.require("dataset"));
+  const kernels::OptimizationLevel level =
+      parse_level(flags.get("level").value_or("fixed-point"));
+
+  csd::SmartSsd board{csd::SmartSsdConfig{}};
+  xrt::Device device{board};
+  kernels::CsdLstmEngine engine(device, snapshot,
+                                kernels::EngineConfig{.level = level});
+
+  std::vector<double> scores;
+  nn::ConfusionMatrix cm;
+  Duration device_time{};
+  for (std::size_t i = 0; i < dataset.size(); ++i) {
+    const kernels::InferenceResult result = engine.infer(dataset.sequences[i]);
+    scores.push_back(result.probability);
+    cm.add(dataset.labels[i], result.label);
+    device_time += result.device_time;
+  }
+  out << "classified " << dataset.size() << " windows on the CSD ("
+      << kernels::optimization_name(level) << " build)\n";
+  out << "accuracy " << TextTable::num(cm.accuracy(), 4) << "  precision "
+      << TextTable::num(cm.precision(), 4) << "  recall "
+      << TextTable::num(cm.recall(), 4) << "  f1 " << TextTable::num(cm.f1(), 4)
+      << "\n";
+  if (cm.true_positive + cm.false_negative > 0 &&
+      cm.true_negative + cm.false_positive > 0) {
+    out << "roc auc " << TextTable::num(nn::roc_auc(scores, dataset.labels), 4)
+        << "\n";
+  }
+  out << "device time " << TextTable::num(device_time.as_milliseconds(), 2)
+      << " ms total, "
+      << TextTable::num(device_time.as_microseconds() /
+                            static_cast<double>(dataset.size()), 1)
+      << " us/window\n";
+  return 0;
+}
+
+int cmd_attribute(const Flags& flags, std::ostream& out) {
+  const nn::ModelSnapshot snapshot =
+      nn::load_weights_file(flags.require("weights"));
+  const nn::SequenceDataset dataset =
+      nn::read_dataset_csv(flags.require("dataset"));
+  const auto row = static_cast<std::size_t>(std::stol(flags.require("row")));
+  CSDML_REQUIRE(row < dataset.size(), "--row out of range");
+  const auto top_k = static_cast<std::size_t>(flags.get_long("top", 8));
+
+  const nn::LstmClassifier model(snapshot.config, snapshot.params);
+  const detect::AttributionReport report = detect::attribute_window(
+      model, dataset.sequences[row], {.top_k = top_k});
+  out << "window " << row << ": label " << dataset.labels[row]
+      << ", p(ransomware) = " << TextTable::num(report.probability, 4) << "\n";
+  TextTable table({"pos", "api_call", "contribution"});
+  for (const auto& call : report.top_calls) {
+    table.add_row({std::to_string(call.position), call.api_name,
+                   TextTable::num(call.contribution, 6)});
+  }
+  table.print(out);
+  return 0;
+}
+
+int cmd_timings(const Flags& flags, std::ostream& out) {
+  const kernels::OptimizationLevel level =
+      parse_level(flags.get("level").value_or("fixed-point"));
+  const auto cus = static_cast<std::uint32_t>(flags.get_long("cus", 4));
+  const kernels::KernelLink link = flags.has("stream")
+                                       ? kernels::KernelLink::Stream
+                                       : kernels::KernelLink::AxiMemory;
+  nn::LstmConfig config;
+  Rng rng(1);
+  csd::SmartSsd board{csd::SmartSsdConfig{}};
+  xrt::Device device{board};
+  kernels::CsdLstmEngine engine(
+      device, config, nn::LstmParams::glorot(config, rng),
+      kernels::EngineConfig{.level = level, .gate_cu_count = cus, .link = link});
+  const kernels::KernelTimings t = engine.per_item_timings();
+
+  TextTable table({"kernel", "us_per_item"});
+  table.add_row({"kernel_preprocess", TextTable::num(t.preprocess.as_microseconds())});
+  table.add_row({"kernel_gates (max of CUs)", TextTable::num(t.gates.as_microseconds())});
+  table.add_row({"kernel_hidden_state", TextTable::num(t.hidden_state.as_microseconds())});
+  table.add_row({"total", TextTable::num(t.total().as_microseconds())});
+  table.print(out);
+  out << "fpga utilization " << TextTable::num(engine.fpga_utilization(), 3)
+      << " (" << board.fpga().config().part.name << ")\n";
+  return 0;
+}
+
+int cmd_reports(std::ostream& out) {
+  const hls::HlsCostModel model = hls::HlsCostModel::ultrascale_default();
+  const hls::FpgaPart part = hls::FpgaPart::ku15p();
+  const nn::LstmConfig config;
+  for (const auto level :
+       {kernels::OptimizationLevel::Vanilla, kernels::OptimizationLevel::II,
+        kernels::OptimizationLevel::FixedPoint}) {
+    out << "### xclbin lstm_" << kernels::optimization_name(level) << "\n\n";
+    out << hls::synthesis_report(
+               kernels::make_preprocess_spec(config, level, 4), model, part)
+        << "\n";
+    out << hls::synthesis_report(kernels::make_gates_spec(config, level), model,
+                                 part)
+        << "\n";
+    out << hls::synthesis_report(
+               kernels::make_hidden_state_spec(config, level, 4), model, part)
+        << "\n";
+  }
+  return 0;
+}
+
+}  // namespace
+
+int run_cli(const std::vector<std::string>& args, std::ostream& out,
+            std::ostream& err) {
+  if (args.empty() || args[0] == "help" || args[0] == "--help") {
+    out << kUsage;
+    return args.empty() ? 2 : 0;
+  }
+  const std::string& command = args[0];
+  try {
+    if (command == "gen-dataset") {
+      return cmd_gen_dataset(Flags(args, 1, {"paper-size"}), out);
+    }
+    if (command == "gen-traces") {
+      return cmd_gen_traces(Flags(args, 1, {}), out);
+    }
+    if (command == "train") {
+      return cmd_train(Flags(args, 1, {}), out);
+    }
+    if (command == "classify") {
+      return cmd_classify(Flags(args, 1, {}), out);
+    }
+    if (command == "attribute") {
+      return cmd_attribute(Flags(args, 1, {}), out);
+    }
+    if (command == "timings") {
+      return cmd_timings(Flags(args, 1, {"stream"}), out);
+    }
+    if (command == "reports") {
+      return cmd_reports(out);
+    }
+    err << "unknown command '" << command << "'\n" << kUsage;
+    return 2;
+  } catch (const PreconditionError& e) {
+    err << "usage error: " << e.what() << "\n";
+    return 2;
+  } catch (const Error& e) {
+    err << "error: " << e.what() << "\n";
+    return 1;
+  } catch (const std::exception& e) {  // e.g. std::stol on "--epochs abc"
+    err << "usage error: " << e.what() << "\n";
+    return 2;
+  }
+}
+
+}  // namespace csdml::host

@@ -1,0 +1,28 @@
+// The `csdml` command-line tool's implementation (kept in the library so
+// the test suite can drive it without spawning processes).
+//
+// Subcommands:
+//   gen-dataset  --out PATH [--ransomware N] [--benign N] [--window N]
+//                [--stride N] [--seed N] [--paper-size]
+//   gen-traces   --out PATH [--seed N] [--length N]
+//   train        --dataset PATH --weights PATH [--epochs N] [--lr X]
+//                [--batch N] [--test-fraction F] [--seed N]
+//   classify     --weights PATH --dataset PATH [--level vanilla|ii|fixed-point]
+//   timings      [--level L] [--cus N] [--stream]
+//   reports
+//   help
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace csdml::host {
+
+/// Runs one CLI invocation; `args` excludes the program name. Writes
+/// human-readable output to `out` and diagnostics to `err`. Returns the
+/// process exit code (0 on success, 2 on usage errors, 1 on failures).
+int run_cli(const std::vector<std::string>& args, std::ostream& out,
+            std::ostream& err);
+
+}  // namespace csdml::host

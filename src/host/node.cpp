@@ -1,0 +1,78 @@
+#include "host/node.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace csdml::host {
+
+StorageNode::StorageNode(const nn::ModelSnapshot& snapshot, NodeConfig config) {
+  CSDML_REQUIRE(config.drive_count > 0, "node needs at least one drive");
+  drives_.reserve(config.drive_count);
+  for (std::size_t i = 0; i < config.drive_count; ++i) {
+    Drive drive;
+    drive.board = std::make_unique<csd::SmartSsd>(config.drive);
+    drive.device = std::make_unique<xrt::Device>(*drive.board);
+    drive.engine = std::make_unique<kernels::CsdLstmEngine>(
+        *drive.device, snapshot, config.engine);
+    drives_.push_back(std::move(drive));
+  }
+}
+
+kernels::CsdLstmEngine& StorageNode::engine(std::size_t drive) {
+  CSDML_REQUIRE(drive < drives_.size(), "drive index out of range");
+  return *drives_[drive].engine;
+}
+
+const csd::SmartSsd& StorageNode::board(std::size_t drive) const {
+  CSDML_REQUIRE(drive < drives_.size(), "drive index out of range");
+  return *drives_[drive].board;
+}
+
+ScanReport StorageNode::scan(const std::vector<nn::Sequence>& sequences) {
+  CSDML_REQUIRE(!sequences.empty(), "nothing to scan");
+  ScanReport report;
+  report.per_drive.resize(drives_.size());
+  report.labels.resize(sequences.size());
+
+  // Shard round-robin, then run each shard as one batch per drive.
+  std::vector<std::vector<nn::Sequence>> shards(drives_.size());
+  std::vector<std::vector<std::size_t>> shard_indices(drives_.size());
+  for (std::size_t i = 0; i < sequences.size(); ++i) {
+    shards[i % drives_.size()].push_back(sequences[i]);
+    shard_indices[i % drives_.size()].push_back(i);
+  }
+  for (std::size_t d = 0; d < drives_.size(); ++d) {
+    if (shards[d].empty()) continue;
+    const kernels::CsdLstmEngine::BatchResult batch =
+        drives_[d].engine->infer_batch(shards[d]);
+    DriveStats& stats = report.per_drive[d];
+    stats.scanned = shards[d].size();
+    stats.busy = batch.device_time;
+    for (std::size_t k = 0; k < batch.labels.size(); ++k) {
+      report.labels[shard_indices[d][k]] = batch.labels[k];
+      stats.flagged += batch.labels[k] == 1;
+    }
+    report.scanned += stats.scanned;
+    report.flagged += stats.flagged;
+    report.serial_time += stats.busy;
+    report.makespan = std::max(report.makespan, stats.busy);
+  }
+  return report;
+}
+
+void StorageNode::update_all_weights(const nn::LstmParams& params) {
+  for (Drive& drive : drives_) drive.engine->update_weights(params);
+}
+
+std::uint32_t StorageNode::weight_version() const {
+  CSDML_REQUIRE(!drives_.empty(), "empty node");
+  const std::uint32_t version = drives_.front().engine->weight_updates();
+  for (const Drive& drive : drives_) {
+    CSDML_REQUIRE(drive.engine->weight_updates() == version,
+                  "fleet weight versions diverged");
+  }
+  return version;
+}
+
+}  // namespace csdml::host

@@ -1,0 +1,77 @@
+// A storage node with several SmartSSDs — the scale-out deployment the
+// paper's CSD primer highlights ("a scalable solution ... allowing for the
+// installation of multiple devices within a single node").
+//
+// StorageNode owns the drives, deploys one weight snapshot to every
+// engine, shards scan work round-robin, and pushes fleet-wide weight
+// updates (the CTI loop, drive by drive, no recompilation anywhere).
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "kernels/engine.hpp"
+#include "nn/weights_io.hpp"
+
+namespace csdml::host {
+
+struct NodeConfig {
+  std::size_t drive_count{4};
+  csd::SmartSsdConfig drive{};
+  kernels::EngineConfig engine{};
+};
+
+struct DriveStats {
+  std::size_t scanned{0};
+  std::size_t flagged{0};
+  Duration busy{};
+};
+
+struct ScanReport {
+  std::vector<DriveStats> per_drive;
+  std::size_t scanned{0};
+  std::size_t flagged{0};
+  /// Slowest drive's busy time — node-level completion latency.
+  Duration makespan{};
+  /// Sum of drive busy times — what one drive alone would have taken.
+  Duration serial_time{};
+  /// Labels aligned with the scanned sequences.
+  std::vector<int> labels;
+
+  double scale_out_speedup() const {
+    return makespan.picos > 0
+               ? static_cast<double>(serial_time.picos) /
+                     static_cast<double>(makespan.picos)
+               : 0.0;
+  }
+};
+
+class StorageNode {
+ public:
+  StorageNode(const nn::ModelSnapshot& snapshot, NodeConfig config);
+
+  std::size_t drive_count() const { return drives_.size(); }
+  kernels::CsdLstmEngine& engine(std::size_t drive);
+  const csd::SmartSsd& board(std::size_t drive) const;
+
+  /// Classifies every sequence, sharding round-robin across drives (each
+  /// drive works independently; node latency is the slowest shard).
+  ScanReport scan(const std::vector<nn::Sequence>& sequences);
+
+  /// Fleet-wide hot weight update (same xclbin everywhere).
+  void update_all_weights(const nn::LstmParams& params);
+
+  /// Weight image version common to all drives.
+  std::uint32_t weight_version() const;
+
+ private:
+  struct Drive {
+    std::unique_ptr<csd::SmartSsd> board;
+    std::unique_ptr<xrt::Device> device;
+    std::unique_ptr<kernels::CsdLstmEngine> engine;
+  };
+  std::vector<Drive> drives_;
+};
+
+}  // namespace csdml::host

@@ -1,0 +1,232 @@
+#include "kernels/engine.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/error.hpp"
+#include "common/log.hpp"
+
+namespace csdml::kernels {
+
+namespace {
+
+/// Serialises the parameters as the raw little-endian float32 image the
+/// host program stages into FPGA DDR.
+std::vector<std::uint8_t> weight_image(const nn::LstmParams& params) {
+  std::vector<float> words;
+  const auto push = [&words](const double* values, std::size_t count) {
+    for (std::size_t i = 0; i < count; ++i) {
+      words.push_back(static_cast<float>(values[i]));
+    }
+  };
+  push(params.embedding.data(), params.embedding.size());
+  for (std::size_t g = 0; g < nn::kNumGates; ++g) {
+    push(params.w_x[g].data(), params.w_x[g].size());
+    push(params.w_h[g].data(), params.w_h[g].size());
+    push(params.bias[g].data(), params.bias[g].size());
+  }
+  push(params.dense_w.data(), params.dense_w.size());
+  words.push_back(static_cast<float>(params.dense_b));
+
+  std::vector<std::uint8_t> bytes(words.size() * sizeof(float));
+  std::memcpy(bytes.data(), words.data(), bytes.size());
+  return bytes;
+}
+
+std::vector<std::uint8_t> sequence_image(const nn::Sequence& sequence) {
+  std::vector<std::uint8_t> bytes(sequence.size() * sizeof(nn::TokenId));
+  std::memcpy(bytes.data(), sequence.data(), bytes.size());
+  return bytes;
+}
+
+}  // namespace
+
+CsdLstmEngine::CsdLstmEngine(xrt::Device& device, const nn::LstmConfig& model_config,
+                             const nn::LstmParams& params, EngineConfig config)
+    : device_(device), model_config_(model_config), params_(params),
+      config_(config) {
+  CSDML_REQUIRE(config_.gate_cu_count >= 1 && config_.gate_cu_count <= 4,
+                "gate CU count must be in [1, 4]");
+  if (config_.level == OptimizationLevel::FixedPoint) {
+    fixed_path_ = std::make_unique<FixedDatapath>(model_config, params,
+                                                  config_.fixed_scale);
+  } else {
+    float_path_ = std::make_unique<FloatDatapath>(model_config, params);
+  }
+  // Keep a float path around for the dense readback in all configs.
+  if (float_path_ == nullptr) {
+    float_path_ = std::make_unique<FloatDatapath>(model_config, params);
+  }
+
+  // Build the xclbin: one preprocess kernel, `gate_cu_count` gate CUs, one
+  // hidden-state kernel.
+  xrt::Xclbin xclbin;
+  xclbin.name = std::string("lstm_") + optimization_name(config_.level);
+  xclbin.kernels["kernel_preprocess"] = make_preprocess_spec(
+      model_config_, config_.level, config_.gate_cu_count, config_.link);
+  const hls::KernelSpec gate =
+      make_gates_spec(model_config_, config_.level, config_.link);
+  for (std::uint32_t cu = 0; cu < config_.gate_cu_count; ++cu) {
+    hls::KernelSpec copy = gate;
+    copy.name = "kernel_gates_cu" + std::to_string(cu);
+    xclbin.kernels[copy.name] = std::move(copy);
+  }
+  xclbin.kernels["kernel_hidden_state"] = make_hidden_state_spec(
+      model_config_, config_.level, config_.gate_cu_count, config_.link);
+  device_.load_xclbin(xclbin);
+
+  initialise();
+}
+
+CsdLstmEngine::CsdLstmEngine(xrt::Device& device, const nn::ModelSnapshot& snapshot,
+                             EngineConfig config)
+    : CsdLstmEngine(device, snapshot.config, snapshot.params, config) {}
+
+void CsdLstmEngine::initialise() {
+  // Host program initialisation (Fig. 2): the weight/embedding image moves
+  // host -> PCIe -> FPGA DDR once, before any inference runs.
+  const std::vector<std::uint8_t> image = weight_image(params_);
+  weights_bo_.emplace(device_.alloc_bo(image.size(), config_.sequence_bank));
+  weights_bo_->write(image);
+  weights_bo_->sync_to_device();
+  ++weight_updates_;
+  CSDML_LOG_INFO("engine") << "staged " << image.size()
+                           << " weight bytes on bank " << config_.sequence_bank;
+}
+
+void CsdLstmEngine::update_weights(const nn::LstmParams& params) {
+  CSDML_REQUIRE(params.embedding.rows() == params_.embedding.rows() &&
+                    params.embedding.cols() == params_.embedding.cols() &&
+                    params.dense_w.size() == params_.dense_w.size(),
+                "update_weights: model architecture changed");
+  params_ = params;
+  if (config_.level == OptimizationLevel::FixedPoint) {
+    fixed_path_ = std::make_unique<FixedDatapath>(model_config_, params_,
+                                                  config_.fixed_scale);
+  }
+  float_path_ = std::make_unique<FloatDatapath>(model_config_, params_);
+  // Same xclbin, fresh weight image: the paper's compile-once update path.
+  const std::vector<std::uint8_t> image = weight_image(params_);
+  weights_bo_->write(image);
+  weights_bo_->sync_to_device();
+  ++weight_updates_;
+  CSDML_LOG_INFO("engine") << "weight update #" << weight_updates_ << " applied";
+}
+
+KernelTimings CsdLstmEngine::per_item_timings() const {
+  const hls::HlsCostModel& model = device_.cost_model();
+  const Frequency clock = model.clock();
+
+  const hls::KernelReport pre = model.analyze(make_preprocess_spec(
+      model_config_, config_.level, config_.gate_cu_count, config_.link));
+  const hls::KernelReport gate =
+      model.analyze(make_gates_spec(model_config_, config_.level, config_.link));
+  const hls::KernelReport hidden = model.analyze(make_hidden_state_spec(
+      model_config_, config_.level, config_.gate_cu_count, config_.link));
+
+  KernelTimings timings;
+  timings.preprocess = clock.duration_of(pre.total);
+
+  // The four gate vectors are computed by `gate_cu_count` parallel CUs; with
+  // fewer CUs than gates, the CUs run ceil(4 / count) rounds.
+  const std::uint32_t rounds =
+      (static_cast<std::uint32_t>(nn::kNumGates) + config_.gate_cu_count - 1) /
+      config_.gate_cu_count;
+  if (gates_reports_amortized_ii(config_.level)) {
+    // Steady state: the fully partitioned pipeline accepts a new item every
+    // II cycles (see specs.hpp).
+    const std::uint64_t ii = gate.loops.empty() ? 1 : gate.loops.front().achieved_ii;
+    timings.gates = clock.duration_of(Cycles{std::max<std::uint64_t>(ii, 1)}) *
+                    static_cast<std::int64_t>(rounds);
+  } else {
+    timings.gates = clock.duration_of(gate.total) * static_cast<std::int64_t>(rounds);
+  }
+  timings.hidden_state = clock.duration_of(hidden.total);
+  return timings;
+}
+
+InferenceResult CsdLstmEngine::infer(const nn::Sequence& sequence) {
+  CSDML_REQUIRE(!sequence.empty(), "empty sequence");
+  const KernelTimings per_item = per_item_timings();
+
+  // Functional result through the configured datapath.
+  const double probability = config_.level == OptimizationLevel::FixedPoint
+                                 ? fixed_path_->infer(sequence)
+                                 : float_path_->infer(sequence);
+
+  // Timing: preprocess overlaps the previous item's gate/hidden stage
+  // (Section III-C), so it is exposed once; every item then pays
+  // gates + hidden_state.
+  const auto items = static_cast<std::int64_t>(sequence.size());
+  const Duration steady = per_item.gates + per_item.hidden_state;
+  const Duration total = per_item.preprocess + steady * items;
+
+  const TimePoint start = device_.now();
+  device_.advance_to(start + total);
+  device_.board().trace().record("lstm_sequence", start, start + total);
+
+  InferenceResult result;
+  result.probability = probability;
+  result.label = probability >= 0.5 ? 1 : 0;
+  result.device_time = total;
+  result.per_item = per_item;
+  return result;
+}
+
+CsdLstmEngine::BatchResult CsdLstmEngine::infer_batch(
+    const std::vector<nn::Sequence>& sequences) {
+  CSDML_REQUIRE(!sequences.empty(), "empty batch");
+  const KernelTimings per_item = per_item_timings();
+  const Duration steady = per_item.gates + per_item.hidden_state;
+
+  BatchResult result;
+  result.probabilities.reserve(sequences.size());
+  result.labels.reserve(sequences.size());
+  std::int64_t total_items = 0;
+  for (const nn::Sequence& sequence : sequences) {
+    CSDML_REQUIRE(!sequence.empty(), "empty sequence in batch");
+    const double probability = config_.level == OptimizationLevel::FixedPoint
+                                   ? fixed_path_->infer(sequence)
+                                   : float_path_->infer(sequence);
+    result.probabilities.push_back(probability);
+    result.labels.push_back(probability >= 0.5 ? 1 : 0);
+    total_items += static_cast<std::int64_t>(sequence.size());
+  }
+  result.device_time = per_item.preprocess + steady * total_items;
+
+  const TimePoint start = device_.now();
+  device_.advance_to(start + result.device_time);
+  device_.board().trace().record("lstm_batch", start, start + result.device_time);
+
+  const double seconds = static_cast<double>(result.device_time.picos) * 1e-12;
+  result.windows_per_second =
+      seconds > 0.0 ? static_cast<double>(sequences.size()) / seconds : 0.0;
+  return result;
+}
+
+CsdLstmEngine::SsdInferenceResult CsdLstmEngine::infer_from_ssd(
+    std::uint64_t lba, std::uint32_t block_count, const nn::Sequence& sequence,
+    bool p2p) {
+  csd::SmartSsd& board = device_.board();
+  const TimePoint start = device_.now();
+
+  // Stage the sequence image on the SSD so the read returns real bytes.
+  board.ssd().write(lba, sequence_image(sequence), start);
+
+  const csd::TransferResult transfer =
+      p2p ? board.p2p_read_to_fpga(lba, block_count, config_.sequence_bank, 0, start)
+          : board.host_read_to_fpga(lba, block_count, config_.sequence_bank, 0,
+                                    start);
+  device_.advance_to(transfer.done);
+
+  SsdInferenceResult result;
+  result.transfer_time = transfer.done - start;
+  result.inference = infer(sequence);
+  return result;
+}
+
+double CsdLstmEngine::fpga_utilization() const {
+  return device_.board().fpga().utilization();
+}
+
+}  // namespace csdml::kernels

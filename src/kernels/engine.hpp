@@ -1,0 +1,128 @@
+// CsdLstmEngine — the paper's primary contribution assembled: the full
+// LSTM inference procedure offloaded to the CSD's FPGA.
+//
+// Composition per Fig. 2 of the paper:
+//
+//   host program ──initialises──> weights & embeddings in FPGA DDR
+//   kernel_preprocess ──x_t copies──> 4 × kernel_gates CUs (parallel)
+//                       gate vectors ──> kernel_hidden_state ──h_t copies──┐
+//                                 ▲─────────────────────────────────────────┘
+//
+// kernel_preprocess runs one item ahead of the gate/hidden pipeline
+// (Section III-C), so per-item latency in steady state is
+// gates + hidden_state, and preprocess is only exposed for the first item.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+
+#include "kernels/functional.hpp"
+#include "kernels/specs.hpp"
+#include "nn/weights_io.hpp"
+#include "xrt/runtime.hpp"
+
+namespace csdml::kernels {
+
+struct EngineConfig {
+  OptimizationLevel level{OptimizationLevel::FixedPoint};
+  std::uint32_t gate_cu_count{4};  ///< the paper uses four
+  std::int64_t fixed_scale{fixedpt::kPaperScale};
+  /// Bank assignment: even CUs + preprocess on bank 0, odd CUs + hidden on
+  /// bank 1 ("a conservative two DDR banks", Section III-C).
+  std::uint32_t sequence_bank{0};
+  /// Inter-kernel data movement; Stream is the paper's "streaming can be
+  /// easily ported ... for additional acceleration" variant.
+  KernelLink link{KernelLink::AxiMemory};
+};
+
+/// Per-item kernel timings — the Fig. 3 quantities.
+struct KernelTimings {
+  Duration preprocess;
+  Duration gates;        ///< max over the parallel CUs (steady state)
+  Duration hidden_state;
+
+  Duration total() const { return preprocess + gates + hidden_state; }
+};
+
+struct InferenceResult {
+  double probability{0.0};
+  int label{0};
+  Duration device_time;      ///< end-to-end simulated FPGA time for the sequence
+  KernelTimings per_item;    ///< steady-state per-item breakdown
+};
+
+class CsdLstmEngine {
+ public:
+  /// Builds the xclbin for the configured optimization level, places it on
+  /// the device's FPGA (throws ResourceError if it cannot fit) and stages
+  /// the weights into FPGA DDR the way the host program's initialisation
+  /// step does.
+  CsdLstmEngine(xrt::Device& device, const nn::LstmConfig& model_config,
+                const nn::LstmParams& params, EngineConfig config);
+
+  /// Convenience: initialise straight from a weight text file snapshot.
+  CsdLstmEngine(xrt::Device& device, const nn::ModelSnapshot& snapshot,
+                EngineConfig config);
+
+  const EngineConfig& config() const { return config_; }
+  const nn::LstmConfig& model_config() const { return model_config_; }
+
+  /// Steady-state per-item kernel timings under the cost model.
+  KernelTimings per_item_timings() const;
+
+  /// Classifies a sequence already resident in FPGA DRAM (the steady-state
+  /// in-storage path).
+  InferenceResult infer(const nn::Sequence& sequence);
+
+  /// Classifies a batch of sequences streamed back-to-back through the
+  /// kernel pipeline. In steady state the lookahead preprocess keeps every
+  /// stage busy across sequence boundaries, so only the first sequence
+  /// exposes the preprocess latency.
+  struct BatchResult {
+    std::vector<double> probabilities;
+    std::vector<int> labels;
+    Duration device_time;
+    /// Classified windows per second of device time.
+    double windows_per_second{0.0};
+  };
+  BatchResult infer_batch(const std::vector<nn::Sequence>& sequences);
+
+  /// Classifies a sequence stored on the SSD: P2P (or host-mediated) read
+  /// into FPGA DDR, then inference. Returns the result plus the transfer
+  /// time actually spent on the chosen path.
+  struct SsdInferenceResult {
+    InferenceResult inference;
+    Duration transfer_time;
+  };
+  SsdInferenceResult infer_from_ssd(std::uint64_t lba, std::uint32_t block_count,
+                                    const nn::Sequence& sequence, bool p2p);
+
+  /// FPGA resource utilisation after placement.
+  double fpga_utilization() const;
+
+  /// Hot-swaps the model parameters without recompiling the FPGA binary —
+  /// the paper's update path ("the FPGA-based model is compiled once and
+  /// can be updated at the operator's discretion", e.g. after retraining
+  /// on new strains from CTI feeds). Re-stages the weight image over PCIe
+  /// (time charged to the device) and rebuilds the functional datapaths.
+  /// The model architecture (dims, activation) must be unchanged.
+  void update_weights(const nn::LstmParams& params);
+
+  /// Number of weight images staged so far (1 after construction).
+  std::uint32_t weight_updates() const { return weight_updates_; }
+
+ private:
+  void initialise();
+
+  xrt::Device& device_;
+  nn::LstmConfig model_config_;
+  nn::LstmParams params_;
+  EngineConfig config_;
+  std::unique_ptr<FloatDatapath> float_path_;
+  std::unique_ptr<FixedDatapath> fixed_path_;
+  std::optional<xrt::BufferObject> weights_bo_;
+  std::uint32_t weight_updates_{0};
+};
+
+}  // namespace csdml::kernels

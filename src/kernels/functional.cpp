@@ -1,0 +1,163 @@
+#include "kernels/functional.hpp"
+
+#include "common/error.hpp"
+#include "fixed/activations.hpp"
+#include "nn/tensor.hpp"
+
+namespace csdml::kernels {
+
+FloatDatapath::FloatDatapath(const nn::LstmConfig& config,
+                             const nn::LstmParams& params)
+    : config_(config), owned_(params) {
+  params_ = &owned_;
+  CSDML_REQUIRE(owned_.embedding.rows() ==
+                    static_cast<std::size_t>(config.vocab_size),
+                "params do not match config");
+}
+
+nn::Vector FloatDatapath::preprocess(nn::TokenId token) const {
+  CSDML_REQUIRE(token >= 0 && token < config_.vocab_size, "token out of range");
+  nn::Vector x(config_.embed_dim);
+  const double* row = params_->embedding.row(static_cast<std::size_t>(token));
+  for (std::size_t i = 0; i < x.size(); ++i) x[i] = row[i];
+  return x;
+}
+
+GateVectors FloatDatapath::gates(const nn::Vector& x, const nn::Vector& h) const {
+  const std::size_t hidden = config_.hidden_dim;
+  GateVectors out;
+  for (std::size_t g = 0; g < nn::kNumGates; ++g) {
+    nn::Vector pre = params_->bias[g];
+    nn::accumulate_vec_mat(x, params_->w_x[g], pre);
+    nn::accumulate_vec_mat(h, params_->w_h[g], pre);
+    out.act[g].resize(hidden);
+    for (std::size_t j = 0; j < hidden; ++j) {
+      out.act[g][j] = g == nn::kCandidate
+                          ? nn::apply_cell_activation(config_.activation, pre[j])
+                          : fixedpt::sigmoid(pre[j]);
+    }
+  }
+  return out;
+}
+
+void FloatDatapath::hidden_state(const GateVectors& gates, nn::Vector& c,
+                                 nn::Vector& h) const {
+  const std::size_t hidden = config_.hidden_dim;
+  CSDML_REQUIRE(c.size() == hidden && h.size() == hidden, "bad state size");
+  for (std::size_t j = 0; j < hidden; ++j) {
+    c[j] = gates.act[nn::kForget][j] * c[j] +
+           gates.act[nn::kInput][j] * gates.act[nn::kCandidate][j];
+    h[j] = gates.act[nn::kOutput][j] *
+           nn::apply_cell_activation(config_.activation, c[j]);
+  }
+}
+
+double FloatDatapath::dense(const nn::Vector& h) const {
+  return fixedpt::sigmoid(nn::dot(params_->dense_w, h) + params_->dense_b);
+}
+
+double FloatDatapath::infer(const nn::Sequence& sequence) const {
+  CSDML_REQUIRE(!sequence.empty(), "empty sequence");
+  nn::Vector h(config_.hidden_dim, 0.0);
+  nn::Vector c(config_.hidden_dim, 0.0);
+  for (const nn::TokenId token : sequence) {
+    const nn::Vector x = preprocess(token);
+    const GateVectors g = gates(x, h);
+    hidden_state(g, c, h);
+  }
+  return dense(h);
+}
+
+// --- fixed-point datapath -------------------------------------------------
+
+FixedDatapath::FixedDatapath(const nn::LstmConfig& config,
+                             const nn::LstmParams& params, std::int64_t scale)
+    : config_(config), scale_(scale) {
+  CSDML_REQUIRE(scale > 0, "scale must be positive");
+  const std::size_t hidden = config.hidden_dim;
+  const std::size_t embed = config.embed_dim;
+
+  embedding_rows_.resize(static_cast<std::size_t>(config.vocab_size));
+  for (std::size_t r = 0; r < embedding_rows_.size(); ++r) {
+    embedding_rows_[r].reserve(embed);
+    for (std::size_t c = 0; c < embed; ++c) {
+      embedding_rows_[r].push_back(fx(params.embedding(r, c)));
+    }
+  }
+  for (std::size_t g = 0; g < nn::kNumGates; ++g) {
+    w_x_cols_[g].resize(hidden);
+    w_h_cols_[g].resize(hidden);
+    for (std::size_t j = 0; j < hidden; ++j) {
+      w_x_cols_[g][j].reserve(embed);
+      for (std::size_t i = 0; i < embed; ++i) {
+        w_x_cols_[g][j].push_back(fx(params.w_x[g](i, j)));
+      }
+      w_h_cols_[g][j].reserve(hidden);
+      for (std::size_t i = 0; i < hidden; ++i) {
+        w_h_cols_[g][j].push_back(fx(params.w_h[g](i, j)));
+      }
+    }
+    bias_[g].reserve(hidden);
+    for (std::size_t j = 0; j < hidden; ++j) bias_[g].push_back(fx(params.bias[g][j]));
+  }
+  dense_w_.reserve(hidden);
+  for (std::size_t j = 0; j < hidden; ++j) dense_w_.push_back(fx(params.dense_w[j]));
+  dense_b_ = fx(params.dense_b);
+}
+
+FixedVector FixedDatapath::preprocess(nn::TokenId token) const {
+  CSDML_REQUIRE(token >= 0 && token < config_.vocab_size, "token out of range");
+  return embedding_rows_[static_cast<std::size_t>(token)];
+}
+
+FixedGateVectors FixedDatapath::gates(const FixedVector& x,
+                                      const FixedVector& h) const {
+  const std::size_t hidden = config_.hidden_dim;
+  FixedGateVectors out;
+  for (std::size_t g = 0; g < nn::kNumGates; ++g) {
+    out.act[g].reserve(hidden);
+    for (std::size_t j = 0; j < hidden; ++j) {
+      fixedpt::ScaledFixed acc = bias_[g][j];
+      const FixedVector& wx = w_x_cols_[g][j];
+      for (std::size_t i = 0; i < x.size(); ++i) acc += wx[i] * x[i];
+      const FixedVector& wh = w_h_cols_[g][j];
+      for (std::size_t i = 0; i < h.size(); ++i) acc += wh[i] * h[i];
+      // Gates use the PLAN sigmoid; the candidate uses softsign (the paper
+      // replaces every tanh with softsign on the FPGA).
+      out.act[g].push_back(g == nn::kCandidate ? fixedpt::softsign_fixed(acc)
+                                               : fixedpt::sigmoid_fixed(acc));
+    }
+  }
+  return out;
+}
+
+void FixedDatapath::hidden_state(const FixedGateVectors& gates, FixedVector& c,
+                                 FixedVector& h) const {
+  const std::size_t hidden = config_.hidden_dim;
+  CSDML_REQUIRE(c.size() == hidden && h.size() == hidden, "bad state size");
+  for (std::size_t j = 0; j < hidden; ++j) {
+    c[j] = gates.act[nn::kForget][j] * c[j] +
+           gates.act[nn::kInput][j] * gates.act[nn::kCandidate][j];
+    h[j] = gates.act[nn::kOutput][j] * fixedpt::softsign_fixed(c[j]);
+  }
+}
+
+double FixedDatapath::dense(const FixedVector& h) const {
+  fixedpt::ScaledFixed acc = dense_b_;
+  for (std::size_t j = 0; j < h.size(); ++j) acc += dense_w_[j] * h[j];
+  return fixedpt::sigmoid_fixed(acc).to_double();
+}
+
+double FixedDatapath::infer(const nn::Sequence& sequence) const {
+  CSDML_REQUIRE(!sequence.empty(), "empty sequence");
+  FixedVector h(config_.hidden_dim, fixedpt::ScaledFixed::from_raw(0, scale_));
+  FixedVector c(config_.hidden_dim, fixedpt::ScaledFixed::from_raw(0, scale_));
+  for (const nn::TokenId token : sequence) {
+    const FixedVector x = preprocess(token);
+    const FixedGateVectors g = gates(x, h);
+    hidden_state(g, c, h);
+  }
+  return dense(h);
+}
+
+}  // namespace csdml::kernels

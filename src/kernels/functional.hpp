@@ -1,0 +1,91 @@
+// Functional (value-level) implementations of the five kernels.
+//
+// The engine pairs these with the HLS cost model: the cost model says how
+// long each kernel takes; these say what it computes. The float datapath
+// reproduces the offline model bit-for-bit (same operation order as
+// nn::LstmClassifier); the fixed datapath runs the paper's 10^6-scaled
+// integer arithmetic, so tests can quantify exactly how much accuracy the
+// fixed-point optimization costs.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "fixed/scaled_fixed.hpp"
+#include "nn/lstm.hpp"
+
+namespace csdml::kernels {
+
+/// Output of the four parallel kernel_gates CUs for one item.
+struct GateVectors {
+  std::array<nn::Vector, nn::kNumGates> act;
+};
+
+/// Float datapath: exactly the offline model's arithmetic, reorganised
+/// into the kernel decomposition of Fig. 2.
+class FloatDatapath {
+ public:
+  FloatDatapath(const nn::LstmConfig& config, const nn::LstmParams& params);
+
+  const nn::LstmConfig& config() const { return config_; }
+
+  /// kernel_preprocess: one-hot × embedding matrix.
+  nn::Vector preprocess(nn::TokenId token) const;
+  /// kernel_gates ×4: gate vectors from x_t and h_{t-1}.
+  GateVectors gates(const nn::Vector& x, const nn::Vector& h) const;
+  /// kernel_hidden_state: updates c and h in place from the gate vectors.
+  void hidden_state(const GateVectors& gates, nn::Vector& c, nn::Vector& h) const;
+  /// Final fully-connected layer + sigmoid.
+  double dense(const nn::Vector& h) const;
+
+  /// Whole-sequence forward pass through the kernel decomposition.
+  double infer(const nn::Sequence& sequence) const;
+
+ private:
+  nn::LstmConfig config_;
+  const nn::LstmParams* params_;
+  nn::LstmParams owned_;
+};
+
+using FixedVector = std::vector<fixedpt::ScaledFixed>;
+
+struct FixedGateVectors {
+  std::array<FixedVector, nn::kNumGates> act;
+};
+
+/// Fixed datapath: all parameters pre-scaled by `scale` (paper: 10^6)
+/// at construction, every multiply corrected per the paper's scheme.
+class FixedDatapath {
+ public:
+  FixedDatapath(const nn::LstmConfig& config, const nn::LstmParams& params,
+                std::int64_t scale = fixedpt::kPaperScale);
+
+  const nn::LstmConfig& config() const { return config_; }
+  std::int64_t scale() const { return scale_; }
+
+  FixedVector preprocess(nn::TokenId token) const;
+  FixedGateVectors gates(const FixedVector& x, const FixedVector& h) const;
+  void hidden_state(const FixedGateVectors& gates, FixedVector& c,
+                    FixedVector& h) const;
+  double dense(const FixedVector& h) const;
+
+  double infer(const nn::Sequence& sequence) const;
+
+ private:
+  fixedpt::ScaledFixed fx(double v) const {
+    return fixedpt::ScaledFixed::from_double(v, scale_);
+  }
+
+  nn::LstmConfig config_;
+  std::int64_t scale_;
+  // Pre-scaled parameters, laid out like LstmParams.
+  std::vector<FixedVector> embedding_rows_;
+  std::array<std::vector<FixedVector>, nn::kNumGates> w_x_cols_;  // [gate][col]=column
+  std::array<std::vector<FixedVector>, nn::kNumGates> w_h_cols_;
+  std::array<FixedVector, nn::kNumGates> bias_;
+  FixedVector dense_w_;
+  fixedpt::ScaledFixed dense_b_;
+};
+
+}  // namespace csdml::kernels

@@ -1,0 +1,90 @@
+#include "kernels/gru_functional.hpp"
+
+#include "common/error.hpp"
+#include "fixed/activations.hpp"
+
+namespace csdml::kernels {
+
+FixedGruDatapath::FixedGruDatapath(const nn::GruConfig& config,
+                                   const nn::GruParams& params,
+                                   std::int64_t scale)
+    : config_(config), scale_(scale) {
+  CSDML_REQUIRE(scale > 0, "scale must be positive");
+  const std::size_t hidden = config.hidden_dim;
+  const std::size_t embed = config.embed_dim;
+
+  embedding_rows_.resize(static_cast<std::size_t>(config.vocab_size));
+  for (std::size_t r = 0; r < embedding_rows_.size(); ++r) {
+    embedding_rows_[r].reserve(embed);
+    for (std::size_t c = 0; c < embed; ++c) {
+      embedding_rows_[r].push_back(fx(params.embedding(r, c)));
+    }
+  }
+  for (std::size_t g = 0; g < nn::kNumGruGates; ++g) {
+    w_x_cols_[g].resize(hidden);
+    w_h_cols_[g].resize(hidden);
+    bias_[g].reserve(hidden);
+    for (std::size_t j = 0; j < hidden; ++j) {
+      w_x_cols_[g][j].reserve(embed);
+      for (std::size_t i = 0; i < embed; ++i) {
+        w_x_cols_[g][j].push_back(fx(params.w_x[g](i, j)));
+      }
+      w_h_cols_[g][j].reserve(hidden);
+      for (std::size_t i = 0; i < hidden; ++i) {
+        w_h_cols_[g][j].push_back(fx(params.w_h[g](i, j)));
+      }
+      bias_[g].push_back(fx(params.bias[g][j]));
+    }
+  }
+  dense_w_.reserve(hidden);
+  for (std::size_t j = 0; j < hidden; ++j) dense_w_.push_back(fx(params.dense_w[j]));
+  dense_b_ = fx(params.dense_b);
+}
+
+double FixedGruDatapath::infer(const nn::Sequence& sequence) const {
+  CSDML_REQUIRE(!sequence.empty(), "empty sequence");
+  const std::size_t hidden = config_.hidden_dim;
+  const Fx zero = Fx::from_raw(0, scale_);
+  const Fx one = fx(1.0);
+  std::vector<Fx> h(hidden, zero);
+  std::vector<Fx> z(hidden, zero);
+  std::vector<Fx> r(hidden, zero);
+  std::vector<Fx> g(hidden, zero);
+
+  for (const nn::TokenId token : sequence) {
+    CSDML_REQUIRE(token >= 0 && token < config_.vocab_size, "token range");
+    const std::vector<Fx>& x = embedding_rows_[static_cast<std::size_t>(token)];
+
+    // z and r gates (PLAN sigmoid).
+    for (const std::size_t gate : {nn::kUpdate, nn::kReset}) {
+      auto& out = gate == nn::kUpdate ? z : r;
+      for (std::size_t j = 0; j < hidden; ++j) {
+        Fx acc = bias_[gate][j];
+        const auto& wx = w_x_cols_[gate][j];
+        for (std::size_t i = 0; i < x.size(); ++i) acc += wx[i] * x[i];
+        const auto& wh = w_h_cols_[gate][j];
+        for (std::size_t i = 0; i < hidden; ++i) acc += wh[i] * h[i];
+        out[j] = fixedpt::sigmoid_fixed(acc);
+      }
+    }
+    // Candidate over r ⊙ h (softsign).
+    for (std::size_t j = 0; j < hidden; ++j) {
+      Fx acc = bias_[nn::kCandidateGate][j];
+      const auto& wx = w_x_cols_[nn::kCandidateGate][j];
+      for (std::size_t i = 0; i < x.size(); ++i) acc += wx[i] * x[i];
+      const auto& wh = w_h_cols_[nn::kCandidateGate][j];
+      for (std::size_t i = 0; i < hidden; ++i) acc += wh[i] * (r[i] * h[i]);
+      g[j] = fixedpt::softsign_fixed(acc);
+    }
+    // h' = (1 - z) h + z g.
+    for (std::size_t j = 0; j < hidden; ++j) {
+      h[j] = (one - z[j]) * h[j] + z[j] * g[j];
+    }
+  }
+
+  Fx logit = dense_b_;
+  for (std::size_t j = 0; j < hidden; ++j) logit += dense_w_[j] * h[j];
+  return fixedpt::sigmoid_fixed(logit).to_double();
+}
+
+}  // namespace csdml::kernels

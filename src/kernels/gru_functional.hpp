@@ -1,0 +1,43 @@
+// Fixed-point GRU datapath — the functional half of the GRU port, using
+// the same arithmetic the deployed LSTM build uses: the paper's 10^6
+// decimal scaling with post-product correction, PLAN sigmoid for the z/r
+// gates, softsign for the candidate.
+#pragma once
+
+#include <array>
+#include <vector>
+
+#include "fixed/scaled_fixed.hpp"
+#include "nn/gru.hpp"
+
+namespace csdml::kernels {
+
+class FixedGruDatapath {
+ public:
+  FixedGruDatapath(const nn::GruConfig& config, const nn::GruParams& params,
+                   std::int64_t scale = fixedpt::kPaperScale);
+
+  const nn::GruConfig& config() const { return config_; }
+  std::int64_t scale() const { return scale_; }
+
+  /// Forward pass -> ransomware probability.
+  double infer(const nn::Sequence& sequence) const;
+  int predict(const nn::Sequence& sequence) const {
+    return infer(sequence) >= 0.5 ? 1 : 0;
+  }
+
+ private:
+  using Fx = fixedpt::ScaledFixed;
+  Fx fx(double v) const { return Fx::from_double(v, scale_); }
+
+  nn::GruConfig config_;
+  std::int64_t scale_;
+  std::vector<std::vector<Fx>> embedding_rows_;
+  std::array<std::vector<std::vector<Fx>>, nn::kNumGruGates> w_x_cols_;
+  std::array<std::vector<std::vector<Fx>>, nn::kNumGruGates> w_h_cols_;
+  std::array<std::vector<Fx>, nn::kNumGruGates> bias_;
+  std::vector<Fx> dense_w_;
+  Fx dense_b_;
+};
+
+}  // namespace csdml::kernels

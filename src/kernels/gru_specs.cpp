@@ -1,0 +1,157 @@
+#include "kernels/gru_specs.hpp"
+
+#include "common/error.hpp"
+
+namespace csdml::kernels {
+
+using hls::AxiTransferSpec;
+using hls::BufferBinding;
+using hls::KernelSpec;
+using hls::LocalBufferSpec;
+using hls::LoopOp;
+using hls::LoopSpec;
+using hls::OpKind;
+
+namespace {
+
+constexpr std::uint32_t kWordBytes = 4;
+constexpr std::uint32_t kGruCuCount = 3;
+
+nn::LstmConfig as_lstm_dims(const nn::GruConfig& config) {
+  // The spec builders only consume the dimensions, which the two models
+  // share; reuse the LSTM preprocess builder through this view.
+  nn::LstmConfig dims;
+  dims.vocab_size = config.vocab_size;
+  dims.embed_dim = config.embed_dim;
+  dims.hidden_dim = config.hidden_dim;
+  return dims;
+}
+
+bool optimized(OptimizationLevel level) {
+  return level != OptimizationLevel::Vanilla;
+}
+
+bool fixed_point(OptimizationLevel level) {
+  return level == OptimizationLevel::FixedPoint;
+}
+
+}  // namespace
+
+KernelSpec make_gru_preprocess_spec(const nn::GruConfig& config,
+                                    OptimizationLevel level, KernelLink link) {
+  KernelSpec spec = make_preprocess_spec(as_lstm_dims(config), level,
+                                         kGruCuCount, link);
+  spec.name = "gru_preprocess";
+  return spec;
+}
+
+KernelSpec make_gru_gate_spec(const nn::GruConfig& config,
+                              OptimizationLevel level, bool candidate_unit,
+                              KernelLink link) {
+  // Start from the LSTM gate CU (identical MAC structure) and specialise.
+  KernelSpec spec = make_gates_spec(as_lstm_dims(config), level, link);
+  spec.name = candidate_unit ? "gru_candidate_cu" : "gru_gate_cu";
+  if (candidate_unit) {
+    // The candidate consumes r ⊙ h_prev: one elementwise multiply pass
+    // before the MAC loop (DATAFLOW overlaps it with the output write).
+    LoopSpec reset;
+    reset.name = "reset_apply";
+    reset.trip_count = config.hidden_dim;
+    reset.body_ops = {fixed_point(level) ? LoopOp{OpKind::IntMul, 1}
+                                         : LoopOp{OpKind::FloatMul, 1}};
+    reset.buffer_accesses = 3;  // read r, read h, write rh
+    reset.binding = BufferBinding::Bram;
+    reset.memory_ports = 2;
+    if (optimized(level)) {
+      reset.pragmas.pipeline = true;
+      reset.pragmas.target_ii = 1;
+      reset.pragmas.array_partition_complete = fixed_point(level);
+    }
+    spec.loops.insert(spec.loops.begin(), reset);
+  }
+  return spec;
+}
+
+KernelSpec make_gru_state_spec(const nn::GruConfig& config,
+                               OptimizationLevel level, KernelLink link) {
+  KernelSpec spec;
+  spec.name = "gru_state";
+
+  spec.buffers.push_back(LocalBufferSpec{
+      .name = "dense_weights",
+      .size = Bytes{static_cast<std::uint64_t>(config.hidden_dim + 1) * kWordBytes},
+      .binding = BufferBinding::Bram});
+
+  LoopSpec update;
+  update.name = "state_update";
+  update.trip_count = config.hidden_dim;
+  if (fixed_point(level)) {
+    // h' = (1-z) h + z g: two DSP multiplies, two adds — no divider (the
+    // GRU has no second cell activation, unlike the LSTM's softsign(C)).
+    update.body_ops = {LoopOp{OpKind::IntMul, 2}, LoopOp{OpKind::IntAdd, 2}};
+  } else {
+    update.body_ops = {LoopOp{OpKind::FloatMul, 2}, LoopOp{OpKind::FloatAdd, 2}};
+  }
+  // Reads z, g, h; writes h (the r CU consumed h directly).
+  update.buffer_accesses = 4;
+  update.binding = BufferBinding::Bram;
+  update.memory_ports = 2;
+  if (optimized(level)) {
+    update.pragmas.pipeline = true;
+    update.pragmas.target_ii = 1;
+    update.pragmas.array_partition_complete = fixed_point(level);
+  }
+  spec.loops.push_back(update);
+
+  const Bytes vec_bytes{static_cast<std::uint64_t>(config.hidden_dim) * kWordBytes};
+  if (link == KernelLink::AxiMemory) {
+    for (std::uint32_t cu = 0; cu < kGruCuCount; ++cu) {
+      spec.transfers.push_back(
+          AxiTransferSpec{"gate_in_cu" + std::to_string(cu), vec_bytes, 1.0});
+      spec.transfers.push_back(
+          AxiTransferSpec{"h_copy_cu" + std::to_string(cu), vec_bytes, 1.0});
+    }
+  }
+  spec.transfers.push_back(AxiTransferSpec{"prediction_out", Bytes{kWordBytes}, 1.0});
+  return spec;
+}
+
+GruCsdEstimate estimate_gru_csd(const hls::HlsCostModel& model,
+                                const nn::GruConfig& config,
+                                OptimizationLevel level, KernelLink link) {
+  const Frequency clock = model.clock();
+  GruCsdEstimate estimate;
+
+  const KernelSpec preprocess = make_gru_preprocess_spec(config, level, link);
+  estimate.preprocess = clock.duration_of(model.analyze(preprocess).total);
+
+  const KernelSpec gate = make_gru_gate_spec(config, level, false, link);
+  const KernelSpec candidate = make_gru_gate_spec(config, level, true, link);
+  if (gates_reports_amortized_ii(level)) {
+    // Same steady-state argument as the LSTM's fixed-point gates: the
+    // slowest CU's initiation interval bounds the per-item cost.
+    std::uint64_t worst_ii = 1;
+    for (const KernelSpec* spec : {&gate, &candidate}) {
+      const auto report = model.analyze(*spec);
+      for (const auto& loop : report.loops) {
+        worst_ii = std::max(worst_ii, loop.achieved_ii);
+      }
+    }
+    estimate.gates = clock.duration_of(Cycles{worst_ii});
+  } else {
+    estimate.gates =
+        std::max(clock.duration_of(model.analyze(gate).total),
+                 clock.duration_of(model.analyze(candidate).total));
+  }
+
+  const KernelSpec state = make_gru_state_spec(config, level, link);
+  estimate.state = clock.duration_of(model.analyze(state).total);
+
+  estimate.resources += hls::estimate_resources(preprocess);
+  estimate.resources += hls::estimate_resources(gate) * 2;  // z and r CUs
+  estimate.resources += hls::estimate_resources(candidate);
+  estimate.resources += hls::estimate_resources(state);
+  return estimate;
+}
+
+}  // namespace csdml::kernels

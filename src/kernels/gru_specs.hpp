@@ -1,0 +1,51 @@
+// HLS kernel specs for a GRU port of the in-storage classifier.
+//
+// The model-selection ablation (bench_ablation_model) shows a GRU matches
+// the LSTM's accuracy with 3 gates instead of 4. These specs answer the
+// deployment half of that question: what the GRU variant would cost on
+// the same SmartSSD — three gate compute units instead of four, an extra
+// elementwise reset stage feeding the candidate CU, and a cheaper state
+// kernel (interpolation, no second cell activation).
+#pragma once
+
+#include "hls/cost_model.hpp"
+#include "hls/kernel_spec.hpp"
+#include "hls/resources.hpp"
+#include "kernels/specs.hpp"
+#include "nn/gru.hpp"
+
+namespace csdml::kernels {
+
+/// kernel_preprocess is unchanged except that it fans x_t out to three CUs.
+hls::KernelSpec make_gru_preprocess_spec(const nn::GruConfig& config,
+                                         OptimizationLevel level,
+                                         KernelLink link = KernelLink::AxiMemory);
+
+/// One gate CU (z / r / candidate). The candidate CU additionally computes
+/// r ⊙ h_prev before its MACs (one extra elementwise multiply stage).
+hls::KernelSpec make_gru_gate_spec(const nn::GruConfig& config,
+                                   OptimizationLevel level, bool candidate_unit,
+                                   KernelLink link = KernelLink::AxiMemory);
+
+/// State kernel: h' = (1-z) ⊙ h + z ⊙ g plus the dense head — two
+/// multiplies and two adds per element, no cell activation.
+hls::KernelSpec make_gru_state_spec(const nn::GruConfig& config,
+                                    OptimizationLevel level,
+                                    KernelLink link = KernelLink::AxiMemory);
+
+struct GruCsdEstimate {
+  Duration preprocess;
+  Duration gates;   ///< max over the 3 CUs (candidate is the slowest)
+  Duration state;
+  hls::ResourceEstimate resources;  ///< whole design (1 + 3 + 1 kernels)
+
+  Duration total() const { return preprocess + gates + state; }
+};
+
+/// Per-item timing + resource estimate of the full GRU design.
+GruCsdEstimate estimate_gru_csd(const hls::HlsCostModel& model,
+                                const nn::GruConfig& config,
+                                OptimizationLevel level,
+                                KernelLink link = KernelLink::AxiMemory);
+
+}  // namespace csdml::kernels

@@ -1,0 +1,204 @@
+#include "kernels/mixed.hpp"
+
+#include <array>
+#include <cstdlib>
+#include <vector>
+
+#include "common/error.hpp"
+#include "fixed/qfixed.hpp"
+
+namespace csdml::kernels {
+
+namespace {
+
+using fixedpt::QFixed;
+
+/// Exact-raw conversion between Q formats (arithmetic shift).
+template <typename QTo, typename QFrom>
+QTo convert(QFrom value) {
+  constexpr int shift = QTo::kFracBits - QFrom::kFracBits;
+  if constexpr (shift >= 0) {
+    return QTo::from_raw(value.raw() << shift);
+  } else {
+    // Round to nearest on narrowing.
+    const std::int64_t half = std::int64_t{1} << (-shift - 1);
+    return QTo::from_raw((value.raw() + (value.raw() >= 0 ? half : -half)) >>
+                         (-shift));
+  }
+}
+
+/// PLAN sigmoid in pure Q arithmetic (coefficients are exact binary).
+template <typename Q>
+Q sigmoid_plan_q(Q x) {
+  const std::int64_t one = Q::kOne;
+  const std::int64_t mag = std::abs(x.raw());
+  std::int64_t half;
+  if (mag >= 5 * one) {
+    half = one;
+  } else if (8 * mag >= 19 * one) {  // |x| >= 2.375
+    half = mag / 32 + (27 * one) / 32;
+  } else if (mag >= one) {
+    half = mag / 8 + (5 * one) / 8;
+  } else {
+    half = mag / 4 + one / 2;
+  }
+  return Q::from_raw(x.raw() >= 0 ? half : one - half);
+}
+
+/// softsign in pure Q arithmetic: raw * one / (|raw| + one).
+template <typename Q>
+Q softsign_q(Q x) {
+  const std::int64_t one = Q::kOne;
+  const std::int64_t raw = x.raw();
+  const std::int64_t mag = raw < 0 ? -raw : raw;
+  const __int128 numerator = static_cast<__int128>(raw) * one;
+  const __int128 denominator = static_cast<__int128>(mag) + one;
+  const __int128 half = denominator / 2;
+  const __int128 adjusted = numerator >= 0 ? numerator + half : numerator - half;
+  return Q::from_raw(static_cast<std::int64_t>(adjusted / denominator));
+}
+
+template <typename GateQ, typename StateQ>
+class MixedDatapath final : public IQuantizedInference {
+ public:
+  MixedDatapath(const nn::LstmConfig& config, const nn::LstmParams& params,
+                std::string description)
+      : config_(config), description_(std::move(description)) {
+    const std::size_t hidden = config.hidden_dim;
+    const std::size_t embed = config.embed_dim;
+
+    embedding_.resize(static_cast<std::size_t>(config.vocab_size));
+    for (std::size_t r = 0; r < embedding_.size(); ++r) {
+      embedding_[r].reserve(embed);
+      for (std::size_t c = 0; c < embed; ++c) {
+        embedding_[r].push_back(GateQ::from_double(params.embedding(r, c)));
+      }
+    }
+    for (std::size_t g = 0; g < nn::kNumGates; ++g) {
+      w_x_[g].resize(hidden);
+      w_h_[g].resize(hidden);
+      bias_[g].reserve(hidden);
+      for (std::size_t j = 0; j < hidden; ++j) {
+        w_x_[g][j].reserve(embed);
+        for (std::size_t i = 0; i < embed; ++i) {
+          w_x_[g][j].push_back(GateQ::from_double(params.w_x[g](i, j)));
+        }
+        w_h_[g][j].reserve(hidden);
+        for (std::size_t i = 0; i < hidden; ++i) {
+          w_h_[g][j].push_back(GateQ::from_double(params.w_h[g](i, j)));
+        }
+        bias_[g].push_back(GateQ::from_double(params.bias[g][j]));
+      }
+    }
+    dense_w_.reserve(hidden);
+    for (std::size_t j = 0; j < hidden; ++j) {
+      dense_w_.push_back(StateQ::from_double(params.dense_w[j]));
+    }
+    dense_b_ = StateQ::from_double(params.dense_b);
+  }
+
+  double infer(const nn::Sequence& sequence) const override {
+    CSDML_REQUIRE(!sequence.empty(), "empty sequence");
+    const std::size_t hidden = config_.hidden_dim;
+    std::vector<StateQ> c(hidden, StateQ::from_raw(0));
+    std::vector<StateQ> h(hidden, StateQ::from_raw(0));
+    std::vector<GateQ> h_narrow(hidden, GateQ::from_raw(0));
+
+    std::array<std::vector<GateQ>, nn::kNumGates> act;
+    for (auto& v : act) v.resize(hidden);
+
+    for (const nn::TokenId token : sequence) {
+      CSDML_REQUIRE(token >= 0 && token < config_.vocab_size, "token range");
+      const std::vector<GateQ>& x =
+          embedding_[static_cast<std::size_t>(token)];
+
+      // kernel_gates in the narrow format.
+      for (std::size_t g = 0; g < nn::kNumGates; ++g) {
+        for (std::size_t j = 0; j < hidden; ++j) {
+          GateQ acc = bias_[g][j];
+          const auto& wx = w_x_[g][j];
+          for (std::size_t i = 0; i < x.size(); ++i) acc += wx[i] * x[i];
+          const auto& wh = w_h_[g][j];
+          for (std::size_t i = 0; i < hidden; ++i) acc += wh[i] * h_narrow[i];
+          act[g][j] = g == nn::kCandidate ? softsign_q(acc)
+                                          : sigmoid_plan_q(acc);
+        }
+      }
+      // kernel_hidden_state in the wide format.
+      for (std::size_t j = 0; j < hidden; ++j) {
+        const StateQ i_gate = convert<StateQ>(act[nn::kInput][j]);
+        const StateQ f_gate = convert<StateQ>(act[nn::kForget][j]);
+        const StateQ g_cand = convert<StateQ>(act[nn::kCandidate][j]);
+        const StateQ o_gate = convert<StateQ>(act[nn::kOutput][j]);
+        c[j] = f_gate * c[j] + i_gate * g_cand;
+        h[j] = o_gate * softsign_q(c[j]);
+        h_narrow[j] = convert<GateQ>(h[j]);
+      }
+    }
+
+    StateQ logit = dense_b_;
+    for (std::size_t j = 0; j < hidden; ++j) logit += dense_w_[j] * h[j];
+    return sigmoid_plan_q(logit).to_double();
+  }
+
+  std::string describe() const override { return description_; }
+
+ private:
+  nn::LstmConfig config_;
+  std::string description_;
+  std::vector<std::vector<GateQ>> embedding_;
+  std::array<std::vector<std::vector<GateQ>>, nn::kNumGates> w_x_;
+  std::array<std::vector<std::vector<GateQ>>, nn::kNumGates> w_h_;
+  std::array<std::vector<GateQ>, nn::kNumGates> bias_;
+  std::vector<StateQ> dense_w_;
+  StateQ dense_b_{};
+};
+
+}  // namespace
+
+const char* precision_name(PrecisionPreset preset) {
+  switch (preset) {
+    case PrecisionPreset::UniformQ10: return "uniform-q10";
+    case PrecisionPreset::UniformQ16: return "uniform-q16";
+    case PrecisionPreset::UniformQ24: return "uniform-q24";
+    case PrecisionPreset::GatesQ16StateQ24: return "mixed-q16/q24";
+  }
+  throw PreconditionError("unknown precision preset");
+}
+
+std::unique_ptr<IQuantizedInference> make_mixed_datapath(
+    const nn::LstmConfig& config, const nn::LstmParams& params,
+    PrecisionPreset preset) {
+  using Q10 = QFixed<10>;
+  using Q16 = fixedpt::Q16;
+  using Q24 = fixedpt::Q24;
+  switch (preset) {
+    case PrecisionPreset::UniformQ10:
+      return std::make_unique<MixedDatapath<Q10, Q10>>(config, params,
+                                                       "Q10 gates / Q10 state");
+    case PrecisionPreset::UniformQ16:
+      return std::make_unique<MixedDatapath<Q16, Q16>>(config, params,
+                                                       "Q16 gates / Q16 state");
+    case PrecisionPreset::UniformQ24:
+      return std::make_unique<MixedDatapath<Q24, Q24>>(config, params,
+                                                       "Q24 gates / Q24 state");
+    case PrecisionPreset::GatesQ16StateQ24:
+      return std::make_unique<MixedDatapath<Q16, Q24>>(config, params,
+                                                       "Q16 gates / Q24 state");
+  }
+  throw PreconditionError("unknown precision preset");
+}
+
+std::uint32_t dsp_per_gate_mac(PrecisionPreset preset) {
+  switch (preset) {
+    case PrecisionPreset::UniformQ10:
+    case PrecisionPreset::UniformQ16:
+    case PrecisionPreset::GatesQ16StateQ24:
+      return 1;  // operands fit the DSP48E2's 18x27 multiplier
+    case PrecisionPreset::UniformQ24:
+      return 2;  // needs a two-slice cascade
+  }
+  throw PreconditionError("unknown precision preset");
+}
+
+}  // namespace csdml::kernels

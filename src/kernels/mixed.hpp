@@ -1,0 +1,52 @@
+// Mixed-precision inference datapaths — the extension the paper's
+// Limitations section calls for: "performing operations in lower precision
+// where high precision is not necessary, and in higher precision where
+// greater accuracy is required. As such, exploring mixed precision
+// alternatives on CSDs would be a notable endeavor."
+//
+// The natural split in this design: the gate MACs (99% of the arithmetic,
+// all of the DSP pressure) can run in a narrow binary Q format whose
+// operands fit a single DSP48 multiplier, while the recurrent cell state —
+// where rounding errors accumulate across all 100 timesteps — keeps a wide
+// format. Activations use the same exp-free forms as the deployed design
+// (PLAN sigmoid, softsign), implemented directly in Q arithmetic (the PLAN
+// coefficients 1/4, 1/8, 1/32, 5/8, 27/32 are exact binary fractions).
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "nn/lstm.hpp"
+
+namespace csdml::kernels {
+
+/// Type-erased fixed/mixed inference path.
+class IQuantizedInference {
+ public:
+  virtual ~IQuantizedInference() = default;
+  /// Forward pass -> ransomware probability.
+  virtual double infer(const nn::Sequence& sequence) const = 0;
+  /// Human-readable description of the arithmetic, e.g. "Q16 gates / Q24 state".
+  virtual std::string describe() const = 0;
+};
+
+enum class PrecisionPreset {
+  UniformQ10,        ///< aggressive: ~1e-3 resolution everywhere
+  UniformQ16,        ///< single-DSP multipliers everywhere
+  UniformQ24,        ///< wide: ~6e-8 resolution everywhere (2 DSPs/MAC)
+  GatesQ16StateQ24,  ///< the mixed design: narrow MACs, wide recurrence
+};
+
+const char* precision_name(PrecisionPreset preset);
+
+/// Builds the datapath for a preset.
+std::unique_ptr<IQuantizedInference> make_mixed_datapath(
+    const nn::LstmConfig& config, const nn::LstmParams& params,
+    PrecisionPreset preset);
+
+/// DSP slices one multiply-accumulate costs under the preset's *gate*
+/// format (18x27-bit DSP48E2: operands up to Q16 fit one slice; Q24 needs
+/// a cascade of two).
+std::uint32_t dsp_per_gate_mac(PrecisionPreset preset);
+
+}  // namespace csdml::kernels

@@ -1,0 +1,136 @@
+#include "nn/dataset.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <numeric>
+
+#include "common/csv.hpp"
+#include "common/error.hpp"
+
+namespace csdml::nn {
+
+std::size_t SequenceDataset::positives() const {
+  return static_cast<std::size_t>(std::count(labels.begin(), labels.end(), 1));
+}
+
+double SequenceDataset::positive_fraction() const {
+  CSDML_REQUIRE(!empty(), "positive_fraction of empty dataset");
+  return static_cast<double>(positives()) / static_cast<double>(size());
+}
+
+TokenId SequenceDataset::vocabulary_size() const {
+  TokenId max_id = -1;
+  for (const auto& seq : sequences) {
+    for (const TokenId t : seq) max_id = std::max(max_id, t);
+  }
+  return max_id + 1;
+}
+
+void SequenceDataset::shuffle(Rng& rng) {
+  CSDML_REQUIRE(sequences.size() == labels.size(), "dataset misaligned");
+  std::vector<std::size_t> order(sequences.size());
+  std::iota(order.begin(), order.end(), 0);
+  rng.shuffle(order);
+  std::vector<Sequence> new_sequences(sequences.size());
+  std::vector<int> new_labels(labels.size());
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    new_sequences[i] = std::move(sequences[order[i]]);
+    new_labels[i] = labels[order[i]];
+  }
+  sequences = std::move(new_sequences);
+  labels = std::move(new_labels);
+}
+
+void SequenceDataset::append(const SequenceDataset& other) {
+  sequences.insert(sequences.end(), other.sequences.begin(), other.sequences.end());
+  labels.insert(labels.end(), other.labels.begin(), other.labels.end());
+}
+
+TrainTestSplit split_dataset(const SequenceDataset& dataset, double test_fraction,
+                             Rng& rng) {
+  CSDML_REQUIRE(test_fraction > 0.0 && test_fraction < 1.0,
+                "test_fraction must be in (0, 1)");
+  CSDML_REQUIRE(dataset.size() >= 2, "need at least two samples to split");
+  SequenceDataset shuffled = dataset;
+  shuffled.shuffle(rng);
+  auto n_test = static_cast<std::size_t>(
+      static_cast<double>(shuffled.size()) * test_fraction);
+  n_test = std::clamp<std::size_t>(n_test, 1, shuffled.size() - 1);
+
+  TrainTestSplit split;
+  for (std::size_t i = 0; i < shuffled.size(); ++i) {
+    auto& target = i < n_test ? split.test : split.train;
+    target.sequences.push_back(std::move(shuffled.sequences[i]));
+    target.labels.push_back(shuffled.labels[i]);
+  }
+  return split;
+}
+
+void write_dataset_csv(const SequenceDataset& dataset, const std::string& path) {
+  CSDML_REQUIRE(!dataset.empty(), "refusing to write empty dataset");
+  const std::size_t len = dataset.sequences.front().size();
+  for (const auto& seq : dataset.sequences) {
+    CSDML_REQUIRE(seq.size() == len, "CSV layout needs equal-length sequences");
+  }
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw ParseError("cannot open for writing: " + path);
+  CsvWriter writer(out);
+  std::vector<std::string> row;
+  row.reserve(len + 1);
+  for (std::size_t i = 0; i < len; ++i) row.push_back("item_" + std::to_string(i));
+  row.push_back("label");
+  writer.write_row(row);
+  for (std::size_t r = 0; r < dataset.size(); ++r) {
+    row.clear();
+    for (const TokenId t : dataset.sequences[r]) row.push_back(std::to_string(t));
+    row.push_back(std::to_string(dataset.labels[r]));
+    writer.write_row(row);
+  }
+}
+
+namespace {
+
+bool looks_numeric(const std::string& s) {
+  if (s.empty()) return false;
+  std::size_t i = (s[0] == '-' || s[0] == '+') ? 1 : 0;
+  if (i == s.size()) return false;
+  for (; i < s.size(); ++i) {
+    if (std::isdigit(static_cast<unsigned char>(s[i])) == 0) return false;
+  }
+  return true;
+}
+
+TokenId parse_token(const std::string& field, const std::string& path) {
+  if (!looks_numeric(field)) {
+    throw ParseError("non-integer field '" + field + "' in " + path);
+  }
+  return static_cast<TokenId>(std::stol(field));
+}
+
+}  // namespace
+
+SequenceDataset read_dataset_csv(const std::string& path) {
+  // Parse headerless first; if the first row is non-numeric, treat it as
+  // the header and drop it.
+  CsvDocument doc = read_csv_file(path, /*has_header=*/false);
+  SequenceDataset dataset;
+  std::size_t start = 0;
+  if (!doc.rows.empty() && !looks_numeric(doc.rows.front().front())) start = 1;
+  for (std::size_t r = start; r < doc.rows.size(); ++r) {
+    const auto& row = doc.rows[r];
+    if (row.size() < 2) throw ParseError("CSV row needs >= 2 columns in " + path);
+    Sequence seq;
+    seq.reserve(row.size() - 1);
+    for (std::size_t c = 0; c + 1 < row.size(); ++c) {
+      seq.push_back(parse_token(row[c], path));
+    }
+    const TokenId label = parse_token(row.back(), path);
+    CSDML_REQUIRE(label == 0 || label == 1, "label must be 0 or 1");
+    dataset.sequences.push_back(std::move(seq));
+    dataset.labels.push_back(static_cast<int>(label));
+  }
+  return dataset;
+}
+
+}  // namespace csdml::nn

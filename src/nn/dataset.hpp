@@ -1,0 +1,58 @@
+// Token-sequence dataset container + the paper's CSV layout.
+//
+// "It consumes a CSV dataset consisting of n+1 columns and N rows for
+// sequences of n items plus a label and N samples" — rows are
+// item_1,...,item_n,label with integer token ids and a {0,1} label.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace csdml::nn {
+
+using TokenId = std::int32_t;
+using Sequence = std::vector<TokenId>;
+
+struct SequenceDataset {
+  std::vector<Sequence> sequences;
+  std::vector<int> labels;  // 0 = negative (benign), 1 = positive (ransomware)
+
+  std::size_t size() const { return sequences.size(); }
+  bool empty() const { return sequences.empty(); }
+
+  /// Number of positive-labelled samples.
+  std::size_t positives() const;
+
+  /// Fraction of positive samples; requires non-empty.
+  double positive_fraction() const;
+
+  /// Largest token id + 1 across all sequences (0 when empty).
+  TokenId vocabulary_size() const;
+
+  /// In-place deterministic shuffle keeping sequences/labels aligned.
+  void shuffle(Rng& rng);
+
+  /// Appends all samples of `other`.
+  void append(const SequenceDataset& other);
+};
+
+struct TrainTestSplit {
+  SequenceDataset train;
+  SequenceDataset test;
+};
+
+/// Splits after an internal shuffle; `test_fraction` in (0, 1).
+TrainTestSplit split_dataset(const SequenceDataset& dataset, double test_fraction,
+                             Rng& rng);
+
+/// Writes the paper's n+1-column CSV (header: item_0..item_{n-1},label).
+/// Requires all sequences to share one length.
+void write_dataset_csv(const SequenceDataset& dataset, const std::string& path);
+
+/// Reads the same layout back. Accepts files with or without the header.
+SequenceDataset read_dataset_csv(const std::string& path);
+
+}  // namespace csdml::nn

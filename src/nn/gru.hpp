@@ -1,0 +1,87 @@
+// GRU classifier — the sequential alternative to the paper's LSTM.
+//
+// The paper's model-selection section picks the LSTM for its long-term
+// dependency handling and FPGA-friendly fixed cell parameters; a GRU has
+// the same properties with 3 gates instead of 4 (25% fewer recurrent
+// parameters and one fewer gate CU). This implementation exists so the
+// model-selection ablation can measure what that trade is worth on the
+// ransomware task.
+#pragma once
+
+#include <array>
+
+#include "common/rng.hpp"
+#include "nn/dataset.hpp"
+#include "nn/lstm.hpp"  // CellActivation, shared helpers
+#include "nn/tensor.hpp"
+#include "nn/train.hpp"
+
+namespace csdml::nn {
+
+struct GruConfig {
+  TokenId vocab_size{278};
+  std::size_t embed_dim{8};
+  std::size_t hidden_dim{32};
+  CellActivation activation{CellActivation::Softsign};
+};
+
+/// Gate order fixed across the implementation.
+enum GruGate : std::size_t { kUpdate = 0, kReset = 1, kCandidateGate = 2 };
+inline constexpr std::size_t kNumGruGates = 3;
+
+struct GruParams {
+  Matrix embedding;                          // vocab × embed
+  std::array<Matrix, kNumGruGates> w_x;      // embed × hidden
+  std::array<Matrix, kNumGruGates> w_h;      // hidden × hidden
+  std::array<Vector, kNumGruGates> bias;     // hidden
+  Vector dense_w;
+  double dense_b{0.0};
+
+  static GruParams zeros(const GruConfig& config);
+  static GruParams glorot(const GruConfig& config, Rng& rng);
+
+  std::vector<double*> parameter_pointers();
+  std::size_t total_parameter_count() const;
+  std::size_t recurrent_parameter_count() const;
+};
+
+/// Per-step cache for BPTT.
+struct GruStepCache {
+  Vector x;
+  std::array<Vector, kNumGruGates> preact;
+  std::array<Vector, kNumGruGates> act;  // z, r, candidate
+  Vector reset_h;                        // r ⊙ h_prev
+  Vector h;                              // state after the step
+};
+
+class GruClassifier {
+ public:
+  GruClassifier(GruConfig config, Rng& rng);
+  GruClassifier(GruConfig config, GruParams params);
+
+  const GruConfig& config() const { return config_; }
+  const GruParams& params() const { return params_; }
+  GruParams& mutable_params() { return params_; }
+
+  Vector embed(TokenId token) const;
+  void step(const Vector& x, Vector& h, GruStepCache* cache) const;
+  double forward(const Sequence& sequence,
+                 std::vector<GruStepCache>* cache) const;
+  int predict(const Sequence& sequence) const;
+
+ private:
+  GruConfig config_;
+  GruParams params_;
+};
+
+using GruGradients = GruParams;
+
+/// BCE backward pass; accumulates into `grads`, returns the loss.
+double gru_backward(const GruClassifier& model, const Sequence& sequence,
+                    int label, GruGradients& grads);
+
+/// Same loop/optimizer/metrics as the LSTM trainer, over the GRU.
+TrainResult train_gru(GruClassifier& model, const SequenceDataset& train_set,
+                      const SequenceDataset& test_set, const TrainConfig& config);
+
+}  // namespace csdml::nn

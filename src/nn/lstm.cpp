@@ -1,0 +1,182 @@
+#include "nn/lstm.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "fixed/activations.hpp"
+
+namespace csdml::nn {
+
+double apply_cell_activation(CellActivation activation, double x) {
+  switch (activation) {
+    case CellActivation::Tanh: return std::tanh(x);
+    case CellActivation::Softsign: return fixedpt::softsign(x);
+  }
+  throw PreconditionError("unknown activation");
+}
+
+double cell_activation_derivative(CellActivation activation, double x) {
+  switch (activation) {
+    case CellActivation::Tanh: {
+      const double t = std::tanh(x);
+      return 1.0 - t * t;
+    }
+    case CellActivation::Softsign: return fixedpt::softsign_derivative(x);
+  }
+  throw PreconditionError("unknown activation");
+}
+
+LstmParams LstmParams::zeros(const LstmConfig& config) {
+  CSDML_REQUIRE(config.vocab_size > 0, "vocab_size must be positive");
+  CSDML_REQUIRE(config.embed_dim > 0 && config.hidden_dim > 0,
+                "embed/hidden dims must be positive");
+  LstmParams p;
+  p.embedding = Matrix(static_cast<std::size_t>(config.vocab_size), config.embed_dim);
+  for (std::size_t g = 0; g < kNumGates; ++g) {
+    p.w_x[g] = Matrix(config.embed_dim, config.hidden_dim);
+    p.w_h[g] = Matrix(config.hidden_dim, config.hidden_dim);
+    p.bias[g] = Vector(config.hidden_dim, 0.0);
+  }
+  p.dense_w = Vector(config.hidden_dim, 0.0);
+  p.dense_b = 0.0;
+  return p;
+}
+
+LstmParams LstmParams::glorot(const LstmConfig& config, Rng& rng) {
+  LstmParams p = zeros(config);
+  p.embedding.glorot_init(rng);
+  for (std::size_t g = 0; g < kNumGates; ++g) {
+    p.w_x[g].glorot_init(rng);
+    p.w_h[g].glorot_init(rng);
+  }
+  // Forget-gate bias at 1.0 is the standard LSTM trainability trick
+  // (Jozefowicz et al., 2015); others stay zero.
+  for (auto& b : p.bias[kForget]) b = 1.0;
+  const double limit = std::sqrt(6.0 / static_cast<double>(config.hidden_dim + 1));
+  for (auto& w : p.dense_w) w = rng.uniform(-limit, limit);
+  return p;
+}
+
+std::vector<double*> LstmParams::parameter_pointers() {
+  std::vector<double*> out;
+  out.reserve(total_parameter_count());
+  for (std::size_t i = 0; i < embedding.size(); ++i) out.push_back(embedding.data() + i);
+  for (std::size_t g = 0; g < kNumGates; ++g) {
+    for (std::size_t i = 0; i < w_x[g].size(); ++i) out.push_back(w_x[g].data() + i);
+    for (std::size_t i = 0; i < w_h[g].size(); ++i) out.push_back(w_h[g].data() + i);
+    for (auto& b : bias[g]) out.push_back(&b);
+  }
+  for (auto& w : dense_w) out.push_back(&w);
+  out.push_back(&dense_b);
+  return out;
+}
+
+std::size_t LstmParams::lstm_parameter_count() const {
+  std::size_t count = 0;
+  for (std::size_t g = 0; g < kNumGates; ++g) {
+    count += w_x[g].size() + w_h[g].size() + bias[g].size();
+  }
+  return count;
+}
+
+std::size_t LstmParams::total_parameter_count() const {
+  return embedding_parameter_count() + lstm_parameter_count() +
+         dense_parameter_count();
+}
+
+LstmClassifier::LstmClassifier(LstmConfig config, Rng& rng)
+    : config_(config), params_(LstmParams::glorot(config, rng)) {}
+
+LstmClassifier::LstmClassifier(LstmConfig config, LstmParams params)
+    : config_(config), params_(std::move(params)) {
+  CSDML_REQUIRE(params_.embedding.rows() ==
+                        static_cast<std::size_t>(config_.vocab_size) &&
+                    params_.embedding.cols() == config_.embed_dim,
+                "embedding shape does not match config");
+  CSDML_REQUIRE(params_.dense_w.size() == config_.hidden_dim,
+                "dense shape does not match config");
+}
+
+Vector LstmClassifier::embed(TokenId token) const {
+  CSDML_REQUIRE(token >= 0 && token < config_.vocab_size,
+                "token id outside vocabulary");
+  const auto row = static_cast<std::size_t>(token);
+  Vector x(config_.embed_dim);
+  const double* src = params_.embedding.row(row);
+  for (std::size_t i = 0; i < x.size(); ++i) x[i] = src[i];
+  return x;
+}
+
+void LstmClassifier::step(const Vector& x, Vector& h, Vector& c,
+                          StepCache* cache) const {
+  const std::size_t hidden = config_.hidden_dim;
+  CSDML_REQUIRE(x.size() == config_.embed_dim, "step: wrong input size");
+  CSDML_REQUIRE(h.size() == hidden && c.size() == hidden, "step: wrong state size");
+
+  std::array<Vector, kNumGates> preact;
+  std::array<Vector, kNumGates> act;
+  for (std::size_t g = 0; g < kNumGates; ++g) {
+    preact[g] = params_.bias[g];  // start from the bias
+    accumulate_vec_mat(x, params_.w_x[g], preact[g]);
+    accumulate_vec_mat(h, params_.w_h[g], preact[g]);
+    act[g].resize(hidden);
+    for (std::size_t j = 0; j < hidden; ++j) {
+      act[g][j] = g == kCandidate
+                      ? apply_cell_activation(config_.activation, preact[g][j])
+                      : fixedpt::sigmoid(preact[g][j]);
+    }
+  }
+
+  Vector new_c(hidden);
+  Vector c_act(hidden);
+  Vector new_h(hidden);
+  for (std::size_t j = 0; j < hidden; ++j) {
+    new_c[j] = act[kForget][j] * c[j] + act[kInput][j] * act[kCandidate][j];
+    c_act[j] = apply_cell_activation(config_.activation, new_c[j]);
+    new_h[j] = act[kOutput][j] * c_act[j];
+  }
+
+  if (cache != nullptr) {
+    cache->x = x;
+    cache->preact = preact;
+    cache->act = act;
+    cache->c = new_c;
+    cache->h = new_h;
+    cache->c_act = c_act;
+  }
+  c = std::move(new_c);
+  h = std::move(new_h);
+}
+
+double LstmClassifier::forward(const Sequence& sequence, ForwardCache* cache) const {
+  CSDML_REQUIRE(!sequence.empty(), "forward pass over empty sequence");
+  const std::size_t hidden = config_.hidden_dim;
+  Vector h(hidden, 0.0);
+  Vector c(hidden, 0.0);
+  if (cache != nullptr) {
+    cache->steps.clear();
+    cache->steps.reserve(sequence.size());
+  }
+  for (const TokenId token : sequence) {
+    const Vector x = embed(token);
+    if (cache != nullptr) {
+      cache->steps.emplace_back();
+      step(x, h, c, &cache->steps.back());
+    } else {
+      step(x, h, c, nullptr);
+    }
+  }
+  const double logit = dot(params_.dense_w, h) + params_.dense_b;
+  const double probability = fixedpt::sigmoid(logit);
+  if (cache != nullptr) {
+    cache->logit = logit;
+    cache->probability = probability;
+  }
+  return probability;
+}
+
+int LstmClassifier::predict(const Sequence& sequence) const {
+  return forward(sequence, nullptr) >= 0.5 ? 1 : 0;
+}
+
+}  // namespace csdml::nn

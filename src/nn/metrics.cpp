@@ -1,0 +1,149 @@
+#include "nn/metrics.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/error.hpp"
+
+namespace csdml::nn {
+
+void ConfusionMatrix::add(int actual, int predicted) {
+  CSDML_REQUIRE((actual == 0 || actual == 1) && (predicted == 0 || predicted == 1),
+                "labels must be binary");
+  if (actual == 1) {
+    if (predicted == 1) ++true_positive;
+    else ++false_negative;
+  } else {
+    if (predicted == 1) ++false_positive;
+    else ++true_negative;
+  }
+}
+
+std::size_t ConfusionMatrix::total() const {
+  return true_positive + true_negative + false_positive + false_negative;
+}
+
+double ConfusionMatrix::accuracy() const {
+  const std::size_t n = total();
+  CSDML_REQUIRE(n > 0, "accuracy of empty confusion matrix");
+  return static_cast<double>(true_positive + true_negative) / static_cast<double>(n);
+}
+
+double ConfusionMatrix::precision() const {
+  const std::size_t denom = true_positive + false_positive;
+  if (denom == 0) return 0.0;
+  return static_cast<double>(true_positive) / static_cast<double>(denom);
+}
+
+double ConfusionMatrix::recall() const {
+  const std::size_t denom = true_positive + false_negative;
+  if (denom == 0) return 0.0;
+  return static_cast<double>(true_positive) / static_cast<double>(denom);
+}
+
+double ConfusionMatrix::f1() const {
+  const double p = precision();
+  const double r = recall();
+  if (p + r == 0.0) return 0.0;
+  return 2.0 * p * r / (p + r);
+}
+
+ConfusionMatrix evaluate_predictions(const std::vector<int>& actual,
+                                     const std::vector<int>& predicted) {
+  CSDML_REQUIRE(actual.size() == predicted.size(),
+                "actual/predicted size mismatch");
+  ConfusionMatrix cm;
+  for (std::size_t i = 0; i < actual.size(); ++i) cm.add(actual[i], predicted[i]);
+  return cm;
+}
+
+namespace {
+
+void validate_scored(const std::vector<double>& scores,
+                     const std::vector<int>& labels) {
+  CSDML_REQUIRE(scores.size() == labels.size(), "scores/labels size mismatch");
+  CSDML_REQUIRE(!scores.empty(), "empty score set");
+  bool has_positive = false;
+  bool has_negative = false;
+  for (const int label : labels) {
+    CSDML_REQUIRE(label == 0 || label == 1, "labels must be binary");
+    (label == 1 ? has_positive : has_negative) = true;
+  }
+  CSDML_REQUIRE(has_positive && has_negative,
+                "ROC needs both classes present");
+}
+
+}  // namespace
+
+std::vector<RocPoint> roc_curve(const std::vector<double>& scores,
+                                const std::vector<int>& labels) {
+  validate_scored(scores, labels);
+  std::vector<std::size_t> order(scores.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return scores[a] > scores[b];
+  });
+  const auto positives = static_cast<double>(
+      std::count(labels.begin(), labels.end(), 1));
+  const double negatives = static_cast<double>(labels.size()) - positives;
+
+  std::vector<RocPoint> curve;
+  curve.push_back(RocPoint{std::numeric_limits<double>::infinity(), 0.0, 0.0});
+  double tp = 0.0;
+  double fp = 0.0;
+  for (std::size_t k = 0; k < order.size(); ++k) {
+    (labels[order[k]] == 1 ? tp : fp) += 1.0;
+    // Emit a point only after the last sample of a tied score group.
+    const bool last_of_group =
+        k + 1 == order.size() || scores[order[k + 1]] != scores[order[k]];
+    if (last_of_group) {
+      curve.push_back(
+          RocPoint{scores[order[k]], tp / positives, fp / negatives});
+    }
+  }
+  return curve;
+}
+
+double roc_auc(const std::vector<double>& scores, const std::vector<int>& labels) {
+  validate_scored(scores, labels);
+  // Rank-sum with average ranks for ties.
+  std::vector<std::size_t> order(scores.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return scores[a] < scores[b];
+  });
+  std::vector<double> rank(scores.size());
+  std::size_t i = 0;
+  while (i < order.size()) {
+    std::size_t j = i;
+    while (j + 1 < order.size() && scores[order[j + 1]] == scores[order[i]]) ++j;
+    const double average_rank = (static_cast<double>(i) + static_cast<double>(j)) /
+                                    2.0 + 1.0;
+    for (std::size_t k = i; k <= j; ++k) rank[order[k]] = average_rank;
+    i = j + 1;
+  }
+  double positive_rank_sum = 0.0;
+  double positives = 0.0;
+  for (std::size_t k = 0; k < labels.size(); ++k) {
+    if (labels[k] == 1) {
+      positive_rank_sum += rank[k];
+      positives += 1.0;
+    }
+  }
+  const double negatives = static_cast<double>(labels.size()) - positives;
+  const double u = positive_rank_sum - positives * (positives + 1.0) / 2.0;
+  return u / (positives * negatives);
+}
+
+ConfusionMatrix confusion_at_threshold(const std::vector<double>& scores,
+                                       const std::vector<int>& labels,
+                                       double threshold) {
+  CSDML_REQUIRE(scores.size() == labels.size(), "scores/labels size mismatch");
+  ConfusionMatrix cm;
+  for (std::size_t k = 0; k < scores.size(); ++k) {
+    cm.add(labels[k], scores[k] >= threshold ? 1 : 0);
+  }
+  return cm;
+}
+
+}  // namespace csdml::nn

@@ -1,0 +1,61 @@
+// Bag-of-calls MLP — the non-sequential baseline.
+//
+// The paper's model-selection argument: non-sequential models "only
+// analyze static snapshots of data", missing ordering and temporal
+// dynamics. This classifier deliberately throws ordering away (a window
+// becomes a normalised histogram of API-call frequencies) and feeds a
+// one-hidden-layer network, so the model-selection ablation can measure
+// exactly how much the ordering is worth on the ransomware task.
+#pragma once
+
+#include "common/rng.hpp"
+#include "nn/dataset.hpp"
+#include "nn/tensor.hpp"
+#include "nn/train.hpp"
+
+namespace csdml::nn {
+
+struct MlpConfig {
+  TokenId vocab_size{278};
+  std::size_t hidden_dim{24};  ///< sized to ~the LSTM's parameter budget
+};
+
+struct MlpParams {
+  Matrix w1;        // vocab × hidden
+  Vector b1;        // hidden
+  Vector w2;        // hidden
+  double b2{0.0};
+
+  static MlpParams zeros(const MlpConfig& config);
+  static MlpParams glorot(const MlpConfig& config, Rng& rng);
+  std::vector<double*> parameter_pointers();
+  std::size_t total_parameter_count() const;
+};
+
+class MlpClassifier {
+ public:
+  MlpClassifier(MlpConfig config, Rng& rng);
+
+  const MlpConfig& config() const { return config_; }
+  const MlpParams& params() const { return params_; }
+  MlpParams& mutable_params() { return params_; }
+
+  /// Normalised call-frequency histogram of a window.
+  Vector featurize(const Sequence& sequence) const;
+
+  double forward(const Sequence& sequence) const;
+  int predict(const Sequence& sequence) const;
+
+  /// BCE backward; accumulates into `grads`, returns loss.
+  double backward(const Sequence& sequence, int label, MlpParams& grads) const;
+
+ private:
+  MlpConfig config_;
+  MlpParams params_;
+};
+
+/// Same loop/optimizer/metrics as the LSTM trainer, over the MLP.
+TrainResult train_mlp(MlpClassifier& model, const SequenceDataset& train_set,
+                      const SequenceDataset& test_set, const TrainConfig& config);
+
+}  // namespace csdml::nn

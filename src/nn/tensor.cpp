@@ -1,0 +1,70 @@
+#include "nn/tensor.hpp"
+
+#include <cmath>
+
+namespace csdml::nn {
+
+void Matrix::glorot_init(Rng& rng) {
+  const double limit =
+      std::sqrt(6.0 / static_cast<double>(rows_ + cols_));
+  for (auto& v : data_) v = rng.uniform(-limit, limit);
+}
+
+Matrix& Matrix::operator+=(const Matrix& other) {
+  CSDML_REQUIRE(rows_ == other.rows_ && cols_ == other.cols_,
+                "matrix shape mismatch in +=");
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
+  return *this;
+}
+
+Matrix& Matrix::operator*=(double k) {
+  for (auto& v : data_) v *= k;
+  return *this;
+}
+
+void accumulate_vec_mat(const Vector& x, const Matrix& w, Vector& y) {
+  CSDML_REQUIRE(x.size() == w.rows(), "accumulate_vec_mat: x/W mismatch");
+  CSDML_REQUIRE(y.size() == w.cols(), "accumulate_vec_mat: y/W mismatch");
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const double xi = x[i];
+    if (xi == 0.0) continue;
+    const double* wrow = w.row(i);
+    for (std::size_t j = 0; j < y.size(); ++j) y[j] += xi * wrow[j];
+  }
+}
+
+void accumulate_outer(const Vector& x, const Vector& dy, Matrix& grad_w) {
+  CSDML_REQUIRE(x.size() == grad_w.rows() && dy.size() == grad_w.cols(),
+                "accumulate_outer: shape mismatch");
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const double xi = x[i];
+    if (xi == 0.0) continue;
+    double* grow = grad_w.row(i);
+    for (std::size_t j = 0; j < dy.size(); ++j) grow[j] += xi * dy[j];
+  }
+}
+
+void accumulate_mat_vec(const Matrix& w, const Vector& dy, Vector& dx) {
+  CSDML_REQUIRE(dx.size() == w.rows() && dy.size() == w.cols(),
+                "accumulate_mat_vec: shape mismatch");
+  for (std::size_t i = 0; i < dx.size(); ++i) {
+    const double* wrow = w.row(i);
+    double sum = 0.0;
+    for (std::size_t j = 0; j < dy.size(); ++j) sum += wrow[j] * dy[j];
+    dx[i] += sum;
+  }
+}
+
+void add_in_place(Vector& a, const Vector& b) {
+  CSDML_REQUIRE(a.size() == b.size(), "vector size mismatch");
+  for (std::size_t i = 0; i < a.size(); ++i) a[i] += b[i];
+}
+
+double dot(const Vector& a, const Vector& b) {
+  CSDML_REQUIRE(a.size() == b.size(), "vector size mismatch");
+  double sum = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) sum += a[i] * b[i];
+  return sum;
+}
+
+}  // namespace csdml::nn

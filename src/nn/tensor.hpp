@@ -1,0 +1,67 @@
+// Dense row-major matrix / vector math for the nn module.
+//
+// Sizes in this project are tiny (the paper's model is 7,472 parameters),
+// so clarity beats blocking tricks; the hot loops are still written
+// contiguously so the compiler can vectorise them.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace csdml::nn {
+
+using Vector = std::vector<double>;
+
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols, double fill = 0.0)
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  std::size_t size() const { return data_.size(); }
+  bool empty() const { return data_.empty(); }
+
+  double& operator()(std::size_t r, std::size_t c) { return data_[r * cols_ + c]; }
+  double operator()(std::size_t r, std::size_t c) const { return data_[r * cols_ + c]; }
+
+  double* data() { return data_.data(); }
+  const double* data() const { return data_.data(); }
+  double* row(std::size_t r) { return data_.data() + r * cols_; }
+  const double* row(std::size_t r) const { return data_.data() + r * cols_; }
+
+  void fill(double value) { data_.assign(data_.size(), value); }
+
+  /// He-style scaled uniform init in [-limit, limit], limit = sqrt(6/(fan_in+fan_out)).
+  void glorot_init(Rng& rng);
+
+  Matrix& operator+=(const Matrix& other);
+  Matrix& operator*=(double k);
+
+ private:
+  std::size_t rows_{0};
+  std::size_t cols_{0};
+  std::vector<double> data_;
+};
+
+/// out = M^T has no place here; we only ever need y = W^T x style products
+/// expressed explicitly:
+
+/// y[j] += sum_i x[i] * W(i, j)  — accumulate x through W (input on rows).
+void accumulate_vec_mat(const Vector& x, const Matrix& w, Vector& y);
+
+/// grad_W(i, j) += x[i] * dy[j]
+void accumulate_outer(const Vector& x, const Vector& dy, Matrix& grad_w);
+
+/// dx[i] += sum_j dy[j] * W(i, j)
+void accumulate_mat_vec(const Matrix& w, const Vector& dy, Vector& dx);
+
+/// Elementwise helpers.
+void add_in_place(Vector& a, const Vector& b);
+double dot(const Vector& a, const Vector& b);
+
+}  // namespace csdml::nn

@@ -1,0 +1,84 @@
+// Offline training of the paper's classifier: full backpropagation through
+// time with Adam, binary cross-entropy loss, and the per-epoch accuracy
+// history that Fig. 4 of the paper plots.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "nn/dataset.hpp"
+#include "nn/lstm.hpp"
+#include "nn/metrics.hpp"
+
+namespace csdml::nn {
+
+/// Gradients share the parameter layout.
+using LstmGradients = LstmParams;
+
+/// Computes BCE loss for one sample and accumulates its gradients into
+/// `grads` (which must have the model's shape). Returns the loss.
+double backward(const LstmClassifier& model, const Sequence& sequence, int label,
+                LstmGradients& grads);
+
+/// Binary cross-entropy with probability clamping for numerical safety.
+double bce_loss(double probability, int label);
+
+class AdamOptimizer {
+ public:
+  struct Config {
+    double learning_rate{0.01};
+    double beta1{0.9};
+    double beta2{0.999};
+    double epsilon{1e-8};
+  };
+
+  AdamOptimizer(Config config, std::size_t parameter_count);
+
+  /// Applies one update from gradient values aligned with the parameter
+  /// pointer order. `scale` divides the gradients (batch averaging).
+  void step(const std::vector<double*>& params, const std::vector<double*>& grads,
+            double scale);
+
+  std::size_t updates_applied() const { return t_; }
+
+ private:
+  Config config_;
+  std::vector<double> m_;
+  std::vector<double> v_;
+  std::size_t t_{0};
+};
+
+struct TrainConfig {
+  std::size_t epochs{60};
+  std::size_t batch_size{32};
+  double learning_rate{0.01};
+  double gradient_clip_norm{5.0};  ///< global-norm clip; <= 0 disables
+  std::size_t evaluate_every{1};   ///< epochs between test evaluations
+  std::uint64_t shuffle_seed{17};
+};
+
+struct EpochRecord {
+  std::size_t epoch{0};
+  double mean_train_loss{0.0};
+  double test_accuracy{0.0};
+  ConfusionMatrix test_confusion;
+};
+
+struct TrainResult {
+  std::vector<EpochRecord> history;   ///< one per evaluated epoch (Fig. 4 data)
+  double best_test_accuracy{0.0};
+  std::size_t best_epoch{0};
+  ConfusionMatrix best_confusion;     ///< metrics at the best epoch
+};
+
+/// Evaluates the model over a dataset at threshold 0.5.
+ConfusionMatrix evaluate(const LstmClassifier& model, const SequenceDataset& dataset);
+
+/// Runs the full training loop, evaluating on `test` per the config.
+/// `progress` (optional) is invoked after every evaluated epoch.
+TrainResult train(LstmClassifier& model, const SequenceDataset& train_set,
+                  const SequenceDataset& test_set, const TrainConfig& config,
+                  const std::function<void(const EpochRecord&)>& progress = {});
+
+}  // namespace csdml::nn

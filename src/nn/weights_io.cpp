@@ -1,0 +1,218 @@
+#include "nn/weights_io.hpp"
+
+#include <array>
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+#include <string>
+
+#include "common/error.hpp"
+
+namespace csdml::nn {
+namespace {
+
+constexpr const char* kMagic = "csdml-weights";
+constexpr const char* kVersion = "v1";
+
+void write_values(std::ostream& out, const double* values, std::size_t count) {
+  for (std::size_t i = 0; i < count; ++i) {
+    out << (i ? " " : "") << values[i];
+  }
+  out << '\n';
+}
+
+std::string expect_token(std::istream& in, const char* what) {
+  std::string token;
+  if (!(in >> token)) throw ParseError(std::string("weight file truncated at ") + what);
+  return token;
+}
+
+void expect_keyword(std::istream& in, const std::string& keyword) {
+  const std::string token = expect_token(in, keyword.c_str());
+  if (token != keyword) {
+    throw ParseError("weight file: expected '" + keyword + "', got '" + token + "'");
+  }
+}
+
+double read_value(std::istream& in, const char* what) {
+  double value = 0.0;
+  if (!(in >> value)) throw ParseError(std::string("weight file: bad number in ") + what);
+  return value;
+}
+
+void read_values(std::istream& in, double* values, std::size_t count,
+                 const char* what) {
+  for (std::size_t i = 0; i < count; ++i) values[i] = read_value(in, what);
+}
+
+}  // namespace
+
+void save_weights(std::ostream& out, const LstmConfig& config,
+                  const LstmParams& params) {
+  out << std::setprecision(17);
+  out << kMagic << ' ' << kVersion << '\n';
+  out << "activation "
+      << (config.activation == CellActivation::Softsign ? "softsign" : "tanh")
+      << '\n';
+  out << "vocab " << config.vocab_size << '\n';
+  out << "embed " << config.embed_dim << '\n';
+  out << "hidden " << config.hidden_dim << '\n';
+
+  out << "embedding\n";
+  write_values(out, params.embedding.data(), params.embedding.size());
+  for (std::size_t g = 0; g < kNumGates; ++g) {
+    out << "kernel " << kGateNames[g] << '\n';
+    write_values(out, params.w_x[g].data(), params.w_x[g].size());
+    out << "recurrent " << kGateNames[g] << '\n';
+    write_values(out, params.w_h[g].data(), params.w_h[g].size());
+    out << "bias " << kGateNames[g] << '\n';
+    write_values(out, params.bias[g].data(), params.bias[g].size());
+  }
+  out << "dense\n";
+  write_values(out, params.dense_w.data(), params.dense_w.size());
+  out << "dense_bias\n" << params.dense_b << '\n';
+}
+
+void save_weights_file(const std::string& path, const LstmConfig& config,
+                       const LstmParams& params) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw ParseError("cannot open weight file for writing: " + path);
+  save_weights(out, config, params);
+}
+
+ModelSnapshot load_weights(std::istream& in) {
+  expect_keyword(in, kMagic);
+  const std::string version = expect_token(in, "version");
+  if (version != kVersion) throw ParseError("unsupported weight file version " + version);
+
+  LstmConfig config;
+  expect_keyword(in, "activation");
+  const std::string act = expect_token(in, "activation value");
+  if (act == "softsign") config.activation = CellActivation::Softsign;
+  else if (act == "tanh") config.activation = CellActivation::Tanh;
+  else throw ParseError("unknown activation '" + act + "'");
+
+  expect_keyword(in, "vocab");
+  config.vocab_size = static_cast<TokenId>(read_value(in, "vocab"));
+  expect_keyword(in, "embed");
+  config.embed_dim = static_cast<std::size_t>(read_value(in, "embed"));
+  expect_keyword(in, "hidden");
+  config.hidden_dim = static_cast<std::size_t>(read_value(in, "hidden"));
+  CSDML_REQUIRE(config.vocab_size > 0 && config.embed_dim > 0 && config.hidden_dim > 0,
+                "weight file: invalid dimensions");
+
+  LstmParams params = LstmParams::zeros(config);
+  expect_keyword(in, "embedding");
+  read_values(in, params.embedding.data(), params.embedding.size(), "embedding");
+  for (std::size_t g = 0; g < kNumGates; ++g) {
+    expect_keyword(in, "kernel");
+    expect_keyword(in, kGateNames[g]);
+    read_values(in, params.w_x[g].data(), params.w_x[g].size(), "kernel");
+    expect_keyword(in, "recurrent");
+    expect_keyword(in, kGateNames[g]);
+    read_values(in, params.w_h[g].data(), params.w_h[g].size(), "recurrent");
+    expect_keyword(in, "bias");
+    expect_keyword(in, kGateNames[g]);
+    read_values(in, params.bias[g].data(), params.bias[g].size(), "bias");
+  }
+  expect_keyword(in, "dense");
+  read_values(in, params.dense_w.data(), params.dense_w.size(), "dense");
+  expect_keyword(in, "dense_bias");
+  params.dense_b = read_value(in, "dense_bias");
+
+  return ModelSnapshot{config, std::move(params)};
+}
+
+ModelSnapshot load_weights_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw ParseError("cannot open weight file: " + path);
+  return load_weights(in);
+}
+
+namespace {
+constexpr const char* kGruMagic = "csdml-gru-weights";
+constexpr std::array<const char*, kNumGruGates> kGruGateNames{
+    "update", "reset", "candidate"};
+}  // namespace
+
+void save_gru_weights(std::ostream& out, const GruConfig& config,
+                      const GruParams& params) {
+  out << std::setprecision(17);
+  out << kGruMagic << ' ' << kVersion << '\n';
+  out << "activation "
+      << (config.activation == CellActivation::Softsign ? "softsign" : "tanh")
+      << '\n';
+  out << "vocab " << config.vocab_size << '\n';
+  out << "embed " << config.embed_dim << '\n';
+  out << "hidden " << config.hidden_dim << '\n';
+  out << "embedding\n";
+  write_values(out, params.embedding.data(), params.embedding.size());
+  for (std::size_t g = 0; g < kNumGruGates; ++g) {
+    out << "kernel " << kGruGateNames[g] << '\n';
+    write_values(out, params.w_x[g].data(), params.w_x[g].size());
+    out << "recurrent " << kGruGateNames[g] << '\n';
+    write_values(out, params.w_h[g].data(), params.w_h[g].size());
+    out << "bias " << kGruGateNames[g] << '\n';
+    write_values(out, params.bias[g].data(), params.bias[g].size());
+  }
+  out << "dense\n";
+  write_values(out, params.dense_w.data(), params.dense_w.size());
+  out << "dense_bias\n" << params.dense_b << '\n';
+}
+
+void save_gru_weights_file(const std::string& path, const GruConfig& config,
+                           const GruParams& params) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw ParseError("cannot open weight file for writing: " + path);
+  save_gru_weights(out, config, params);
+}
+
+GruModelSnapshot load_gru_weights(std::istream& in) {
+  expect_keyword(in, kGruMagic);
+  const std::string version = expect_token(in, "version");
+  if (version != kVersion) throw ParseError("unsupported weight file version " + version);
+
+  GruConfig config;
+  expect_keyword(in, "activation");
+  const std::string act = expect_token(in, "activation value");
+  if (act == "softsign") config.activation = CellActivation::Softsign;
+  else if (act == "tanh") config.activation = CellActivation::Tanh;
+  else throw ParseError("unknown activation '" + act + "'");
+
+  expect_keyword(in, "vocab");
+  config.vocab_size = static_cast<TokenId>(read_value(in, "vocab"));
+  expect_keyword(in, "embed");
+  config.embed_dim = static_cast<std::size_t>(read_value(in, "embed"));
+  expect_keyword(in, "hidden");
+  config.hidden_dim = static_cast<std::size_t>(read_value(in, "hidden"));
+  CSDML_REQUIRE(config.vocab_size > 0 && config.embed_dim > 0 && config.hidden_dim > 0,
+                "weight file: invalid dimensions");
+
+  GruParams params = GruParams::zeros(config);
+  expect_keyword(in, "embedding");
+  read_values(in, params.embedding.data(), params.embedding.size(), "embedding");
+  for (std::size_t g = 0; g < kNumGruGates; ++g) {
+    expect_keyword(in, "kernel");
+    expect_keyword(in, kGruGateNames[g]);
+    read_values(in, params.w_x[g].data(), params.w_x[g].size(), "kernel");
+    expect_keyword(in, "recurrent");
+    expect_keyword(in, kGruGateNames[g]);
+    read_values(in, params.w_h[g].data(), params.w_h[g].size(), "recurrent");
+    expect_keyword(in, "bias");
+    expect_keyword(in, kGruGateNames[g]);
+    read_values(in, params.bias[g].data(), params.bias[g].size(), "bias");
+  }
+  expect_keyword(in, "dense");
+  read_values(in, params.dense_w.data(), params.dense_w.size(), "dense");
+  expect_keyword(in, "dense_bias");
+  params.dense_b = read_value(in, "dense_bias");
+  return GruModelSnapshot{config, std::move(params)};
+}
+
+GruModelSnapshot load_gru_weights_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw ParseError("cannot open weight file: " + path);
+  return load_gru_weights(in);
+}
+
+}  // namespace csdml::nn

@@ -1,0 +1,248 @@
+#include "ransomware/api_vocab.hpp"
+
+#include <array>
+#include <unordered_map>
+
+#include "common/error.hpp"
+
+namespace csdml::ransomware {
+
+const char* category_name(ApiCategory category) {
+  switch (category) {
+    case ApiCategory::FileSystem: return "filesystem";
+    case ApiCategory::NtFile: return "ntfile";
+    case ApiCategory::Registry: return "registry";
+    case ApiCategory::Process: return "process";
+    case ApiCategory::Thread: return "thread";
+    case ApiCategory::Memory: return "memory";
+    case ApiCategory::Library: return "library";
+    case ApiCategory::Crypto: return "crypto";
+    case ApiCategory::Network: return "network";
+    case ApiCategory::Propagation: return "propagation";
+    case ApiCategory::Service: return "service";
+    case ApiCategory::Security: return "security";
+    case ApiCategory::SystemInfo: return "systeminfo";
+    case ApiCategory::Gui: return "gui";
+    case ApiCategory::Sync: return "sync";
+    case ApiCategory::Com: return "com";
+    case ApiCategory::Misc: return "misc";
+  }
+  throw PreconditionError("unknown API category");
+}
+
+namespace {
+
+using C = ApiCategory;
+
+// 278 entries; a unit test pins the count and uniqueness.
+constexpr std::array<ApiCall, 278> kCalls{{
+    // --- FileSystem (38) ---
+    {"CreateFileW", C::FileSystem}, {"CreateFileA", C::FileSystem},
+    {"ReadFile", C::FileSystem},
+    {"WriteFile", C::FileSystem}, {"WriteFileEx", C::FileSystem},
+    {"CloseHandle", C::FileSystem}, {"DeleteFileW", C::FileSystem},
+    {"DeleteFileA", C::FileSystem}, {"CopyFileW", C::FileSystem},
+    {"MoveFileW", C::FileSystem}, {"MoveFileExW", C::FileSystem},
+    {"ReplaceFileW", C::FileSystem}, {"GetFileSize", C::FileSystem},
+    {"GetFileSizeEx", C::FileSystem}, {"SetFilePointer", C::FileSystem},
+    {"SetFilePointerEx", C::FileSystem}, {"SetEndOfFile", C::FileSystem},
+    {"FlushFileBuffers", C::FileSystem}, {"FindFirstFileW", C::FileSystem},
+    {"FindFirstFileExW", C::FileSystem}, {"FindNextFileW", C::FileSystem},
+    {"FindClose", C::FileSystem}, {"GetFileAttributesW", C::FileSystem},
+    {"SetFileAttributesW", C::FileSystem},
+    {"GetFileInformationByHandle", C::FileSystem}, {"GetFileType", C::FileSystem},
+    {"CreateDirectoryW", C::FileSystem}, {"RemoveDirectoryW", C::FileSystem},
+    {"GetTempPathW", C::FileSystem}, {"GetTempFileNameW", C::FileSystem},
+    {"GetFullPathNameW", C::FileSystem}, {"GetLongPathNameW", C::FileSystem},
+    {"SearchPathW", C::FileSystem}, {"LockFile", C::FileSystem},
+    {"UnlockFile", C::FileSystem}, {"DeviceIoControl", C::FileSystem},
+    {"GetDiskFreeSpaceExW", C::FileSystem}, {"GetDriveTypeW", C::FileSystem},
+    // --- NtFile (10) ---
+    {"NtCreateFile", C::NtFile}, {"NtOpenFile", C::NtFile},
+    {"NtReadFile", C::NtFile}, {"NtWriteFile", C::NtFile},
+    {"NtClose", C::NtFile}, {"NtQueryInformationFile", C::NtFile},
+    {"NtSetInformationFile", C::NtFile}, {"NtQueryDirectoryFile", C::NtFile},
+    {"NtDeleteFile", C::NtFile}, {"NtFlushBuffersFile", C::NtFile},
+    // --- Registry (20) ---
+    {"RegOpenKeyExW", C::Registry}, {"RegOpenKeyExA", C::Registry},
+    {"RegCreateKeyExW", C::Registry}, {"RegCloseKey", C::Registry},
+    {"RegQueryValueExW", C::Registry}, {"RegQueryValueExA", C::Registry},
+    {"RegSetValueExW", C::Registry}, {"RegSetValueExA", C::Registry},
+    {"RegDeleteValueW", C::Registry}, {"RegDeleteKeyW", C::Registry},
+    {"RegEnumKeyExW", C::Registry}, {"RegEnumValueW", C::Registry},
+    {"RegQueryInfoKeyW", C::Registry}, {"RegFlushKey", C::Registry},
+    {"NtOpenKey", C::Registry}, {"NtCreateKey", C::Registry},
+    {"NtQueryValueKey", C::Registry}, {"NtSetValueKey", C::Registry},
+    {"NtDeleteKey", C::Registry}, {"NtEnumerateKey", C::Registry},
+    // --- Process (24) ---
+    {"CreateProcessW", C::Process}, {"CreateProcessA", C::Process},
+    {"CreateProcessInternalW", C::Process}, {"OpenProcess", C::Process},
+    {"TerminateProcess", C::Process}, {"ExitProcess", C::Process},
+    {"GetCurrentProcess", C::Process}, {"GetCurrentProcessId", C::Process},
+    {"GetExitCodeProcess", C::Process}, {"Process32FirstW", C::Process},
+    {"Process32NextW", C::Process}, {"CreateToolhelp32Snapshot", C::Process},
+    {"ShellExecuteW", C::Process}, {"ShellExecuteExW", C::Process},
+    {"WinExec", C::Process}, {"NtCreateUserProcess", C::Process},
+    {"NtOpenProcess", C::Process}, {"NtTerminateProcess", C::Process},
+    {"NtQueryInformationProcess", C::Process}, {"NtSuspendProcess", C::Process},
+    {"NtResumeProcess", C::Process}, {"EnumProcesses", C::Process},
+    {"IsWow64Process", C::Process}, {"GetProcessHeap", C::Process},
+    // --- Thread (14) ---
+    {"CreateThread", C::Thread}, {"CreateRemoteThread", C::Thread},
+    {"OpenThread", C::Thread}, {"SuspendThread", C::Thread},
+    {"ResumeThread", C::Thread}, {"TerminateThread", C::Thread},
+    {"GetThreadContext", C::Thread}, {"SetThreadContext", C::Thread},
+    {"ExitThread", C::Thread}, {"Thread32First", C::Thread},
+    {"Thread32Next", C::Thread}, {"NtCreateThreadEx", C::Thread},
+    {"NtOpenThread", C::Thread}, {"QueueUserAPC", C::Thread},
+    // --- Memory (18) ---
+    {"VirtualAlloc", C::Memory}, {"VirtualAllocEx", C::Memory},
+    {"VirtualFree", C::Memory}, {"VirtualProtect", C::Memory},
+    {"VirtualProtectEx", C::Memory}, {"VirtualQuery", C::Memory},
+    {"ReadProcessMemory", C::Memory}, {"WriteProcessMemory", C::Memory},
+    {"HeapAlloc", C::Memory}, {"HeapFree", C::Memory},
+    {"HeapCreate", C::Memory}, {"HeapReAlloc", C::Memory},
+    {"GlobalAlloc", C::Memory}, {"GlobalFree", C::Memory},
+    {"LocalAlloc", C::Memory}, {"MapViewOfFile", C::Memory},
+    {"UnmapViewOfFile", C::Memory}, {"CreateFileMappingW", C::Memory},
+    // --- Library (12) ---
+    {"LoadLibraryW", C::Library}, {"LoadLibraryA", C::Library},
+    {"LoadLibraryExW", C::Library}, {"GetProcAddress", C::Library},
+    {"FreeLibrary", C::Library}, {"GetModuleHandleW", C::Library},
+    {"GetModuleHandleA", C::Library}, {"GetModuleFileNameW", C::Library},
+    {"LdrLoadDll", C::Library}, {"LdrGetProcedureAddress", C::Library},
+    {"LdrUnloadDll", C::Library}, {"DisableThreadLibraryCalls", C::Library},
+    // --- Crypto (20) ---
+    {"CryptAcquireContextW", C::Crypto}, {"CryptReleaseContext", C::Crypto},
+    {"CryptGenKey", C::Crypto}, {"CryptDeriveKey", C::Crypto},
+    {"CryptDestroyKey", C::Crypto}, {"CryptEncrypt", C::Crypto},
+    {"CryptDecrypt", C::Crypto}, {"CryptCreateHash", C::Crypto},
+    {"CryptHashData", C::Crypto}, {"CryptGetHashParam", C::Crypto},
+    {"CryptDestroyHash", C::Crypto}, {"CryptGenRandom", C::Crypto},
+    {"CryptImportKey", C::Crypto}, {"CryptExportKey", C::Crypto},
+    {"BCryptOpenAlgorithmProvider", C::Crypto},
+    {"BCryptGenerateSymmetricKey", C::Crypto}, {"BCryptEncrypt", C::Crypto},
+    {"BCryptDecrypt", C::Crypto}, {"BCryptCloseAlgorithmProvider", C::Crypto},
+    {"BCryptGenRandom", C::Crypto},
+    // --- Network (28) ---
+    {"socket", C::Network}, {"connect", C::Network}, {"send", C::Network},
+    {"recv", C::Network}, {"sendto", C::Network}, {"recvfrom", C::Network},
+    {"closesocket", C::Network}, {"bind", C::Network}, {"listen", C::Network},
+    {"accept", C::Network}, {"gethostbyname", C::Network},
+    {"getaddrinfo", C::Network}, {"WSAStartup", C::Network},
+    {"WSACleanup", C::Network}, {"WSASocketW", C::Network},
+    {"WSASend", C::Network}, {"WSARecv", C::Network},
+    {"InternetOpenW", C::Network}, {"InternetOpenUrlW", C::Network},
+    {"InternetConnectW", C::Network}, {"InternetReadFile", C::Network},
+    {"InternetCloseHandle", C::Network}, {"HttpOpenRequestW", C::Network},
+    {"HttpSendRequestW", C::Network}, {"HttpQueryInfoW", C::Network},
+    {"WinHttpOpen", C::Network}, {"WinHttpConnect", C::Network},
+    {"WinHttpSendRequest", C::Network},
+    // --- Propagation (8) ---
+    {"NetShareEnum", C::Propagation}, {"NetServerEnum", C::Propagation},
+    {"NetUseAdd", C::Propagation}, {"WNetOpenEnumW", C::Propagation},
+    {"WNetEnumResourceW", C::Propagation}, {"WNetAddConnection2W", C::Propagation},
+    {"URLDownloadToFileW", C::Propagation}, {"DnsQuery_W", C::Propagation},
+    // --- Service (11) ---
+    {"OpenSCManagerW", C::Service}, {"CreateServiceW", C::Service},
+    {"OpenServiceW", C::Service}, {"StartServiceW", C::Service},
+    {"ControlService", C::Service}, {"DeleteService", C::Service},
+    {"CloseServiceHandle", C::Service}, {"QueryServiceStatusEx", C::Service},
+    {"ChangeServiceConfigW", C::Service}, {"EnumServicesStatusExW", C::Service},
+    {"StartServiceCtrlDispatcherW", C::Service},
+    // --- Security (11) ---
+    {"OpenProcessToken", C::Security}, {"OpenThreadToken", C::Security},
+    {"AdjustTokenPrivileges", C::Security}, {"LookupPrivilegeValueW", C::Security},
+    {"GetTokenInformation", C::Security}, {"DuplicateTokenEx", C::Security},
+    {"ImpersonateLoggedOnUser", C::Security}, {"RevertToSelf", C::Security},
+    {"SetSecurityDescriptorDacl", C::Security},
+    {"InitializeSecurityDescriptor", C::Security}, {"GetUserNameW", C::Security},
+    // --- SystemInfo (18) ---
+    {"GetSystemInfo", C::SystemInfo}, {"GetNativeSystemInfo", C::SystemInfo},
+    {"GetVersionExW", C::SystemInfo}, {"GetComputerNameW", C::SystemInfo},
+    {"GetSystemTime", C::SystemInfo}, {"GetLocalTime", C::SystemInfo},
+    {"GetTickCount", C::SystemInfo}, {"GetTickCount64", C::SystemInfo},
+    {"QueryPerformanceCounter", C::SystemInfo},
+    {"QueryPerformanceFrequency", C::SystemInfo},
+    {"GetSystemTimeAsFileTime", C::SystemInfo},
+    {"GlobalMemoryStatusEx", C::SystemInfo}, {"GetLogicalDrives", C::SystemInfo},
+    {"GetVolumeInformationW", C::SystemInfo},
+    {"GetWindowsDirectoryW", C::SystemInfo}, {"GetSystemDirectoryW", C::SystemInfo},
+    {"GetEnvironmentVariableW", C::SystemInfo}, {"GetCommandLineW", C::SystemInfo},
+    // --- Gui (20) ---
+    {"CreateWindowExW", C::Gui}, {"DestroyWindow", C::Gui},
+    {"ShowWindow", C::Gui}, {"UpdateWindow", C::Gui}, {"FindWindowW", C::Gui},
+    {"FindWindowExW", C::Gui}, {"GetForegroundWindow", C::Gui},
+    {"SetForegroundWindow", C::Gui}, {"GetMessageW", C::Gui},
+    {"PeekMessageW", C::Gui}, {"DispatchMessageW", C::Gui},
+    {"TranslateMessage", C::Gui}, {"PostMessageW", C::Gui},
+    {"SendMessageW", C::Gui}, {"MessageBoxW", C::Gui},
+    {"SetWindowTextW", C::Gui}, {"GetWindowTextW", C::Gui},
+    {"EnumWindows", C::Gui}, {"GetCursorPos", C::Gui}, {"SetTimer", C::Gui},
+    // --- Sync (11) ---
+    {"CreateMutexW", C::Sync}, {"OpenMutexW", C::Sync},
+    {"ReleaseMutex", C::Sync}, {"CreateEventW", C::Sync}, {"SetEvent", C::Sync},
+    {"ResetEvent", C::Sync}, {"WaitForSingleObject", C::Sync},
+    {"WaitForMultipleObjects", C::Sync}, {"EnterCriticalSection", C::Sync},
+    {"LeaveCriticalSection", C::Sync}, {"InitializeCriticalSection", C::Sync},
+    // --- Com (12) ---
+    {"CoInitialize", C::Com}, {"CoInitializeEx", C::Com},
+    {"CoUninitialize", C::Com}, {"CoCreateInstance", C::Com},
+    {"CoTaskMemAlloc", C::Com}, {"CoTaskMemFree", C::Com},
+    {"SHGetFolderPathW", C::Com}, {"SHGetKnownFolderPath", C::Com},
+    {"SHCreateDirectoryExW", C::Com}, {"SHFileOperationW", C::Com},
+    {"SHGetSpecialFolderPathW", C::Com}, {"Shell_NotifyIconW", C::Com},
+    // --- Misc (3) ---
+    {"Sleep", C::Misc}, {"IsDebuggerPresent", C::Misc},
+    {"GetLastError", C::Misc},
+}};
+
+}  // namespace
+
+ApiVocabulary::ApiVocabulary()
+    : calls_(kCalls.begin(), kCalls.end()),
+      by_category_(static_cast<std::size_t>(C::Misc) + 1) {
+  for (std::size_t i = 0; i < calls_.size(); ++i) {
+    by_category_[static_cast<std::size_t>(calls_[i].category)].push_back(
+        static_cast<nn::TokenId>(i));
+  }
+}
+
+const ApiVocabulary& ApiVocabulary::instance() {
+  static const ApiVocabulary vocab;
+  return vocab;
+}
+
+const ApiCall& ApiVocabulary::call(nn::TokenId token) const {
+  CSDML_REQUIRE(token >= 0 && static_cast<std::size_t>(token) < calls_.size(),
+                "token out of range");
+  return calls_[static_cast<std::size_t>(token)];
+}
+
+std::optional<nn::TokenId> ApiVocabulary::token_of(std::string_view name) const {
+  static const std::unordered_map<std::string_view, nn::TokenId> index = [] {
+    std::unordered_map<std::string_view, nn::TokenId> map;
+    const auto& vocab = ApiVocabulary::instance();
+    for (std::size_t i = 0; i < vocab.size(); ++i) {
+      map.emplace(vocab.call(static_cast<nn::TokenId>(i)).name,
+                  static_cast<nn::TokenId>(i));
+    }
+    return map;
+  }();
+  const auto it = index.find(name);
+  if (it == index.end()) return std::nullopt;
+  return it->second;
+}
+
+nn::TokenId ApiVocabulary::require(std::string_view name) const {
+  const auto token = token_of(name);
+  CSDML_REQUIRE(token.has_value(), "unknown API call: " + std::string(name));
+  return *token;
+}
+
+const std::vector<nn::TokenId>& ApiVocabulary::category_tokens(
+    ApiCategory category) const {
+  return by_category_[static_cast<std::size_t>(category)];
+}
+
+}  // namespace csdml::ransomware

@@ -1,0 +1,69 @@
+// The Windows API-call vocabulary observed by the Cuckoo-style sandbox.
+//
+// Exactly 278 calls: with the paper's embedding dimension of 8 this yields
+// the 2,224 embedding parameters the paper reports (278 x 8 = 2,224), so
+// the reproduced model is parameter-for-parameter the paper's model.
+// Calls are grouped into behavioural categories that the trace motifs
+// draw from.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string_view>
+#include <vector>
+
+#include "nn/dataset.hpp"
+
+namespace csdml::ransomware {
+
+enum class ApiCategory : std::uint8_t {
+  FileSystem,
+  NtFile,
+  Registry,
+  Process,
+  Thread,
+  Memory,
+  Library,
+  Crypto,
+  Network,
+  Propagation,
+  Service,
+  Security,
+  SystemInfo,
+  Gui,
+  Sync,
+  Com,
+  Misc,
+};
+
+const char* category_name(ApiCategory category);
+
+struct ApiCall {
+  std::string_view name;
+  ApiCategory category;
+};
+
+/// The full, ordered vocabulary. A call's index is its TokenId.
+class ApiVocabulary {
+ public:
+  /// The singleton built-in vocabulary (278 calls).
+  static const ApiVocabulary& instance();
+
+  std::size_t size() const { return calls_.size(); }
+  const ApiCall& call(nn::TokenId token) const;
+
+  /// Token for an exact API name; nullopt when unknown.
+  std::optional<nn::TokenId> token_of(std::string_view name) const;
+  /// Token for a name that must exist (throws PreconditionError otherwise).
+  nn::TokenId require(std::string_view name) const;
+
+  /// All tokens in one category, in vocabulary order.
+  const std::vector<nn::TokenId>& category_tokens(ApiCategory category) const;
+
+ private:
+  ApiVocabulary();
+  std::vector<ApiCall> calls_;
+  std::vector<std::vector<nn::TokenId>> by_category_;
+};
+
+}  // namespace csdml::ransomware

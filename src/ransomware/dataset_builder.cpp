@@ -1,0 +1,114 @@
+#include "ransomware/dataset_builder.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace csdml::ransomware {
+
+std::vector<nn::Sequence> sliding_windows(const std::vector<nn::TokenId>& trace,
+                                          std::size_t window, std::size_t stride) {
+  CSDML_REQUIRE(window > 0 && stride > 0, "window/stride must be positive");
+  CSDML_REQUIRE(trace.size() >= window, "trace shorter than the window");
+  std::vector<nn::Sequence> out;
+  for (std::size_t start = 0; start + window <= trace.size(); start += stride) {
+    out.emplace_back(trace.begin() + static_cast<std::ptrdiff_t>(start),
+                     trace.begin() + static_cast<std::ptrdiff_t>(start + window));
+  }
+  return out;
+}
+
+DatasetSpec DatasetSpec::paper() { return DatasetSpec{}; }
+
+DatasetSpec DatasetSpec::small() {
+  DatasetSpec spec;
+  spec.ransomware_windows = 1'334;
+  spec.benign_windows = 1'566;
+  return spec;
+}
+
+namespace {
+
+/// Splits `total` into `parts` near-equal positive shares.
+std::vector<std::size_t> distribute(std::size_t total, std::size_t parts) {
+  CSDML_REQUIRE(parts > 0, "cannot distribute over zero parts");
+  std::vector<std::size_t> shares(parts, total / parts);
+  for (std::size_t i = 0; i < total % parts; ++i) ++shares[i];
+  return shares;
+}
+
+/// Trace length needed for `count` windows of `window` at `stride`.
+std::size_t required_length(std::size_t count, std::size_t window,
+                            std::size_t stride) {
+  CSDML_REQUIRE(count > 0, "need at least one window");
+  return window + stride * (count - 1);
+}
+
+}  // namespace
+
+BuiltDataset build_dataset(const DatasetSpec& spec) {
+  CSDML_REQUIRE(spec.ransomware_windows > 0 && spec.benign_windows > 0,
+                "need both classes");
+  SandboxConfig sandbox_config;
+  sandbox_config.seed = spec.seed;
+  const SandboxTraceGenerator sandbox(sandbox_config);
+
+  BuiltDataset built;
+
+  // --- ransomware windows, spread over every variant of every family ---
+  const auto& families = ransomware_families();
+  std::size_t variant_total = 0;
+  for (const auto& family : families) variant_total += family.variants;
+  const std::vector<std::size_t> variant_share =
+      distribute(spec.ransomware_windows, variant_total);
+
+  std::size_t variant_index = 0;
+  for (const auto& family : families) {
+    FamilyStats stats;
+    stats.family = family.name;
+    stats.variants = family.variants;
+    stats.encrypts = family.encrypts;
+    stats.self_propagates = family.self_propagates;
+    for (std::uint32_t v = 0; v < family.variants; ++v, ++variant_index) {
+      const std::size_t want = variant_share[variant_index];
+      if (want == 0) continue;
+      const std::size_t length =
+          required_length(want, spec.window_length, spec.stride);
+      const auto trace = sandbox.ransomware_trace(family, v, length);
+      auto windows = sliding_windows(trace, spec.window_length, spec.stride);
+      windows.resize(want);  // trace may cover a few extra strides
+      for (auto& w : windows) {
+        built.data.sequences.push_back(std::move(w));
+        built.data.labels.push_back(1);
+      }
+      stats.windows += want;
+    }
+    built.family_stats.push_back(std::move(stats));
+  }
+
+  // --- benign windows over apps + manual sessions ---
+  const auto& benign = benign_profiles();
+  built.benign_sources = benign.size();
+  const std::vector<std::size_t> benign_share =
+      distribute(spec.benign_windows, benign.size());
+  for (std::size_t p = 0; p < benign.size(); ++p) {
+    const std::size_t want = benign_share[p];
+    if (want == 0) continue;
+    const std::size_t length = required_length(want, spec.window_length, spec.stride);
+    const auto trace = sandbox.benign_trace(benign[p], 0, length);
+    auto windows = sliding_windows(trace, spec.window_length, spec.stride);
+    windows.resize(want);
+    for (auto& w : windows) {
+      built.data.sequences.push_back(std::move(w));
+      built.data.labels.push_back(0);
+    }
+  }
+
+  // "The final benign and ransomware API call sequences were then merged
+  // and shuffled."
+  Rng shuffle_rng = Rng(spec.seed).fork("dataset-shuffle");
+  built.data.shuffle(shuffle_rng);
+  return built;
+}
+
+}  // namespace csdml::ransomware

@@ -1,0 +1,285 @@
+#include "ransomware/families.hpp"
+
+namespace csdml::ransomware {
+
+namespace {
+
+using MK = MotifKind;
+
+/// Shared tail of every encrypting family: discovery + encryption sweeps.
+/// `sweeps` controls how dominant the encryption phase is in the trace.
+void append_encryption_sweeps(std::vector<Phase>& script, std::uint32_t sweeps) {
+  script.push_back({MK::FileDiscovery, 1, 2});
+  script.push_back({MK::EncryptionLoop, sweeps, sweeps + 10});
+}
+
+std::vector<FamilyProfile> build_families() {
+  std::vector<FamilyProfile> families;
+
+  {  // Ryuk: targeted, service-killing, propagates over SMB, no C2 chatter.
+    FamilyProfile f{.name = "Ryuk", .variants = 5, .encrypts = true,
+                    .self_propagates = true, .script = {}};
+    f.script = {{MK::DropperStartup, 1, 1}, {MK::AntiAnalysis, 1, 2},
+                {MK::Recon, 1, 1},          {MK::ServiceTampering, 2, 4},
+                {MK::ShadowCopyWipe, 1, 2}, {MK::KeyGeneration, 1, 1}};
+    append_encryption_sweeps(f.script, 18);
+    f.script.push_back({MK::SmbPropagation, 1, 3});
+    f.script.push_back({MK::RansomNote, 1, 1});
+    families.push_back(std::move(f));
+  }
+  {  // Lockbit: fast, heavily threaded encryption, wormable.
+    FamilyProfile f{.name = "Lockbit", .variants = 6, .encrypts = true,
+                    .self_propagates = true, .script = {}};
+    f.script = {{MK::DropperStartup, 1, 1}, {MK::AntiAnalysis, 1, 1},
+                {MK::Recon, 1, 1},          {MK::KeyGeneration, 1, 1},
+                {MK::ShadowCopyWipe, 1, 1}};
+    append_encryption_sweeps(f.script, 24);
+    f.script.push_back({MK::SmbPropagation, 2, 4});
+    f.script.push_back({MK::RegistryPersistence, 1, 1});
+    f.script.push_back({MK::RansomNote, 1, 1});
+    families.push_back(std::move(f));
+  }
+  {  // Teslacrypt: game-file focused, C2-chatty, persistent.
+    FamilyProfile f{.name = "Teslacrypt", .variants = 10, .encrypts = true,
+                    .self_propagates = false, .script = {}};
+    f.script = {{MK::DropperStartup, 1, 1}, {MK::Recon, 1, 1},
+                {MK::C2Beacon, 1, 2},       {MK::KeyGeneration, 1, 1},
+                {MK::RegistryPersistence, 1, 2}};
+    append_encryption_sweeps(f.script, 14);
+    f.script.push_back({MK::C2Beacon, 1, 2});
+    f.script.push_back({MK::RansomNote, 1, 1});
+    families.push_back(std::move(f));
+  }
+  {  // Virlock: polymorphic file infector / locker hybrid, GUI heavy.
+    FamilyProfile f{.name = "Virlock", .variants = 11, .encrypts = true,
+                    .self_propagates = false, .script = {}};
+    f.script = {{MK::DropperStartup, 1, 2}, {MK::AntiAnalysis, 1, 2},
+                {MK::RegistryPersistence, 2, 3}, {MK::KeyGeneration, 1, 1}};
+    append_encryption_sweeps(f.script, 12);
+    f.script.push_back({MK::RansomNote, 1, 2});
+    f.script.push_back({MK::SelfDelete, 0, 1});
+    families.push_back(std::move(f));
+  }
+  {  // Cryptowall: staged payload, strong C2, shadow wipe.
+    FamilyProfile f{.name = "Cryptowall", .variants = 8, .encrypts = true,
+                    .self_propagates = false, .script = {}};
+    f.script = {{MK::DropperStartup, 1, 1}, {MK::AntiAnalysis, 1, 1},
+                {MK::C2Beacon, 2, 3},       {MK::KeyGeneration, 1, 1},
+                {MK::ShadowCopyWipe, 1, 1}};
+    append_encryption_sweeps(f.script, 16);
+    f.script.push_back({MK::C2Beacon, 1, 2});
+    f.script.push_back({MK::RansomNote, 1, 1});
+    f.script.push_back({MK::SelfDelete, 0, 1});
+    families.push_back(std::move(f));
+  }
+  {  // Cerber: offline-capable, config from registry, RaaS.
+    FamilyProfile f{.name = "Cerber", .variants = 9, .encrypts = true,
+                    .self_propagates = false, .script = {}};
+    f.script = {{MK::DropperStartup, 1, 1}, {MK::Recon, 1, 2},
+                {MK::RegistryPersistence, 1, 2}, {MK::KeyGeneration, 1, 1},
+                {MK::ShadowCopyWipe, 1, 1}};
+    append_encryption_sweeps(f.script, 16);
+    f.script.push_back({MK::RansomNote, 1, 1});
+    families.push_back(std::move(f));
+  }
+  {  // Wannacry: the EternalBlue worm — heavy propagation around encryption.
+    FamilyProfile f{.name = "Wannacry", .variants = 7, .encrypts = true,
+                    .self_propagates = true, .script = {}};
+    f.script = {{MK::DropperStartup, 1, 1}, {MK::C2Beacon, 1, 1},
+                {MK::SmbPropagation, 2, 4}, {MK::KeyGeneration, 1, 1},
+                {MK::ShadowCopyWipe, 1, 1}};
+    append_encryption_sweeps(f.script, 14);
+    f.script.push_back({MK::SmbPropagation, 2, 4});
+    f.script.push_back({MK::RansomNote, 1, 1});
+    families.push_back(std::move(f));
+  }
+  {  // Locky: macro-dropper origin, C2 key exchange.
+    FamilyProfile f{.name = "Locky", .variants = 6, .encrypts = true,
+                    .self_propagates = false, .script = {}};
+    f.script = {{MK::DropperStartup, 1, 1}, {MK::C2Beacon, 1, 2},
+                {MK::KeyGeneration, 1, 1},  {MK::ShadowCopyWipe, 1, 1}};
+    append_encryption_sweeps(f.script, 15);
+    f.script.push_back({MK::RansomNote, 1, 1});
+    f.script.push_back({MK::SelfDelete, 0, 1});
+    families.push_back(std::move(f));
+  }
+  {  // Chimera: threatened data publication; network-share aware.
+    FamilyProfile f{.name = "Chimera", .variants = 9, .encrypts = true,
+                    .self_propagates = false, .script = {}};
+    f.script = {{MK::DropperStartup, 1, 1}, {MK::Recon, 1, 1},
+                {MK::C2Beacon, 1, 1},       {MK::KeyGeneration, 1, 1}};
+    append_encryption_sweeps(f.script, 14);
+    f.script.push_back({MK::C2Beacon, 1, 1});
+    f.script.push_back({MK::RansomNote, 1, 1});
+    families.push_back(std::move(f));
+  }
+  {  // BadRabbit: drive-by dropper, SMB spread, service tampering, bootlocker-ish.
+    FamilyProfile f{.name = "BadRabbit", .variants = 5, .encrypts = true,
+                    .self_propagates = true, .script = {}};
+    f.script = {{MK::DropperStartup, 1, 1}, {MK::AntiAnalysis, 1, 1},
+                {MK::ServiceTampering, 1, 2}, {MK::KeyGeneration, 1, 1}};
+    append_encryption_sweeps(f.script, 14);
+    f.script.push_back({MK::SmbPropagation, 1, 3});
+    f.script.push_back({MK::RegistryPersistence, 1, 1});
+    f.script.push_back({MK::RansomNote, 1, 1});
+    families.push_back(std::move(f));
+  }
+  // Droppers masquerade as ordinary applications at launch, so every
+  // family's trace opens with a benign-looking startup phase — this is
+  // what makes the earliest sliding windows genuinely hard to label.
+  for (auto& family : families) {
+    const std::vector<Phase> masquerade = {{MK::AppStartup, 1, 1},
+                                           {MK::ConfigLoad, 1, 2},
+                                           {MK::UiIdle, 1, 3},
+                                           {MK::FileBrowse, 1, 2}};
+    family.script.insert(family.script.begin(), masquerade.begin(),
+                         masquerade.end());
+  }
+  return families;
+}
+
+std::vector<BenignProfile> build_benign() {
+  std::vector<BenignProfile> profiles;
+
+  struct AppSeed {
+    const char* name;
+    std::vector<Phase> script;
+  };
+
+  // 30 popular portable applications (archivers, editors, players,
+  // browsers, utilities — the Portable Freeware Collection's perennials).
+  const std::vector<AppSeed> apps = {
+      {"7-Zip", {{MK::AppStartup, 1, 1}, {MK::FileBrowse, 1, 2},
+                 {MK::ArchiveLoop, 6, 14}, {MK::InstallerChecksum, 0, 1},
+                 {MK::UiIdle, 2, 4}}},
+      {"Notepad++", {{MK::AppStartup, 1, 1}, {MK::ConfigLoad, 1, 2},
+                     {MK::DocumentOpen, 2, 6}, {MK::UiIdle, 3, 6},
+                     {MK::DocumentSave, 1, 4}, {MK::ClipboardLikeUse, 1, 3}}},
+      {"VLC", {{MK::AppStartup, 1, 1}, {MK::ConfigLoad, 1, 1},
+               {MK::MediaPlayback, 4, 10}, {MK::UiIdle, 2, 5}}},
+      {"SumatraPDF", {{MK::AppStartup, 1, 1}, {MK::DocumentOpen, 2, 5},
+                      {MK::UiIdle, 3, 8}, {MK::ConfigLoad, 1, 1}}},
+      {"KeePass", {{MK::AppStartup, 1, 1}, {MK::ConfigLoad, 1, 1},
+                   {MK::InstallerChecksum, 1, 2}, {MK::DocumentOpen, 1, 2},
+                   {MK::ClipboardLikeUse, 2, 5}, {MK::DocumentSave, 1, 2},
+                   {MK::UiIdle, 2, 4}}},
+      {"FirefoxPortable", {{MK::AppStartup, 1, 1}, {MK::ConfigLoad, 1, 2},
+                           {MK::WebRequest, 4, 10}, {MK::UiIdle, 3, 6},
+                           {MK::DocumentSave, 0, 2}, {MK::BackgroundSync, 1, 3}}},
+      {"ChromePortable", {{MK::AppStartup, 1, 1}, {MK::ConfigLoad, 1, 2},
+                          {MK::WebRequest, 4, 10}, {MK::UiIdle, 3, 6},
+                          {MK::BackgroundSync, 1, 3}}},
+      {"IrfanView", {{MK::AppStartup, 1, 1}, {MK::FileBrowse, 1, 3},
+                     {MK::DocumentOpen, 3, 8}, {MK::DocumentSave, 1, 3},
+                     {MK::UiIdle, 2, 4}}},
+      {"Everything", {{MK::AppStartup, 1, 1}, {MK::FileBrowse, 4, 10},
+                      {MK::UiIdle, 2, 5}, {MK::ConfigLoad, 1, 1}}},
+      {"Audacity", {{MK::AppStartup, 1, 1}, {MK::DocumentOpen, 1, 3},
+                    {MK::MediaPlayback, 3, 8}, {MK::DocumentSave, 1, 2},
+                    {MK::UiIdle, 2, 5}}},
+      {"GIMPPortable", {{MK::AppStartup, 1, 1}, {MK::ConfigLoad, 1, 2},
+                        {MK::DocumentOpen, 1, 3}, {MK::UiIdle, 4, 8},
+                        {MK::DocumentSave, 1, 3}}},
+      {"LibreOfficePortable", {{MK::AppStartup, 1, 1}, {MK::ConfigLoad, 1, 2},
+                               {MK::DocumentOpen, 1, 4}, {MK::UiIdle, 4, 8},
+                               {MK::DocumentSave, 2, 5},
+                               {MK::ClipboardLikeUse, 1, 3}}},
+      {"FileZilla", {{MK::AppStartup, 1, 1}, {MK::ConfigLoad, 1, 1},
+                     {MK::BackgroundSync, 3, 8}, {MK::DocumentSave, 1, 4},
+                     {MK::UiIdle, 2, 4}}},
+      {"PuTTY", {{MK::AppStartup, 1, 1}, {MK::ConfigLoad, 1, 1},
+                 {MK::BackgroundSync, 3, 8}, {MK::UiIdle, 2, 5}}},
+      {"WinDirStat", {{MK::AppStartup, 1, 1}, {MK::FileBrowse, 5, 12},
+                      {MK::UiIdle, 2, 4}}},
+      {"CPU-Z", {{MK::AppStartup, 1, 1}, {MK::ConfigLoad, 1, 1},
+                 {MK::UiIdle, 3, 6}}},
+      {"Rufus", {{MK::AppStartup, 1, 1}, {MK::FileBrowse, 1, 2},
+                 {MK::ArchiveLoop, 3, 8}, {MK::InstallerChecksum, 1, 2},
+                 {MK::UiIdle, 1, 3}}},
+      {"PaintDotNetPortable", {{MK::AppStartup, 1, 1}, {MK::DocumentOpen, 1, 3},
+                               {MK::UiIdle, 4, 8}, {MK::DocumentSave, 1, 3}}},
+      {"qBittorrent", {{MK::AppStartup, 1, 1}, {MK::ConfigLoad, 1, 1},
+                       {MK::WebRequest, 2, 5}, {MK::BackgroundSync, 4, 10},
+                       {MK::DocumentSave, 2, 6}, {MK::UiIdle, 1, 3}}},
+      {"Thunderbird", {{MK::AppStartup, 1, 1}, {MK::ConfigLoad, 1, 2},
+                       {MK::WebRequest, 2, 6}, {MK::BackgroundSync, 2, 6},
+                       {MK::DocumentOpen, 1, 3}, {MK::UiIdle, 2, 5}}},
+      {"FoxitReader", {{MK::AppStartup, 1, 1}, {MK::DocumentOpen, 2, 5},
+                       {MK::UiIdle, 3, 7}, {MK::ConfigLoad, 1, 1}}},
+      {"VeraCryptPortable", {{MK::AppStartup, 1, 1}, {MK::ConfigLoad, 1, 1},
+                             {MK::KeyGeneration, 1, 1},
+                             {MK::VolumeEncryptionLoop, 5, 12},
+                             {MK::UiIdle, 2, 4}}},
+      {"Recuva", {{MK::AppStartup, 1, 1}, {MK::FileBrowse, 3, 8},
+                  {MK::DocumentSave, 1, 4}, {MK::UiIdle, 1, 3}}},
+      {"TeamViewerPortable", {{MK::AppStartup, 1, 1}, {MK::ConfigLoad, 1, 1},
+                              {MK::WebRequest, 2, 4}, {MK::BackgroundSync, 3, 8},
+                              {MK::UiIdle, 2, 4}}},
+      {"OBSPortable", {{MK::AppStartup, 1, 1}, {MK::ConfigLoad, 1, 2},
+                       {MK::MediaPlayback, 4, 9}, {MK::DocumentSave, 2, 5},
+                       {MK::UiIdle, 1, 3}}},
+      {"Inkscape", {{MK::AppStartup, 1, 1}, {MK::DocumentOpen, 1, 3},
+                    {MK::UiIdle, 4, 8}, {MK::DocumentSave, 1, 3},
+                    {MK::ClipboardLikeUse, 1, 2}}},
+      {"Blender", {{MK::AppStartup, 1, 1}, {MK::ConfigLoad, 1, 2},
+                   {MK::DocumentOpen, 1, 2}, {MK::UiIdle, 5, 10},
+                   {MK::DocumentSave, 1, 3}}},
+      {"CalibrePortable", {{MK::AppStartup, 1, 1}, {MK::ConfigLoad, 1, 1},
+                           {MK::FileBrowse, 2, 5}, {MK::DocumentOpen, 2, 5},
+                           {MK::BackgroundSync, 1, 3}, {MK::UiIdle, 2, 4}}},
+      {"ShareX", {{MK::AppStartup, 1, 1}, {MK::ClipboardLikeUse, 2, 5},
+                  {MK::DocumentSave, 2, 5}, {MK::WebRequest, 1, 3},
+                  {MK::UiIdle, 2, 4}}},
+      {"MusicBee", {{MK::AppStartup, 1, 1}, {MK::ConfigLoad, 1, 2},
+                    {MK::FileBrowse, 1, 3}, {MK::MediaPlayback, 4, 10},
+                    {MK::UiIdle, 2, 4}}},
+  };
+  for (const AppSeed& app : apps) {
+    profiles.push_back(BenignProfile{app.name, false, app.script});
+  }
+
+  // Manual interaction sessions (the paper's second benign source).
+  const std::vector<AppSeed> manual = {
+      {"manual-desktop-1", {{MK::UiIdle, 6, 12}, {MK::FileBrowse, 2, 5},
+                            {MK::DocumentOpen, 1, 4}, {MK::ClipboardLikeUse, 2, 5},
+                            {MK::DocumentSave, 1, 3}, {MK::UiIdle, 3, 6}}},
+      {"manual-desktop-2", {{MK::UiIdle, 4, 8}, {MK::WebRequest, 3, 7},
+                            {MK::DocumentSave, 1, 2}, {MK::FileBrowse, 1, 4},
+                            {MK::UiIdle, 3, 6}}},
+      {"manual-desktop-3", {{MK::ConfigLoad, 1, 2}, {MK::UiIdle, 5, 10},
+                            {MK::SoftwareUpdate, 1, 2}, {MK::FileBrowse, 1, 3},
+                            {MK::UiIdle, 2, 5}}},
+      {"manual-desktop-4", {{MK::UiIdle, 4, 9}, {MK::DocumentOpen, 2, 5},
+                            {MK::ClipboardLikeUse, 1, 4}, {MK::DocumentSave, 2, 4},
+                            {MK::BackgroundSync, 1, 2}, {MK::UiIdle, 2, 4}}},
+      {"manual-desktop-5", {{MK::UiIdle, 5, 10}, {MK::FileBrowse, 3, 6},
+                            {MK::MediaPlayback, 1, 4}, {MK::UiIdle, 3, 6}}},
+      {"manual-desktop-6", {{MK::UiIdle, 4, 8}, {MK::WebRequest, 2, 5},
+                            {MK::SoftwareUpdate, 0, 1}, {MK::DocumentOpen, 1, 3},
+                            {MK::UiIdle, 3, 7}}},
+  };
+  for (const AppSeed& session : manual) {
+    profiles.push_back(BenignProfile{session.name, true, session.script});
+  }
+  return profiles;
+}
+
+}  // namespace
+
+const std::vector<FamilyProfile>& ransomware_families() {
+  static const std::vector<FamilyProfile> families = build_families();
+  return families;
+}
+
+const std::vector<BenignProfile>& benign_profiles() {
+  static const std::vector<BenignProfile> profiles = build_benign();
+  return profiles;
+}
+
+std::uint32_t total_variant_count() {
+  std::uint32_t total = 0;
+  for (const auto& family : ransomware_families()) total += family.variants;
+  return total;
+}
+
+}  // namespace csdml::ransomware

@@ -1,0 +1,56 @@
+// Family and benign-application profiles.
+//
+// The ten ransomware families reproduce Table II of the paper, including
+// the per-family variant counts and the encryption / self-propagation
+// flags (all aggregated variants encrypt; Ryuk, Lockbit, Wannacry and
+// BadRabbit also self-propagate). Each family carries a phase script — an
+// ordered motif mix — so different families produce recognisably
+// different traces, and each numbered variant perturbs the script
+// deterministically (the paper collected 78 variants; the per-family
+// counts in its Table II sum to 76, which we follow since they are the
+// reproducible numbers).
+//
+// The benign corpus models the paper's: 30 popular portable applications
+// (Top-Ten lists of The Portable Freeware Collection, 2018-2021) plus
+// manual desktop interaction.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ransomware/motifs.hpp"
+
+namespace csdml::ransomware {
+
+/// One phase of a trace script: a motif repeated a random number of times.
+struct Phase {
+  MotifKind motif;
+  std::uint32_t min_repeats{1};
+  std::uint32_t max_repeats{1};
+};
+
+struct FamilyProfile {
+  std::string name;
+  std::uint32_t variants{1};
+  bool encrypts{true};
+  bool self_propagates{false};
+  std::vector<Phase> script;
+};
+
+struct BenignProfile {
+  std::string name;
+  bool manual_interaction{false};  ///< vs. "popular application" execution
+  std::vector<Phase> script;
+};
+
+/// The ten families of Table II, with their scripts.
+const std::vector<FamilyProfile>& ransomware_families();
+
+/// 30 popular applications + manual interaction profiles.
+const std::vector<BenignProfile>& benign_profiles();
+
+/// Total variant count across all families (Table II).
+std::uint32_t total_variant_count();
+
+}  // namespace csdml::ransomware

@@ -1,0 +1,348 @@
+#include "ransomware/motifs.hpp"
+
+#include <initializer_list>
+
+#include "common/error.hpp"
+#include "ransomware/api_vocab.hpp"
+
+namespace csdml::ransomware {
+
+const char* motif_name(MotifKind kind) {
+  switch (kind) {
+    case MotifKind::DropperStartup: return "dropper_startup";
+    case MotifKind::AntiAnalysis: return "anti_analysis";
+    case MotifKind::Recon: return "recon";
+    case MotifKind::KeyGeneration: return "key_generation";
+    case MotifKind::FileDiscovery: return "file_discovery";
+    case MotifKind::EncryptionLoop: return "encryption_loop";
+    case MotifKind::ShadowCopyWipe: return "shadow_copy_wipe";
+    case MotifKind::RegistryPersistence: return "registry_persistence";
+    case MotifKind::RansomNote: return "ransom_note";
+    case MotifKind::C2Beacon: return "c2_beacon";
+    case MotifKind::SmbPropagation: return "smb_propagation";
+    case MotifKind::ServiceTampering: return "service_tampering";
+    case MotifKind::SelfDelete: return "self_delete";
+    case MotifKind::AppStartup: return "app_startup";
+    case MotifKind::ConfigLoad: return "config_load";
+    case MotifKind::DocumentOpen: return "document_open";
+    case MotifKind::DocumentSave: return "document_save";
+    case MotifKind::UiIdle: return "ui_idle";
+    case MotifKind::WebRequest: return "web_request";
+    case MotifKind::ClipboardLikeUse: return "clipboard_use";
+    case MotifKind::FileBrowse: return "file_browse";
+    case MotifKind::SoftwareUpdate: return "software_update";
+    case MotifKind::MediaPlayback: return "media_playback";
+    case MotifKind::InstallerChecksum: return "installer_checksum";
+    case MotifKind::BackgroundSync: return "background_sync";
+    case MotifKind::ArchiveLoop: return "archive_loop";
+    case MotifKind::VolumeEncryptionLoop: return "volume_encryption_loop";
+  }
+  throw PreconditionError("unknown motif");
+}
+
+bool is_malicious_motif(MotifKind kind) {
+  switch (kind) {
+    case MotifKind::DropperStartup:
+    case MotifKind::AntiAnalysis:
+    case MotifKind::Recon:
+    case MotifKind::KeyGeneration:
+    case MotifKind::FileDiscovery:
+    case MotifKind::EncryptionLoop:
+    case MotifKind::ShadowCopyWipe:
+    case MotifKind::RegistryPersistence:
+    case MotifKind::RansomNote:
+    case MotifKind::C2Beacon:
+    case MotifKind::SmbPropagation:
+    case MotifKind::ServiceTampering:
+    case MotifKind::SelfDelete:
+      return true;
+    default:
+      return false;
+  }
+}
+
+namespace {
+
+const ApiVocabulary& vocab() { return ApiVocabulary::instance(); }
+
+/// Appends a fixed run of named calls.
+void seq(std::vector<nn::TokenId>& out, std::initializer_list<const char*> names) {
+  for (const char* name : names) out.push_back(vocab().require(name));
+}
+
+/// Picks one of several equivalent calls (variant-level substitution).
+void pick(std::vector<nn::TokenId>& out, Rng& rng,
+          std::initializer_list<const char*> options) {
+  std::vector<const char*> list(options);
+  out.push_back(vocab().require(rng.pick(list)));
+}
+
+}  // namespace
+
+void emit_motif(MotifKind kind, Rng& rng, std::vector<nn::TokenId>& out) {
+  switch (kind) {
+    case MotifKind::DropperStartup: {
+      seq(out, {"GetCommandLineW", "GetModuleHandleW", "GetModuleFileNameW"});
+      pick(out, rng, {"LoadLibraryW", "LoadLibraryA", "LdrLoadDll"});
+      const auto imports = rng.uniform_int(4, 9);
+      for (std::int64_t i = 0; i < imports; ++i) {
+        pick(out, rng, {"GetProcAddress", "LdrGetProcedureAddress"});
+      }
+      seq(out, {"VirtualAlloc", "VirtualProtect"});
+      if (rng.chance(0.5)) seq(out, {"CreateMutexW", "GetLastError"});
+      break;
+    }
+    case MotifKind::AntiAnalysis: {
+      seq(out, {"IsDebuggerPresent", "GetTickCount"});
+      if (rng.chance(0.6)) seq(out, {"Sleep", "GetTickCount"});
+      if (rng.chance(0.5)) seq(out, {"NtQueryInformationProcess"});
+      pick(out, rng, {"GetSystemInfo", "GetNativeSystemInfo"});
+      if (rng.chance(0.4)) {
+        seq(out, {"CreateToolhelp32Snapshot", "Process32FirstW", "Process32NextW",
+                  "Process32NextW", "CloseHandle"});
+      }
+      break;
+    }
+    case MotifKind::Recon: {
+      seq(out, {"GetComputerNameW", "GetUserNameW", "GetVersionExW",
+                "GetLogicalDrives"});
+      const auto drives = rng.uniform_int(1, 4);
+      for (std::int64_t i = 0; i < drives; ++i) {
+        seq(out, {"GetDriveTypeW", "GetVolumeInformationW", "GetDiskFreeSpaceExW"});
+      }
+      if (rng.chance(0.5)) seq(out, {"GetEnvironmentVariableW", "GetWindowsDirectoryW"});
+      break;
+    }
+    case MotifKind::KeyGeneration: {
+      if (rng.chance(0.5)) {
+        seq(out, {"CryptAcquireContextW", "CryptGenRandom", "CryptGenKey",
+                  "CryptExportKey"});
+        if (rng.chance(0.6)) seq(out, {"CryptImportKey"});
+      } else {
+        seq(out, {"BCryptOpenAlgorithmProvider", "BCryptGenRandom",
+                  "BCryptGenerateSymmetricKey"});
+      }
+      break;
+    }
+    case MotifKind::FileDiscovery: {
+      pick(out, rng, {"FindFirstFileW", "FindFirstFileExW", "NtQueryDirectoryFile"});
+      const auto entries = rng.uniform_int(3, 8);
+      for (std::int64_t i = 0; i < entries; ++i) {
+        seq(out, {"FindNextFileW", "GetFileAttributesW"});
+      }
+      seq(out, {"FindClose"});
+      break;
+    }
+    case MotifKind::EncryptionLoop: {
+      // One file: open, read, encrypt, overwrite, rename. The signature
+      // pattern of every family in Table II (all variants encrypt).
+      pick(out, rng, {"CreateFileW", "NtCreateFile", "NtOpenFile"});
+      pick(out, rng, {"GetFileSizeEx", "GetFileSize"});
+      const auto chunks = rng.uniform_int(1, 3);
+      for (std::int64_t i = 0; i < chunks; ++i) {
+        pick(out, rng, {"ReadFile", "NtReadFile"});
+        pick(out, rng, {"CryptEncrypt", "BCryptEncrypt"});
+        pick(out, rng, {"WriteFile", "NtWriteFile"});
+      }
+      if (rng.chance(0.4)) seq(out, {"SetEndOfFile", "FlushFileBuffers"});
+      pick(out, rng, {"CloseHandle", "NtClose"});
+      pick(out, rng, {"MoveFileExW", "MoveFileW", "ReplaceFileW"});
+      if (rng.chance(0.25)) seq(out, {"SetFileAttributesW"});
+      break;
+    }
+    case MotifKind::ShadowCopyWipe: {
+      // vssadmin/wmic spawn + service stop.
+      pick(out, rng, {"CreateProcessW", "CreateProcessInternalW", "ShellExecuteExW"});
+      seq(out, {"WaitForSingleObject", "GetExitCodeProcess", "CloseHandle"});
+      if (rng.chance(0.5)) {
+        seq(out, {"OpenSCManagerW", "OpenServiceW", "ControlService",
+                  "CloseServiceHandle"});
+      }
+      break;
+    }
+    case MotifKind::RegistryPersistence: {
+      pick(out, rng, {"RegOpenKeyExW", "RegCreateKeyExW", "NtOpenKey"});
+      pick(out, rng, {"RegSetValueExW", "RegSetValueExA", "NtSetValueKey"});
+      if (rng.chance(0.4)) seq(out, {"RegQueryValueExW"});
+      seq(out, {"RegCloseKey"});
+      break;
+    }
+    case MotifKind::RansomNote: {
+      seq(out, {"GetTempPathW", "CreateFileW", "WriteFile", "CloseHandle"});
+      if (rng.chance(0.5)) seq(out, {"ShellExecuteW"});
+      if (rng.chance(0.35)) seq(out, {"MessageBoxW"});
+      if (rng.chance(0.3)) seq(out, {"SetWindowTextW", "ShowWindow"});
+      break;
+    }
+    case MotifKind::C2Beacon: {
+      if (rng.chance(0.5)) {
+        seq(out, {"WSAStartup", "getaddrinfo", "socket", "connect", "send",
+                  "recv", "closesocket"});
+      } else {
+        seq(out, {"InternetOpenW", "InternetConnectW", "HttpOpenRequestW",
+                  "HttpSendRequestW", "InternetReadFile", "InternetCloseHandle"});
+      }
+      break;
+    }
+    case MotifKind::SmbPropagation: {
+      seq(out, {"NetServerEnum", "NetShareEnum"});
+      const auto targets = rng.uniform_int(1, 3);
+      for (std::int64_t i = 0; i < targets; ++i) {
+        seq(out, {"WNetAddConnection2W", "CopyFileW"});
+        pick(out, rng, {"CreateProcessW", "NtCreateUserProcess", "WinExec"});
+      }
+      if (rng.chance(0.5)) seq(out, {"DnsQuery_W"});
+      break;
+    }
+    case MotifKind::ServiceTampering: {
+      seq(out, {"OpenSCManagerW", "EnumServicesStatusExW"});
+      const auto victims = rng.uniform_int(1, 3);
+      for (std::int64_t i = 0; i < victims; ++i) {
+        seq(out, {"OpenServiceW", "ControlService", "CloseServiceHandle"});
+      }
+      seq(out, {"CloseServiceHandle"});
+      break;
+    }
+    case MotifKind::SelfDelete: {
+      seq(out, {"GetModuleFileNameW"});
+      pick(out, rng, {"CreateProcessW", "ShellExecuteW", "WinExec"});
+      pick(out, rng, {"DeleteFileW", "NtDeleteFile", "MoveFileExW"});
+      seq(out, {"ExitProcess"});
+      break;
+    }
+    case MotifKind::AppStartup: {
+      seq(out, {"GetCommandLineW", "GetModuleHandleW", "GetModuleFileNameW"});
+      const auto imports = rng.uniform_int(3, 8);
+      for (std::int64_t i = 0; i < imports; ++i) {
+        pick(out, rng, {"LoadLibraryW", "LoadLibraryExW", "GetProcAddress"});
+      }
+      if (rng.chance(0.7)) {
+        seq(out, {"CoInitializeEx", "CreateWindowExW", "ShowWindow",
+                  "UpdateWindow"});
+      }
+      break;
+    }
+    case MotifKind::ConfigLoad: {
+      pick(out, rng, {"RegOpenKeyExW", "RegOpenKeyExA"});
+      const auto values = rng.uniform_int(2, 6);
+      for (std::int64_t i = 0; i < values; ++i) {
+        pick(out, rng, {"RegQueryValueExW", "RegQueryValueExA", "RegEnumValueW"});
+      }
+      seq(out, {"RegCloseKey"});
+      if (rng.chance(0.6)) {
+        seq(out, {"SHGetFolderPathW", "CreateFileW", "ReadFile", "CloseHandle"});
+      }
+      break;
+    }
+    case MotifKind::DocumentOpen: {
+      seq(out, {"CreateFileW", "GetFileSizeEx"});
+      const auto reads = rng.uniform_int(2, 6);
+      for (std::int64_t i = 0; i < reads; ++i) seq(out, {"ReadFile"});
+      seq(out, {"CloseHandle"});
+      if (rng.chance(0.5)) seq(out, {"SetWindowTextW", "UpdateWindow"});
+      break;
+    }
+    case MotifKind::DocumentSave: {
+      seq(out, {"GetTempFileNameW", "CreateFileW"});
+      const auto writes = rng.uniform_int(1, 4);
+      for (std::int64_t i = 0; i < writes; ++i) seq(out, {"WriteFile"});
+      seq(out, {"FlushFileBuffers", "CloseHandle", "MoveFileExW"});
+      break;
+    }
+    case MotifKind::UiIdle: {
+      const auto messages = rng.uniform_int(3, 10);
+      for (std::int64_t i = 0; i < messages; ++i) {
+        pick(out, rng, {"GetMessageW", "PeekMessageW"});
+        seq(out, {"TranslateMessage", "DispatchMessageW"});
+      }
+      if (rng.chance(0.3)) seq(out, {"GetCursorPos", "SetTimer"});
+      break;
+    }
+    case MotifKind::WebRequest: {
+      if (rng.chance(0.5)) {
+        seq(out, {"WinHttpOpen", "WinHttpConnect", "WinHttpSendRequest"});
+      } else {
+        seq(out, {"InternetOpenW", "InternetOpenUrlW", "InternetReadFile",
+                  "InternetCloseHandle"});
+      }
+      if (rng.chance(0.4)) seq(out, {"BCryptGenRandom"});  // TLS nonce
+      break;
+    }
+    case MotifKind::ClipboardLikeUse: {
+      seq(out, {"GlobalAlloc", "SendMessageW", "GlobalFree"});
+      break;
+    }
+    case MotifKind::FileBrowse: {
+      seq(out, {"SHGetKnownFolderPath", "FindFirstFileW"});
+      const auto entries = rng.uniform_int(3, 12);
+      for (std::int64_t i = 0; i < entries; ++i) {
+        seq(out, {"FindNextFileW"});
+        if (rng.chance(0.3)) seq(out, {"GetFileAttributesW"});
+      }
+      seq(out, {"FindClose"});
+      break;
+    }
+    case MotifKind::SoftwareUpdate: {
+      seq(out, {"WinHttpOpen", "WinHttpConnect", "WinHttpSendRequest",
+                "CreateFileW", "WriteFile", "CloseHandle"});
+      // Signature/hash verification — benign use of crypto APIs.
+      seq(out, {"CryptCreateHash", "CryptHashData", "CryptGetHashParam",
+                "CryptDestroyHash"});
+      break;
+    }
+    case MotifKind::MediaPlayback: {
+      seq(out, {"CreateFileW", "GetFileSizeEx", "CreateFileMappingW",
+                "MapViewOfFile"});
+      const auto frames = rng.uniform_int(4, 12);
+      for (std::int64_t i = 0; i < frames; ++i) {
+        pick(out, rng, {"ReadFile", "WaitForSingleObject", "SetEvent"});
+      }
+      seq(out, {"UnmapViewOfFile", "CloseHandle"});
+      break;
+    }
+    case MotifKind::InstallerChecksum: {
+      seq(out, {"CreateFileW", "ReadFile", "CryptCreateHash", "CryptHashData",
+                "CryptHashData", "CryptGetHashParam", "CryptDestroyHash",
+                "CloseHandle"});
+      break;
+    }
+    case MotifKind::BackgroundSync: {
+      seq(out, {"CreateEventW", "WaitForSingleObject"});
+      if (rng.chance(0.5)) {
+        seq(out, {"WSAStartup", "socket", "connect", "send", "recv",
+                  "closesocket"});
+      }
+      seq(out, {"SetEvent"});
+      break;
+    }
+    case MotifKind::ArchiveLoop: {
+      pick(out, rng, {"CreateFileW", "NtCreateFile"});
+      pick(out, rng, {"GetFileSizeEx", "GetFileSize"});
+      const auto chunks = rng.uniform_int(1, 3);
+      for (std::int64_t i = 0; i < chunks; ++i) {
+        pick(out, rng, {"ReadFile", "NtReadFile"});
+        pick(out, rng, {"WriteFile", "NtWriteFile"});
+      }
+      if (rng.chance(0.4)) seq(out, {"SetEndOfFile", "FlushFileBuffers"});
+      pick(out, rng, {"CloseHandle", "NtClose"});
+      if (rng.chance(0.5)) pick(out, rng, {"MoveFileExW", "MoveFileW"});
+      break;
+    }
+    case MotifKind::VolumeEncryptionLoop: {
+      pick(out, rng, {"CreateFileW", "NtOpenFile"});
+      const auto chunks = rng.uniform_int(1, 3);
+      for (std::int64_t i = 0; i < chunks; ++i) {
+        pick(out, rng, {"ReadFile", "NtReadFile"});
+        pick(out, rng, {"CryptEncrypt", "BCryptEncrypt"});
+        pick(out, rng, {"WriteFile", "NtWriteFile"});
+      }
+      // No rename sweep; container tools seek within one handle instead.
+      pick(out, rng, {"SetFilePointerEx", "SetFilePointer"});
+      if (rng.chance(0.3)) seq(out, {"DeviceIoControl"});
+      pick(out, rng, {"CloseHandle", "NtClose"});
+      break;
+    }
+  }
+}
+
+}  // namespace csdml::ransomware

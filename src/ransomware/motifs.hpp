@@ -1,0 +1,70 @@
+// Behavioural motifs: short, parameterised API-call patterns that traces
+// are composed from.
+//
+// Malicious motifs follow the canonical ransomware kill chain observed in
+// Cuckoo reports (dropper startup, anti-analysis probes, key generation,
+// file discovery, the encrypt-rename loop, shadow-copy wiping, persistence,
+// the ransom note, C2 beacons, SMB propagation). Benign motifs model the
+// paper's benign corpus: popular portable applications plus manual
+// interaction (document editing, browsing, media playback, updates).
+//
+// Benign profiles intentionally use *some* crypto APIs (hash checks,
+// TLS-adjacent random generation) so the classifier cannot shortcut on
+// "any crypto call => ransomware"; what separates the classes is the
+// joint pattern (e.g. CryptEncrypt inside a Find/Read/Write/Move loop).
+#pragma once
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "nn/dataset.hpp"
+
+namespace csdml::ransomware {
+
+enum class MotifKind {
+  // malicious
+  DropperStartup,
+  AntiAnalysis,
+  Recon,
+  KeyGeneration,
+  FileDiscovery,
+  EncryptionLoop,
+  ShadowCopyWipe,
+  RegistryPersistence,
+  RansomNote,
+  C2Beacon,
+  SmbPropagation,
+  ServiceTampering,
+  SelfDelete,
+  // benign
+  AppStartup,
+  ConfigLoad,
+  DocumentOpen,
+  DocumentSave,
+  UiIdle,
+  WebRequest,
+  ClipboardLikeUse,
+  FileBrowse,
+  SoftwareUpdate,
+  MediaPlayback,
+  InstallerChecksum,
+  BackgroundSync,
+  /// Archiver compressing a file: open/read/write/close/rename — the
+  /// encryption loop's shape without the crypto call. A hard negative.
+  ArchiveLoop,
+  /// Disk-encryption utility encrypting a container: legitimate
+  /// CryptEncrypt/BCryptEncrypt use. The hardest negative.
+  VolumeEncryptionLoop,
+};
+
+const char* motif_name(MotifKind kind);
+
+/// True for motifs only emitted by malicious profiles.
+bool is_malicious_motif(MotifKind kind);
+
+/// Appends one instance of the motif to `out`. Randomness controls repeat
+/// counts and equivalent-API substitutions (e.g. CreateFileW vs
+/// NtCreateFile), which is how variants of one family differ.
+void emit_motif(MotifKind kind, Rng& rng, std::vector<nn::TokenId>& out);
+
+}  // namespace csdml::ransomware

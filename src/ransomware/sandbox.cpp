@@ -1,0 +1,85 @@
+#include "ransomware/sandbox.hpp"
+
+#include "common/error.hpp"
+#include "ransomware/api_vocab.hpp"
+
+namespace csdml::ransomware {
+
+SandboxTraceGenerator::SandboxTraceGenerator(SandboxConfig config)
+    : config_(config) {
+  CSDML_REQUIRE(config_.background_noise_rate >= 0.0 &&
+                    config_.background_noise_rate < 1.0,
+                "noise rate must be in [0, 1)");
+  const auto& vocab = ApiVocabulary::instance();
+  // The calls any Windows process emits regardless of what it is doing.
+  for (const char* name :
+       {"HeapAlloc", "HeapFree", "GetLastError", "GetTickCount",
+        "QueryPerformanceCounter", "EnterCriticalSection",
+        "LeaveCriticalSection", "GetCurrentProcessId", "Sleep",
+        "GetSystemTimeAsFileTime", "LocalAlloc", "VirtualQuery"}) {
+    noise_tokens_.push_back(vocab.require(name));
+  }
+}
+
+void SandboxTraceGenerator::maybe_noise(Rng& rng,
+                                        std::vector<nn::TokenId>& out) const {
+  while (rng.chance(config_.background_noise_rate)) {
+    out.push_back(rng.pick(noise_tokens_));
+  }
+}
+
+std::vector<nn::TokenId> SandboxTraceGenerator::run_script(
+    const std::vector<Phase>& script, Rng& rng, std::size_t min_length,
+    MotifKind filler) const {
+  CSDML_REQUIRE(!script.empty(), "empty phase script");
+  std::vector<nn::TokenId> trace;
+  trace.reserve(min_length + 256);
+
+  const auto emit_with_noise = [&](MotifKind motif) {
+    std::vector<nn::TokenId> tokens;
+    emit_motif(motif, rng, tokens);
+    for (const nn::TokenId token : tokens) {
+      trace.push_back(token);
+      maybe_noise(rng, trace);
+    }
+  };
+
+  for (const Phase& phase : script) {
+    CSDML_REQUIRE(phase.min_repeats <= phase.max_repeats,
+                  "phase repeat range inverted");
+    const auto repeats = rng.uniform_int(phase.min_repeats, phase.max_repeats);
+    for (std::int64_t r = 0; r < repeats; ++r) emit_with_noise(phase.motif);
+  }
+  // Extend the dominant phase until the trace covers the requested length
+  // (a real sandbox run keeps encrypting / keeps pumping messages).
+  while (trace.size() < min_length) emit_with_noise(filler);
+  return trace;
+}
+
+std::vector<nn::TokenId> SandboxTraceGenerator::ransomware_trace(
+    const FamilyProfile& family, std::uint32_t variant,
+    std::size_t min_length) const {
+  CSDML_REQUIRE(variant < family.variants, "variant index out of range");
+  Rng rng = Rng(config_.seed)
+                .fork("ransomware")
+                .fork(family.name)
+                .fork("variant-" + std::to_string(variant));
+  return run_script(family.script, rng,
+                    std::max(min_length, config_.min_trace_length),
+                    MotifKind::EncryptionLoop);
+}
+
+std::vector<nn::TokenId> SandboxTraceGenerator::benign_trace(
+    const BenignProfile& profile, std::uint32_t session,
+    std::size_t min_length) const {
+  Rng rng = Rng(config_.seed)
+                .fork("benign")
+                .fork(profile.name)
+                .fork("session-" + std::to_string(session));
+  const MotifKind filler =
+      profile.manual_interaction ? MotifKind::UiIdle : MotifKind::DocumentOpen;
+  return run_script(profile.script, rng,
+                    std::max(min_length, config_.min_trace_length), filler);
+}
+
+}  // namespace csdml::ransomware

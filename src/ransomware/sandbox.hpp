@@ -1,0 +1,57 @@
+// Cuckoo-style sandbox trace generation.
+//
+// The paper executed each variant in Cuckoo Sandbox on Windows 10/11 and
+// recorded all API calls "in the order in which they would be observed on
+// a system housing a CSD". This generator plays a profile's phase script,
+// emitting motif instances with:
+//   * per-variant determinism — (seed, family, variant) fixes the trace,
+//   * variant mutation — each variant perturbs repeat counts and the
+//     equivalent-API choices inside motifs,
+//   * OS background noise — scheduler/heap/message-pump calls interleaved
+//     between motif tokens, as a real trace would show,
+//   * a minimum length, extending the dominant phase until reached.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "nn/dataset.hpp"
+#include "ransomware/families.hpp"
+
+namespace csdml::ransomware {
+
+struct SandboxConfig {
+  std::uint64_t seed{2024};
+  double background_noise_rate{0.18};  ///< P(noise token after each call)
+  std::size_t min_trace_length{400};
+};
+
+class SandboxTraceGenerator {
+ public:
+  explicit SandboxTraceGenerator(SandboxConfig config);
+
+  /// Full API-call trace for one numbered variant of a family.
+  std::vector<nn::TokenId> ransomware_trace(const FamilyProfile& family,
+                                            std::uint32_t variant,
+                                            std::size_t min_length) const;
+
+  /// Full trace for a benign profile execution (session id distinguishes
+  /// repeated executions of the same app).
+  std::vector<nn::TokenId> benign_trace(const BenignProfile& profile,
+                                        std::uint32_t session,
+                                        std::size_t min_length) const;
+
+  const SandboxConfig& config() const { return config_; }
+
+ private:
+  std::vector<nn::TokenId> run_script(const std::vector<Phase>& script,
+                                      Rng& rng, std::size_t min_length,
+                                      MotifKind filler) const;
+  void maybe_noise(Rng& rng, std::vector<nn::TokenId>& out) const;
+
+  SandboxConfig config_;
+  std::vector<nn::TokenId> noise_tokens_;
+};
+
+}  // namespace csdml::ransomware

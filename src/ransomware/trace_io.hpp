@@ -1,0 +1,41 @@
+// Sandbox trace interchange (JSON Lines).
+//
+// Cuckoo emits JSON reports; analysts exchange API-call traces as JSON.
+// This module defines the repo's interchange record — one sample per line,
+//
+//   {"sample":"Lockbit/variant-3","label":1,"calls":["NtOpenFile", ...]}
+//
+// — with calls stored by *name* (readable, vocabulary-independent) and a
+// strict parser that rejects unknown calls rather than guessing.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "nn/dataset.hpp"
+
+namespace csdml::ransomware {
+
+struct TraceRecord {
+  std::string sample;            ///< e.g. "Ryuk/variant-2" or "7-Zip/session-0"
+  int label{0};                  ///< 1 = ransomware
+  std::vector<nn::TokenId> calls;
+};
+
+/// Writes one record per line.
+void write_traces_jsonl(std::ostream& out, const std::vector<TraceRecord>& records);
+void write_traces_jsonl_file(const std::string& path,
+                             const std::vector<TraceRecord>& records);
+
+/// Parses records; throws ParseError on malformed JSON, unknown API names,
+/// or non-binary labels. Blank lines are skipped.
+std::vector<TraceRecord> read_traces_jsonl(std::istream& in);
+std::vector<TraceRecord> read_traces_jsonl_file(const std::string& path);
+
+/// Convenience: full-corpus export — every family variant and benign
+/// profile detonated once at `min_trace_length`.
+std::vector<TraceRecord> export_corpus_traces(std::uint64_t seed,
+                                              std::size_t min_trace_length);
+
+}  // namespace csdml::ransomware

@@ -1,0 +1,50 @@
+#include "sim/simulation.hpp"
+
+#include "common/error.hpp"
+
+namespace csdml::sim {
+
+void Simulation::schedule_at(TimePoint when, EventCallback callback) {
+  CSDML_REQUIRE(when >= now_, "cannot schedule an event in the past");
+  queue_.push(Event{when, next_sequence_++, std::move(callback)});
+}
+
+void Simulation::schedule_after(Duration delay, EventCallback callback) {
+  CSDML_REQUIRE(delay.picos >= 0, "negative delay");
+  schedule_at(now_ + delay, std::move(callback));
+}
+
+std::size_t Simulation::run() {
+  std::size_t executed = 0;
+  while (!queue_.empty()) {
+    Event event = queue_.top();
+    queue_.pop();
+    now_ = event.when;
+    event.callback();
+    ++executed;
+  }
+  return executed;
+}
+
+std::size_t Simulation::run_until(TimePoint deadline) {
+  std::size_t executed = 0;
+  while (!queue_.empty() && queue_.top().when <= deadline) {
+    Event event = queue_.top();
+    queue_.pop();
+    now_ = event.when;
+    event.callback();
+    ++executed;
+  }
+  if (now_ < deadline) now_ = deadline;
+  return executed;
+}
+
+TimePoint SerialResource::acquire(TimePoint at, Duration hold) {
+  CSDML_REQUIRE(hold.picos >= 0, "negative hold time");
+  const TimePoint grant = at < free_at_ ? free_at_ : at;
+  free_at_ = grant + hold;
+  busy_ += hold;
+  return grant;
+}
+
+}  // namespace csdml::sim

@@ -1,0 +1,46 @@
+#include "sim/trace.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace csdml::sim {
+
+void Trace::record(std::string name, TimePoint start, TimePoint end) {
+  CSDML_REQUIRE(end >= start, "span ends before it starts");
+  spans_.push_back(Span{std::move(name), start, end});
+}
+
+Duration Trace::total(const std::string& name) const {
+  Duration sum{};
+  for (const auto& span : spans_) {
+    if (span.name == name) sum += span.duration();
+  }
+  return sum;
+}
+
+std::size_t Trace::count(const std::string& name) const {
+  return static_cast<std::size_t>(
+      std::count_if(spans_.begin(), spans_.end(),
+                    [&](const Span& s) { return s.name == name; }));
+}
+
+Duration Trace::max(const std::string& name) const {
+  Duration best{};
+  for (const auto& span : spans_) {
+    if (span.name == name && span.duration() > best) best = span.duration();
+  }
+  return best;
+}
+
+std::vector<std::string> Trace::names() const {
+  std::vector<std::string> out;
+  for (const auto& span : spans_) {
+    if (std::find(out.begin(), out.end(), span.name) == out.end()) {
+      out.push_back(span.name);
+    }
+  }
+  return out;
+}
+
+}  // namespace csdml::sim

@@ -1,0 +1,43 @@
+// Span tracing for simulated executions.
+//
+// Components record named spans (kernel executions, DMA transfers, flash
+// reads); benches aggregate them into the per-kernel timings that Fig. 3
+// reports.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/units.hpp"
+
+namespace csdml::sim {
+
+struct Span {
+  std::string name;
+  TimePoint start;
+  TimePoint end;
+
+  Duration duration() const { return end - start; }
+};
+
+class Trace {
+ public:
+  void record(std::string name, TimePoint start, TimePoint end);
+
+  const std::vector<Span>& spans() const { return spans_; }
+  void clear() { spans_.clear(); }
+
+  /// Sum of durations of spans whose name matches exactly.
+  Duration total(const std::string& name) const;
+  /// Number of spans with the given name.
+  std::size_t count(const std::string& name) const;
+  /// Longest single span with the given name (zero if none).
+  Duration max(const std::string& name) const;
+  /// Distinct span names in first-seen order.
+  std::vector<std::string> names() const;
+
+ private:
+  std::vector<Span> spans_;
+};
+
+}  // namespace csdml::sim

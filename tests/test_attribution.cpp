@@ -1,0 +1,121 @@
+#include "detect/attribution.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "nn/train.hpp"
+#include "ransomware/api_vocab.hpp"
+#include "ransomware/dataset_builder.hpp"
+
+namespace csdml::detect {
+namespace {
+
+/// Model trained on a tiny slice of the real corpus: enough signal that
+/// crypto-loop calls carry positive attribution.
+struct AttributionFixture {
+  nn::LstmConfig config;
+  std::unique_ptr<nn::LstmClassifier> model;
+  nn::SequenceDataset data;
+
+  AttributionFixture() {
+    ransomware::DatasetSpec spec = ransomware::DatasetSpec::small();
+    spec.ransomware_windows = 200;
+    spec.benign_windows = 235;
+    data = ransomware::build_dataset(spec).data;
+    Rng rng(3);
+    model = std::make_unique<nn::LstmClassifier>(config, rng);
+    nn::TrainConfig tc;
+    tc.epochs = 5;
+    tc.batch_size = 32;
+    nn::train(*model, data, data, tc);
+  }
+
+  nn::Sequence detected_ransomware_window() const {
+    for (std::size_t i = 0; i < data.size(); ++i) {
+      if (data.labels[i] == 1 && model->forward(data.sequences[i], nullptr) > 0.9) {
+        return data.sequences[i];
+      }
+    }
+    throw std::runtime_error("no confidently detected window");
+  }
+};
+
+AttributionFixture& fixture() {
+  static AttributionFixture f;
+  return f;
+}
+
+TEST(Attribution, ReportsRequestedTopK) {
+  const nn::Sequence window = fixture().detected_ransomware_window();
+  const AttributionReport report =
+      attribute_window(*fixture().model, window, {.top_k = 5});
+  EXPECT_EQ(report.top_calls.size(), 5u);
+  EXPECT_GT(report.probability, 0.9);
+  // Sorted descending.
+  for (std::size_t i = 1; i < report.top_calls.size(); ++i) {
+    EXPECT_GE(report.top_calls[i - 1].contribution,
+              report.top_calls[i].contribution);
+  }
+}
+
+TEST(Attribution, NamesResolveAgainstVocabulary) {
+  const nn::Sequence window = fixture().detected_ransomware_window();
+  const AttributionReport report = attribute_window(*fixture().model, window);
+  const auto& vocab = ransomware::ApiVocabulary::instance();
+  for (const CallAttribution& call : report.top_calls) {
+    EXPECT_EQ(call.api_name, vocab.call(call.token).name);
+    EXPECT_LT(call.position, window.size());
+    EXPECT_EQ(window[call.position], call.token);
+  }
+}
+
+TEST(Attribution, TopCallsOnDetectedRansomwareLookMalicious) {
+  // The top attribution of a confidently detected encryption window should
+  // include at least one crypto or file-manipulation call.
+  const nn::Sequence window = fixture().detected_ransomware_window();
+  const AttributionReport report =
+      attribute_window(*fixture().model, window, {.top_k = 10});
+  ASSERT_FALSE(report.top_calls.empty());
+  EXPECT_GT(report.top_calls.front().contribution, 0.0);
+  bool plausible = false;
+  const auto& vocab = ransomware::ApiVocabulary::instance();
+  for (const CallAttribution& call : report.top_calls) {
+    const auto category = vocab.call(call.token).category;
+    plausible |= category == ransomware::ApiCategory::Crypto ||
+                 category == ransomware::ApiCategory::FileSystem ||
+                 category == ransomware::ApiCategory::NtFile ||
+                 category == ransomware::ApiCategory::Propagation ||
+                 category == ransomware::ApiCategory::Process;
+  }
+  EXPECT_TRUE(plausible);
+}
+
+TEST(Attribution, MaskTokenPositionsAreSkipped) {
+  const auto& vocab = ransomware::ApiVocabulary::instance();
+  const nn::TokenId mask = vocab.require("HeapAlloc");
+  nn::Sequence window(20, mask);  // all positions are the mask itself
+  const AttributionReport report = attribute_window(*fixture().model, window);
+  EXPECT_TRUE(report.top_calls.empty());
+}
+
+TEST(Attribution, CustomMaskToken) {
+  const nn::Sequence window = fixture().detected_ransomware_window();
+  const AttributionReport report = attribute_window(
+      *fixture().model, window,
+      {.top_k = 3,
+       .mask_token = ransomware::ApiVocabulary::instance().require("Sleep")});
+  EXPECT_EQ(report.top_calls.size(), 3u);
+}
+
+TEST(Attribution, Guards) {
+  EXPECT_THROW(attribute_window(*fixture().model, {}), PreconditionError);
+  const nn::Sequence window = fixture().detected_ransomware_window();
+  EXPECT_THROW(attribute_window(*fixture().model, window, {.top_k = 0}),
+               PreconditionError);
+  EXPECT_THROW(
+      attribute_window(*fixture().model, window, {.mask_token = 100'000}),
+      PreconditionError);
+}
+
+}  // namespace
+}  // namespace csdml::detect

@@ -1,0 +1,122 @@
+#include "baselines/host_baseline.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/stats.hpp"
+
+namespace csdml::baselines {
+namespace {
+
+struct BaselineFixture {
+  nn::LstmConfig config;
+  nn::LstmParams params;
+  BaselineFixture() {
+    Rng rng(3);
+    params = nn::LstmParams::glorot(config, rng);
+  }
+};
+
+TEST(Baselines, FunctionalParityWithOfflineModel) {
+  BaselineFixture f;
+  const HostBaseline cpu("cpu", f.config, f.params, HostLatencyConfig::xeon_cpu());
+  const nn::LstmClassifier reference(f.config, f.params);
+  Rng rng(5);
+  for (int trial = 0; trial < 10; ++trial) {
+    nn::Sequence seq;
+    for (int i = 0; i < 50; ++i) {
+      seq.push_back(static_cast<nn::TokenId>(rng.uniform_int(0, 277)));
+    }
+    EXPECT_DOUBLE_EQ(cpu.infer(seq), reference.forward(seq, nullptr));
+    EXPECT_EQ(cpu.predict(seq), reference.predict(seq));
+  }
+}
+
+TEST(Baselines, FlopsPerItemMatchesModelSize) {
+  const nn::LstmConfig config;  // embed 8, hidden 32
+  // 4 gates x 40 MACs x 32 outputs x 2 + elementwise = 10,560 flops.
+  EXPECT_NEAR(flops_per_item(config), 4 * 40 * 32 * 2 + 10 * 32, 1.0);
+}
+
+TEST(Baselines, LatenciesAlwaysPositive) {
+  BaselineFixture f;
+  const HostBaseline gpu("gpu", f.config, f.params, HostLatencyConfig::a100_gpu());
+  Rng rng(7);
+  for (int i = 0; i < 1'000; ++i) {
+    EXPECT_GT(gpu.sample_item_latency(rng).picos, 0);
+  }
+}
+
+TEST(Baselines, CpuMeanNearTableOne) {
+  // Paper Table I: CPU 991.57750 us.
+  BaselineFixture f;
+  const HostBaseline cpu("cpu", f.config, f.params, HostLatencyConfig::xeon_cpu());
+  Rng rng(11);
+  const std::vector<double> samples = cpu.measure_item_latencies(20'000, rng);
+  RunningStats stats;
+  for (const double s : samples) stats.add(s);
+  EXPECT_NEAR(stats.mean(), 991.6, 160.0);
+}
+
+TEST(Baselines, GpuMeanNearTableOne) {
+  // Paper Table I: GPU 741.35336 us.
+  BaselineFixture f;
+  const HostBaseline gpu("gpu", f.config, f.params, HostLatencyConfig::a100_gpu());
+  Rng rng(13);
+  const std::vector<double> samples = gpu.measure_item_latencies(20'000, rng);
+  RunningStats stats;
+  for (const double s : samples) stats.add(s);
+  EXPECT_NEAR(stats.mean(), 741.4, 120.0);
+}
+
+TEST(Baselines, GpuBeatsCpuOnAverageButBothFarAboveFpga) {
+  BaselineFixture f;
+  const HostBaseline cpu("cpu", f.config, f.params, HostLatencyConfig::xeon_cpu());
+  const HostBaseline gpu("gpu", f.config, f.params, HostLatencyConfig::a100_gpu());
+  Rng rng(17);
+  RunningStats cpu_stats;
+  RunningStats gpu_stats;
+  for (const double s : cpu.measure_item_latencies(10'000, rng)) cpu_stats.add(s);
+  for (const double s : gpu.measure_item_latencies(10'000, rng)) gpu_stats.add(s);
+  EXPECT_GT(cpu_stats.mean(), gpu_stats.mean());
+  // Both are hundreds of microseconds; the FPGA path is ~2.15 us.
+  EXPECT_GT(gpu_stats.mean() / 2.15133, 100.0);
+}
+
+TEST(Baselines, CpuSpreadIsWiderThanGpu) {
+  // Table I: the CPU CI spans ~8x, the GPU CI ~2.8x.
+  BaselineFixture f;
+  const HostBaseline cpu("cpu", f.config, f.params, HostLatencyConfig::xeon_cpu());
+  const HostBaseline gpu("gpu", f.config, f.params, HostLatencyConfig::a100_gpu());
+  Rng rng(19);
+  RunningStats cpu_stats;
+  RunningStats gpu_stats;
+  for (const double s : cpu.measure_item_latencies(10'000, rng)) cpu_stats.add(s);
+  for (const double s : gpu.measure_item_latencies(10'000, rng)) gpu_stats.add(s);
+  EXPECT_GT(cpu_stats.stddev() / cpu_stats.mean(),
+            gpu_stats.stddev() / gpu_stats.mean());
+}
+
+TEST(Baselines, DeterministicGivenSeed) {
+  BaselineFixture f;
+  const HostBaseline cpu("cpu", f.config, f.params, HostLatencyConfig::xeon_cpu());
+  Rng rng1(23);
+  Rng rng2(23);
+  EXPECT_EQ(cpu.measure_item_latencies(100, rng1),
+            cpu.measure_item_latencies(100, rng2));
+}
+
+TEST(Baselines, ConfigGuards) {
+  BaselineFixture f;
+  HostLatencyConfig bad = HostLatencyConfig::xeon_cpu();
+  bad.ops_per_item = 0;
+  EXPECT_THROW(HostBaseline("x", f.config, f.params, bad), PreconditionError);
+  bad = HostLatencyConfig::xeon_cpu();
+  bad.gflops = 0.0;
+  EXPECT_THROW(HostBaseline("x", f.config, f.params, bad), PreconditionError);
+  const HostBaseline cpu("cpu", f.config, f.params, HostLatencyConfig::xeon_cpu());
+  Rng rng(1);
+  EXPECT_THROW(cpu.measure_item_latencies(0, rng), PreconditionError);
+}
+
+}  // namespace
+}  // namespace csdml::baselines

@@ -1,0 +1,98 @@
+#include "common/csv.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace csdml {
+namespace {
+
+TEST(Csv, ParsesSimpleRows) {
+  const CsvDocument doc = parse_csv("a,b,c\n1,2,3\n4,5,6\n", true);
+  ASSERT_EQ(doc.header.size(), 3u);
+  EXPECT_EQ(doc.header[0], "a");
+  ASSERT_EQ(doc.rows.size(), 2u);
+  EXPECT_EQ(doc.rows[0], (std::vector<std::string>{"1", "2", "3"}));
+  EXPECT_EQ(doc.rows[1][2], "6");
+}
+
+TEST(Csv, HeaderlessMode) {
+  const CsvDocument doc = parse_csv("1,2\n3,4\n", false);
+  EXPECT_TRUE(doc.header.empty());
+  EXPECT_EQ(doc.rows.size(), 2u);
+}
+
+TEST(Csv, QuotedFieldsWithCommasAndQuotes) {
+  const CsvDocument doc =
+      parse_csv("name,notes\nWannacry,\"spreads, fast\"\nRyuk,\"says \"\"pay\"\"\"\n",
+                true);
+  EXPECT_EQ(doc.rows[0][1], "spreads, fast");
+  EXPECT_EQ(doc.rows[1][1], "says \"pay\"");
+}
+
+TEST(Csv, QuotedNewlineInsideField) {
+  const CsvDocument doc = parse_csv("a\n\"line1\nline2\"\n", true);
+  ASSERT_EQ(doc.rows.size(), 1u);
+  EXPECT_EQ(doc.rows[0][0], "line1\nline2");
+}
+
+TEST(Csv, CrLfLineEndings) {
+  const CsvDocument doc = parse_csv("a,b\r\n1,2\r\n", true);
+  ASSERT_EQ(doc.rows.size(), 1u);
+  EXPECT_EQ(doc.rows[0][1], "2");
+}
+
+TEST(Csv, SkipsBlankLines) {
+  const CsvDocument doc = parse_csv("a\n\n1\n\n2\n", true);
+  EXPECT_EQ(doc.rows.size(), 2u);
+}
+
+TEST(Csv, MissingFinalNewline) {
+  const CsvDocument doc = parse_csv("a,b\n1,2", true);
+  ASSERT_EQ(doc.rows.size(), 1u);
+  EXPECT_EQ(doc.rows[0][1], "2");
+}
+
+TEST(Csv, UnterminatedQuoteThrows) {
+  EXPECT_THROW(parse_csv("a\n\"oops\n", true), ParseError);
+}
+
+TEST(Csv, EscapeRoundTrip) {
+  for (const std::string& field :
+       {std::string("plain"), std::string("with,comma"), std::string("with\"quote"),
+        std::string("with\nnewline"), std::string("")}) {
+    std::ostringstream out;
+    CsvWriter writer(out);
+    writer.write_row({field, "tail"});
+    const CsvDocument doc = parse_csv(out.str(), false);
+    ASSERT_EQ(doc.rows.size(), 1u);
+    EXPECT_EQ(doc.rows[0][0], field);
+    EXPECT_EQ(doc.rows[0][1], "tail");
+  }
+}
+
+TEST(Csv, FileRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/csdml_csv_test.csv";
+  {
+    std::ofstream out(path, std::ios::binary);
+    CsvWriter writer(out);
+    writer.write_row({"x", "y"});
+    writer.write_row({"1", "2"});
+  }
+  const CsvDocument doc = read_csv_file(path, true);
+  EXPECT_EQ(doc.header[1], "y");
+  ASSERT_EQ(doc.rows.size(), 1u);
+  EXPECT_EQ(doc.rows[0][0], "1");
+  std::remove(path.c_str());
+}
+
+TEST(Csv, MissingFileThrows) {
+  EXPECT_THROW(read_csv_file("/nonexistent/no.csv", true), ParseError);
+}
+
+}  // namespace
+}  // namespace csdml

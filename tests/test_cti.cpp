@@ -1,0 +1,113 @@
+#include "detect/cti.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "nn/train.hpp"
+
+namespace csdml::detect {
+namespace {
+
+const ransomware::FamilyProfile& lockbit() {
+  return ransomware::ransomware_families()[1];
+}
+
+TEST(Cti, EmergingStrainIsStealthy) {
+  const ransomware::FamilyProfile strain = make_emerging_strain(lockbit(), 1);
+  EXPECT_EQ(strain.name, "Lockbit-Nova1");
+  EXPECT_TRUE(strain.encrypts);
+  EXPECT_FALSE(strain.self_propagates);
+  for (const auto& phase : strain.script) {
+    // None of the loud tells survive.
+    EXPECT_NE(phase.motif, ransomware::MotifKind::EncryptionLoop);
+    EXPECT_NE(phase.motif, ransomware::MotifKind::ShadowCopyWipe);
+    EXPECT_NE(phase.motif, ransomware::MotifKind::SmbPropagation);
+    EXPECT_NE(phase.motif, ransomware::MotifKind::RansomNote);
+    EXPECT_NE(phase.motif, ransomware::MotifKind::DropperStartup);
+  }
+  // But it still encrypts (through the container path) and phones home.
+  bool encrypts = false;
+  bool beacons = false;
+  for (const auto& phase : strain.script) {
+    encrypts |= phase.motif == ransomware::MotifKind::VolumeEncryptionLoop;
+    beacons |= phase.motif == ransomware::MotifKind::C2Beacon;
+  }
+  EXPECT_TRUE(encrypts);
+  EXPECT_TRUE(beacons);
+}
+
+TEST(Cti, StrainIdsProduceDistinctStrains) {
+  const auto a = make_emerging_strain(lockbit(), 1);
+  const auto b = make_emerging_strain(lockbit(), 2);
+  EXPECT_NE(a.name, b.name);
+  EXPECT_NE(a.script.size(), b.script.size());
+}
+
+TEST(Cti, WindowsFromStrainAreWellFormed) {
+  const auto strain = make_emerging_strain(lockbit(), 1);
+  const nn::SequenceDataset windows = windows_from_strain(strain, 50, 100, 25, 7);
+  EXPECT_EQ(windows.size(), 50u);
+  for (const auto& seq : windows.sequences) EXPECT_EQ(seq.size(), 100u);
+  for (const int label : windows.labels) EXPECT_EQ(label, 1);
+  // Deterministic for a seed, distinct across seeds.
+  const nn::SequenceDataset again = windows_from_strain(strain, 50, 100, 25, 7);
+  EXPECT_EQ(windows.sequences, again.sequences);
+  const nn::SequenceDataset other = windows_from_strain(strain, 50, 100, 25, 8);
+  EXPECT_NE(windows.sequences, other.sequences);
+}
+
+TEST(Cti, IncorporateStrainImprovesRecallAndBumpsWeights) {
+  // A model trained on two token languages stands in for the stock model;
+  // the "strain" dataset shifts the positive distribution.
+  nn::LstmConfig config{.vocab_size = 278, .embed_dim = 8, .hidden_dim = 32};
+  Rng rng(9);
+  nn::LstmClassifier model(config, rng);
+
+  // Stock corpus: a very small slice of the real generator output.
+  ransomware::DatasetSpec spec = ransomware::DatasetSpec::small();
+  spec.ransomware_windows = 150;
+  spec.benign_windows = 176;
+  const ransomware::BuiltDataset built = ransomware::build_dataset(spec);
+  nn::TrainConfig tc;
+  tc.epochs = 4;
+  tc.batch_size = 32;
+  nn::train(model, built.data, built.data, tc);
+
+  csd::SmartSsd board{csd::SmartSsdConfig{}};
+  xrt::Device device{board};
+  kernels::CsdLstmEngine engine(device, config, model.params(),
+                                kernels::EngineConfig{});
+  EXPECT_EQ(engine.weight_updates(), 1u);
+
+  const auto strain = make_emerging_strain(lockbit(), 1);
+  nn::TrainConfig fine_tune = tc;
+  fine_tune.epochs = 6;
+  fine_tune.learning_rate = 0.005;
+  const CtiUpdateReport report =
+      incorporate_strain(model, engine, strain, built.data, fine_tune);
+
+  EXPECT_GE(report.strain_recall_after, report.strain_recall_before);
+  EXPECT_GE(report.strain_recall_after, 0.85);
+  // This fixture's replay buffer is deliberately tiny (326 windows); the
+  // realistic-scale run in bench_cti_update retains ~0.97.
+  EXPECT_GE(report.replay_accuracy_after, 0.85);
+  EXPECT_EQ(report.engine_weight_version, 2u);
+  EXPECT_EQ(engine.weight_updates(), 2u);
+  EXPECT_EQ(report.windows_added, 200u);
+
+  // The engine now runs the updated model.
+  const nn::SequenceDataset eval = windows_from_strain(strain, 10, 100, 37, 123);
+  std::size_t device_hits = 0;
+  for (const auto& seq : eval.sequences) {
+    device_hits += engine.infer(seq).label == 1;
+  }
+  EXPECT_GE(device_hits, 8u);
+}
+
+TEST(Cti, GuardsAgainstBadInput) {
+  const auto strain = make_emerging_strain(lockbit(), 1);
+  EXPECT_THROW(windows_from_strain(strain, 0, 100, 25, 1), PreconditionError);
+}
+
+}  // namespace
+}  // namespace csdml::detect

@@ -1,0 +1,153 @@
+#include "nn/dataset.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <set>
+
+#include "common/error.hpp"
+
+namespace csdml::nn {
+namespace {
+
+SequenceDataset make_dataset(std::size_t n, std::size_t len = 4) {
+  SequenceDataset ds;
+  for (std::size_t i = 0; i < n; ++i) {
+    Sequence seq(len);
+    for (std::size_t j = 0; j < len; ++j) {
+      seq[j] = static_cast<TokenId>((i * 7 + j) % 11);
+    }
+    ds.sequences.push_back(std::move(seq));
+    ds.labels.push_back(i % 2 == 0 ? 1 : 0);
+  }
+  return ds;
+}
+
+TEST(Dataset, CountsAndFractions) {
+  const SequenceDataset ds = make_dataset(10);
+  EXPECT_EQ(ds.size(), 10u);
+  EXPECT_EQ(ds.positives(), 5u);
+  EXPECT_DOUBLE_EQ(ds.positive_fraction(), 0.5);
+  EXPECT_EQ(ds.vocabulary_size(), 11);
+  EXPECT_THROW(SequenceDataset{}.positive_fraction(), PreconditionError);
+  EXPECT_EQ(SequenceDataset{}.vocabulary_size(), 0);
+}
+
+TEST(Dataset, ShuffleKeepsAlignmentAndContent) {
+  SequenceDataset ds = make_dataset(50);
+  // Tag: label 1 datasets all start with even first token by construction.
+  std::multiset<int> labels_before(ds.labels.begin(), ds.labels.end());
+  const std::size_t n_before = ds.size();
+  Rng rng(3);
+  ds.shuffle(rng);
+  EXPECT_EQ(ds.size(), n_before);
+  std::multiset<int> labels_after(ds.labels.begin(), ds.labels.end());
+  EXPECT_EQ(labels_before, labels_after);
+  // Alignment check: regenerate the original and confirm each (seq,label)
+  // pair still co-occurs.
+  const SequenceDataset original = make_dataset(50);
+  for (std::size_t i = 0; i < ds.size(); ++i) {
+    bool found = false;
+    for (std::size_t j = 0; j < original.size(); ++j) {
+      if (original.sequences[j] == ds.sequences[i] &&
+          original.labels[j] == ds.labels[i]) {
+        found = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(found) << "pair " << i << " lost alignment";
+  }
+}
+
+TEST(Dataset, AppendConcatenates) {
+  SequenceDataset a = make_dataset(3);
+  const SequenceDataset b = make_dataset(2);
+  a.append(b);
+  EXPECT_EQ(a.size(), 5u);
+}
+
+TEST(Dataset, SplitFractionsAndDisjointness) {
+  const SequenceDataset ds = make_dataset(100);
+  Rng rng(5);
+  const TrainTestSplit split = split_dataset(ds, 0.2, rng);
+  EXPECT_EQ(split.test.size(), 20u);
+  EXPECT_EQ(split.train.size(), 80u);
+  EXPECT_EQ(split.train.size() + split.test.size(), ds.size());
+}
+
+TEST(Dataset, SplitIsDeterministicForSeed) {
+  const SequenceDataset ds = make_dataset(40);
+  Rng rng1(9);
+  Rng rng2(9);
+  const TrainTestSplit s1 = split_dataset(ds, 0.25, rng1);
+  const TrainTestSplit s2 = split_dataset(ds, 0.25, rng2);
+  EXPECT_EQ(s1.test.sequences, s2.test.sequences);
+  EXPECT_EQ(s1.train.labels, s2.train.labels);
+}
+
+TEST(Dataset, SplitGuards) {
+  const SequenceDataset ds = make_dataset(10);
+  Rng rng(1);
+  EXPECT_THROW(split_dataset(ds, 0.0, rng), PreconditionError);
+  EXPECT_THROW(split_dataset(ds, 1.0, rng), PreconditionError);
+  EXPECT_THROW(split_dataset(make_dataset(1), 0.5, rng), PreconditionError);
+}
+
+TEST(Dataset, SplitAlwaysLeavesBothSidesNonEmpty) {
+  const SequenceDataset ds = make_dataset(3);
+  Rng rng(2);
+  const TrainTestSplit split = split_dataset(ds, 0.01, rng);
+  EXPECT_GE(split.test.size(), 1u);
+  EXPECT_GE(split.train.size(), 1u);
+}
+
+TEST(DatasetCsv, RoundTripsThePaperLayout) {
+  const std::string path = ::testing::TempDir() + "/csdml_dataset.csv";
+  const SequenceDataset ds = make_dataset(12, 5);
+  write_dataset_csv(ds, path);
+  const SequenceDataset loaded = read_dataset_csv(path);
+  EXPECT_EQ(loaded.sequences, ds.sequences);
+  EXPECT_EQ(loaded.labels, ds.labels);
+  std::remove(path.c_str());
+}
+
+TEST(DatasetCsv, HeaderlessFilesLoadToo) {
+  const std::string path = ::testing::TempDir() + "/csdml_headerless.csv";
+  {
+    std::ofstream out(path);
+    out << "1,2,3,1\n4,5,6,0\n";
+  }
+  const SequenceDataset loaded = read_dataset_csv(path);
+  ASSERT_EQ(loaded.size(), 2u);
+  EXPECT_EQ(loaded.sequences[0], (Sequence{1, 2, 3}));
+  EXPECT_EQ(loaded.labels[1], 0);
+  std::remove(path.c_str());
+}
+
+TEST(DatasetCsv, RejectsBadContent) {
+  const std::string path = ::testing::TempDir() + "/csdml_bad.csv";
+  {
+    std::ofstream out(path);
+    out << "1,notanumber,1\n";
+  }
+  EXPECT_THROW(read_dataset_csv(path), ParseError);
+  {
+    std::ofstream out(path);
+    out << "1,2,7\n";  // label must be 0/1
+  }
+  EXPECT_THROW(read_dataset_csv(path), PreconditionError);
+  std::remove(path.c_str());
+}
+
+TEST(DatasetCsv, RefusesRaggedOrEmptyWrites) {
+  SequenceDataset ragged;
+  ragged.sequences = {{1, 2}, {3}};
+  ragged.labels = {0, 1};
+  EXPECT_THROW(write_dataset_csv(ragged, "/tmp/x.csv"), PreconditionError);
+  EXPECT_THROW(write_dataset_csv(SequenceDataset{}, "/tmp/x.csv"),
+               PreconditionError);
+}
+
+}  // namespace
+}  // namespace csdml::nn

@@ -1,0 +1,132 @@
+#include "ransomware/dataset_builder.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace csdml::ransomware {
+namespace {
+
+TEST(SlidingWindows, CountMatchesFormula) {
+  std::vector<nn::TokenId> trace(1'000);
+  const auto windows = sliding_windows(trace, 100, 25);
+  // floor((1000 - 100) / 25) + 1 = 37.
+  EXPECT_EQ(windows.size(), 37u);
+  for (const auto& w : windows) EXPECT_EQ(w.size(), 100u);
+}
+
+TEST(SlidingWindows, FirstWindowStartsAtFirstCall) {
+  // "beginning with the first API call made to promote early detection"
+  std::vector<nn::TokenId> trace(300);
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    trace[i] = static_cast<nn::TokenId>(i);
+  }
+  const auto windows = sliding_windows(trace, 100, 50);
+  EXPECT_EQ(windows.front().front(), 0);
+  EXPECT_EQ(windows.front().back(), 99);
+  EXPECT_EQ(windows[1].front(), 50);
+}
+
+TEST(SlidingWindows, ExactFitAndGuards) {
+  std::vector<nn::TokenId> trace(100);
+  EXPECT_EQ(sliding_windows(trace, 100, 10).size(), 1u);
+  EXPECT_THROW(sliding_windows(std::vector<nn::TokenId>(99), 100, 10),
+               PreconditionError);
+  EXPECT_THROW(sliding_windows(trace, 0, 10), PreconditionError);
+  EXPECT_THROW(sliding_windows(trace, 100, 0), PreconditionError);
+}
+
+TEST(DatasetBuilder, PaperSpecDefaults) {
+  const DatasetSpec spec = DatasetSpec::paper();
+  EXPECT_EQ(spec.window_length, 100u);
+  EXPECT_EQ(spec.ransomware_windows, 13'340u);
+  EXPECT_EQ(spec.benign_windows, 15'660u);
+  // 29 K total, 46% ransomware — exactly the paper's proportions.
+  EXPECT_EQ(spec.ransomware_windows + spec.benign_windows, 29'000u);
+  EXPECT_NEAR(static_cast<double>(spec.ransomware_windows) / 29'000.0, 0.46,
+              0.001);
+}
+
+TEST(DatasetBuilder, SmallSpecPreservesProportions) {
+  const DatasetSpec small = DatasetSpec::small();
+  const double fraction =
+      static_cast<double>(small.ransomware_windows) /
+      static_cast<double>(small.ransomware_windows + small.benign_windows);
+  EXPECT_NEAR(fraction, 0.46, 0.001);
+}
+
+TEST(DatasetBuilder, BuildsExactCounts) {
+  DatasetSpec spec = DatasetSpec::small();
+  const BuiltDataset built = build_dataset(spec);
+  EXPECT_EQ(built.data.size(), spec.ransomware_windows + spec.benign_windows);
+  EXPECT_EQ(built.data.positives(), spec.ransomware_windows);
+  EXPECT_NEAR(built.data.positive_fraction(), 0.46, 0.001);
+  for (const auto& seq : built.data.sequences) {
+    EXPECT_EQ(seq.size(), spec.window_length);
+  }
+}
+
+TEST(DatasetBuilder, FamilyStatsMirrorTableTwo) {
+  const BuiltDataset built = build_dataset(DatasetSpec::small());
+  ASSERT_EQ(built.family_stats.size(), 10u);
+  std::size_t windows = 0;
+  std::uint32_t variants = 0;
+  for (const auto& stats : built.family_stats) {
+    EXPECT_TRUE(stats.encrypts);
+    windows += stats.windows;
+    variants += stats.variants;
+  }
+  EXPECT_EQ(windows, DatasetSpec::small().ransomware_windows);
+  EXPECT_EQ(variants, 76u);
+  EXPECT_EQ(built.benign_sources, benign_profiles().size());
+}
+
+TEST(DatasetBuilder, DeterministicForSeed) {
+  DatasetSpec spec = DatasetSpec::small();
+  spec.ransomware_windows = 200;
+  spec.benign_windows = 200;
+  const BuiltDataset a = build_dataset(spec);
+  const BuiltDataset b = build_dataset(spec);
+  EXPECT_EQ(a.data.sequences, b.data.sequences);
+  EXPECT_EQ(a.data.labels, b.data.labels);
+}
+
+TEST(DatasetBuilder, SeedChangesShuffle) {
+  DatasetSpec s1 = DatasetSpec::small();
+  s1.ransomware_windows = 200;
+  s1.benign_windows = 200;
+  DatasetSpec s2 = s1;
+  s2.seed = 777;
+  EXPECT_NE(build_dataset(s1).data.sequences, build_dataset(s2).data.sequences);
+}
+
+TEST(DatasetBuilder, ClassesAreShuffledTogether) {
+  DatasetSpec spec = DatasetSpec::small();
+  spec.ransomware_windows = 300;
+  spec.benign_windows = 300;
+  const BuiltDataset built = build_dataset(spec);
+  // Not all positives first: count label changes along the vector.
+  int transitions = 0;
+  for (std::size_t i = 1; i < built.data.labels.size(); ++i) {
+    transitions += built.data.labels[i] != built.data.labels[i - 1];
+  }
+  EXPECT_GT(transitions, 50);
+}
+
+TEST(DatasetBuilder, TokensWithinVocabulary) {
+  DatasetSpec spec = DatasetSpec::small();
+  spec.ransomware_windows = 150;
+  spec.benign_windows = 150;
+  const BuiltDataset built = build_dataset(spec);
+  EXPECT_LE(built.data.vocabulary_size(), 278);
+  EXPECT_GT(built.data.vocabulary_size(), 100);  // uses a broad slice
+}
+
+TEST(DatasetBuilder, RejectsEmptyClasses) {
+  DatasetSpec spec;
+  spec.ransomware_windows = 0;
+  EXPECT_THROW(build_dataset(spec), PreconditionError);
+}
+
+}  // namespace
+}  // namespace csdml::ransomware

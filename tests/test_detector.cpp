@@ -1,0 +1,185 @@
+#include "detect/detector.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "nn/train.hpp"
+
+namespace csdml::detect {
+namespace {
+
+/// Engine wrapper with a model trained just enough to separate two token
+/// "languages": low tokens (benign-ish) vs high tokens (malicious-ish).
+struct DetectorFixture {
+  nn::LstmConfig config{.vocab_size = 20, .embed_dim = 4, .hidden_dim = 8};
+  csd::SmartSsd board{csd::SmartSsdConfig{}};
+  xrt::Device device{board};
+  std::unique_ptr<kernels::CsdLstmEngine> engine;
+
+  DetectorFixture() {
+    Rng rng(3);
+    nn::LstmClassifier model(config, rng);
+    // Quick training task: tokens < 10 -> label 0, tokens >= 10 -> label 1.
+    nn::SequenceDataset train;
+    Rng data_rng(5);
+    for (int i = 0; i < 160; ++i) {
+      const int label = i % 2;
+      nn::Sequence seq;
+      for (int j = 0; j < 12; ++j) {
+        seq.push_back(static_cast<nn::TokenId>(
+            data_rng.uniform_int(0, 9) + (label != 0 ? 10 : 0)));
+      }
+      train.sequences.push_back(std::move(seq));
+      train.labels.push_back(label);
+    }
+    nn::TrainConfig tc;
+    tc.epochs = 10;
+    tc.batch_size = 16;
+    nn::train(model, train, train, tc);
+
+    engine = std::make_unique<kernels::CsdLstmEngine>(
+        device, config, model.params(),
+        kernels::EngineConfig{.level = kernels::OptimizationLevel::FixedPoint});
+  }
+
+  nn::TokenId benign_token(Rng& rng) const {
+    return static_cast<nn::TokenId>(rng.uniform_int(0, 9));
+  }
+  nn::TokenId malicious_token(Rng& rng) const {
+    return static_cast<nn::TokenId>(rng.uniform_int(10, 19));
+  }
+};
+
+TEST(Detector, NoClassificationBeforeWindowFills) {
+  DetectorFixture f;
+  StreamingDetector detector(*f.engine, DetectorConfig{.window_length = 50});
+  Rng rng(7);
+  for (int i = 0; i < 49; ++i) {
+    EXPECT_FALSE(detector.on_api_call(1, f.malicious_token(rng)).has_value());
+  }
+  EXPECT_EQ(detector.classifications_run(), 0u);
+  // The 50th call completes the window and triggers the first inference.
+  detector.on_api_call(1, f.malicious_token(rng));
+  EXPECT_EQ(detector.classifications_run(), 1u);
+}
+
+TEST(Detector, DetectsMaliciousStream) {
+  DetectorFixture f;
+  StreamingDetector detector(
+      *f.engine, DetectorConfig{.window_length = 30, .hop = 10, .threshold = 0.5});
+  Rng rng(9);
+  std::optional<Detection> detection;
+  for (int i = 0; i < 60 && !detection.has_value(); ++i) {
+    detection = detector.on_api_call(42, f.malicious_token(rng));
+  }
+  ASSERT_TRUE(detection.has_value());
+  EXPECT_EQ(detection->process, 42u);
+  EXPECT_GE(detection->probability, 0.5);
+  EXPECT_GE(detection->call_index, 30u);  // cannot fire before a full window
+  EXPECT_GT(detection->inference_time.picos, 0);
+}
+
+TEST(Detector, StaysQuietOnBenignStream) {
+  DetectorFixture f;
+  StreamingDetector detector(
+      *f.engine, DetectorConfig{.window_length = 30, .hop = 5});
+  Rng rng(11);
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_FALSE(detector.on_api_call(7, f.benign_token(rng)).has_value());
+  }
+  EXPECT_GT(detector.classifications_run(), 10u);  // it did keep checking
+}
+
+TEST(Detector, HopThrottlesClassifications) {
+  DetectorFixture f;
+  StreamingDetector sparse(
+      *f.engine, DetectorConfig{.window_length = 20, .hop = 20});
+  StreamingDetector dense(
+      *f.engine, DetectorConfig{.window_length = 20, .hop = 1});
+  Rng rng(13);
+  for (int i = 0; i < 100; ++i) {
+    const nn::TokenId token = f.benign_token(rng);
+    sparse.on_api_call(1, token);
+    dense.on_api_call(1, token);
+  }
+  // dense: one per call after warmup (81); sparse: one per 20 (5).
+  EXPECT_EQ(dense.classifications_run(), 81u);
+  EXPECT_EQ(sparse.classifications_run(), 5u);
+}
+
+TEST(Detector, DebounceRequiresConsecutiveAlerts) {
+  DetectorFixture f;
+  StreamingDetector detector(
+      *f.engine, DetectorConfig{.window_length = 20, .hop = 5,
+                                .consecutive_alerts = 3});
+  Rng rng(15);
+  int detections_at = -1;
+  for (int i = 0; i < 100; ++i) {
+    const auto detection = detector.on_api_call(1, f.malicious_token(rng));
+    if (detection.has_value()) {
+      detections_at = i;
+      break;
+    }
+  }
+  ASSERT_GE(detections_at, 0);
+  // Needs the window (20 calls) plus two further hops (2 x 5) to gather
+  // three consecutive over-threshold classifications: earliest index 29.
+  EXPECT_GE(detections_at, 29);
+  EXPECT_GE(detector.classifications_run(), 3u);
+}
+
+TEST(Detector, TracksProcessesIndependently) {
+  DetectorFixture f;
+  StreamingDetector detector(
+      *f.engine, DetectorConfig{.window_length = 30, .hop = 10});
+  Rng rng(17);
+  std::optional<Detection> benign_detection;
+  std::optional<Detection> malicious_detection;
+  for (int i = 0; i < 80; ++i) {
+    const auto b = detector.on_api_call(1, f.benign_token(rng));
+    if (b.has_value()) benign_detection = b;
+    const auto m = detector.on_api_call(2, f.malicious_token(rng));
+    if (m.has_value() && !malicious_detection.has_value()) {
+      malicious_detection = m;
+    }
+  }
+  EXPECT_FALSE(benign_detection.has_value());
+  ASSERT_TRUE(malicious_detection.has_value());
+  EXPECT_EQ(malicious_detection->process, 2u);
+}
+
+TEST(Detector, ForgetResetsProcessState) {
+  DetectorFixture f;
+  StreamingDetector detector(*f.engine, DetectorConfig{.window_length = 10});
+  Rng rng(19);
+  for (int i = 0; i < 9; ++i) detector.on_api_call(1, f.benign_token(rng));
+  detector.forget(1);
+  // Window must refill from scratch: 9 more calls trigger nothing.
+  for (int i = 0; i < 9; ++i) {
+    EXPECT_FALSE(detector.on_api_call(1, f.benign_token(rng)).has_value());
+  }
+  EXPECT_EQ(detector.classifications_run(), 0u);
+}
+
+TEST(Detector, AccumulatesDeviceTime) {
+  DetectorFixture f;
+  StreamingDetector detector(*f.engine, DetectorConfig{.window_length = 10,
+                                                       .hop = 1});
+  Rng rng(21);
+  for (int i = 0; i < 20; ++i) detector.on_api_call(1, f.benign_token(rng));
+  EXPECT_GT(detector.device_time_spent().picos, 0);
+}
+
+TEST(Detector, ConfigGuards) {
+  DetectorFixture f;
+  EXPECT_THROW(StreamingDetector(*f.engine, DetectorConfig{.window_length = 0}),
+               PreconditionError);
+  EXPECT_THROW(StreamingDetector(*f.engine, DetectorConfig{.hop = 0}),
+               PreconditionError);
+  EXPECT_THROW(
+      StreamingDetector(*f.engine, DetectorConfig{.consecutive_alerts = 0}),
+      PreconditionError);
+}
+
+}  // namespace
+}  // namespace csdml::detect

@@ -1,0 +1,126 @@
+#include "detect/drift.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "detect/cti.hpp"
+#include "ransomware/dataset_builder.hpp"
+
+namespace csdml::detect {
+namespace {
+
+const ransomware::BuiltDataset& corpus() {
+  static const ransomware::BuiltDataset built = [] {
+    ransomware::DatasetSpec spec = ransomware::DatasetSpec::small();
+    spec.ransomware_windows = 200;
+    spec.benign_windows = 235;
+    return ransomware::build_dataset(spec);
+  }();
+  return built;
+}
+
+TEST(Drift, DistributionIsNormalised) {
+  const CategoryDistribution dist = category_distribution(corpus().data);
+  double sum = 0.0;
+  for (const double v : dist) {
+    EXPECT_GE(v, 0.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(Drift, PsiZeroForIdenticalDistributions) {
+  const CategoryDistribution dist = category_distribution(corpus().data);
+  EXPECT_NEAR(population_stability_index(dist, dist), 0.0, 1e-12);
+}
+
+TEST(Drift, PsiPositiveAndSymmetricOrderOfMagnitude) {
+  CategoryDistribution a{};
+  CategoryDistribution b{};
+  a[0] = 0.8;
+  a[1] = 0.2;
+  b[0] = 0.2;
+  b[1] = 0.8;
+  const double ab = population_stability_index(a, b);
+  EXPECT_GT(ab, 0.25);  // a major shift
+  EXPECT_NEAR(ab, population_stability_index(b, a), 1e-9);
+}
+
+TEST(Drift, StockTrafficDoesNotAlarm) {
+  const CategoryDistribution reference = category_distribution(corpus().data);
+  DriftMonitor monitor(reference, DriftConfig{.window_tokens = 1'000});
+  // Replay the corpus itself (same distribution).
+  for (const auto& window : corpus().data.sequences) {
+    for (const nn::TokenId token : window) {
+      EXPECT_FALSE(monitor.observe(token));
+    }
+  }
+  EXPECT_FALSE(monitor.drifted());
+  EXPECT_GT(monitor.windows_evaluated(), 10u);
+  EXPECT_LT(monitor.last_psi(), 0.1);  // "stable" band
+}
+
+TEST(Drift, NovelStrainTrafficAlarms) {
+  const CategoryDistribution reference = category_distribution(corpus().data);
+  DriftMonitor monitor(reference,
+                       DriftConfig{.window_tokens = 1'000, .psi_threshold = 0.25,
+                                   .consecutive_windows = 2});
+  // Traffic dominated by the stealth strain (container encryption, no
+  // registry/service/propagation activity): categories shift hard.
+  const auto strain =
+      make_emerging_strain(ransomware::ransomware_families()[1], 1);
+  const nn::SequenceDataset traffic = windows_from_strain(strain, 120, 100, 25, 3);
+  bool alarmed = false;
+  for (const auto& window : traffic.sequences) {
+    for (const nn::TokenId token : window) {
+      alarmed |= monitor.observe(token);
+    }
+  }
+  EXPECT_TRUE(alarmed);
+  EXPECT_TRUE(monitor.drifted());
+  EXPECT_GT(monitor.last_psi(), 0.25);
+}
+
+TEST(Drift, ResetClearsAlarm) {
+  CategoryDistribution reference{};
+  reference[0] = 1.0;
+  DriftMonitor monitor(reference, DriftConfig{.window_tokens = 50,
+                                              .consecutive_windows = 1});
+  // Feed tokens of a very different category mix.
+  const auto& vocab = ransomware::ApiVocabulary::instance();
+  const nn::TokenId crypto = vocab.require("CryptEncrypt");
+  for (int i = 0; i < 50; ++i) monitor.observe(crypto);
+  EXPECT_TRUE(monitor.drifted());
+  monitor.reset();
+  EXPECT_FALSE(monitor.drifted());
+}
+
+TEST(Drift, DebounceRequiresConsecutiveWindows) {
+  CategoryDistribution reference{};
+  reference[0] = 1.0;
+  DriftMonitor monitor(reference, DriftConfig{.window_tokens = 50,
+                                              .consecutive_windows = 3});
+  const auto& vocab = ransomware::ApiVocabulary::instance();
+  const nn::TokenId crypto = vocab.require("CryptEncrypt");
+  int fired_at_window = -1;
+  for (int i = 0; i < 200; ++i) {
+    if (monitor.observe(crypto)) {
+      fired_at_window = static_cast<int>(monitor.windows_evaluated());
+      break;
+    }
+  }
+  EXPECT_EQ(fired_at_window, 3);
+}
+
+TEST(Drift, Guards) {
+  EXPECT_THROW(category_distribution(std::vector<nn::TokenId>{}),
+               PreconditionError);
+  CategoryDistribution reference{};
+  EXPECT_THROW(DriftMonitor(reference, DriftConfig{.window_tokens = 0}),
+               PreconditionError);
+  EXPECT_THROW(DriftMonitor(reference, DriftConfig{.psi_threshold = 0.0}),
+               PreconditionError);
+}
+
+}  // namespace
+}  // namespace csdml::detect

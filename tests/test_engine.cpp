@@ -1,0 +1,214 @@
+#include "kernels/engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace csdml::kernels {
+namespace {
+
+struct EngineFixture {
+  nn::LstmConfig model_config;
+  nn::LstmParams params;
+  csd::SmartSsd board{csd::SmartSsdConfig{}};
+  xrt::Device device{board};
+
+  EngineFixture() {
+    Rng rng(33);
+    params = nn::LstmParams::glorot(model_config, rng);
+  }
+
+  nn::Sequence sequence(std::uint64_t seed, int length = 100) const {
+    Rng rng(seed);
+    nn::Sequence seq;
+    for (int i = 0; i < length; ++i) {
+      seq.push_back(static_cast<nn::TokenId>(
+          rng.uniform_int(0, model_config.vocab_size - 1)));
+    }
+    return seq;
+  }
+};
+
+TEST(Engine, FixedPointInferMatchesFixedDatapath) {
+  EngineFixture f;
+  CsdLstmEngine engine(f.device, f.model_config, f.params,
+                       EngineConfig{.level = OptimizationLevel::FixedPoint});
+  const FixedDatapath reference(f.model_config, f.params);
+  const nn::Sequence seq = f.sequence(1);
+  const InferenceResult result = engine.infer(seq);
+  EXPECT_DOUBLE_EQ(result.probability, reference.infer(seq));
+  EXPECT_EQ(result.label, result.probability >= 0.5 ? 1 : 0);
+}
+
+TEST(Engine, VanillaInferMatchesFloatDatapath) {
+  EngineFixture f;
+  CsdLstmEngine engine(f.device, f.model_config, f.params,
+                       EngineConfig{.level = OptimizationLevel::Vanilla});
+  const FloatDatapath reference(f.model_config, f.params);
+  const nn::Sequence seq = f.sequence(2);
+  EXPECT_DOUBLE_EQ(engine.infer(seq).probability, reference.infer(seq));
+}
+
+TEST(Engine, PerItemTimingsReproduceFig3Totals) {
+  EngineFixture f;
+  CsdLstmEngine engine(f.device, f.model_config, f.params,
+                       EngineConfig{.level = OptimizationLevel::FixedPoint});
+  const KernelTimings timings = engine.per_item_timings();
+  EXPECT_NEAR(timings.total().as_microseconds(), 2.15133, 0.22);
+
+  csd::SmartSsd board2{csd::SmartSsdConfig{}};
+  xrt::Device device2{board2};
+  CsdLstmEngine vanilla(device2, f.model_config, f.params,
+                        EngineConfig{.level = OptimizationLevel::Vanilla});
+  EXPECT_NEAR(vanilla.per_item_timings().total().as_microseconds(), 7.153, 0.72);
+}
+
+TEST(Engine, SequenceTimeScalesWithLengthAndOverlapsPreprocess) {
+  EngineFixture f;
+  CsdLstmEngine engine(f.device, f.model_config, f.params,
+                       EngineConfig{.level = OptimizationLevel::FixedPoint});
+  const KernelTimings per_item = engine.per_item_timings();
+  const auto t10 = engine.infer(f.sequence(3, 10)).device_time;
+  const auto t100 = engine.infer(f.sequence(3, 100)).device_time;
+  // Steady-state slope = gates + hidden (preprocess runs one item ahead).
+  const Duration steady = per_item.gates + per_item.hidden_state;
+  EXPECT_NEAR((t100 - t10).as_microseconds(), steady.as_microseconds() * 90.0,
+              1e-6);
+  // Preprocess is exposed exactly once per sequence.
+  EXPECT_NEAR(t10.as_microseconds(),
+              per_item.preprocess.as_microseconds() +
+                  10 * steady.as_microseconds(),
+              1e-6);
+}
+
+TEST(Engine, FewerComputeUnitsAreSlower) {
+  EngineFixture f;
+  CsdLstmEngine four(f.device, f.model_config, f.params,
+                     EngineConfig{.level = OptimizationLevel::Vanilla,
+                                  .gate_cu_count = 4});
+  csd::SmartSsd board1{csd::SmartSsdConfig{}};
+  xrt::Device device1{board1};
+  CsdLstmEngine one(device1, f.model_config, f.params,
+                    EngineConfig{.level = OptimizationLevel::Vanilla,
+                                 .gate_cu_count = 1});
+  csd::SmartSsd board2{csd::SmartSsdConfig{}};
+  xrt::Device device2{board2};
+  CsdLstmEngine two(device2, f.model_config, f.params,
+                    EngineConfig{.level = OptimizationLevel::Vanilla,
+                                 .gate_cu_count = 2});
+
+  const double t4 = four.per_item_timings().gates.as_microseconds();
+  const double t2 = two.per_item_timings().gates.as_microseconds();
+  const double t1 = one.per_item_timings().gates.as_microseconds();
+  EXPECT_NEAR(t2, t4 * 2.0, 1e-9);
+  EXPECT_NEAR(t1, t4 * 4.0, 1e-9);
+}
+
+TEST(Engine, CuCountDoesNotChangeResults) {
+  EngineFixture f;
+  CsdLstmEngine four(f.device, f.model_config, f.params,
+                     EngineConfig{.level = OptimizationLevel::FixedPoint,
+                                  .gate_cu_count = 4});
+  csd::SmartSsd board1{csd::SmartSsdConfig{}};
+  xrt::Device device1{board1};
+  CsdLstmEngine one(device1, f.model_config, f.params,
+                    EngineConfig{.level = OptimizationLevel::FixedPoint,
+                                 .gate_cu_count = 1});
+  const nn::Sequence seq = f.sequence(5);
+  EXPECT_DOUBLE_EQ(four.infer(seq).probability, one.infer(seq).probability);
+}
+
+TEST(Engine, InferFromSsdP2pBeatsHostPath) {
+  EngineFixture f;
+  CsdLstmEngine engine(f.device, f.model_config, f.params, EngineConfig{});
+  const nn::Sequence seq = f.sequence(7);
+  const auto p2p = engine.infer_from_ssd(2048, 1, seq, /*p2p=*/true);
+
+  csd::SmartSsd board2{csd::SmartSsdConfig{}};
+  xrt::Device device2{board2};
+  CsdLstmEngine engine2(device2, f.model_config, f.params, EngineConfig{});
+  const auto host = engine2.infer_from_ssd(2048, 1, seq, /*p2p=*/false);
+
+  EXPECT_LT(p2p.transfer_time.picos, host.transfer_time.picos);
+  EXPECT_DOUBLE_EQ(p2p.inference.probability, host.inference.probability);
+}
+
+TEST(Engine, PlacesResourcesOnFpga) {
+  EngineFixture f;
+  CsdLstmEngine engine(f.device, f.model_config, f.params, EngineConfig{});
+  EXPECT_GT(engine.fpga_utilization(), 0.0);
+  EXPECT_LT(engine.fpga_utilization(), 1.0);
+}
+
+TEST(Engine, LoadsFromSnapshot) {
+  EngineFixture f;
+  const nn::ModelSnapshot snapshot{f.model_config, f.params};
+  CsdLstmEngine engine(f.device, snapshot,
+                       EngineConfig{.level = OptimizationLevel::FixedPoint});
+  EXPECT_GT(engine.infer(f.sequence(9)).device_time.picos, 0);
+}
+
+TEST(Engine, RejectsBadCuCount) {
+  EngineFixture f;
+  EXPECT_THROW(CsdLstmEngine(f.device, f.model_config, f.params,
+                             EngineConfig{.gate_cu_count = 0}),
+               PreconditionError);
+  EXPECT_THROW(CsdLstmEngine(f.device, f.model_config, f.params,
+                             EngineConfig{.gate_cu_count = 5}),
+               PreconditionError);
+}
+
+TEST(Engine, UpdateWeightsSwapsTheModelInPlace) {
+  EngineFixture f;
+  CsdLstmEngine engine(f.device, f.model_config, f.params,
+                       EngineConfig{.level = OptimizationLevel::FixedPoint});
+  const nn::Sequence seq = f.sequence(13);
+  const double before = engine.infer(seq).probability;
+  EXPECT_EQ(engine.weight_updates(), 1u);
+
+  Rng rng(99);
+  const nn::LstmParams fresh = nn::LstmParams::glorot(f.model_config, rng);
+  const TimePoint t_before = f.device.now();
+  engine.update_weights(fresh);
+  EXPECT_EQ(engine.weight_updates(), 2u);
+  EXPECT_GT(f.device.now().picos, t_before.picos);  // restaging costs time
+
+  const double after = engine.infer(seq).probability;
+  EXPECT_NE(before, after);
+  // The new behaviour matches a fresh engine built on the new params.
+  csd::SmartSsd board2{csd::SmartSsdConfig{}};
+  xrt::Device device2{board2};
+  CsdLstmEngine reference(device2, f.model_config, fresh,
+                          EngineConfig{.level = OptimizationLevel::FixedPoint});
+  EXPECT_DOUBLE_EQ(after, reference.infer(seq).probability);
+}
+
+TEST(Engine, UpdateWeightsRejectsArchitectureChange) {
+  EngineFixture f;
+  CsdLstmEngine engine(f.device, f.model_config, f.params, EngineConfig{});
+  nn::LstmConfig other = f.model_config;
+  other.hidden_dim = 16;
+  Rng rng(1);
+  EXPECT_THROW(engine.update_weights(nn::LstmParams::glorot(other, rng)),
+               PreconditionError);
+}
+
+TEST(Engine, UpdateWeightsDoesNotReloadXclbin) {
+  // The paper: compiled once, updated at the operator's discretion —
+  // utilization must not grow across updates.
+  EngineFixture f;
+  CsdLstmEngine engine(f.device, f.model_config, f.params, EngineConfig{});
+  const double util_before = engine.fpga_utilization();
+  Rng rng(5);
+  engine.update_weights(nn::LstmParams::glorot(f.model_config, rng));
+  EXPECT_DOUBLE_EQ(engine.fpga_utilization(), util_before);
+}
+
+TEST(Engine, EmptySequenceThrows) {
+  EngineFixture f;
+  CsdLstmEngine engine(f.device, f.model_config, f.params, EngineConfig{});
+  EXPECT_THROW(engine.infer({}), PreconditionError);
+}
+
+}  // namespace
+}  // namespace csdml::kernels

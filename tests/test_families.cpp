@@ -1,0 +1,108 @@
+#include "ransomware/families.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+namespace csdml::ransomware {
+namespace {
+
+TEST(Families, TableTwoRoster) {
+  // Table II of the paper: ten families with these variant counts and
+  // encryption / self-propagation flags.
+  const std::map<std::string, std::pair<std::uint32_t, bool>> expected = {
+      {"Ryuk", {5, true}},        {"Lockbit", {6, true}},
+      {"Teslacrypt", {10, false}}, {"Virlock", {11, false}},
+      {"Cryptowall", {8, false}},  {"Cerber", {9, false}},
+      {"Wannacry", {7, true}},     {"Locky", {6, false}},
+      {"Chimera", {9, false}},     {"BadRabbit", {5, true}},
+  };
+  const auto& families = ransomware_families();
+  ASSERT_EQ(families.size(), 10u);
+  for (const auto& family : families) {
+    const auto it = expected.find(family.name);
+    ASSERT_NE(it, expected.end()) << family.name;
+    EXPECT_EQ(family.variants, it->second.first) << family.name;
+    EXPECT_EQ(family.self_propagates, it->second.second) << family.name;
+    EXPECT_TRUE(family.encrypts) << family.name;  // all variants encrypt
+  }
+}
+
+TEST(Families, VariantTotalMatchesTableTwo) {
+  // The per-family counts in Table II sum to 76 (the text says 78; see
+  // EXPERIMENTS.md for the discrepancy note).
+  EXPECT_EQ(total_variant_count(), 76u);
+}
+
+TEST(Families, EveryFamilyEncryptsInItsScript) {
+  for (const auto& family : ransomware_families()) {
+    bool has_encryption = false;
+    for (const Phase& phase : family.script) {
+      has_encryption |= phase.motif == MotifKind::EncryptionLoop;
+    }
+    EXPECT_TRUE(has_encryption) << family.name;
+  }
+}
+
+TEST(Families, PropagatorsHaveSmbPhases) {
+  for (const auto& family : ransomware_families()) {
+    bool has_propagation = false;
+    for (const Phase& phase : family.script) {
+      has_propagation |= phase.motif == MotifKind::SmbPropagation;
+    }
+    EXPECT_EQ(has_propagation, family.self_propagates) << family.name;
+  }
+}
+
+TEST(Families, ScriptsAreWellFormed) {
+  for (const auto& family : ransomware_families()) {
+    EXPECT_FALSE(family.script.empty()) << family.name;
+    for (const Phase& phase : family.script) {
+      EXPECT_LE(phase.min_repeats, phase.max_repeats) << family.name;
+    }
+  }
+}
+
+TEST(Families, FamilyScriptsAreDistinct) {
+  std::set<std::vector<MotifKind>> shapes;
+  for (const auto& family : ransomware_families()) {
+    std::vector<MotifKind> shape;
+    for (const Phase& phase : family.script) shape.push_back(phase.motif);
+    shapes.insert(shape);
+  }
+  EXPECT_EQ(shapes.size(), ransomware_families().size());
+}
+
+TEST(Benign, ThirtyAppsPlusManualSessions) {
+  const auto& profiles = benign_profiles();
+  std::size_t apps = 0;
+  std::size_t manual = 0;
+  for (const auto& profile : profiles) {
+    (profile.manual_interaction ? manual : apps) += 1;
+  }
+  EXPECT_EQ(apps, 30u);  // "In total, 30 popular applications were collected"
+  EXPECT_GE(manual, 1u);
+}
+
+TEST(Benign, ScriptsAvoidAttackMotifs) {
+  // Benign profiles may use crypto-adjacent motifs (checksum, volume
+  // encryption, key generation — all dual-use) but never the attack
+  // motifs proper.
+  for (const auto& profile : benign_profiles()) {
+    for (const Phase& phase : profile.script) {
+      if (phase.motif == MotifKind::KeyGeneration) continue;  // dual-use
+      EXPECT_FALSE(is_malicious_motif(phase.motif))
+          << profile.name << " uses " << motif_name(phase.motif);
+    }
+  }
+}
+
+TEST(Benign, NamesAreUnique) {
+  std::set<std::string> names;
+  for (const auto& profile : benign_profiles()) names.insert(profile.name);
+  EXPECT_EQ(names.size(), benign_profiles().size());
+}
+
+}  // namespace
+}  // namespace csdml::ransomware

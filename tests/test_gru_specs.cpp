@@ -1,0 +1,111 @@
+#include "kernels/gru_specs.hpp"
+
+#include <gtest/gtest.h>
+
+namespace csdml::kernels {
+namespace {
+
+const hls::HlsCostModel& model() {
+  static const hls::HlsCostModel m = hls::HlsCostModel::ultrascale_default();
+  return m;
+}
+
+TEST(GruSpecs, PreprocessFansOutToThreeUnits) {
+  const nn::GruConfig config;
+  const auto spec =
+      make_gru_preprocess_spec(config, OptimizationLevel::Vanilla);
+  // item fetch + 3 x_t copies.
+  EXPECT_EQ(spec.transfers.size(), 4u);
+  EXPECT_EQ(spec.name, "gru_preprocess");
+}
+
+TEST(GruSpecs, CandidateUnitCarriesTheResetStage) {
+  const nn::GruConfig config;
+  const auto plain = make_gru_gate_spec(config, OptimizationLevel::II, false);
+  const auto candidate = make_gru_gate_spec(config, OptimizationLevel::II, true);
+  EXPECT_EQ(candidate.loops.size(), plain.loops.size() + 1);
+  EXPECT_EQ(candidate.loops.front().name, "reset_apply");
+  EXPECT_GE(model().analyze(candidate).total.count,
+            model().analyze(plain).total.count);
+}
+
+TEST(GruSpecs, StateKernelHasNoDivider) {
+  const nn::GruConfig config;
+  const auto state =
+      make_gru_state_spec(config, OptimizationLevel::FixedPoint);
+  for (const auto& loop : state.loops) {
+    for (const auto& op : loop.body_ops) {
+      EXPECT_NE(op.kind, hls::OpKind::IntDiv);
+      EXPECT_NE(op.kind, hls::OpKind::FloatDiv);
+    }
+  }
+}
+
+class GruLevelTest : public ::testing::TestWithParam<OptimizationLevel> {};
+
+TEST_P(GruLevelTest, GruStateIsCheaperThanLstmHiddenState) {
+  const nn::GruConfig gru_config;
+  const nn::LstmConfig lstm_config;
+  const auto gru = model().analyze(make_gru_state_spec(gru_config, GetParam()));
+  const auto lstm = model().analyze(
+      make_hidden_state_spec(lstm_config, GetParam(), 4));
+  EXPECT_LT(gru.total.count, lstm.total.count);
+}
+
+TEST_P(GruLevelTest, WholeGruDesignUsesFewerResourcesThanLstm) {
+  const nn::GruConfig gru_config;
+  const nn::LstmConfig lstm_config;
+  const GruCsdEstimate gru = estimate_gru_csd(model(), gru_config, GetParam());
+
+  hls::ResourceEstimate lstm;
+  lstm += hls::estimate_resources(
+      make_preprocess_spec(lstm_config, GetParam(), 4));
+  lstm += hls::estimate_resources(make_gates_spec(lstm_config, GetParam())) * 4;
+  lstm += hls::estimate_resources(
+      make_hidden_state_spec(lstm_config, GetParam(), 4));
+
+  EXPECT_LT(gru.resources.dsp, lstm.dsp);
+  EXPECT_LT(gru.resources.luts, lstm.luts);
+  EXPECT_TRUE(gru.resources.fits(hls::FpgaPart::ku15p()));
+}
+
+TEST_P(GruLevelTest, TimingsArePositiveAndOrdered) {
+  const nn::GruConfig config;
+  const GruCsdEstimate estimate = estimate_gru_csd(model(), config, GetParam());
+  EXPECT_GT(estimate.preprocess.picos, 0);
+  EXPECT_GT(estimate.gates.picos, 0);
+  EXPECT_GT(estimate.state.picos, 0);
+  EXPECT_EQ(estimate.total().picos,
+            (estimate.preprocess + estimate.gates + estimate.state).picos);
+}
+
+INSTANTIATE_TEST_SUITE_P(Levels, GruLevelTest,
+                         ::testing::Values(OptimizationLevel::Vanilla,
+                                           OptimizationLevel::II,
+                                           OptimizationLevel::FixedPoint),
+                         [](const auto& info) {
+                           std::string name = optimization_name(info.param);
+                           for (char& c : name) {
+                             if (c == '-') c = '_';
+                           }
+                           return name;
+                         });
+
+TEST(GruSpecs, FixedPointGatesReachAmortizedOneCycleLikeLstm) {
+  const nn::GruConfig config;
+  const GruCsdEstimate estimate =
+      estimate_gru_csd(model(), config, OptimizationLevel::FixedPoint);
+  // The slowest CU (candidate with its reset stage) still sustains II=1.
+  EXPECT_NEAR(estimate.gates.as_microseconds(), 0.00333, 5e-4);
+}
+
+TEST(GruSpecs, StreamLinkDropsStateTransfers) {
+  const nn::GruConfig config;
+  const auto stream = make_gru_state_spec(config, OptimizationLevel::FixedPoint,
+                                          KernelLink::Stream);
+  ASSERT_EQ(stream.transfers.size(), 1u);
+  EXPECT_EQ(stream.transfers.front().name, "prediction_out");
+}
+
+}  // namespace
+}  // namespace csdml::kernels

@@ -1,0 +1,151 @@
+#include "detect/guarded_ssd.hpp"
+
+#include <gtest/gtest.h>
+
+#include "nn/train.hpp"
+
+namespace csdml::detect {
+namespace {
+
+/// Two-language toy model (low tokens benign, high tokens malicious), the
+/// same scheme the detector/mitigation tests use.
+struct GuardedFixture {
+  nn::LstmConfig config{.vocab_size = 20, .embed_dim = 4, .hidden_dim = 8};
+  csd::SmartSsd board{csd::SmartSsdConfig{}};
+  xrt::Device device{board};
+  std::unique_ptr<kernels::CsdLstmEngine> engine;
+  std::unique_ptr<CsdGuard> guard;
+  std::unique_ptr<GuardedSsd> guarded;
+
+  GuardedFixture() {
+    Rng rng(3);
+    nn::LstmClassifier model(config, rng);
+    nn::SequenceDataset train;
+    Rng data_rng(5);
+    for (int i = 0; i < 160; ++i) {
+      const int label = i % 2;
+      nn::Sequence seq;
+      for (int j = 0; j < 12; ++j) {
+        seq.push_back(static_cast<nn::TokenId>(
+            data_rng.uniform_int(0, 9) + (label != 0 ? 10 : 0)));
+      }
+      train.sequences.push_back(std::move(seq));
+      train.labels.push_back(label);
+    }
+    nn::TrainConfig tc;
+    tc.epochs = 10;
+    tc.batch_size = 16;
+    nn::train(model, train, train, tc);
+    engine = std::make_unique<kernels::CsdLstmEngine>(
+        device, config, model.params(), kernels::EngineConfig{});
+    guard = std::make_unique<CsdGuard>(
+        *engine, DetectorConfig{.window_length = 20, .hop = 5},
+        MitigationPolicy{.quarantine_threshold = 0.9});
+    guarded = std::make_unique<GuardedSsd>(board, *guard);
+  }
+
+  nn::TokenId benign_token(Rng& rng) const {
+    return static_cast<nn::TokenId>(rng.uniform_int(0, 9));
+  }
+  nn::TokenId malicious_token(Rng& rng) const {
+    return static_cast<nn::TokenId>(rng.uniform_int(10, 19));
+  }
+};
+
+std::vector<std::uint8_t> block_of(std::uint8_t value) {
+  return std::vector<std::uint8_t>(4096, value);
+}
+
+TEST(GuardedSsd, RansomwareWritesAreRolledBack) {
+  GuardedFixture f;
+  const ProcessId kMalware = 66;
+  TimePoint now{};
+
+  // "Victim files" on the drive before the attack.
+  now = f.board.ssd().write(100, block_of(0x11), now);
+  now = f.board.ssd().write(101, block_of(0x22), now);
+
+  // Malware interleaves calls and encrypted overwrites until quarantined.
+  Rng rng(7);
+  bool quarantined = false;
+  int overwrites = 0;
+  for (int i = 0; i < 200 && !quarantined; ++i) {
+    quarantined = f.guarded->on_api_call(kMalware, f.malicious_token(rng), now) ==
+                  MitigationAction::QuarantineProcess;
+    if (!quarantined && i % 10 == 5) {
+      const auto result = f.guarded->write(
+          kMalware, 100 + static_cast<std::uint64_t>(overwrites % 2),
+          block_of(0xEE), now);
+      ASSERT_TRUE(result.accepted);
+      now = result.done;
+      ++overwrites;
+    }
+  }
+  ASSERT_TRUE(quarantined);
+  ASSERT_GT(overwrites, 0);
+
+  // Post-quarantine: writes rejected, victim data restored.
+  EXPECT_FALSE(f.guarded->write(kMalware, 100, block_of(0xEE), now).accepted);
+  EXPECT_EQ(f.board.ssd().read(100, 1, now).data.front(), 0x11);
+  EXPECT_EQ(f.board.ssd().read(101, 1, now).data.front(), 0x22);
+  EXPECT_GT(f.guarded->stats().blocks_restored, 0u);
+  EXPECT_EQ(f.guarded->preserved_blocks(kMalware), 0u);
+}
+
+TEST(GuardedSsd, BenignWritesPersistAndShadowsAreDiscarded) {
+  GuardedFixture f;
+  const ProcessId kEditor = 7;
+  TimePoint now{};
+  now = f.board.ssd().write(50, block_of(0xAA), now);
+
+  Rng rng(9);
+  for (int i = 0; i < 60; ++i) {
+    f.guarded->on_api_call(kEditor, f.benign_token(rng), now);
+    if (i % 20 == 10) {
+      const auto result = f.guarded->write(kEditor, 50, block_of(0xBB), now);
+      ASSERT_TRUE(result.accepted);
+      now = result.done;
+    }
+  }
+  EXPECT_GT(f.guarded->preserved_blocks(kEditor), 0u);
+  f.guarded->resolve_benign(kEditor);
+  EXPECT_EQ(f.guarded->preserved_blocks(kEditor), 0u);
+  EXPECT_GT(f.guarded->stats().blocks_discarded, 0u);
+  // The benign write persists — no rollback happened.
+  EXPECT_EQ(f.board.ssd().read(50, 1, now).data.front(), 0xBB);
+}
+
+TEST(GuardedSsd, FirstPreImageWinsAcrossRepeatedOverwrites) {
+  GuardedFixture f;
+  const ProcessId kProcess = 3;
+  TimePoint now{};
+  now = f.board.ssd().write(10, block_of(0x01), now);
+
+  // Three overwrites of the same block: only the original is preserved.
+  for (const std::uint8_t value : {0x02, 0x03, 0x04}) {
+    const auto result = f.guarded->write(kProcess, 10, block_of(value), now);
+    ASSERT_TRUE(result.accepted);
+    now = result.done;
+  }
+  EXPECT_EQ(f.guarded->preserved_blocks(kProcess), 1u);
+  EXPECT_EQ(f.guarded->stats().blocks_preserved, 1u);
+}
+
+TEST(GuardedSsd, MultiBlockWritesPreserveEveryBlock) {
+  GuardedFixture f;
+  TimePoint now{};
+  std::vector<std::uint8_t> three_blocks(3 * 4096, 0x5A);
+  const auto result = f.guarded->write(1, 200, three_blocks, now);
+  ASSERT_TRUE(result.accepted);
+  EXPECT_TRUE(result.snapshotted);
+  EXPECT_EQ(f.guarded->preserved_blocks(1), 3u);
+  EXPECT_EQ(f.guarded->stats().shadow_bytes.count, 3u * 4096u);
+}
+
+TEST(GuardedSsd, EmptyWriteRejected) {
+  GuardedFixture f;
+  EXPECT_THROW(f.guarded->write(1, 0, {}, TimePoint{}), PreconditionError);
+}
+
+}  // namespace
+}  // namespace csdml::detect

@@ -1,0 +1,177 @@
+#include "hls/cost_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace csdml::hls {
+namespace {
+
+HlsCostModel model() { return HlsCostModel::ultrascale_default(); }
+
+LoopSpec basic_loop(std::uint64_t trips) {
+  LoopSpec loop;
+  loop.name = "loop";
+  loop.trip_count = trips;
+  loop.body_ops = {LoopOp{OpKind::IntAdd, 2}};
+  loop.buffer_accesses = 2;
+  loop.memory_ports = 2;
+  return loop;
+}
+
+TEST(OpLatency, DefaultsAreOrdered) {
+  const OpLatencyTable table = OpLatencyTable::vitis_ultrascale_300mhz();
+  EXPECT_EQ(table.latency(OpKind::IntAdd).count, 1u);
+  EXPECT_LT(table.latency(OpKind::IntMul).count,
+            table.latency(OpKind::IntDiv).count);
+  EXPECT_LT(table.latency(OpKind::FloatMul).count,
+            table.latency(OpKind::FloatAdd).count);
+  EXPECT_GT(table.latency(OpKind::FloatExp).count,
+            table.latency(OpKind::FloatMul).count);
+  EXPECT_TRUE(OpLatencyTable::uses_dsp(OpKind::IntMul));
+  EXPECT_FALSE(OpLatencyTable::uses_dsp(OpKind::IntDiv));
+  EXPECT_STREQ(op_name(OpKind::FloatExp), "fexp");
+}
+
+TEST(CostModel, UnpipelinedLoopIsTripTimesBody) {
+  LoopSpec loop = basic_loop(10);
+  const LoopReport report = model().analyze_loop(loop);
+  // body = 2 int adds (2 cycles) + ceil(2/2)=1 memory + 2 overhead = 5.
+  EXPECT_EQ(report.cycles.count, 10u * 5u);
+  EXPECT_EQ(report.achieved_ii, 0u);
+  EXPECT_EQ(report.limiting_factor, "-");
+}
+
+TEST(CostModel, PipelinedLoopIsDepthPlusTrips) {
+  LoopSpec loop = basic_loop(10);
+  loop.pragmas.pipeline = true;
+  const LoopReport report = model().analyze_loop(loop);
+  // depth = 1 (int add stage) + 1 (memory) = 2; II = 1.
+  EXPECT_EQ(report.achieved_ii, 1u);
+  EXPECT_EQ(report.cycles.count, 2u + 9u);
+  EXPECT_EQ(report.limiting_factor, "target");
+}
+
+TEST(CostModel, PortLimitedInitiationInterval) {
+  LoopSpec loop = basic_loop(100);
+  loop.buffer_accesses = 8;  // 8 accesses over 2 ports -> II = 4
+  loop.pragmas.pipeline = true;
+  const LoopReport report = model().analyze_loop(loop);
+  EXPECT_EQ(report.achieved_ii, 4u);
+  EXPECT_EQ(report.limiting_factor, "ports");
+}
+
+TEST(CostModel, ArrayPartitionLiftsPortLimit) {
+  LoopSpec loop = basic_loop(100);
+  loop.buffer_accesses = 8;
+  loop.pragmas.pipeline = true;
+  loop.pragmas.array_partition_complete = true;
+  const LoopReport report = model().analyze_loop(loop);
+  EXPECT_EQ(report.achieved_ii, 1u);
+}
+
+TEST(CostModel, RegisterBindingActsLikePartitioning) {
+  LoopSpec loop = basic_loop(100);
+  loop.buffer_accesses = 8;
+  loop.binding = BufferBinding::Registers;
+  loop.pragmas.pipeline = true;
+  EXPECT_EQ(model().analyze_loop(loop).achieved_ii, 1u);
+}
+
+TEST(CostModel, CarriedDependenceBoundsII) {
+  LoopSpec loop = basic_loop(50);
+  loop.pragmas.pipeline = true;
+  loop.pragmas.array_partition_complete = true;
+  loop.carried_dependency = OpKind::FloatAdd;  // 7-cycle accumulator
+  const LoopReport report = model().analyze_loop(loop);
+  EXPECT_EQ(report.achieved_ii, 7u);
+  EXPECT_EQ(report.limiting_factor, "dependence");
+}
+
+TEST(CostModel, UnrollDividesTripCount) {
+  LoopSpec loop = basic_loop(32);
+  loop.pragmas.pipeline = true;
+  loop.pragmas.array_partition_complete = true;
+  loop.pragmas.unroll = 4;
+  const LoopReport unrolled = model().analyze_loop(loop);
+  loop.pragmas.unroll = 1;
+  const LoopReport rolled = model().analyze_loop(loop);
+  EXPECT_LT(unrolled.cycles.count, rolled.cycles.count);
+}
+
+TEST(CostModel, UnrollWithoutPartitionHitsPorts) {
+  LoopSpec loop = basic_loop(32);
+  loop.pragmas.pipeline = true;
+  loop.pragmas.unroll = 4;  // 2 accesses x 4 = 8 over 2 ports -> II 4
+  const LoopReport report = model().analyze_loop(loop);
+  EXPECT_EQ(report.achieved_ii, 4u);
+}
+
+TEST(CostModel, TargetIiIsFloor) {
+  LoopSpec loop = basic_loop(10);
+  loop.pragmas.pipeline = true;
+  loop.pragmas.target_ii = 3;
+  EXPECT_EQ(model().analyze_loop(loop).achieved_ii, 3u);
+}
+
+TEST(CostModel, LoopGuards) {
+  LoopSpec loop = basic_loop(0);
+  EXPECT_THROW(model().analyze_loop(loop), PreconditionError);
+  loop = basic_loop(1);
+  loop.pragmas.unroll = 0;
+  EXPECT_THROW(model().analyze_loop(loop), PreconditionError);
+}
+
+TEST(CostModel, AxiTransferSetupPlusBeats) {
+  AxiTransferSpec transfer{"t", Bytes{256}, 1.0};
+  // 256 B over 64 B beats = 4 beats; setup 40.
+  EXPECT_EQ(model().analyze_transfer(transfer).count, 44u);
+  transfer.bytes = Bytes{1};
+  EXPECT_EQ(model().analyze_transfer(transfer).count, 41u);
+}
+
+TEST(CostModel, AxiContentionStretchesBeats) {
+  AxiTransferSpec transfer{"t", Bytes{640}, 2.0};  // 10 beats x 2
+  EXPECT_EQ(model().analyze_transfer(transfer).count, 60u);
+  transfer.contention = 0.5;
+  EXPECT_THROW(model().analyze_transfer(transfer), PreconditionError);
+}
+
+TEST(CostModel, KernelSumsLoopsAndTransfers) {
+  KernelSpec kernel;
+  kernel.name = "k";
+  kernel.loops = {basic_loop(10), basic_loop(20)};
+  kernel.transfers = {{"in", Bytes{64}, 1.0}};
+  const KernelReport report = model().analyze(kernel);
+  EXPECT_EQ(report.compute.count, 50u + 100u);
+  EXPECT_EQ(report.axi.count, 41u);
+  EXPECT_EQ(report.total.count, 191u);
+  EXPECT_EQ(report.loops.size(), 2u);
+}
+
+TEST(CostModel, DataflowTakesMaxStage) {
+  KernelSpec kernel;
+  kernel.name = "k";
+  kernel.dataflow = true;
+  kernel.loops = {basic_loop(10), basic_loop(20)};
+  kernel.transfers = {{"in", Bytes{64}, 1.0}};
+  const KernelReport report = model().analyze(kernel);
+  EXPECT_EQ(report.compute.count, 100u);          // max loop, not sum
+  EXPECT_EQ(report.total.count, 100u);            // axi overlapped
+}
+
+TEST(CostModel, DurationUsesKernelClock) {
+  KernelSpec kernel;
+  kernel.name = "k";
+  kernel.loops = {basic_loop(10)};
+  const KernelReport report = model().analyze(kernel);
+  const Duration d = report.duration(model().clock());
+  // The 300 MHz period is stored as an integer 3333 ps, so allow the
+  // 0.01% truncation.
+  EXPECT_NEAR(d.as_microseconds(),
+              static_cast<double>(report.total.count) / 300.0,
+              static_cast<double>(report.total.count) * 1e-6);
+}
+
+}  // namespace
+}  // namespace csdml::hls

@@ -1,0 +1,164 @@
+// End-to-end integration: synthesize dataset -> train offline -> export the
+// weight text file -> host program loads it and deploys to the simulated
+// SmartSSD -> the in-storage classifier and guard behave like the offline
+// model. This is the paper's whole pipeline in one test.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+
+#include "detect/mitigation.hpp"
+#include "nn/train.hpp"
+#include "nn/weights_io.hpp"
+#include "ransomware/dataset_builder.hpp"
+
+namespace csdml {
+namespace {
+
+struct Pipeline {
+  ransomware::BuiltDataset built;
+  nn::TrainTestSplit split;
+  nn::LstmConfig config;
+  std::unique_ptr<nn::LstmClassifier> model;
+  nn::TrainResult train_result;
+
+  Pipeline() {
+    ransomware::DatasetSpec spec = ransomware::DatasetSpec::small();
+    spec.ransomware_windows = 500;
+    spec.benign_windows = 588;  // keeps the 46% ratio
+    built = ransomware::build_dataset(spec);
+    Rng rng(41);
+    split = nn::split_dataset(built.data, 0.2, rng);
+    model = std::make_unique<nn::LstmClassifier>(config, rng);
+    nn::TrainConfig tc;
+    tc.epochs = 6;
+    tc.batch_size = 32;
+    train_result = nn::train(*model, split.train, split.test, tc);
+  }
+};
+
+Pipeline& pipeline() {
+  static Pipeline p;  // train once, share across the integration tests
+  return p;
+}
+
+TEST(Integration, OfflineTrainingReachesHighAccuracy) {
+  EXPECT_GE(pipeline().train_result.best_test_accuracy, 0.93);
+  const auto& cm = pipeline().train_result.best_confusion;
+  EXPECT_GE(cm.precision(), 0.90);
+  EXPECT_GE(cm.recall(), 0.90);
+  EXPECT_GE(cm.f1(), 0.90);
+}
+
+TEST(Integration, WeightFileDeploymentPreservesAccuracy) {
+  Pipeline& p = pipeline();
+  // Export / import through the text format, as the host program would.
+  std::stringstream weight_file;
+  nn::save_weights(weight_file, p.config, p.model->params());
+  const nn::ModelSnapshot snapshot = nn::load_weights(weight_file);
+
+  csd::SmartSsd board{csd::SmartSsdConfig{}};
+  xrt::Device device{board};
+  kernels::CsdLstmEngine engine(
+      device, snapshot,
+      kernels::EngineConfig{.level = kernels::OptimizationLevel::FixedPoint});
+
+  // The fixed-point in-storage classifier matches the float model on the
+  // overwhelming majority of test windows.
+  std::size_t agree = 0;
+  std::size_t correct = 0;
+  const std::size_t n = std::min<std::size_t>(p.split.test.size(), 250);
+  for (std::size_t i = 0; i < n; ++i) {
+    const int device_label = engine.infer(p.split.test.sequences[i]).label;
+    agree += device_label == p.model->predict(p.split.test.sequences[i]);
+    correct += device_label == p.split.test.labels[i];
+  }
+  EXPECT_GE(static_cast<double>(agree) / static_cast<double>(n), 0.98);
+  EXPECT_GE(static_cast<double>(correct) / static_cast<double>(n), 0.90);
+}
+
+TEST(Integration, GuardStopsARansomwareTraceEarly) {
+  Pipeline& p = pipeline();
+  csd::SmartSsd board{csd::SmartSsdConfig{}};
+  xrt::Device device{board};
+  kernels::CsdLstmEngine engine(device, p.config, p.model->params(),
+                                kernels::EngineConfig{});
+  detect::CsdGuard guard(
+      engine,
+      detect::DetectorConfig{.window_length = 100, .hop = 25,
+                             .consecutive_alerts = 3},
+      detect::MitigationPolicy{.quarantine_threshold = 0.9});
+
+  // Replay a full Lockbit sandbox trace as a live process.
+  const ransomware::SandboxTraceGenerator sandbox{ransomware::SandboxConfig{}};
+  const auto trace =
+      sandbox.ransomware_trace(ransomware::ransomware_families()[1], 3, 3'000);
+  std::size_t quarantined_after = 0;
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    guard.on_api_call(1234, trace[i]);
+    if (guard.is_quarantined(1234)) {
+      quarantined_after = i + 1;
+      break;
+    }
+  }
+  ASSERT_GT(quarantined_after, 0u) << "ransomware ran to completion";
+  // Near-instantaneous mitigation: well before the trace ends, so most of
+  // the encryption sweep is blocked at the drive.
+  EXPECT_LT(quarantined_after, trace.size() / 2);
+  EXPECT_FALSE(guard.allow_write(1234));
+}
+
+TEST(Integration, GuardLeavesBenignWorkloadsAlone) {
+  Pipeline& p = pipeline();
+  csd::SmartSsd board{csd::SmartSsdConfig{}};
+  xrt::Device device{board};
+  kernels::CsdLstmEngine engine(device, p.config, p.model->params(),
+                                kernels::EngineConfig{});
+  detect::CsdGuard guard(
+      engine,
+      detect::DetectorConfig{.window_length = 100, .hop = 25,
+                             .consecutive_alerts = 3},
+      detect::MitigationPolicy{.quarantine_threshold = 0.9});
+
+  const ransomware::SandboxTraceGenerator sandbox{ransomware::SandboxConfig{}};
+  std::size_t quarantined_profiles = 0;
+  std::uint32_t pid = 1;
+  for (const auto& profile : ransomware::benign_profiles()) {
+    const auto trace = sandbox.benign_trace(profile, 1, 1'000);
+    for (const auto token : trace) guard.on_api_call(pid, token);
+    quarantined_profiles += guard.is_quarantined(pid);
+    ++pid;
+  }
+  // At most the odd hard-negative profile trips the guard.
+  EXPECT_LE(quarantined_profiles, 2u);
+}
+
+TEST(Integration, SsdResidentSequencesClassifyViaP2p) {
+  Pipeline& p = pipeline();
+  csd::SmartSsd board{csd::SmartSsdConfig{}};
+  xrt::Device device{board};
+  kernels::CsdLstmEngine engine(device, p.config, p.model->params(),
+                                kernels::EngineConfig{});
+  const auto& seq = p.split.test.sequences.front();
+  const auto result = engine.infer_from_ssd(4096, 1, seq, /*p2p=*/true);
+  EXPECT_EQ(result.inference.label, engine.infer(seq).label);
+  EXPECT_GT(result.transfer_time.picos, 0);
+}
+
+TEST(Integration, DatasetCsvIsConsumableByTheTrainer) {
+  Pipeline& p = pipeline();
+  const std::string path = ::testing::TempDir() + "/csdml_integration.csv";
+  nn::SequenceDataset subset;
+  for (std::size_t i = 0; i < 50; ++i) {
+    subset.sequences.push_back(p.built.data.sequences[i]);
+    subset.labels.push_back(p.built.data.labels[i]);
+  }
+  nn::write_dataset_csv(subset, path);
+  const nn::SequenceDataset loaded = nn::read_dataset_csv(path);
+  EXPECT_EQ(loaded.sequences, subset.sequences);
+  EXPECT_EQ(loaded.labels, subset.labels);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace csdml

@@ -1,0 +1,158 @@
+// Assertions on the Fig. 3 shape: what each optimization does to each
+// kernel under the HLS cost model (see DESIGN.md section 4).
+#include "kernels/specs.hpp"
+
+#include <gtest/gtest.h>
+
+#include "hls/cost_model.hpp"
+#include "hls/resources.hpp"
+
+namespace csdml::kernels {
+namespace {
+
+struct KernelMicros {
+  double preprocess;
+  double gates;
+  double hidden;
+  double total() const { return preprocess + gates + hidden; }
+};
+
+KernelMicros measure(OptimizationLevel level) {
+  const nn::LstmConfig config;  // the paper's model
+  const hls::HlsCostModel model = hls::HlsCostModel::ultrascale_default();
+  const Frequency clock = model.clock();
+
+  KernelMicros m{};
+  m.preprocess = clock.duration_of(
+      model.analyze(make_preprocess_spec(config, level, 4)).total)
+          .as_microseconds();
+  const hls::KernelReport gates = model.analyze(make_gates_spec(config, level));
+  if (gates_reports_amortized_ii(level)) {
+    m.gates = clock.duration_of(Cycles{gates.loops.front().achieved_ii})
+                  .as_microseconds();
+  } else {
+    m.gates = clock.duration_of(gates.total).as_microseconds();
+  }
+  m.hidden = clock.duration_of(
+      model.analyze(make_hidden_state_spec(config, level, 4)).total)
+          .as_microseconds();
+  return m;
+}
+
+TEST(Fig3, VanillaTotalMatchesPaper) {
+  // Paper: ~7.153 us total for the vanilla implementation.
+  EXPECT_NEAR(measure(OptimizationLevel::Vanilla).total(), 7.153, 0.72);
+}
+
+TEST(Fig3, FixedPointTotalMatchesPaper) {
+  // Paper: 2.15133 us with all optimizations.
+  EXPECT_NEAR(measure(OptimizationLevel::FixedPoint).total(), 2.15133, 0.22);
+}
+
+TEST(Fig3, FixedPointGatesIsOneCycle) {
+  // Paper's fixed-point gates bar: 0.00333 us = exactly one 300 MHz cycle.
+  EXPECT_NEAR(measure(OptimizationLevel::FixedPoint).gates, 0.00333, 2e-4);
+}
+
+TEST(Fig3, PreprocessRemainsFairlyFixed) {
+  // "the execution time of kernel_preprocess remained fairly fixed"
+  const double v = measure(OptimizationLevel::Vanilla).preprocess;
+  const double ii = measure(OptimizationLevel::II).preprocess;
+  const double fp = measure(OptimizationLevel::FixedPoint).preprocess;
+  EXPECT_NEAR(v, 0.800, 0.09);
+  EXPECT_NEAR(ii, 0.743, 0.08);
+  EXPECT_NEAR(fp, 0.740, 0.08);
+  EXPECT_LT(std::abs(v - fp) / v, 0.15);
+}
+
+TEST(Fig3, IiReducesHiddenStateByWideMargin) {
+  // "II minimization reduced the execution time of kernel_hidden_state by
+  // a relatively wide margin"
+  const double v = measure(OptimizationLevel::Vanilla).hidden;
+  const double ii = measure(OptimizationLevel::II).hidden;
+  EXPECT_NEAR(v, 5.076, 0.55);
+  EXPECT_NEAR(ii, 1.651, 0.18);
+  EXPECT_GT(v / ii, 2.5);
+}
+
+TEST(Fig3, FixedPointDramaticallyReducesGates) {
+  // "fixed-point arithmetic dramatically decreased the execution time of
+  // kernel_gates"
+  const double v = measure(OptimizationLevel::Vanilla).gates;
+  const double fp = measure(OptimizationLevel::FixedPoint).gates;
+  EXPECT_NEAR(v, 1.277, 0.14);
+  EXPECT_GT(v / fp, 100.0);
+}
+
+TEST(Fig3, EachOptimizationLevelIsFasterOverall) {
+  const double v = measure(OptimizationLevel::Vanilla).total();
+  const double ii = measure(OptimizationLevel::II).total();
+  const double fp = measure(OptimizationLevel::FixedPoint).total();
+  EXPECT_GT(v, ii);
+  EXPECT_GT(ii, fp);
+  // The headline reduction: ~3.3x from vanilla to fully optimized.
+  EXPECT_NEAR(v / fp, 7.153 / 2.15133, 0.6);
+}
+
+TEST(Specs, OptimizationNames) {
+  EXPECT_STREQ(optimization_name(OptimizationLevel::Vanilla), "vanilla");
+  EXPECT_STREQ(optimization_name(OptimizationLevel::II), "ii");
+  EXPECT_STREQ(optimization_name(OptimizationLevel::FixedPoint), "fixed-point");
+}
+
+TEST(Specs, OnlyFixedPointReportsAmortizedGates) {
+  EXPECT_FALSE(gates_reports_amortized_ii(OptimizationLevel::Vanilla));
+  EXPECT_FALSE(gates_reports_amortized_ii(OptimizationLevel::II));
+  EXPECT_TRUE(gates_reports_amortized_ii(OptimizationLevel::FixedPoint));
+}
+
+TEST(Specs, GatesUseDataflowPerPaper) {
+  const nn::LstmConfig config;
+  for (const auto level : {OptimizationLevel::Vanilla, OptimizationLevel::II,
+                           OptimizationLevel::FixedPoint}) {
+    EXPECT_TRUE(make_gates_spec(config, level).dataflow);
+    EXPECT_FALSE(make_preprocess_spec(config, level, 4).dataflow);
+    EXPECT_FALSE(make_hidden_state_spec(config, level, 4).dataflow);
+  }
+}
+
+TEST(Specs, FixedPointGatesUseIntegerOps) {
+  const nn::LstmConfig config;
+  const hls::KernelSpec fp = make_gates_spec(config, OptimizationLevel::FixedPoint);
+  for (const auto& op : fp.loops.front().body_ops) {
+    EXPECT_NE(op.kind, hls::OpKind::FloatMul);
+    EXPECT_NE(op.kind, hls::OpKind::FloatExp);
+  }
+  const hls::KernelSpec fl = make_gates_spec(config, OptimizationLevel::Vanilla);
+  bool has_float = false;
+  for (const auto& op : fl.loops.front().body_ops) {
+    has_float |= op.kind == hls::OpKind::FloatMul;
+  }
+  EXPECT_TRUE(has_float);
+}
+
+TEST(Specs, PreprocessCopiesScaleWithCuCount) {
+  const nn::LstmConfig config;
+  const auto two = make_preprocess_spec(config, OptimizationLevel::Vanilla, 2);
+  const auto four = make_preprocess_spec(config, OptimizationLevel::Vanilla, 4);
+  EXPECT_EQ(four.transfers.size(), two.transfers.size() + 2);
+}
+
+TEST(Specs, WholeDesignFitsKu15p) {
+  // The SmartSSD's own FPGA must be able to host the design (4 gate CUs).
+  const nn::LstmConfig config;
+  for (const auto level : {OptimizationLevel::Vanilla, OptimizationLevel::II,
+                           OptimizationLevel::FixedPoint}) {
+    hls::ResourceEstimate total;
+    total += hls::estimate_resources(make_preprocess_spec(config, level, 4));
+    const auto gate = hls::estimate_resources(make_gates_spec(config, level));
+    total += gate * 4;
+    total += hls::estimate_resources(make_hidden_state_spec(config, level, 4));
+    EXPECT_TRUE(total.fits(hls::FpgaPart::ku15p()))
+        << optimization_name(level) << " utilization "
+        << total.utilization(hls::FpgaPart::ku15p());
+  }
+}
+
+}  // namespace
+}  // namespace csdml::kernels

@@ -1,0 +1,189 @@
+#include "nn/lstm.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace csdml::nn {
+namespace {
+
+TEST(Lstm, PaperParameterCounts) {
+  // The paper: 7,472 parameters (2,224 embedding + 5,248 LSTM), plus a
+  // fully-connected layer with 32 weights and one bias.
+  const LstmConfig config;  // defaults are the paper's configuration
+  Rng rng(1);
+  const LstmClassifier model(config, rng);
+  EXPECT_EQ(model.params().embedding_parameter_count(), 2'224u);
+  EXPECT_EQ(model.params().lstm_parameter_count(), 5'248u);
+  EXPECT_EQ(model.params().embedding_parameter_count() +
+                model.params().lstm_parameter_count(),
+            7'472u);
+  EXPECT_EQ(model.params().dense_parameter_count(), 33u);
+  EXPECT_EQ(model.params().total_parameter_count(), 7'505u);
+}
+
+TEST(Lstm, ParameterPointersCoverEveryScalarOnce) {
+  LstmConfig config{.vocab_size = 5, .embed_dim = 3, .hidden_dim = 4};
+  Rng rng(2);
+  LstmClassifier model(config, rng);
+  auto ptrs = model.mutable_params().parameter_pointers();
+  EXPECT_EQ(ptrs.size(), model.params().total_parameter_count());
+  std::sort(ptrs.begin(), ptrs.end());
+  EXPECT_EQ(std::adjacent_find(ptrs.begin(), ptrs.end()), ptrs.end());
+}
+
+TEST(Lstm, ForwardIsDeterministic) {
+  LstmConfig config;
+  Rng rng(3);
+  const LstmClassifier model(config, rng);
+  const Sequence seq{1, 5, 9, 200, 42, 7};
+  EXPECT_DOUBLE_EQ(model.forward(seq, nullptr), model.forward(seq, nullptr));
+}
+
+TEST(Lstm, OutputIsAProbability) {
+  LstmConfig config;
+  Rng rng(4);
+  const LstmClassifier model(config, rng);
+  Rng token_rng(5);
+  for (int trial = 0; trial < 20; ++trial) {
+    Sequence seq;
+    for (int i = 0; i < 50; ++i) {
+      seq.push_back(static_cast<TokenId>(token_rng.uniform_int(0, 277)));
+    }
+    const double p = model.forward(seq, nullptr);
+    EXPECT_GT(p, 0.0);
+    EXPECT_LT(p, 1.0);
+    EXPECT_EQ(model.predict(seq), p >= 0.5 ? 1 : 0);
+  }
+}
+
+TEST(Lstm, DifferentSequencesGiveDifferentOutputs) {
+  LstmConfig config;
+  Rng rng(6);
+  const LstmClassifier model(config, rng);
+  const double p1 = model.forward({1, 2, 3, 4, 5}, nullptr);
+  const double p2 = model.forward({200, 201, 202, 203, 204}, nullptr);
+  EXPECT_NE(p1, p2);
+}
+
+TEST(Lstm, OrderSensitivity) {
+  // A sequential model must distinguish permutations of the same tokens.
+  LstmConfig config;
+  Rng rng(7);
+  const LstmClassifier model(config, rng);
+  const double forward_order = model.forward({10, 20, 30, 40, 50}, nullptr);
+  const double reverse_order = model.forward({50, 40, 30, 20, 10}, nullptr);
+  EXPECT_NE(forward_order, reverse_order);
+}
+
+TEST(Lstm, CacheMatchesUncachedForward) {
+  LstmConfig config;
+  Rng rng(8);
+  const LstmClassifier model(config, rng);
+  const Sequence seq{3, 1, 4, 1, 5, 9, 2, 6};
+  ForwardCache cache;
+  const double with_cache = model.forward(seq, &cache);
+  EXPECT_DOUBLE_EQ(with_cache, model.forward(seq, nullptr));
+  EXPECT_EQ(cache.steps.size(), seq.size());
+  EXPECT_DOUBLE_EQ(cache.probability, with_cache);
+  // h of the final cache step feeds the dense layer reproducibly.
+  double logit = model.params().dense_b;
+  for (std::size_t j = 0; j < config.hidden_dim; ++j) {
+    logit += model.params().dense_w[j] * cache.steps.back().h[j];
+  }
+  EXPECT_NEAR(logit, cache.logit, 1e-12);
+}
+
+TEST(Lstm, StepEvolvesState) {
+  LstmConfig config{.vocab_size = 10, .embed_dim = 4, .hidden_dim = 6};
+  Rng rng(9);
+  const LstmClassifier model(config, rng);
+  Vector h(6, 0.0);
+  Vector c(6, 0.0);
+  model.step(model.embed(3), h, c, nullptr);
+  double h_norm = 0;
+  for (const double v : h) h_norm += v * v;
+  EXPECT_GT(h_norm, 0.0);
+  const Vector h1 = h;
+  model.step(model.embed(7), h, c, nullptr);
+  EXPECT_NE(h, h1);
+}
+
+TEST(Lstm, CellStateIsBoundedWithSoftsign) {
+  // With softsign gates in (-1,1) and i,f in (0,1): |c_t| <= |c_{t-1}| + 1.
+  LstmConfig config;
+  Rng rng(10);
+  const LstmClassifier model(config, rng);
+  ForwardCache cache;
+  Sequence seq;
+  Rng token_rng(11);
+  for (int i = 0; i < 200; ++i) {
+    seq.push_back(static_cast<TokenId>(token_rng.uniform_int(0, 277)));
+  }
+  model.forward(seq, &cache);
+  for (std::size_t t = 0; t < cache.steps.size(); ++t) {
+    for (const double c : cache.steps[t].c) {
+      EXPECT_LE(std::abs(c), static_cast<double>(t) + 1.0);
+    }
+    for (const double h : cache.steps[t].h) {
+      EXPECT_LT(std::abs(h), 1.0);  // |o| < 1 and |softsign(c)| < 1
+    }
+  }
+}
+
+TEST(Lstm, EmbedValidation) {
+  LstmConfig config{.vocab_size = 10, .embed_dim = 4, .hidden_dim = 6};
+  Rng rng(12);
+  const LstmClassifier model(config, rng);
+  EXPECT_EQ(model.embed(0).size(), 4u);
+  EXPECT_THROW(model.embed(-1), PreconditionError);
+  EXPECT_THROW(model.embed(10), PreconditionError);
+}
+
+TEST(Lstm, EmptySequenceThrows) {
+  LstmConfig config;
+  Rng rng(13);
+  const LstmClassifier model(config, rng);
+  EXPECT_THROW(model.forward({}, nullptr), PreconditionError);
+}
+
+TEST(Lstm, TanhAndSoftsignConfigsDiffer) {
+  Rng rng1(14);
+  Rng rng2(14);
+  LstmConfig soft;
+  soft.activation = CellActivation::Softsign;
+  LstmConfig tanh_cfg;
+  tanh_cfg.activation = CellActivation::Tanh;
+  const LstmClassifier m1(soft, rng1);
+  const LstmClassifier m2(tanh_cfg, rng2);  // identical weights, different act
+  const Sequence seq{1, 2, 3, 4, 5, 6, 7, 8};
+  EXPECT_NE(m1.forward(seq, nullptr), m2.forward(seq, nullptr));
+}
+
+TEST(Lstm, ForgetGateBiasInitialisedToOne) {
+  LstmConfig config;
+  Rng rng(15);
+  const LstmClassifier model(config, rng);
+  for (const double b : model.params().bias[kForget]) EXPECT_DOUBLE_EQ(b, 1.0);
+  for (const double b : model.params().bias[kInput]) EXPECT_DOUBLE_EQ(b, 0.0);
+}
+
+TEST(Lstm, ConstructionFromMismatchedParamsThrows) {
+  LstmConfig small{.vocab_size = 5, .embed_dim = 2, .hidden_dim = 3};
+  LstmConfig big{.vocab_size = 7, .embed_dim = 2, .hidden_dim = 3};
+  EXPECT_THROW(LstmClassifier(big, LstmParams::zeros(small)), PreconditionError);
+}
+
+TEST(Lstm, ActivationHelpers) {
+  EXPECT_DOUBLE_EQ(apply_cell_activation(CellActivation::Tanh, 0.5),
+                   std::tanh(0.5));
+  EXPECT_DOUBLE_EQ(apply_cell_activation(CellActivation::Softsign, 1.0), 0.5);
+  EXPECT_NEAR(cell_activation_derivative(CellActivation::Tanh, 0.3),
+              1.0 - std::tanh(0.3) * std::tanh(0.3), 1e-12);
+}
+
+}  // namespace
+}  // namespace csdml::nn

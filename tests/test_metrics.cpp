@@ -1,0 +1,76 @@
+#include "nn/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace csdml::nn {
+namespace {
+
+TEST(ConfusionMatrix, CountsCells) {
+  ConfusionMatrix cm;
+  cm.add(1, 1);  // TP
+  cm.add(1, 1);
+  cm.add(1, 0);  // FN
+  cm.add(0, 0);  // TN
+  cm.add(0, 0);
+  cm.add(0, 0);
+  cm.add(0, 1);  // FP
+  EXPECT_EQ(cm.true_positive, 2u);
+  EXPECT_EQ(cm.false_negative, 1u);
+  EXPECT_EQ(cm.true_negative, 3u);
+  EXPECT_EQ(cm.false_positive, 1u);
+  EXPECT_EQ(cm.total(), 7u);
+}
+
+TEST(ConfusionMatrix, MetricsMatchHandComputation) {
+  ConfusionMatrix cm;
+  cm.true_positive = 90;
+  cm.false_positive = 10;
+  cm.false_negative = 5;
+  cm.true_negative = 95;
+  EXPECT_DOUBLE_EQ(cm.accuracy(), 185.0 / 200.0);
+  EXPECT_DOUBLE_EQ(cm.precision(), 0.9);
+  EXPECT_DOUBLE_EQ(cm.recall(), 90.0 / 95.0);
+  const double p = 0.9;
+  const double r = 90.0 / 95.0;
+  EXPECT_DOUBLE_EQ(cm.f1(), 2 * p * r / (p + r));
+}
+
+TEST(ConfusionMatrix, DegenerateCasesReturnZero) {
+  ConfusionMatrix cm;
+  cm.true_negative = 10;  // no positives anywhere
+  EXPECT_DOUBLE_EQ(cm.precision(), 0.0);
+  EXPECT_DOUBLE_EQ(cm.recall(), 0.0);
+  EXPECT_DOUBLE_EQ(cm.f1(), 0.0);
+  EXPECT_DOUBLE_EQ(cm.accuracy(), 1.0);
+  EXPECT_THROW(ConfusionMatrix{}.accuracy(), PreconditionError);
+}
+
+TEST(ConfusionMatrix, RejectsNonBinaryLabels) {
+  ConfusionMatrix cm;
+  EXPECT_THROW(cm.add(2, 0), PreconditionError);
+  EXPECT_THROW(cm.add(0, -1), PreconditionError);
+}
+
+TEST(EvaluatePredictions, BuildsMatrixFromVectors) {
+  const ConfusionMatrix cm =
+      evaluate_predictions({1, 0, 1, 0, 1}, {1, 0, 0, 1, 1});
+  EXPECT_EQ(cm.true_positive, 2u);
+  EXPECT_EQ(cm.false_negative, 1u);
+  EXPECT_EQ(cm.false_positive, 1u);
+  EXPECT_EQ(cm.true_negative, 1u);
+  EXPECT_THROW(evaluate_predictions({1}, {1, 0}), PreconditionError);
+}
+
+TEST(EvaluatePredictions, PerfectClassifier) {
+  const std::vector<int> labels{1, 1, 0, 0, 1, 0};
+  const ConfusionMatrix cm = evaluate_predictions(labels, labels);
+  EXPECT_DOUBLE_EQ(cm.accuracy(), 1.0);
+  EXPECT_DOUBLE_EQ(cm.precision(), 1.0);
+  EXPECT_DOUBLE_EQ(cm.recall(), 1.0);
+  EXPECT_DOUBLE_EQ(cm.f1(), 1.0);
+}
+
+}  // namespace
+}  // namespace csdml::nn

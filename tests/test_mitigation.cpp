@@ -1,0 +1,125 @@
+#include "detect/mitigation.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "nn/train.hpp"
+
+namespace csdml::detect {
+namespace {
+
+/// Same two-language toy model as the detector tests.
+struct GuardFixture {
+  nn::LstmConfig config{.vocab_size = 20, .embed_dim = 4, .hidden_dim = 8};
+  csd::SmartSsd board{csd::SmartSsdConfig{}};
+  xrt::Device device{board};
+  std::unique_ptr<kernels::CsdLstmEngine> engine;
+
+  GuardFixture() {
+    Rng rng(3);
+    nn::LstmClassifier model(config, rng);
+    nn::SequenceDataset train;
+    Rng data_rng(5);
+    for (int i = 0; i < 160; ++i) {
+      const int label = i % 2;
+      nn::Sequence seq;
+      for (int j = 0; j < 12; ++j) {
+        seq.push_back(static_cast<nn::TokenId>(
+            data_rng.uniform_int(0, 9) + (label != 0 ? 10 : 0)));
+      }
+      train.sequences.push_back(std::move(seq));
+      train.labels.push_back(label);
+    }
+    nn::TrainConfig tc;
+    tc.epochs = 10;
+    tc.batch_size = 16;
+    nn::train(model, train, train, tc);
+    engine = std::make_unique<kernels::CsdLstmEngine>(
+        device, config, model.params(), kernels::EngineConfig{});
+  }
+};
+
+DetectorConfig fast_detector() {
+  return DetectorConfig{.window_length = 20, .hop = 5};
+}
+
+TEST(Guard, QuarantinesRansomwareAndBlocksItsWrites) {
+  GuardFixture f;
+  CsdGuard guard(*f.engine, fast_detector(),
+                 MitigationPolicy{.quarantine_threshold = 0.8});
+  Rng rng(7);
+  bool quarantined = false;
+  int calls = 0;
+  for (int i = 0; i < 100 && !quarantined; ++i, ++calls) {
+    const MitigationAction action =
+        guard.on_api_call(99, static_cast<nn::TokenId>(rng.uniform_int(10, 19)));
+    quarantined = action == MitigationAction::QuarantineProcess;
+  }
+  ASSERT_TRUE(quarantined);
+  EXPECT_TRUE(guard.is_quarantined(99));
+  EXPECT_LE(calls, 60);  // prompt detection, not end-of-trace
+
+  // Subsequent encryption writes are rejected by the drive.
+  EXPECT_FALSE(guard.allow_write(99));
+  EXPECT_TRUE(guard.allow_write(1));  // other processes unaffected
+  EXPECT_EQ(guard.stats().writes_blocked, 1u);
+  EXPECT_EQ(guard.stats().writes_allowed, 1u);
+  EXPECT_GE(guard.stats().quarantines, 1u);
+}
+
+TEST(Guard, BenignProcessNeverBlocked) {
+  GuardFixture f;
+  CsdGuard guard(*f.engine, fast_detector(), MitigationPolicy{});
+  Rng rng(9);
+  for (int i = 0; i < 150; ++i) {
+    guard.on_api_call(5, static_cast<nn::TokenId>(rng.uniform_int(0, 9)));
+    EXPECT_TRUE(guard.allow_write(5));
+  }
+  EXPECT_FALSE(guard.is_quarantined(5));
+  EXPECT_EQ(guard.stats().writes_blocked, 0u);
+  EXPECT_EQ(guard.stats().calls_observed, 150u);
+}
+
+TEST(Guard, AlertOnlyBetweenThresholds) {
+  GuardFixture f;
+  // Impossible quarantine threshold: everything stays alert-only.
+  CsdGuard guard(*f.engine, fast_detector(),
+                 MitigationPolicy{.quarantine_threshold = 1.1,
+                                  .alert_threshold = 0.5});
+  Rng rng(11);
+  bool alerted = false;
+  for (int i = 0; i < 100; ++i) {
+    const MitigationAction action =
+        guard.on_api_call(3, static_cast<nn::TokenId>(rng.uniform_int(10, 19)));
+    EXPECT_NE(action, MitigationAction::QuarantineProcess);
+    alerted |= action == MitigationAction::AlertOnly;
+  }
+  EXPECT_TRUE(alerted);
+  EXPECT_FALSE(guard.is_quarantined(3));
+  EXPECT_GT(guard.stats().detections, 0u);
+  EXPECT_EQ(guard.stats().quarantines, 0u);
+}
+
+TEST(Guard, ReleaseRestoresWrites) {
+  GuardFixture f;
+  CsdGuard guard(*f.engine, fast_detector(), MitigationPolicy{});
+  Rng rng(13);
+  for (int i = 0; i < 100 && !guard.is_quarantined(8); ++i) {
+    guard.on_api_call(8, static_cast<nn::TokenId>(rng.uniform_int(10, 19)));
+  }
+  ASSERT_TRUE(guard.is_quarantined(8));
+  guard.release(8);
+  EXPECT_FALSE(guard.is_quarantined(8));
+  EXPECT_TRUE(guard.allow_write(8));
+}
+
+TEST(Guard, PolicyValidated) {
+  GuardFixture f;
+  EXPECT_THROW(CsdGuard(*f.engine, fast_detector(),
+                        MitigationPolicy{.quarantine_threshold = 0.4,
+                                         .alert_threshold = 0.6}),
+               PreconditionError);
+}
+
+}  // namespace
+}  // namespace csdml::detect

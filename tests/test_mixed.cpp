@@ -1,0 +1,150 @@
+#include "kernels/mixed.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "kernels/functional.hpp"
+
+namespace csdml::kernels {
+namespace {
+
+struct MixedFixture {
+  nn::LstmConfig config;
+  nn::LstmParams params;
+  MixedFixture() {
+    Rng rng(51);
+    params = nn::LstmParams::glorot(config, rng);
+    for (auto& w : params.dense_w) w *= 30.0;  // confident outputs
+  }
+  nn::Sequence sequence(std::uint64_t seed, int length = 60) const {
+    Rng rng(seed);
+    nn::Sequence seq;
+    for (int i = 0; i < length; ++i) {
+      seq.push_back(static_cast<nn::TokenId>(
+          rng.uniform_int(0, config.vocab_size - 1)));
+    }
+    return seq;
+  }
+};
+
+const std::vector<PrecisionPreset>& presets() {
+  static const std::vector<PrecisionPreset> all = {
+      PrecisionPreset::UniformQ10, PrecisionPreset::UniformQ16,
+      PrecisionPreset::UniformQ24, PrecisionPreset::GatesQ16StateQ24};
+  return all;
+}
+
+class PresetTest : public ::testing::TestWithParam<PrecisionPreset> {};
+
+TEST_P(PresetTest, OutputsAreProbabilities) {
+  MixedFixture f;
+  const auto path = make_mixed_datapath(f.config, f.params, GetParam());
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    const double p = path->infer(f.sequence(seed));
+    EXPECT_GE(p, 0.0);
+    EXPECT_LE(p, 1.0);
+  }
+}
+
+TEST_P(PresetTest, TracksFloatReference) {
+  MixedFixture f;
+  const FloatDatapath reference(f.config, f.params);
+  const auto path = make_mixed_datapath(f.config, f.params, GetParam());
+  for (std::uint64_t seed = 0; seed < 20; ++seed) {
+    const nn::Sequence seq = f.sequence(seed);
+    // The PLAN sigmoid caps achievable fidelity at ~0.02-0.08 prob error.
+    EXPECT_NEAR(path->infer(seq), reference.infer(seq), 0.12) << seed;
+  }
+}
+
+TEST_P(PresetTest, DeterministicAndNamed) {
+  MixedFixture f;
+  const auto path = make_mixed_datapath(f.config, f.params, GetParam());
+  const nn::Sequence seq = f.sequence(3);
+  EXPECT_DOUBLE_EQ(path->infer(seq), path->infer(seq));
+  EXPECT_FALSE(path->describe().empty());
+  EXPECT_NE(std::string(precision_name(GetParam())), "");
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPresets, PresetTest, ::testing::ValuesIn(presets()),
+                         [](const auto& info) {
+                           std::string name = precision_name(info.param);
+                           for (char& c : name) {
+                             if (c == '-' || c == '/') c = '_';
+                           }
+                           return name;
+                         });
+
+TEST(Mixed, WiderUniformIsAtLeastAsFaithfulToQ24) {
+  // Against the widest datapath as reference, fidelity must improve (or
+  // tie) with precision: err(Q10) >= err(Q16) >= err(Q24)=0.
+  MixedFixture f;
+  const auto q24 = make_mixed_datapath(f.config, f.params,
+                                       PrecisionPreset::UniformQ24);
+  const auto q16 = make_mixed_datapath(f.config, f.params,
+                                       PrecisionPreset::UniformQ16);
+  const auto q10 = make_mixed_datapath(f.config, f.params,
+                                       PrecisionPreset::UniformQ10);
+  double err16 = 0.0;
+  double err10 = 0.0;
+  for (std::uint64_t seed = 0; seed < 30; ++seed) {
+    const nn::Sequence seq = f.sequence(seed);
+    const double ref = q24->infer(seq);
+    err16 += std::abs(q16->infer(seq) - ref);
+    err10 += std::abs(q10->infer(seq) - ref);
+  }
+  EXPECT_LT(err16, err10);
+}
+
+TEST(Mixed, MixedMatchesWideUniformClosely) {
+  // The design claim: Q16 gates + Q24 state ~= Q24 everywhere.
+  MixedFixture f;
+  const auto q24 = make_mixed_datapath(f.config, f.params,
+                                       PrecisionPreset::UniformQ24);
+  const auto mixed = make_mixed_datapath(f.config, f.params,
+                                         PrecisionPreset::GatesQ16StateQ24);
+  double worst = 0.0;
+  for (std::uint64_t seed = 0; seed < 30; ++seed) {
+    const nn::Sequence seq = f.sequence(seed);
+    worst = std::max(worst, std::abs(mixed->infer(seq) - q24->infer(seq)));
+  }
+  EXPECT_LT(worst, 0.01);
+}
+
+TEST(Mixed, DspCostReflectsOperandWidths) {
+  EXPECT_EQ(dsp_per_gate_mac(PrecisionPreset::UniformQ10), 1u);
+  EXPECT_EQ(dsp_per_gate_mac(PrecisionPreset::UniformQ16), 1u);
+  EXPECT_EQ(dsp_per_gate_mac(PrecisionPreset::GatesQ16StateQ24), 1u);
+  EXPECT_EQ(dsp_per_gate_mac(PrecisionPreset::UniformQ24), 2u);
+}
+
+TEST(Mixed, DecisionsAgreeWithDecimalScheme) {
+  // The mixed path and the paper's decimal 10^6 path should agree on
+  // confident inputs — both approximate the same model.
+  MixedFixture f;
+  const FixedDatapath decimal(f.config, f.params);
+  const auto mixed = make_mixed_datapath(f.config, f.params,
+                                         PrecisionPreset::GatesQ16StateQ24);
+  const FloatDatapath reference(f.config, f.params);
+  int checked = 0;
+  int agreed = 0;
+  for (std::uint64_t seed = 0; seed < 120; ++seed) {
+    const nn::Sequence seq = f.sequence(seed);
+    if (std::abs(reference.infer(seq) - 0.5) < 0.15) continue;
+    ++checked;
+    agreed += (decimal.infer(seq) >= 0.5) == (mixed->infer(seq) >= 0.5);
+  }
+  ASSERT_GT(checked, 30);
+  EXPECT_GE(static_cast<double>(agreed) / checked, 0.97);
+}
+
+TEST(Mixed, EmptySequenceThrows) {
+  MixedFixture f;
+  const auto path =
+      make_mixed_datapath(f.config, f.params, PrecisionPreset::UniformQ16);
+  EXPECT_THROW(path->infer({}), PreconditionError);
+}
+
+}  // namespace
+}  // namespace csdml::kernels

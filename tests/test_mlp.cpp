@@ -1,0 +1,129 @@
+#include "nn/mlp.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace csdml::nn {
+namespace {
+
+TEST(Mlp, FeaturizeIsNormalisedHistogram) {
+  MlpConfig config{.vocab_size = 10, .hidden_dim = 4};
+  Rng rng(1);
+  const MlpClassifier model(config, rng);
+  const Vector f = model.featurize({1, 1, 2, 9});
+  EXPECT_DOUBLE_EQ(f[1], 0.5);
+  EXPECT_DOUBLE_EQ(f[2], 0.25);
+  EXPECT_DOUBLE_EQ(f[9], 0.25);
+  EXPECT_DOUBLE_EQ(f[0], 0.0);
+  double sum = 0.0;
+  for (const double v : f) sum += v;
+  EXPECT_NEAR(sum, 1.0, 1e-12);
+}
+
+TEST(Mlp, OrderBlindByConstruction) {
+  MlpConfig config;
+  Rng rng(3);
+  const MlpClassifier model(config, rng);
+  // Any permutation of the same multiset scores identically — the
+  // "static snapshot" property the paper's model-selection text criticises.
+  EXPECT_DOUBLE_EQ(model.forward({1, 2, 3, 4, 5}),
+                   model.forward({5, 4, 3, 2, 1}));
+}
+
+TEST(Mlp, GradCheck) {
+  MlpConfig config{.vocab_size = 9, .hidden_dim = 5};
+  Rng rng(7);
+  MlpClassifier model(config, rng);
+  const Sequence seq{0, 3, 3, 8, 1, 2};
+  MlpParams grads = MlpParams::zeros(config);
+  model.backward(seq, 1, grads);
+
+  const auto params = model.mutable_params().parameter_pointers();
+  const auto analytic = grads.parameter_pointers();
+  const double eps = 1e-6;
+  for (std::size_t i = 0; i < params.size(); i += 3) {
+    const double original = *params[i];
+    *params[i] = original + eps;
+    const double lp = bce_loss(model.forward(seq), 1);
+    *params[i] = original - eps;
+    const double lm = bce_loss(model.forward(seq), 1);
+    *params[i] = original;
+    const double numeric = (lp - lm) / (2 * eps);
+    const double denom = std::max({std::abs(numeric), std::abs(*analytic[i]), 1e-4});
+    EXPECT_LT(std::abs(numeric - *analytic[i]) / denom, 2e-3) << "param " << i;
+  }
+}
+
+TEST(Mlp, LearnsFrequencySeparableTask) {
+  // Classes differ in token frequencies (no ordering needed): the MLP
+  // must solve this easily.
+  MlpConfig config{.vocab_size = 6, .hidden_dim = 6};
+  Rng rng(9);
+  MlpClassifier model(config, rng);
+  SequenceDataset data;
+  Rng data_rng(11);
+  for (int i = 0; i < 100; ++i) {
+    const int label = i % 2;
+    Sequence seq;
+    for (int j = 0; j < 12; ++j) {
+      seq.push_back(static_cast<TokenId>(
+          data_rng.uniform_int(0, 2) + (label != 0 ? 3 : 0)));
+    }
+    data.sequences.push_back(std::move(seq));
+    data.labels.push_back(label);
+  }
+  TrainConfig tc;
+  tc.epochs = 15;
+  tc.batch_size = 10;
+  tc.learning_rate = 0.05;
+  EXPECT_GE(train_mlp(model, data, data, tc).best_test_accuracy, 0.95);
+}
+
+TEST(Mlp, CannotLearnPureOrderingTask) {
+  // Both classes share the exact token multiset; only the order differs.
+  // The bag-of-calls model is blind to it by construction.
+  MlpConfig config{.vocab_size = 4, .hidden_dim = 8};
+  Rng rng(13);
+  MlpClassifier model(config, rng);
+  SequenceDataset data;
+  for (int i = 0; i < 60; ++i) {
+    // class 0: 0 1 2 3 repeated; class 1: 3 2 1 0 repeated.
+    Sequence seq;
+    for (int j = 0; j < 12; ++j) {
+      const int phase = j % 4;
+      seq.push_back(static_cast<TokenId>(i % 2 == 0 ? phase : 3 - phase));
+    }
+    data.sequences.push_back(std::move(seq));
+    data.labels.push_back(i % 2);
+  }
+  TrainConfig tc;
+  tc.epochs = 15;
+  tc.batch_size = 10;
+  const TrainResult result = train_mlp(model, data, data, tc);
+  EXPECT_NEAR(result.best_test_accuracy, 0.5, 0.05);  // chance level
+}
+
+TEST(Mlp, ParameterPointersUnique) {
+  MlpConfig config{.vocab_size = 7, .hidden_dim = 3};
+  Rng rng(15);
+  MlpClassifier model(config, rng);
+  auto ptrs = model.mutable_params().parameter_pointers();
+  EXPECT_EQ(ptrs.size(), model.params().total_parameter_count());
+  std::sort(ptrs.begin(), ptrs.end());
+  EXPECT_EQ(std::adjacent_find(ptrs.begin(), ptrs.end()), ptrs.end());
+}
+
+TEST(Mlp, Guards) {
+  MlpConfig config;
+  Rng rng(17);
+  const MlpClassifier model(config, rng);
+  EXPECT_THROW(model.featurize({}), PreconditionError);
+  EXPECT_THROW(model.featurize({-1}), PreconditionError);
+}
+
+}  // namespace
+}  // namespace csdml::nn

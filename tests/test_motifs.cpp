@@ -1,0 +1,116 @@
+#include "ransomware/motifs.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ransomware/api_vocab.hpp"
+
+namespace csdml::ransomware {
+namespace {
+
+const std::vector<MotifKind>& all_motifs() {
+  static const std::vector<MotifKind> motifs = {
+      MotifKind::DropperStartup,  MotifKind::AntiAnalysis,
+      MotifKind::Recon,           MotifKind::KeyGeneration,
+      MotifKind::FileDiscovery,   MotifKind::EncryptionLoop,
+      MotifKind::ShadowCopyWipe,  MotifKind::RegistryPersistence,
+      MotifKind::RansomNote,      MotifKind::C2Beacon,
+      MotifKind::SmbPropagation,  MotifKind::ServiceTampering,
+      MotifKind::SelfDelete,      MotifKind::AppStartup,
+      MotifKind::ConfigLoad,      MotifKind::DocumentOpen,
+      MotifKind::DocumentSave,    MotifKind::UiIdle,
+      MotifKind::WebRequest,      MotifKind::ClipboardLikeUse,
+      MotifKind::FileBrowse,      MotifKind::SoftwareUpdate,
+      MotifKind::MediaPlayback,   MotifKind::InstallerChecksum,
+      MotifKind::BackgroundSync,  MotifKind::ArchiveLoop,
+      MotifKind::VolumeEncryptionLoop};
+  return motifs;
+}
+
+class MotifTest : public ::testing::TestWithParam<MotifKind> {};
+
+TEST_P(MotifTest, EmitsValidTokens) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) + 1);
+  std::vector<nn::TokenId> out;
+  for (int i = 0; i < 50; ++i) emit_motif(GetParam(), rng, out);
+  EXPECT_FALSE(out.empty());
+  const auto vocab_size = static_cast<nn::TokenId>(ApiVocabulary::instance().size());
+  for (const nn::TokenId token : out) {
+    EXPECT_GE(token, 0);
+    EXPECT_LT(token, vocab_size);
+  }
+}
+
+TEST_P(MotifTest, DeterministicGivenRngState) {
+  Rng rng1(7);
+  Rng rng2(7);
+  std::vector<nn::TokenId> a;
+  std::vector<nn::TokenId> b;
+  emit_motif(GetParam(), rng1, a);
+  emit_motif(GetParam(), rng2, b);
+  EXPECT_EQ(a, b);
+}
+
+TEST_P(MotifTest, HasAName) {
+  EXPECT_NE(std::string(motif_name(GetParam())), "");
+}
+
+INSTANTIATE_TEST_SUITE_P(AllMotifs, MotifTest,
+                         ::testing::ValuesIn(all_motifs()),
+                         [](const auto& info) {
+                           return std::string(motif_name(info.param));
+                         });
+
+TEST(Motifs, MaliciousClassification) {
+  EXPECT_TRUE(is_malicious_motif(MotifKind::EncryptionLoop));
+  EXPECT_TRUE(is_malicious_motif(MotifKind::SmbPropagation));
+  EXPECT_TRUE(is_malicious_motif(MotifKind::RansomNote));
+  EXPECT_FALSE(is_malicious_motif(MotifKind::DocumentSave));
+  EXPECT_FALSE(is_malicious_motif(MotifKind::ArchiveLoop));
+  EXPECT_FALSE(is_malicious_motif(MotifKind::VolumeEncryptionLoop));
+}
+
+TEST(Motifs, EncryptionLoopContainsTheSignaturePattern) {
+  const auto& vocab = ApiVocabulary::instance();
+  Rng rng(3);
+  std::vector<nn::TokenId> out;
+  for (int i = 0; i < 50; ++i) emit_motif(MotifKind::EncryptionLoop, rng, out);
+  int crypt = 0;
+  int write = 0;
+  for (const nn::TokenId t : out) {
+    const auto name = vocab.call(t).name;
+    crypt += name == "CryptEncrypt" || name == "BCryptEncrypt";
+    write += name == "WriteFile" || name == "NtWriteFile";
+  }
+  EXPECT_GT(crypt, 25);  // at least one per loop instance on average
+  EXPECT_GE(write, crypt);
+}
+
+TEST(Motifs, ArchiveLoopNeverEncrypts) {
+  const auto& vocab = ApiVocabulary::instance();
+  Rng rng(5);
+  std::vector<nn::TokenId> out;
+  for (int i = 0; i < 100; ++i) emit_motif(MotifKind::ArchiveLoop, rng, out);
+  for (const nn::TokenId t : out) {
+    const auto name = vocab.call(t).name;
+    EXPECT_NE(name, "CryptEncrypt");
+    EXPECT_NE(name, "BCryptEncrypt");
+  }
+}
+
+TEST(Motifs, VariabilityAcrossInstances) {
+  // Repeated emissions under one stream should not all be identical —
+  // variants get their diversity from these choices.
+  Rng rng(11);
+  std::vector<nn::TokenId> first;
+  emit_motif(MotifKind::EncryptionLoop, rng, first);
+  bool any_different = false;
+  for (int i = 0; i < 20 && !any_different; ++i) {
+    std::vector<nn::TokenId> next;
+    emit_motif(MotifKind::EncryptionLoop, rng, next);
+    any_different = next != first;
+  }
+  EXPECT_TRUE(any_different);
+}
+
+}  // namespace
+}  // namespace csdml::ransomware

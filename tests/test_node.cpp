@@ -1,0 +1,112 @@
+#include "host/node.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace csdml::host {
+namespace {
+
+struct NodeFixture {
+  nn::LstmConfig config;
+  nn::ModelSnapshot snapshot;
+
+  NodeFixture() {
+    Rng rng(71);
+    snapshot = nn::ModelSnapshot{config, nn::LstmParams::glorot(config, rng)};
+  }
+
+  std::vector<nn::Sequence> sequences(std::size_t n, int length = 50) const {
+    Rng rng(5);
+    std::vector<nn::Sequence> out;
+    for (std::size_t i = 0; i < n; ++i) {
+      nn::Sequence seq;
+      for (int j = 0; j < length; ++j) {
+        seq.push_back(static_cast<nn::TokenId>(
+            rng.uniform_int(0, config.vocab_size - 1)));
+      }
+      out.push_back(std::move(seq));
+    }
+    return out;
+  }
+};
+
+TEST(Node, ScanCoversEverySequenceOnce) {
+  NodeFixture f;
+  StorageNode node(f.snapshot, NodeConfig{.drive_count = 4});
+  const auto work = f.sequences(37);
+  const ScanReport report = node.scan(work);
+  EXPECT_EQ(report.scanned, 37u);
+  EXPECT_EQ(report.labels.size(), 37u);
+  std::size_t per_drive_total = 0;
+  for (const DriveStats& stats : report.per_drive) {
+    per_drive_total += stats.scanned;
+  }
+  EXPECT_EQ(per_drive_total, 37u);
+}
+
+TEST(Node, LabelsMatchSingleEngineResults) {
+  NodeFixture f;
+  StorageNode node(f.snapshot, NodeConfig{.drive_count = 3});
+  const auto work = f.sequences(12);
+  const ScanReport report = node.scan(work);
+
+  csd::SmartSsd board{csd::SmartSsdConfig{}};
+  xrt::Device device{board};
+  kernels::CsdLstmEngine reference(device, f.snapshot, kernels::EngineConfig{});
+  for (std::size_t i = 0; i < work.size(); ++i) {
+    EXPECT_EQ(report.labels[i], reference.infer(work[i]).label) << i;
+  }
+}
+
+TEST(Node, ScaleOutSpeedupApproachesDriveCount) {
+  NodeFixture f;
+  StorageNode node(f.snapshot, NodeConfig{.drive_count = 4});
+  const ScanReport report = node.scan(f.sequences(64));
+  EXPECT_GT(report.scale_out_speedup(), 3.5);
+  EXPECT_LE(report.scale_out_speedup(), 4.01);
+  EXPECT_GT(report.makespan.picos, 0);
+  EXPECT_GT(report.serial_time.picos, report.makespan.picos);
+}
+
+TEST(Node, SingleDriveNodeWorks) {
+  NodeFixture f;
+  StorageNode node(f.snapshot, NodeConfig{.drive_count = 1});
+  const ScanReport report = node.scan(f.sequences(5));
+  EXPECT_EQ(report.scanned, 5u);
+  EXPECT_NEAR(report.scale_out_speedup(), 1.0, 1e-9);
+}
+
+TEST(Node, FleetWeightUpdateKeepsVersionsInSync) {
+  NodeFixture f;
+  StorageNode node(f.snapshot, NodeConfig{.drive_count = 3});
+  EXPECT_EQ(node.weight_version(), 1u);
+  Rng rng(99);
+  const nn::LstmParams fresh = nn::LstmParams::glorot(f.config, rng);
+  node.update_all_weights(fresh);
+  EXPECT_EQ(node.weight_version(), 2u);
+
+  // Every drive serves the new model.
+  const auto work = f.sequences(3);
+  csd::SmartSsd board{csd::SmartSsdConfig{}};
+  xrt::Device device{board};
+  kernels::CsdLstmEngine reference(device, f.config, fresh,
+                                   kernels::EngineConfig{});
+  const ScanReport report = node.scan(work);
+  for (std::size_t i = 0; i < work.size(); ++i) {
+    EXPECT_EQ(report.labels[i], reference.infer(work[i]).label);
+  }
+}
+
+TEST(Node, Guards) {
+  NodeFixture f;
+  EXPECT_THROW(StorageNode(f.snapshot, NodeConfig{.drive_count = 0}),
+               PreconditionError);
+  StorageNode node(f.snapshot, NodeConfig{.drive_count = 2});
+  EXPECT_THROW(node.scan({}), PreconditionError);
+  EXPECT_THROW(node.engine(2), PreconditionError);
+  EXPECT_THROW(node.board(5), PreconditionError);
+}
+
+}  // namespace
+}  // namespace csdml::host

@@ -1,0 +1,69 @@
+#include "hls/power.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "kernels/engine.hpp"
+
+namespace csdml::hls {
+namespace {
+
+TEST(Power, StaticFloorAndMonotonicity) {
+  const PowerModel model;
+  const ResourceEstimate empty;
+  EXPECT_DOUBLE_EQ(model.estimate_watts(empty), model.static_watts);
+
+  ResourceEstimate small{.luts = 10'000, .flip_flops = 20'000, .bram36 = 10,
+                         .dsp = 100};
+  ResourceEstimate big = small * 4;
+  EXPECT_GT(model.estimate_watts(small), model.static_watts);
+  EXPECT_GT(model.estimate_watts(big), model.estimate_watts(small));
+}
+
+TEST(Power, HandComputedExample) {
+  PowerModel model;
+  model.static_watts = 2.0;
+  model.dsp_milliwatts = 1.0;
+  model.bram_milliwatts = 1.0;
+  model.lut_microwatts = 1.0;
+  model.ff_microwatts = 1.0;
+  ResourceEstimate est{.luts = 1'000'000, .flip_flops = 0, .bram36 = 1'000,
+                       .dsp = 1'000};
+  // 2.0 + 1 W DSP + 1 W BRAM + 1 W LUT = 5 W.
+  EXPECT_NEAR(model.estimate_watts(est), 5.0, 1e-9);
+}
+
+TEST(Power, EnergyIsPowerTimesTime) {
+  const PowerModel model;
+  ResourceEstimate est{.luts = 100'000, .flip_flops = 100'000, .bram36 = 100,
+                       .dsp = 500};
+  const double watts = model.estimate_watts(est);
+  EXPECT_NEAR(model.energy_joules(est, Duration::microseconds(1'000'000)),
+              watts, 1e-9);  // 1 s at `watts`
+  EXPECT_THROW(model.energy_joules(est, Duration::picoseconds(-1)),
+               PreconditionError);
+}
+
+TEST(Power, MicrojoulesHelper) {
+  EXPECT_NEAR(microjoules(2.0, Duration::microseconds(3.0)), 6.0, 1e-9);
+  EXPECT_THROW(microjoules(-1.0, Duration::microseconds(1.0)),
+               PreconditionError);
+}
+
+TEST(Power, DeployedDesignIsFarBelowHostPower) {
+  // The paper's efficiency claim: the whole in-storage design draws watts,
+  // not the tens/hundreds the host baselines burn.
+  nn::LstmConfig config;
+  Rng rng(3);
+  const nn::LstmParams params = nn::LstmParams::glorot(config, rng);
+  csd::SmartSsd board{csd::SmartSsdConfig{}};
+  xrt::Device device{board};
+  kernels::CsdLstmEngine engine(device, config, params, kernels::EngineConfig{});
+  const PowerModel model;
+  const double watts = model.estimate_watts(board.fpga().placed());
+  EXPECT_GT(watts, model.static_watts);
+  EXPECT_LT(watts, 15.0);  // single-digit watts for a 7.4K-param design
+}
+
+}  // namespace
+}  // namespace csdml::hls

@@ -1,0 +1,135 @@
+// Property sweeps over the HLS cost model: the monotonicity and bounding
+// laws any credible scheduler model must satisfy, checked across a grid of
+// loop shapes.
+#include <gtest/gtest.h>
+
+#include "hls/cost_model.hpp"
+
+namespace csdml::hls {
+namespace {
+
+HlsCostModel model() { return HlsCostModel::ultrascale_default(); }
+
+struct LoopShape {
+  std::uint64_t trips;
+  std::uint32_t accesses;
+  int unroll;
+  bool pipeline;
+};
+
+class LoopShapeTest : public ::testing::TestWithParam<LoopShape> {
+ protected:
+  LoopSpec make(const LoopShape& shape) const {
+    LoopSpec loop;
+    loop.name = "sweep";
+    loop.trip_count = shape.trips;
+    loop.body_ops = {LoopOp{OpKind::IntMul, 4}, LoopOp{OpKind::IntAdd, 4}};
+    loop.buffer_accesses = shape.accesses;
+    loop.memory_ports = 2;
+    loop.pragmas.unroll = shape.unroll;
+    loop.pragmas.pipeline = shape.pipeline;
+    return loop;
+  }
+};
+
+TEST_P(LoopShapeTest, CyclesGrowWithTripCount) {
+  LoopSpec loop = make(GetParam());
+  const auto base = model().analyze_loop(loop).cycles.count;
+  loop.trip_count *= 2;
+  EXPECT_GE(model().analyze_loop(loop).cycles.count, base);
+}
+
+TEST_P(LoopShapeTest, MorePortsNeverHurt) {
+  LoopSpec loop = make(GetParam());
+  const auto narrow = model().analyze_loop(loop).cycles.count;
+  loop.memory_ports = 16;
+  EXPECT_LE(model().analyze_loop(loop).cycles.count, narrow);
+}
+
+TEST_P(LoopShapeTest, PartitioningNeverHurts) {
+  LoopSpec loop = make(GetParam());
+  const auto base = model().analyze_loop(loop).cycles.count;
+  loop.pragmas.array_partition_complete = true;
+  EXPECT_LE(model().analyze_loop(loop).cycles.count, base);
+}
+
+TEST_P(LoopShapeTest, PipeliningNeverHurtsAtSameUnroll) {
+  LoopSpec loop = make(GetParam());
+  loop.pragmas.pipeline = false;
+  const auto sequential = model().analyze_loop(loop).cycles.count;
+  loop.pragmas.pipeline = true;
+  EXPECT_LE(model().analyze_loop(loop).cycles.count, sequential);
+}
+
+TEST_P(LoopShapeTest, AchievedIiRespectsTarget) {
+  LoopSpec loop = make(GetParam());
+  if (!loop.pragmas.pipeline) return;
+  const LoopReport report = model().analyze_loop(loop);
+  EXPECT_GE(report.achieved_ii,
+            static_cast<std::uint64_t>(loop.pragmas.target_ii));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, LoopShapeTest,
+    ::testing::Values(LoopShape{8, 2, 1, false}, LoopShape{8, 2, 1, true},
+                      LoopShape{32, 8, 1, true}, LoopShape{32, 8, 2, true},
+                      LoopShape{100, 16, 4, true}, LoopShape{100, 0, 1, true},
+                      LoopShape{1, 4, 1, false}, LoopShape{1000, 6, 8, true}));
+
+TEST(CostModelProperties, TransferCyclesMonotonicInBytes) {
+  std::uint64_t previous = 0;
+  for (std::uint64_t bytes = 1; bytes <= (1u << 20); bytes *= 4) {
+    const auto cycles =
+        model().analyze_transfer({"t", Bytes{bytes}, 1.0}).count;
+    EXPECT_GE(cycles, previous);
+    previous = cycles;
+  }
+}
+
+TEST(CostModelProperties, ContentionScalesBeatsLinearly) {
+  const auto base = model().analyze_transfer({"t", Bytes{6400}, 1.0}).count;
+  const auto doubled = model().analyze_transfer({"t", Bytes{6400}, 2.0}).count;
+  const AxiConfig axi;
+  EXPECT_EQ(doubled - axi.setup_latency.count,
+            2 * (base - axi.setup_latency.count));
+}
+
+TEST(CostModelProperties, DataflowNeverSlowerThanSequentialKernel) {
+  for (const std::uint64_t trips : {4ull, 64ull, 512ull}) {
+    KernelSpec kernel;
+    kernel.name = "k";
+    LoopSpec a;
+    a.name = "a";
+    a.trip_count = trips;
+    a.body_ops = {LoopOp{OpKind::IntAdd, 2}};
+    a.buffer_accesses = 2;
+    LoopSpec b = a;
+    b.name = "b";
+    b.trip_count = trips * 2;
+    kernel.loops = {a, b};
+    kernel.transfers = {{"io", Bytes{256}, 1.0}};
+    const auto sequential = model().analyze(kernel).total.count;
+    kernel.dataflow = true;
+    EXPECT_LE(model().analyze(kernel).total.count, sequential);
+  }
+}
+
+TEST(CostModelProperties, DependenceNeverLowersIi) {
+  for (const auto dep : {OpKind::IntAdd, OpKind::IntMul, OpKind::FloatAdd,
+                         OpKind::FloatDiv}) {
+    LoopSpec loop;
+    loop.name = "dep";
+    loop.trip_count = 64;
+    loop.body_ops = {LoopOp{dep, 1}};
+    loop.buffer_accesses = 1;
+    loop.pragmas.pipeline = true;
+    const auto free_ii = model().analyze_loop(loop).achieved_ii;
+    loop.carried_dependency = dep;
+    const auto bound_ii = model().analyze_loop(loop).achieved_ii;
+    EXPECT_GE(bound_ii, free_ii);
+    EXPECT_GE(bound_ii, model().ops().latency(dep).count);
+  }
+}
+
+}  // namespace
+}  // namespace csdml::hls

@@ -1,0 +1,74 @@
+#include "fixed/qfixed.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace csdml::fixedpt {
+namespace {
+
+TEST(QFixed, ResolutionMatchesFracBits) {
+  EXPECT_DOUBLE_EQ(Q16::resolution(), 1.0 / 65536.0);
+  EXPECT_DOUBLE_EQ(Q20::resolution(), 1.0 / 1048576.0);
+  EXPECT_DOUBLE_EQ(Q24::resolution(), 1.0 / 16777216.0);
+}
+
+TEST(QFixed, RoundTripWithinHalfLsb) {
+  Rng rng(3);
+  for (int i = 0; i < 5'000; ++i) {
+    const double x = rng.uniform(-1000.0, 1000.0);
+    EXPECT_LE(std::abs(Q20::from_double(x).to_double() - x),
+              Q20::resolution() / 2 + 1e-15);
+  }
+}
+
+TEST(QFixed, ArithmeticMatchesReal) {
+  const auto a = Q20::from_double(1.5);
+  const auto b = Q20::from_double(-2.25);
+  EXPECT_DOUBLE_EQ((a + b).to_double(), -0.75);
+  EXPECT_DOUBLE_EQ((a - b).to_double(), 3.75);
+  EXPECT_DOUBLE_EQ((a * b).to_double(), -3.375);  // exact in binary
+  EXPECT_NEAR((a / b).to_double(), 1.5 / -2.25, Q20::resolution() * 2);
+  EXPECT_THROW(a / Q20::from_double(0.0), PreconditionError);
+}
+
+TEST(QFixed, MultiplicationRoundsToNearest) {
+  Rng rng(9);
+  for (int i = 0; i < 5'000; ++i) {
+    const double x = rng.uniform(-8.0, 8.0);
+    const double y = rng.uniform(-8.0, 8.0);
+    const double got = (Q20::from_double(x) * Q20::from_double(y)).to_double();
+    const double budget = (std::abs(x) + std::abs(y) + 1.0) * Q20::resolution();
+    EXPECT_NEAR(got, x * y, budget);
+  }
+}
+
+TEST(QFixed, FinerFormatIsMoreAccurate) {
+  const double x = 0.123456789;
+  EXPECT_LT(std::abs(Q24::from_double(x).to_double() - x),
+            std::abs(Q16::from_double(x).to_double() - x));
+}
+
+TEST(QFixed, ComparisonsAndNegation) {
+  EXPECT_LT(Q16::from_double(1.0), Q16::from_double(2.0));
+  EXPECT_EQ((-Q16::from_double(3.0)).to_double(), -3.0);
+  auto acc = Q16::from_double(0.0);
+  acc += Q16::from_double(0.5);
+  acc += Q16::from_double(0.25);
+  EXPECT_DOUBLE_EQ(acc.to_double(), 0.75);
+}
+
+TEST(QFixed, RawAccessors) {
+  EXPECT_EQ(Q16::from_double(1.0).raw(), Q16::kOne);
+  EXPECT_EQ(Q16::from_raw(Q16::kOne / 2).to_double(), 0.5);
+}
+
+TEST(QFixed, RejectsOverflow) {
+  EXPECT_THROW(Q24::from_double(1e15), PreconditionError);
+}
+
+}  // namespace
+}  // namespace csdml::fixedpt

@@ -1,0 +1,123 @@
+// NAND reliability / failure-injection tests (ECC model).
+#include <gtest/gtest.h>
+
+#include "csd/ssd.hpp"
+
+namespace csdml::csd {
+namespace {
+
+TEST(Reliability, ZeroBerMeansNoEccActivity) {
+  NandConfig cfg;
+  cfg.raw_bit_error_rate = 0.0;
+  NandArray nand(cfg);
+  for (int i = 0; i < 50; ++i) {
+    const auto result = nand.read_page({0, 0, static_cast<std::uint64_t>(i)},
+                                       TimePoint{}, nullptr);
+    EXPECT_EQ(result.raw_bit_errors, 0u);
+    EXPECT_FALSE(result.uncorrectable);
+  }
+  EXPECT_EQ(nand.corrected_reads(), 0u);
+  EXPECT_EQ(nand.uncorrectable_reads(), 0u);
+}
+
+TEST(Reliability, MidLifeBerIsFullyCorrected) {
+  // 1e-5 raw BER over a 16 KiB page ~ 1.3 errors/read: routinely corrected
+  // by a 40-bit LDPC budget, never uncorrectable.
+  NandConfig cfg;
+  cfg.raw_bit_error_rate = 1e-5;
+  NandArray nand(cfg);
+  std::uint32_t total_errors = 0;
+  for (int i = 0; i < 300; ++i) {
+    const auto result = nand.read_page({0, 0, static_cast<std::uint64_t>(i)},
+                                       TimePoint{}, nullptr);
+    total_errors += result.raw_bit_errors;
+    EXPECT_FALSE(result.uncorrectable);
+  }
+  EXPECT_GT(total_errors, 100u);  // errors did occur...
+  EXPECT_GT(nand.corrected_reads(), 100u);
+  EXPECT_EQ(nand.uncorrectable_reads(), 0u);  // ...and ECC ate them all
+}
+
+TEST(Reliability, CorrectionAddsDecodeLatency) {
+  NandConfig clean;
+  clean.raw_bit_error_rate = 0.0;
+  NandConfig noisy = clean;
+  noisy.raw_bit_error_rate = 1e-4;  // ~13 errors/read, always correcting
+  NandArray clean_nand(clean);
+  NandArray noisy_nand(noisy);
+  const TimePoint clean_done =
+      clean_nand.read_page({0, 0, 0}, TimePoint{}, nullptr).done;
+  const auto noisy_read = noisy_nand.read_page({0, 0, 0}, TimePoint{}, nullptr);
+  ASSERT_GT(noisy_read.raw_bit_errors, 0u);
+  EXPECT_EQ((noisy_read.done - clean_done).picos,
+            noisy.ecc_correction_latency.picos);
+}
+
+TEST(Reliability, WornFlashProducesUncorrectableReads) {
+  // End-of-life BER with a weak ECC budget: failures must surface.
+  NandConfig cfg;
+  cfg.raw_bit_error_rate = 5e-4;     // ~65 errors per 16 KiB page
+  cfg.ecc_correctable_bits = 4;      // deliberately weak
+  NandArray nand(cfg);
+  std::uint32_t uncorrectable = 0;
+  for (int i = 0; i < 200; ++i) {
+    uncorrectable +=
+        nand.read_page({0, 0, static_cast<std::uint64_t>(i)}, TimePoint{}, nullptr)
+            .uncorrectable;
+  }
+  EXPECT_GT(uncorrectable, 20u);
+  EXPECT_EQ(nand.uncorrectable_reads(), uncorrectable);
+}
+
+TEST(Reliability, DeterministicForSeed) {
+  NandConfig cfg;
+  cfg.raw_bit_error_rate = 1e-4;
+  NandArray a(cfg);
+  NandArray b(cfg);
+  for (int i = 0; i < 50; ++i) {
+    const auto ra = a.read_page({0, 0, static_cast<std::uint64_t>(i)},
+                                TimePoint{}, nullptr);
+    const auto rb = b.read_page({0, 0, static_cast<std::uint64_t>(i)},
+                                TimePoint{}, nullptr);
+    EXPECT_EQ(ra.raw_bit_errors, rb.raw_bit_errors);
+  }
+}
+
+TEST(Reliability, SsdRetriesAndFlagsUncorrectable) {
+  // Drive-level behaviour: a read-retry absorbs one-off failures; only a
+  // persistent double failure surfaces to the caller.
+  SsdConfig cfg;
+  cfg.nand.raw_bit_error_rate = 3e-4;  // ~39 errors/page, ~5 per codeword
+  cfg.nand.ecc_correctable_bits = 8;   // fails on the tail (~6% per codeword)
+  SsdController ssd(cfg);
+  std::size_t flagged = 0;
+  const int kReads = 60;
+  for (int i = 0; i < kReads; ++i) {
+    flagged += ssd.read(static_cast<std::uint64_t>(i) * 4, 1, TimePoint{})
+                   .uncorrectable;
+  }
+  // With per-read failure probability p, post-retry probability is ~p^2:
+  // flags happen, but far less often than raw failures.
+  EXPECT_GT(ssd.nand().uncorrectable_reads(), flagged);
+  EXPECT_LT(flagged, static_cast<std::size_t>(kReads));
+}
+
+TEST(Reliability, HealthyDriveNeverFlags) {
+  SsdConfig cfg;  // default 1e-9 BER, 40-bit ECC
+  SsdController ssd(cfg);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(ssd.read(static_cast<std::uint64_t>(i) * 4, 1, TimePoint{})
+                     .uncorrectable);
+  }
+}
+
+TEST(Reliability, ConfigValidated) {
+  NandConfig cfg;
+  cfg.raw_bit_error_rate = 1.5;
+  EXPECT_THROW(NandArray{cfg}, PreconditionError);
+  cfg.raw_bit_error_rate = -0.1;
+  EXPECT_THROW(NandArray{cfg}, PreconditionError);
+}
+
+}  // namespace
+}  // namespace csdml::csd

@@ -1,0 +1,75 @@
+#include "hls/report.hpp"
+
+#include <gtest/gtest.h>
+
+#include "kernels/specs.hpp"
+
+namespace csdml::hls {
+namespace {
+
+const HlsCostModel& model() {
+  static const HlsCostModel m = HlsCostModel::ultrascale_default();
+  return m;
+}
+
+TEST(Report, ContainsAllSections) {
+  const nn::LstmConfig config;
+  const KernelSpec gates = kernels::make_gates_spec(
+      config, kernels::OptimizationLevel::Vanilla);
+  const std::string report = synthesis_report(gates, model(), FpgaPart::ku15p());
+
+  EXPECT_NE(report.find("kernel_gates"), std::string::npos);
+  EXPECT_NE(report.find("xcku15p"), std::string::npos);
+  EXPECT_NE(report.find("DATAFLOW"), std::string::npos);
+  EXPECT_NE(report.find("gate_outputs"), std::string::npos);  // loop table
+  EXPECT_NE(report.find("gate_out"), std::string::npos);      // axi table
+  EXPECT_NE(report.find("DSP"), std::string::npos);           // utilization
+  EXPECT_NE(report.find("timing:"), std::string::npos);
+}
+
+TEST(Report, ShowsPragmasWhenPresent) {
+  const nn::LstmConfig config;
+  const KernelSpec fp = kernels::make_gates_spec(
+      config, kernels::OptimizationLevel::FixedPoint);
+  const std::string report = synthesis_report(fp, model(), FpgaPart::ku15p());
+  EXPECT_NE(report.find("PIPELINE II=1"), std::string::npos);
+  EXPECT_NE(report.find("UNROLL=2"), std::string::npos);
+  EXPECT_NE(report.find("ARRAY_PARTITION"), std::string::npos);
+}
+
+TEST(Report, SequentialLoopShowsNoIi) {
+  const nn::LstmConfig config;
+  const KernelSpec hidden = kernels::make_hidden_state_spec(
+      config, kernels::OptimizationLevel::Vanilla, 4);
+  const std::string report =
+      synthesis_report(hidden, model(), FpgaPart::alveo_u200());
+  EXPECT_NE(report.find("cell_update"), std::string::npos);
+  EXPECT_NE(report.find("alveo-u200"), std::string::npos);
+}
+
+TEST(Report, SummaryLineIsCompact) {
+  const nn::LstmConfig config;
+  const KernelSpec gates = kernels::make_gates_spec(
+      config, kernels::OptimizationLevel::Vanilla);
+  const std::string line = summary_line(gates, model());
+  EXPECT_NE(line.find("kernel_gates:"), std::string::npos);
+  EXPECT_NE(line.find("cycles"), std::string::npos);
+  EXPECT_NE(line.find("II="), std::string::npos);
+  EXPECT_NE(line.find("DSP"), std::string::npos);
+  EXPECT_EQ(line.find('\n'), std::string::npos);
+}
+
+TEST(Report, UtilizationPercentagesAreFinite) {
+  const nn::LstmConfig config;
+  for (const auto level :
+       {kernels::OptimizationLevel::Vanilla, kernels::OptimizationLevel::II,
+        kernels::OptimizationLevel::FixedPoint}) {
+    const std::string report = synthesis_report(
+        kernels::make_gates_spec(config, level), model(), FpgaPart::ku15p());
+    EXPECT_EQ(report.find("nan"), std::string::npos);
+    EXPECT_EQ(report.find("inf"), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace csdml::hls

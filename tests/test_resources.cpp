@@ -1,0 +1,114 @@
+#include "hls/resources.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace csdml::hls {
+namespace {
+
+TEST(FpgaPart, KnownParts) {
+  const FpgaPart ku15p = FpgaPart::ku15p();
+  const FpgaPart u200 = FpgaPart::alveo_u200();
+  EXPECT_EQ(ku15p.name, "xcku15p");
+  EXPECT_EQ(u200.name, "alveo-u200");
+  // The U200 is the larger device in every resource class.
+  EXPECT_GT(u200.luts, ku15p.luts);
+  EXPECT_GT(u200.dsp, ku15p.dsp);
+  EXPECT_GT(u200.bram36, ku15p.bram36);
+  EXPECT_EQ(u200.ddr_banks, 4u);  // the paper notes u200/u250 have four
+}
+
+TEST(ResourceEstimate, ArithmeticAndFit) {
+  ResourceEstimate a{.luts = 100, .flip_flops = 200, .bram36 = 2, .dsp = 4};
+  ResourceEstimate b{.luts = 50, .flip_flops = 100, .bram36 = 1, .dsp = 2};
+  a += b;
+  EXPECT_EQ(a.luts, 150u);
+  EXPECT_EQ(a.dsp, 6u);
+  const ResourceEstimate scaled = b * 4;
+  EXPECT_EQ(scaled.luts, 200u);
+  EXPECT_EQ(scaled.dsp, 8u);
+
+  const FpgaPart part = FpgaPart::ku15p();
+  EXPECT_TRUE(a.fits(part));
+  ResourceEstimate huge{.luts = part.luts + 1};
+  EXPECT_FALSE(huge.fits(part));
+}
+
+TEST(ResourceEstimate, UtilizationIsWorstClass) {
+  const FpgaPart part = FpgaPart::ku15p();
+  ResourceEstimate est;
+  est.dsp = part.dsp / 2;
+  est.luts = part.luts / 10;
+  EXPECT_NEAR(est.utilization(part), 0.5, 1e-9);
+}
+
+TEST(EstimateResources, CountsDspForMultiplies) {
+  KernelSpec kernel;
+  kernel.name = "mac";
+  LoopSpec loop;
+  loop.name = "l";
+  loop.trip_count = 8;
+  loop.body_ops = {LoopOp{OpKind::IntMul, 10}};
+  loop.pragmas.pipeline = true;
+  kernel.loops.push_back(loop);
+  const ResourceEstimate est = estimate_resources(kernel);
+  EXPECT_GE(est.dsp, 20u);  // 10 muls x 2 DSP each
+  EXPECT_GT(est.luts, 4'000u);  // shell + op glue
+}
+
+TEST(EstimateResources, UnrollMultipliesOperatorInstances) {
+  KernelSpec kernel;
+  kernel.name = "mac";
+  LoopSpec loop;
+  loop.name = "l";
+  loop.trip_count = 8;
+  loop.body_ops = {LoopOp{OpKind::IntMul, 4}};
+  loop.pragmas.pipeline = true;
+  loop.pragmas.unroll = 1;
+  kernel.loops.push_back(loop);
+  const auto base = estimate_resources(kernel).dsp;
+  kernel.loops[0].pragmas.unroll = 4;
+  const auto unrolled = estimate_resources(kernel).dsp;
+  EXPECT_EQ(unrolled, base * 4);
+}
+
+TEST(EstimateResources, SequentialLoopsShareOperators) {
+  KernelSpec kernel;
+  kernel.name = "seq";
+  LoopSpec loop;
+  loop.name = "l";
+  loop.trip_count = 8;
+  loop.body_ops = {LoopOp{OpKind::IntMul, 16}};
+  // No pipeline, no unroll: one shared multiplier instance per op count...
+  kernel.loops.push_back(loop);
+  const auto sequential = estimate_resources(kernel).dsp;
+  kernel.loops[0].pragmas.pipeline = true;
+  const auto pipelined = estimate_resources(kernel).dsp;
+  EXPECT_LE(sequential, pipelined);
+}
+
+TEST(EstimateResources, BuffersMapToBramOrRegisters) {
+  KernelSpec kernel;
+  kernel.name = "buf";
+  kernel.buffers.push_back(
+      LocalBufferSpec{"weights", Bytes::kib(9), BufferBinding::Bram});
+  const ResourceEstimate bram_est = estimate_resources(kernel);
+  EXPECT_GE(bram_est.bram36, 2u + 2u);  // shell 2 + ceil(9 KiB / 4.5 KiB)
+
+  KernelSpec reg_kernel;
+  reg_kernel.name = "buf";
+  reg_kernel.buffers.push_back(
+      LocalBufferSpec{"weights", Bytes{128}, BufferBinding::Registers});
+  const ResourceEstimate reg_est = estimate_resources(reg_kernel);
+  EXPECT_GE(reg_est.flip_flops, 128u * 8u);
+}
+
+TEST(ResourceEstimate, UtilizationGuards) {
+  ResourceEstimate est;
+  FpgaPart broken;
+  EXPECT_THROW(est.utilization(broken), PreconditionError);
+}
+
+}  // namespace
+}  // namespace csdml::hls

@@ -1,0 +1,110 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "nn/metrics.hpp"
+
+namespace csdml::nn {
+namespace {
+
+TEST(Roc, PerfectSeparationGivesAucOne) {
+  const std::vector<double> scores{0.9, 0.8, 0.7, 0.2, 0.1};
+  const std::vector<int> labels{1, 1, 1, 0, 0};
+  EXPECT_DOUBLE_EQ(roc_auc(scores, labels), 1.0);
+}
+
+TEST(Roc, InvertedScoresGiveAucZero) {
+  const std::vector<double> scores{0.1, 0.2, 0.9, 0.8};
+  const std::vector<int> labels{1, 1, 0, 0};
+  EXPECT_DOUBLE_EQ(roc_auc(scores, labels), 0.0);
+}
+
+TEST(Roc, AllTiedScoresGiveAucHalf) {
+  const std::vector<double> scores{0.5, 0.5, 0.5, 0.5};
+  const std::vector<int> labels{1, 0, 1, 0};
+  EXPECT_DOUBLE_EQ(roc_auc(scores, labels), 0.5);
+}
+
+TEST(Roc, HandComputedExample) {
+  // scores: pos {0.8, 0.4}, neg {0.6, 0.2}.
+  // Pairs: (0.8,0.6)=1, (0.8,0.2)=1, (0.4,0.6)=0, (0.4,0.2)=1 -> 3/4.
+  const std::vector<double> scores{0.8, 0.4, 0.6, 0.2};
+  const std::vector<int> labels{1, 1, 0, 0};
+  EXPECT_DOUBLE_EQ(roc_auc(scores, labels), 0.75);
+}
+
+TEST(Roc, RandomScoresApproachHalf) {
+  Rng rng(7);
+  std::vector<double> scores;
+  std::vector<int> labels;
+  for (int i = 0; i < 20'000; ++i) {
+    scores.push_back(rng.uniform());
+    labels.push_back(rng.chance(0.4) ? 1 : 0);
+  }
+  EXPECT_NEAR(roc_auc(scores, labels), 0.5, 0.02);
+}
+
+TEST(Roc, CurveEndpointsAndMonotonicity) {
+  Rng rng(11);
+  std::vector<double> scores;
+  std::vector<int> labels;
+  for (int i = 0; i < 500; ++i) {
+    const int label = rng.chance(0.5) ? 1 : 0;
+    scores.push_back(rng.uniform() * 0.5 + label * 0.4);
+    labels.push_back(label);
+  }
+  const std::vector<RocPoint> curve = roc_curve(scores, labels);
+  ASSERT_GE(curve.size(), 3u);
+  EXPECT_DOUBLE_EQ(curve.front().true_positive_rate, 0.0);
+  EXPECT_DOUBLE_EQ(curve.front().false_positive_rate, 0.0);
+  EXPECT_DOUBLE_EQ(curve.back().true_positive_rate, 1.0);
+  EXPECT_DOUBLE_EQ(curve.back().false_positive_rate, 1.0);
+  for (std::size_t i = 1; i < curve.size(); ++i) {
+    EXPECT_GE(curve[i].true_positive_rate, curve[i - 1].true_positive_rate);
+    EXPECT_GE(curve[i].false_positive_rate, curve[i - 1].false_positive_rate);
+    EXPECT_LE(curve[i].threshold, curve[i - 1].threshold);
+  }
+}
+
+TEST(Roc, TrapezoidAreaMatchesRankAuc) {
+  // Integrating the ROC curve must agree with the rank statistic (no ties
+  // in this sample, so both are exact).
+  Rng rng(13);
+  std::vector<double> scores;
+  std::vector<int> labels;
+  for (int i = 0; i < 400; ++i) {
+    const int label = i % 2;
+    scores.push_back(rng.normal(label == 1 ? 1.0 : 0.0, 1.0));
+    labels.push_back(label);
+  }
+  const auto curve = roc_curve(scores, labels);
+  double area = 0.0;
+  for (std::size_t i = 1; i < curve.size(); ++i) {
+    area += (curve[i].false_positive_rate - curve[i - 1].false_positive_rate) *
+            (curve[i].true_positive_rate + curve[i - 1].true_positive_rate) / 2.0;
+  }
+  EXPECT_NEAR(area, roc_auc(scores, labels), 1e-9);
+}
+
+TEST(Roc, ConfusionAtThresholdSweep) {
+  const std::vector<double> scores{0.9, 0.7, 0.4, 0.2};
+  const std::vector<int> labels{1, 0, 1, 0};
+  const ConfusionMatrix strict = confusion_at_threshold(scores, labels, 0.8);
+  EXPECT_EQ(strict.true_positive, 1u);
+  EXPECT_EQ(strict.false_positive, 0u);
+  const ConfusionMatrix lax = confusion_at_threshold(scores, labels, 0.3);
+  EXPECT_EQ(lax.true_positive, 2u);
+  EXPECT_EQ(lax.false_positive, 1u);
+}
+
+TEST(Roc, Guards) {
+  EXPECT_THROW(roc_auc({}, {}), PreconditionError);
+  EXPECT_THROW(roc_auc({0.5}, {1}), PreconditionError);      // one class only
+  EXPECT_THROW(roc_auc({0.5, 0.6}, {1, 2}), PreconditionError);
+  EXPECT_THROW(roc_auc({0.5}, {1, 0}), PreconditionError);   // size mismatch
+}
+
+}  // namespace
+}  // namespace csdml::nn

@@ -1,0 +1,132 @@
+#include "ransomware/sandbox.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "common/error.hpp"
+#include "ransomware/api_vocab.hpp"
+
+namespace csdml::ransomware {
+namespace {
+
+const FamilyProfile& family(const std::string& name) {
+  for (const auto& f : ransomware_families()) {
+    if (f.name == name) return f;
+  }
+  throw std::runtime_error("no such family");
+}
+
+TEST(Sandbox, TracesMeetMinimumLength) {
+  const SandboxTraceGenerator sandbox{SandboxConfig{}};
+  const auto trace = sandbox.ransomware_trace(family("Ryuk"), 0, 5'000);
+  EXPECT_GE(trace.size(), 5'000u);
+  const auto benign = sandbox.benign_trace(benign_profiles().front(), 0, 3'000);
+  EXPECT_GE(benign.size(), 3'000u);
+}
+
+TEST(Sandbox, TracesAreDeterministicPerVariant) {
+  const SandboxTraceGenerator sandbox{SandboxConfig{}};
+  const auto a = sandbox.ransomware_trace(family("Lockbit"), 2, 1'000);
+  const auto b = sandbox.ransomware_trace(family("Lockbit"), 2, 1'000);
+  EXPECT_EQ(a, b);
+}
+
+TEST(Sandbox, DifferentVariantsProduceDifferentTraces) {
+  const SandboxTraceGenerator sandbox{SandboxConfig{}};
+  const auto v0 = sandbox.ransomware_trace(family("Cerber"), 0, 1'000);
+  const auto v1 = sandbox.ransomware_trace(family("Cerber"), 1, 1'000);
+  EXPECT_NE(v0, v1);
+}
+
+TEST(Sandbox, DifferentFamiliesProduceDifferentTraces) {
+  const SandboxTraceGenerator sandbox{SandboxConfig{}};
+  EXPECT_NE(sandbox.ransomware_trace(family("Ryuk"), 0, 1'000),
+            sandbox.ransomware_trace(family("Locky"), 0, 1'000));
+}
+
+TEST(Sandbox, SeedChangesEverything) {
+  SandboxConfig c1;
+  c1.seed = 1;
+  SandboxConfig c2;
+  c2.seed = 2;
+  const SandboxTraceGenerator s1(c1);
+  const SandboxTraceGenerator s2(c2);
+  EXPECT_NE(s1.ransomware_trace(family("Ryuk"), 0, 500),
+            s2.ransomware_trace(family("Ryuk"), 0, 500));
+}
+
+TEST(Sandbox, AllTokensAreInVocabulary) {
+  const SandboxTraceGenerator sandbox{SandboxConfig{}};
+  const auto vocab_size =
+      static_cast<nn::TokenId>(ApiVocabulary::instance().size());
+  for (const auto& f : ransomware_families()) {
+    const auto trace = sandbox.ransomware_trace(f, 0, 600);
+    for (const nn::TokenId t : trace) {
+      ASSERT_GE(t, 0);
+      ASSERT_LT(t, vocab_size);
+    }
+  }
+}
+
+TEST(Sandbox, RansomwareTracesContainEncryptionCalls) {
+  const SandboxTraceGenerator sandbox{SandboxConfig{}};
+  const auto& vocab = ApiVocabulary::instance();
+  const nn::TokenId crypt = vocab.require("CryptEncrypt");
+  const nn::TokenId bcrypt = vocab.require("BCryptEncrypt");
+  for (const auto& f : ransomware_families()) {
+    const auto trace = sandbox.ransomware_trace(f, 0, 2'000);
+    const std::size_t hits = static_cast<std::size_t>(
+        std::count(trace.begin(), trace.end(), crypt) +
+        std::count(trace.begin(), trace.end(), bcrypt));
+    EXPECT_GT(hits, 5u) << f.name;
+  }
+}
+
+TEST(Sandbox, MostBenignTracesAvoidFileEncryption) {
+  const SandboxTraceGenerator sandbox{SandboxConfig{}};
+  const auto& vocab = ApiVocabulary::instance();
+  const nn::TokenId crypt = vocab.require("CryptEncrypt");
+  std::size_t tainted = 0;
+  for (const auto& profile : benign_profiles()) {
+    const auto trace = sandbox.benign_trace(profile, 0, 2'000);
+    tainted += std::count(trace.begin(), trace.end(), crypt) > 0;
+  }
+  // Only the disk-encryption utility should touch CryptEncrypt.
+  EXPECT_LE(tainted, 2u);
+  EXPECT_GE(tainted, 1u);
+}
+
+TEST(Sandbox, BackgroundNoiseAppears) {
+  SandboxConfig config;
+  config.background_noise_rate = 0.3;
+  const SandboxTraceGenerator sandbox(config);
+  const auto& vocab = ApiVocabulary::instance();
+  const nn::TokenId heap = vocab.require("HeapAlloc");
+  const auto trace = sandbox.ransomware_trace(family("Ryuk"), 0, 2'000);
+  EXPECT_GT(std::count(trace.begin(), trace.end(), heap), 20);
+}
+
+TEST(Sandbox, ZeroNoiseRateIsAllowed) {
+  SandboxConfig config;
+  config.background_noise_rate = 0.0;
+  const SandboxTraceGenerator sandbox(config);
+  EXPECT_GE(sandbox.ransomware_trace(family("Ryuk"), 0, 500).size(), 500u);
+}
+
+TEST(Sandbox, InvalidConfigRejected) {
+  SandboxConfig config;
+  config.background_noise_rate = 1.0;
+  EXPECT_THROW(SandboxTraceGenerator{config}, PreconditionError);
+}
+
+TEST(Sandbox, VariantIndexValidated) {
+  const SandboxTraceGenerator sandbox{SandboxConfig{}};
+  const auto& ryuk = family("Ryuk");
+  EXPECT_THROW(sandbox.ransomware_trace(ryuk, ryuk.variants, 500),
+               PreconditionError);
+}
+
+}  // namespace
+}  // namespace csdml::ransomware

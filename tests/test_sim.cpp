@@ -1,0 +1,104 @@
+#include "sim/simulation.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace csdml::sim {
+namespace {
+
+TEST(Simulation, ExecutesInTimestampOrder) {
+  Simulation sim;
+  std::vector<int> order;
+  sim.schedule_at(TimePoint{30}, [&] { order.push_back(3); });
+  sim.schedule_at(TimePoint{10}, [&] { order.push_back(1); });
+  sim.schedule_at(TimePoint{20}, [&] { order.push_back(2); });
+  EXPECT_EQ(sim.run(), 3u);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.now().picos, 30);
+}
+
+TEST(Simulation, FifoTieBreakAtEqualTimestamps) {
+  Simulation sim;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    sim.schedule_at(TimePoint{100}, [&order, i] { order.push_back(i); });
+  }
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(Simulation, ScheduleAfterUsesCurrentTime) {
+  Simulation sim;
+  std::vector<std::int64_t> times;
+  sim.schedule_after(Duration::picoseconds(10), [&] {
+    times.push_back(sim.now().picos);
+    sim.schedule_after(Duration::picoseconds(5),
+                       [&] { times.push_back(sim.now().picos); });
+  });
+  sim.run();
+  EXPECT_EQ(times, (std::vector<std::int64_t>{10, 15}));
+}
+
+TEST(Simulation, RejectsPastEventsAndNegativeDelays) {
+  Simulation sim;
+  sim.schedule_at(TimePoint{10}, [] {});
+  sim.run();
+  EXPECT_THROW(sim.schedule_at(TimePoint{5}, [] {}), PreconditionError);
+  EXPECT_THROW(sim.schedule_after(Duration::picoseconds(-1), [] {}),
+               PreconditionError);
+}
+
+TEST(Simulation, RunUntilLeavesLaterEventsQueued) {
+  Simulation sim;
+  int fired = 0;
+  sim.schedule_at(TimePoint{10}, [&] { ++fired; });
+  sim.schedule_at(TimePoint{50}, [&] { ++fired; });
+  EXPECT_EQ(sim.run_until(TimePoint{20}), 1u);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sim.now().picos, 20);
+  EXPECT_EQ(sim.pending(), 1u);
+  sim.run();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Simulation, EventsMayScheduleMoreEvents) {
+  Simulation sim;
+  int depth = 0;
+  std::function<void()> chain = [&] {
+    if (++depth < 10) sim.schedule_after(Duration::picoseconds(1), chain);
+  };
+  sim.schedule_at(TimePoint{0}, chain);
+  EXPECT_EQ(sim.run(), 10u);
+  EXPECT_EQ(depth, 10);
+}
+
+TEST(SerialResource, GrantsImmediatelyWhenFree) {
+  SerialResource res;
+  const TimePoint grant = res.acquire(TimePoint{100}, Duration::picoseconds(50));
+  EXPECT_EQ(grant.picos, 100);
+  EXPECT_EQ(res.free_at().picos, 150);
+}
+
+TEST(SerialResource, SerialisesOverlappingRequests) {
+  SerialResource res;
+  res.acquire(TimePoint{0}, Duration::picoseconds(100));
+  const TimePoint second = res.acquire(TimePoint{30}, Duration::picoseconds(10));
+  EXPECT_EQ(second.picos, 100);  // waits for the first to finish
+  const TimePoint third = res.acquire(TimePoint{200}, Duration::picoseconds(10));
+  EXPECT_EQ(third.picos, 200);  // idle gap, no queueing
+}
+
+TEST(SerialResource, TracksBusyTime) {
+  SerialResource res;
+  res.acquire(TimePoint{0}, Duration::picoseconds(40));
+  res.acquire(TimePoint{0}, Duration::picoseconds(60));
+  EXPECT_EQ(res.busy_time().picos, 100);
+  EXPECT_THROW(res.acquire(TimePoint{0}, Duration::picoseconds(-1)),
+               PreconditionError);
+}
+
+}  // namespace
+}  // namespace csdml::sim

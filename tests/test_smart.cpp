@@ -1,0 +1,67 @@
+// SMART health reporting tests.
+#include <gtest/gtest.h>
+
+#include "csd/ssd.hpp"
+
+namespace csdml::csd {
+namespace {
+
+TEST(Smart, FreshDriveIsPristine) {
+  SsdController ssd(SsdConfig{});
+  const SsdController::SmartHealth health = ssd.smart();
+  EXPECT_EQ(health.host_bytes_written.count, 0u);
+  EXPECT_EQ(health.pages_programmed, 0u);
+  EXPECT_EQ(health.blocks_erased, 0u);
+  EXPECT_EQ(health.uncorrectable_reads, 0u);
+  EXPECT_DOUBLE_EQ(health.media_wear_percent, 0.0);
+}
+
+TEST(Smart, CountersTrackHostActivity) {
+  SsdController ssd(SsdConfig{});
+  TimePoint now{};
+  for (int i = 0; i < 10; ++i) {
+    now = ssd.write(static_cast<std::uint64_t>(i) * 8,
+                    std::vector<std::uint8_t>(16'384, 0x42), now);
+  }
+  ssd.read(0, 4, now);
+  const auto health = ssd.smart();
+  EXPECT_EQ(health.host_bytes_written.count, 10u * 16'384u);
+  EXPECT_EQ(health.host_bytes_read.count, 4u * 4'096u);
+  EXPECT_GE(health.pages_programmed, 10u);
+  EXPECT_GT(health.media_wear_percent, 0.0);
+  EXPECT_LT(health.media_wear_percent, 1.0);
+}
+
+TEST(Smart, WearGrowsLinearlyWithPrograms) {
+  SsdConfig config;
+  config.modelled_capacity = Bytes::mib(1);  // tiny drive: wear is visible
+  config.rated_pe_cycles = 10;
+  SsdController ssd(config);
+  TimePoint now{};
+  double previous = 0.0;
+  for (int round = 0; round < 5; ++round) {
+    for (int i = 0; i < 8; ++i) {
+      now = ssd.write(static_cast<std::uint64_t>(i) * 4,
+                      std::vector<std::uint8_t>(16'384, 0x01), now);
+    }
+    const double wear = ssd.smart().media_wear_percent;
+    EXPECT_GT(wear, previous);
+    previous = wear;
+  }
+  EXPECT_GT(previous, 5.0);  // 40 page programs on a 64-page, 10-cycle drive
+}
+
+TEST(Smart, EccCountersSurfaceInHealth) {
+  SsdConfig config;
+  config.nand.raw_bit_error_rate = 1e-4;  // corrected on every read
+  SsdController ssd(config);
+  TimePoint now{};
+  now = ssd.write(0, std::vector<std::uint8_t>(4'096, 0x07), now);
+  for (int i = 0; i < 20; ++i) ssd.read(0, 1, now);
+  const auto health = ssd.smart();
+  EXPECT_GT(health.corrected_reads, 0u);
+  EXPECT_EQ(health.uncorrectable_reads, 0u);
+}
+
+}  // namespace
+}  // namespace csdml::csd

@@ -1,0 +1,41 @@
+#include "common/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace csdml {
+namespace {
+
+TEST(TextTable, AlignsColumns) {
+  TextTable table({"name", "value"});
+  table.add_row({"short", "1"});
+  table.add_row({"a-much-longer-name", "2"});
+  const std::string out = table.to_string();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("a-much-longer-name"), std::string::npos);
+  // Every printed row has the same length (padding applied).
+  std::size_t first_len = out.find('\n');
+  EXPECT_NE(first_len, std::string::npos);
+}
+
+TEST(TextTable, RejectsMismatchedRow) {
+  TextTable table({"a", "b"});
+  EXPECT_THROW(table.add_row({"only-one"}), PreconditionError);
+  EXPECT_THROW(TextTable({}), PreconditionError);
+}
+
+TEST(TextTable, NumFormatsFixedPrecision) {
+  EXPECT_EQ(TextTable::num(2.15133), "2.15133");
+  EXPECT_EQ(TextTable::num(1.0, 2), "1.00");
+  EXPECT_EQ(TextTable::num(991.5775, 5), "991.57750");
+}
+
+TEST(TextTable, ContainsSeparatorRule) {
+  TextTable table({"head"});
+  table.add_row({"v"});
+  EXPECT_NE(table.to_string().find("----"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace csdml

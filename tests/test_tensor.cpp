@@ -1,0 +1,122 @@
+#include "nn/tensor.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace csdml::nn {
+namespace {
+
+TEST(Matrix, ConstructionAndIndexing) {
+  Matrix m(2, 3, 1.5);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  EXPECT_EQ(m.size(), 6u);
+  EXPECT_DOUBLE_EQ(m(1, 2), 1.5);
+  m(0, 1) = 7.0;
+  EXPECT_DOUBLE_EQ(m(0, 1), 7.0);
+  EXPECT_DOUBLE_EQ(m.row(0)[1], 7.0);
+  EXPECT_TRUE(Matrix().empty());
+}
+
+TEST(Matrix, FillAndScale) {
+  Matrix m(2, 2, 1.0);
+  m *= 3.0;
+  EXPECT_DOUBLE_EQ(m(1, 1), 3.0);
+  m.fill(0.5);
+  EXPECT_DOUBLE_EQ(m(0, 0), 0.5);
+}
+
+TEST(Matrix, AdditionRequiresSameShape) {
+  Matrix a(2, 2, 1.0);
+  Matrix b(2, 2, 2.0);
+  a += b;
+  EXPECT_DOUBLE_EQ(a(0, 0), 3.0);
+  Matrix c(3, 2);
+  EXPECT_THROW(a += c, PreconditionError);
+}
+
+TEST(Matrix, GlorotInitWithinLimit) {
+  Matrix m(16, 48);
+  Rng rng(3);
+  m.glorot_init(rng);
+  const double limit = std::sqrt(6.0 / (16 + 48));
+  double min = 1e9;
+  double max = -1e9;
+  for (std::size_t i = 0; i < m.size(); ++i) {
+    min = std::min(min, m.data()[i]);
+    max = std::max(max, m.data()[i]);
+  }
+  EXPECT_GE(min, -limit);
+  EXPECT_LE(max, limit);
+  EXPECT_LT(min, 0.0);  // actually spreads over the interval
+  EXPECT_GT(max, 0.0);
+}
+
+TEST(TensorOps, AccumulateVecMat) {
+  // W is 2x3 (input on rows); y = x W.
+  Matrix w(2, 3);
+  w(0, 0) = 1;  w(0, 1) = 2;  w(0, 2) = 3;
+  w(1, 0) = 4;  w(1, 1) = 5;  w(1, 2) = 6;
+  const Vector x{2.0, -1.0};
+  Vector y(3, 10.0);  // accumulates on top
+  accumulate_vec_mat(x, w, y);
+  EXPECT_DOUBLE_EQ(y[0], 10 + 2 * 1 - 4);
+  EXPECT_DOUBLE_EQ(y[1], 10 + 2 * 2 - 5);
+  EXPECT_DOUBLE_EQ(y[2], 10 + 2 * 3 - 6);
+}
+
+TEST(TensorOps, AccumulateOuter) {
+  Matrix grad(2, 2, 1.0);
+  accumulate_outer(Vector{1.0, 2.0}, Vector{3.0, 4.0}, grad);
+  EXPECT_DOUBLE_EQ(grad(0, 0), 1 + 3);
+  EXPECT_DOUBLE_EQ(grad(0, 1), 1 + 4);
+  EXPECT_DOUBLE_EQ(grad(1, 0), 1 + 6);
+  EXPECT_DOUBLE_EQ(grad(1, 1), 1 + 8);
+}
+
+TEST(TensorOps, AccumulateMatVec) {
+  Matrix w(2, 3);
+  w(0, 0) = 1;  w(0, 1) = 2;  w(0, 2) = 3;
+  w(1, 0) = 4;  w(1, 1) = 5;  w(1, 2) = 6;
+  Vector dx(2, 0.0);
+  accumulate_mat_vec(w, Vector{1.0, 0.0, -1.0}, dx);
+  EXPECT_DOUBLE_EQ(dx[0], 1 - 3);
+  EXPECT_DOUBLE_EQ(dx[1], 4 - 6);
+}
+
+TEST(TensorOps, ShapeMismatchesThrow) {
+  Matrix w(2, 3);
+  Vector x3(3), x2(2), y3(3), y2(2);
+  EXPECT_THROW(accumulate_vec_mat(x3, w, y3), PreconditionError);
+  EXPECT_THROW(accumulate_vec_mat(x2, w, y2), PreconditionError);
+  Matrix g(2, 2);
+  EXPECT_THROW(accumulate_outer(x3, y2, g), PreconditionError);
+  EXPECT_THROW(accumulate_mat_vec(w, y2, x2), PreconditionError);
+  Vector a{1.0}, b{1.0, 2.0};
+  EXPECT_THROW(add_in_place(a, b), PreconditionError);
+  EXPECT_THROW(dot(a, b), PreconditionError);
+}
+
+TEST(TensorOps, DotAndAddInPlace) {
+  Vector a{1.0, 2.0, 3.0};
+  const Vector b{4.0, 5.0, 6.0};
+  EXPECT_DOUBLE_EQ(dot(a, b), 32.0);
+  add_in_place(a, b);
+  EXPECT_EQ(a, (Vector{5.0, 7.0, 9.0}));
+}
+
+TEST(TensorOps, SparseInputSkipsZeroRows) {
+  // x with zeros exercises the skip path; result must still be exact.
+  Matrix w(3, 2, 1.0);
+  Vector y(2, 0.0);
+  accumulate_vec_mat(Vector{0.0, 2.0, 0.0}, w, y);
+  EXPECT_DOUBLE_EQ(y[0], 2.0);
+  EXPECT_DOUBLE_EQ(y[1], 2.0);
+}
+
+}  // namespace
+}  // namespace csdml::nn

@@ -1,0 +1,46 @@
+#include "sim/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace csdml::sim {
+namespace {
+
+TEST(Trace, AggregatesByName) {
+  Trace trace;
+  trace.record("kernel_gates", TimePoint{0}, TimePoint{100});
+  trace.record("kernel_gates", TimePoint{200}, TimePoint{350});
+  trace.record("kernel_hidden_state", TimePoint{0}, TimePoint{40});
+
+  EXPECT_EQ(trace.total("kernel_gates").picos, 250);
+  EXPECT_EQ(trace.count("kernel_gates"), 2u);
+  EXPECT_EQ(trace.max("kernel_gates").picos, 150);
+  EXPECT_EQ(trace.total("kernel_hidden_state").picos, 40);
+  EXPECT_EQ(trace.total("missing").picos, 0);
+  EXPECT_EQ(trace.count("missing"), 0u);
+  EXPECT_EQ(trace.max("missing").picos, 0);
+}
+
+TEST(Trace, NamesInFirstSeenOrder) {
+  Trace trace;
+  trace.record("b", TimePoint{0}, TimePoint{1});
+  trace.record("a", TimePoint{0}, TimePoint{1});
+  trace.record("b", TimePoint{2}, TimePoint{3});
+  EXPECT_EQ(trace.names(), (std::vector<std::string>{"b", "a"}));
+}
+
+TEST(Trace, RejectsInvertedSpan) {
+  Trace trace;
+  EXPECT_THROW(trace.record("x", TimePoint{10}, TimePoint{5}), PreconditionError);
+}
+
+TEST(Trace, ClearEmptiesSpans) {
+  Trace trace;
+  trace.record("x", TimePoint{0}, TimePoint{1});
+  trace.clear();
+  EXPECT_TRUE(trace.spans().empty());
+}
+
+}  // namespace
+}  // namespace csdml::sim

@@ -1,0 +1,165 @@
+#include "ransomware/trace_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+
+#include "common/error.hpp"
+#include "ransomware/api_vocab.hpp"
+
+namespace csdml::ransomware {
+namespace {
+
+TraceRecord sample_record() {
+  const auto& vocab = ApiVocabulary::instance();
+  TraceRecord record;
+  record.sample = "Ryuk/variant-0";
+  record.label = 1;
+  record.calls = {vocab.require("CreateFileW"), vocab.require("ReadFile"),
+                  vocab.require("CryptEncrypt"), vocab.require("WriteFile"),
+                  vocab.require("MoveFileExW")};
+  return record;
+}
+
+TEST(TraceIo, RoundTrip) {
+  std::vector<TraceRecord> records{sample_record()};
+  TraceRecord benign;
+  benign.sample = "7-Zip/session-0";
+  benign.label = 0;
+  benign.calls = {ApiVocabulary::instance().require("GetCommandLineW")};
+  records.push_back(benign);
+
+  std::stringstream buffer;
+  write_traces_jsonl(buffer, records);
+  const std::vector<TraceRecord> loaded = read_traces_jsonl(buffer);
+  ASSERT_EQ(loaded.size(), 2u);
+  EXPECT_EQ(loaded[0].sample, "Ryuk/variant-0");
+  EXPECT_EQ(loaded[0].label, 1);
+  EXPECT_EQ(loaded[0].calls, records[0].calls);
+  EXPECT_EQ(loaded[1].sample, "7-Zip/session-0");
+  EXPECT_EQ(loaded[1].label, 0);
+}
+
+TEST(TraceIo, WritesReadableNames) {
+  std::stringstream buffer;
+  write_traces_jsonl(buffer, {sample_record()});
+  const std::string text = buffer.str();
+  EXPECT_NE(text.find("\"CryptEncrypt\""), std::string::npos);
+  EXPECT_NE(text.find("\"label\":1"), std::string::npos);
+  EXPECT_EQ(text.find("\"calls\":[]"), std::string::npos);
+}
+
+TEST(TraceIo, EscapesSpecialCharacters) {
+  TraceRecord record;
+  record.sample = "weird\"name\\with\nescapes";
+  record.label = 0;
+  record.calls = {ApiVocabulary::instance().require("Sleep")};
+  std::stringstream buffer;
+  write_traces_jsonl(buffer, {record});
+  const auto loaded = read_traces_jsonl(buffer);
+  ASSERT_EQ(loaded.size(), 1u);
+  EXPECT_EQ(loaded[0].sample, record.sample);
+}
+
+TEST(TraceIo, SkipsBlankLines) {
+  std::stringstream buffer;
+  buffer << "\n  \n";
+  write_traces_jsonl(buffer, {sample_record()});
+  buffer << "\n";
+  EXPECT_EQ(read_traces_jsonl(buffer).size(), 1u);
+}
+
+TEST(TraceIo, RejectsMalformedInput) {
+  {
+    std::stringstream in("not json\n");
+    EXPECT_THROW(read_traces_jsonl(in), ParseError);
+  }
+  {
+    std::stringstream in(R"({"sample":"x","label":3,"calls":[]})");
+    EXPECT_THROW(read_traces_jsonl(in), ParseError);
+  }
+  {
+    std::stringstream in(R"({"sample":"x","label":1,"calls":["NotAnApi"]})");
+    EXPECT_THROW(read_traces_jsonl(in), ParseError);
+  }
+  {
+    std::stringstream in(R"({"sample":"x","unknown":1})");
+    EXPECT_THROW(read_traces_jsonl(in), ParseError);
+  }
+  {
+    std::stringstream in(R"({"sample":"x","label":1,"calls":["Sleep"]} extra)");
+    EXPECT_THROW(read_traces_jsonl(in), ParseError);
+  }
+}
+
+TEST(TraceIo, FileRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/csdml_traces.jsonl";
+  write_traces_jsonl_file(path, {sample_record()});
+  const auto loaded = read_traces_jsonl_file(path);
+  ASSERT_EQ(loaded.size(), 1u);
+  EXPECT_EQ(loaded[0].calls.size(), 5u);
+  std::remove(path.c_str());
+  EXPECT_THROW(read_traces_jsonl_file("/no/such/file.jsonl"), ParseError);
+}
+
+TEST(TraceIo, CorpusExportCoversEverySample) {
+  const auto records = export_corpus_traces(7, 400);
+  // 76 ransomware variants + 36 benign profiles.
+  EXPECT_EQ(records.size(), 76u + 36u);
+  std::size_t ransomware_count = 0;
+  for (const auto& record : records) {
+    EXPECT_GE(record.calls.size(), 400u);
+    ransomware_count += record.label == 1;
+    EXPECT_NE(record.sample.find('/'), std::string::npos);
+  }
+  EXPECT_EQ(ransomware_count, 76u);
+}
+
+TEST(TraceIo, CorpusExportRoundTripsThroughJson) {
+  const auto records = export_corpus_traces(7, 200);
+  std::stringstream buffer;
+  write_traces_jsonl(buffer, records);
+  const auto loaded = read_traces_jsonl(buffer);
+  ASSERT_EQ(loaded.size(), records.size());
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    EXPECT_EQ(loaded[i].calls, records[i].calls);
+  }
+}
+
+/// Fuzz: random records of random lengths survive the JSON round trip.
+class TraceIoFuzzTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(TraceIoFuzzTest, RandomRecordsRoundTrip) {
+  Rng rng(GetParam());
+  const auto& vocab = ApiVocabulary::instance();
+  std::vector<TraceRecord> records;
+  const auto record_count = static_cast<std::size_t>(rng.uniform_int(1, 12));
+  for (std::size_t r = 0; r < record_count; ++r) {
+    TraceRecord record;
+    // Names with JSON-hostile characters.
+    record.sample = "s" + std::to_string(r) + "\"quote\\slash\nnl";
+    record.label = rng.chance(0.5) ? 1 : 0;
+    const auto calls = static_cast<std::size_t>(rng.uniform_int(0, 200));
+    for (std::size_t c = 0; c < calls; ++c) {
+      record.calls.push_back(static_cast<nn::TokenId>(
+          rng.uniform_int(0, static_cast<std::int64_t>(vocab.size()) - 1)));
+    }
+    records.push_back(std::move(record));
+  }
+  std::stringstream buffer;
+  write_traces_jsonl(buffer, records);
+  const auto loaded = read_traces_jsonl(buffer);
+  ASSERT_EQ(loaded.size(), records.size());
+  for (std::size_t r = 0; r < records.size(); ++r) {
+    EXPECT_EQ(loaded[r].sample, records[r].sample);
+    EXPECT_EQ(loaded[r].label, records[r].label);
+    EXPECT_EQ(loaded[r].calls, records[r].calls);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TraceIoFuzzTest,
+                         ::testing::Values(1u, 2u, 3u, 17u, 99u));
+
+}  // namespace
+}  // namespace csdml::ransomware

@@ -1,0 +1,177 @@
+#include "nn/train.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace csdml::nn {
+namespace {
+
+TEST(BceLoss, MatchesClosedForm) {
+  EXPECT_NEAR(bce_loss(0.9, 1), -std::log(0.9), 1e-12);
+  EXPECT_NEAR(bce_loss(0.9, 0), -std::log(0.1), 1e-12);
+  EXPECT_NEAR(bce_loss(0.5, 1), std::log(2.0), 1e-12);
+}
+
+TEST(BceLoss, ClampsExtremeProbabilities) {
+  EXPECT_TRUE(std::isfinite(bce_loss(0.0, 1)));
+  EXPECT_TRUE(std::isfinite(bce_loss(1.0, 0)));
+  EXPECT_THROW(bce_loss(0.5, 2), PreconditionError);
+}
+
+TEST(Adam, MovesParametersAgainstGradient) {
+  double param = 1.0;
+  double grad = 0.5;  // positive gradient -> parameter must decrease
+  AdamOptimizer adam({.learning_rate = 0.1}, 1);
+  adam.step({&param}, {&grad}, 1.0);
+  EXPECT_LT(param, 1.0);
+  EXPECT_EQ(adam.updates_applied(), 1u);
+}
+
+TEST(Adam, FirstStepSizeIsLearningRate) {
+  // With bias correction, the first Adam step is ~lr * sign(gradient).
+  double param = 0.0;
+  double grad = 3.0;
+  AdamOptimizer adam({.learning_rate = 0.01}, 1);
+  adam.step({&param}, {&grad}, 1.0);
+  EXPECT_NEAR(param, -0.01, 1e-5);
+}
+
+TEST(Adam, ScaleDividesGradients) {
+  double p1 = 0.0;
+  double g1 = 4.0;
+  AdamOptimizer a1({.learning_rate = 0.01}, 1);
+  a1.step({&p1}, {&g1}, 4.0);
+
+  double p2 = 0.0;
+  double g2 = 1.0;
+  AdamOptimizer a2({.learning_rate = 0.01}, 1);
+  a2.step({&p2}, {&g2}, 1.0);
+  EXPECT_NEAR(p1, p2, 1e-12);
+}
+
+TEST(Adam, Guards) {
+  EXPECT_THROW(AdamOptimizer({}, 0), PreconditionError);
+  double p = 0.0;
+  double g = 0.0;
+  AdamOptimizer adam({}, 1);
+  EXPECT_THROW(adam.step({&p, &p}, {&g}, 1.0), PreconditionError);
+  EXPECT_THROW(adam.step({&p}, {&g}, 0.0), PreconditionError);
+}
+
+/// A trivially separable task: token 0 means label 0, token 1 means 1.
+SequenceDataset toy_dataset(std::size_t n, std::size_t len) {
+  SequenceDataset ds;
+  Rng rng(5);
+  for (std::size_t i = 0; i < n; ++i) {
+    const int label = static_cast<int>(i % 2);
+    Sequence seq(len, static_cast<TokenId>(label));
+    // sprinkle a few neutral tokens
+    for (std::size_t j = 0; j < len; j += 3) {
+      seq[j] = static_cast<TokenId>(rng.uniform_int(2, 4));
+    }
+    ds.sequences.push_back(std::move(seq));
+    ds.labels.push_back(label);
+  }
+  return ds;
+}
+
+TEST(Train, LearnsSeparableToyTask) {
+  LstmConfig config{.vocab_size = 5, .embed_dim = 4, .hidden_dim = 8};
+  Rng rng(7);
+  LstmClassifier model(config, rng);
+  const SequenceDataset train_set = toy_dataset(64, 12);
+  const SequenceDataset test_set = toy_dataset(32, 12);
+
+  TrainConfig tc;
+  tc.epochs = 12;
+  tc.batch_size = 8;
+  tc.learning_rate = 0.02;
+  const TrainResult result = train(model, train_set, test_set, tc);
+  EXPECT_GE(result.best_test_accuracy, 0.95);
+  EXPECT_FALSE(result.history.empty());
+  // Loss should fall substantially from the first to the last epoch.
+  EXPECT_LT(result.history.back().mean_train_loss,
+            result.history.front().mean_train_loss);
+}
+
+TEST(Train, HistoryRespectsEvaluateEvery) {
+  LstmConfig config{.vocab_size = 5, .embed_dim = 2, .hidden_dim = 3};
+  Rng rng(9);
+  LstmClassifier model(config, rng);
+  const SequenceDataset data = toy_dataset(8, 6);
+  TrainConfig tc;
+  tc.epochs = 10;
+  tc.evaluate_every = 3;
+  const TrainResult result = train(model, data, data, tc);
+  // Epochs 3, 6, 9 plus the forced final epoch 10.
+  ASSERT_EQ(result.history.size(), 4u);
+  EXPECT_EQ(result.history[0].epoch, 3u);
+  EXPECT_EQ(result.history.back().epoch, 10u);
+}
+
+TEST(Train, ProgressCallbackFires) {
+  LstmConfig config{.vocab_size = 5, .embed_dim = 2, .hidden_dim = 3};
+  Rng rng(11);
+  LstmClassifier model(config, rng);
+  const SequenceDataset data = toy_dataset(8, 6);
+  TrainConfig tc;
+  tc.epochs = 3;
+  std::size_t calls = 0;
+  train(model, data, data, tc, [&](const EpochRecord&) { ++calls; });
+  EXPECT_EQ(calls, 3u);
+}
+
+TEST(Train, DeterministicForFixedSeeds) {
+  const SequenceDataset data = toy_dataset(16, 8);
+  TrainConfig tc;
+  tc.epochs = 4;
+
+  LstmConfig config{.vocab_size = 5, .embed_dim = 2, .hidden_dim = 3};
+  Rng rng1(13);
+  LstmClassifier m1(config, rng1);
+  const TrainResult r1 = train(m1, data, data, tc);
+
+  Rng rng2(13);
+  LstmClassifier m2(config, rng2);
+  const TrainResult r2 = train(m2, data, data, tc);
+
+  ASSERT_EQ(r1.history.size(), r2.history.size());
+  for (std::size_t i = 0; i < r1.history.size(); ++i) {
+    EXPECT_DOUBLE_EQ(r1.history[i].mean_train_loss, r2.history[i].mean_train_loss);
+    EXPECT_DOUBLE_EQ(r1.history[i].test_accuracy, r2.history[i].test_accuracy);
+  }
+}
+
+TEST(Train, Guards) {
+  LstmConfig config{.vocab_size = 5, .embed_dim = 2, .hidden_dim = 3};
+  Rng rng(15);
+  LstmClassifier model(config, rng);
+  const SequenceDataset data = toy_dataset(4, 4);
+  TrainConfig tc;
+  tc.epochs = 0;
+  EXPECT_THROW(train(model, data, data, tc), PreconditionError);
+  tc.epochs = 1;
+  EXPECT_THROW(train(model, SequenceDataset{}, data, tc), PreconditionError);
+}
+
+TEST(Evaluate, MatchesManualPredictions) {
+  LstmConfig config{.vocab_size = 5, .embed_dim = 2, .hidden_dim = 3};
+  Rng rng(17);
+  LstmClassifier model(config, rng);
+  const SequenceDataset data = toy_dataset(10, 5);
+  const ConfusionMatrix cm = evaluate(model, data);
+  EXPECT_EQ(cm.total(), data.size());
+  std::size_t manual_correct = 0;
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    manual_correct += model.predict(data.sequences[i]) == data.labels[i];
+  }
+  EXPECT_DOUBLE_EQ(cm.accuracy(),
+                   static_cast<double>(manual_correct) /
+                       static_cast<double>(data.size()));
+}
+
+}  // namespace
+}  // namespace csdml::nn

@@ -1,0 +1,88 @@
+#include "common/units.hpp"
+
+#include <gtest/gtest.h>
+
+namespace csdml {
+namespace {
+
+TEST(Units, CyclesArithmetic) {
+  EXPECT_EQ((Cycles{3} + Cycles{4}).count, 7u);
+  EXPECT_EQ((Cycles{3} * 5).count, 15u);
+  EXPECT_EQ((5 * Cycles{3}).count, 15u);
+  Cycles c{1};
+  c += Cycles{9};
+  EXPECT_EQ(c.count, 10u);
+  EXPECT_LT(Cycles{2}, Cycles{3});
+}
+
+TEST(Units, DurationConversions) {
+  const Duration us = Duration::microseconds(2.5);
+  EXPECT_EQ(us.picos, 2'500'000);
+  EXPECT_DOUBLE_EQ(us.as_microseconds(), 2.5);
+  EXPECT_DOUBLE_EQ(us.as_nanoseconds(), 2500.0);
+  EXPECT_DOUBLE_EQ(us.as_milliseconds(), 0.0025);
+  EXPECT_EQ(Duration::nanoseconds(1.5).picos, 1500);
+  EXPECT_EQ(Duration::zero().picos, 0);
+}
+
+TEST(Units, DurationArithmetic) {
+  const Duration a = Duration::microseconds(3);
+  const Duration b = Duration::microseconds(1);
+  EXPECT_EQ((a + b).as_microseconds(), 4.0);
+  EXPECT_EQ((a - b).as_microseconds(), 2.0);
+  EXPECT_EQ((b * 5).as_microseconds(), 5.0);
+  Duration c = b;
+  c += a;
+  EXPECT_EQ(c.as_microseconds(), 4.0);
+  EXPECT_LT(b, a);
+}
+
+TEST(Units, TimePointArithmetic) {
+  const TimePoint t0{};
+  const TimePoint t1 = t0 + Duration::microseconds(7);
+  EXPECT_EQ((t1 - t0).as_microseconds(), 7.0);
+  EXPECT_GT(t1, t0);
+}
+
+TEST(Units, FrequencyPeriodAt300MHz) {
+  const Frequency clock = Frequency::megahertz(300.0);
+  EXPECT_EQ(clock.period().picos, 3333);
+  EXPECT_DOUBLE_EQ(clock.mhz(), 300.0);
+}
+
+TEST(Units, FrequencyDurationOfCycles) {
+  const Frequency clock = Frequency::megahertz(300.0);
+  // One cycle at 300 MHz is the paper's 0.00333 us fixed-point gates bar.
+  EXPECT_NEAR(clock.duration_of(Cycles{1}).as_microseconds(), 0.00333, 5e-5);
+  EXPECT_NEAR(clock.duration_of(Cycles{300}).as_microseconds(), 1.0, 1e-3);
+}
+
+TEST(Units, FrequencyCyclesForRoundsUp) {
+  const Frequency clock = Frequency::megahertz(100.0);  // 10 ns period
+  EXPECT_EQ(clock.cycles_for(Duration::nanoseconds(25)).count, 3u);
+  EXPECT_EQ(clock.cycles_for(Duration::nanoseconds(30)).count, 3u);
+  EXPECT_EQ(clock.cycles_for(Duration::zero()).count, 0u);
+  EXPECT_EQ(clock.cycles_for(Duration::picoseconds(-5)).count, 0u);
+}
+
+TEST(Units, BytesHelpers) {
+  EXPECT_EQ(Bytes::kib(4).count, 4096u);
+  EXPECT_EQ(Bytes::mib(2).count, 2u * 1024 * 1024);
+  EXPECT_EQ(Bytes::gib(1).count, 1024ull * 1024 * 1024);
+  EXPECT_EQ((Bytes{10} + Bytes{5}).count, 15u);
+}
+
+TEST(Units, BandwidthTransferTime) {
+  const Bandwidth bw = Bandwidth::gb_per_s(1.0);  // 1e9 B/s
+  EXPECT_NEAR(bw.transfer_time(Bytes{1'000'000}).as_microseconds(), 1000.0, 1e-6);
+  const Bandwidth gib = Bandwidth::gib_per_s(1.0);
+  EXPECT_NEAR(gib.transfer_time(Bytes::gib(1)).as_milliseconds(), 1000.0, 1e-6);
+}
+
+TEST(Units, BandwidthRejectsZeroRate) {
+  const Bandwidth none;
+  EXPECT_THROW(none.transfer_time(Bytes{1}), PreconditionError);
+}
+
+}  // namespace
+}  // namespace csdml

@@ -1,0 +1,82 @@
+#include "ransomware/api_vocab.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/error.hpp"
+
+namespace csdml::ransomware {
+namespace {
+
+TEST(Vocab, ExactlyPaperSized) {
+  // 278 x embedding dim 8 = the paper's 2,224 embedding parameters.
+  EXPECT_EQ(ApiVocabulary::instance().size(), 278u);
+}
+
+TEST(Vocab, NamesAreUnique) {
+  const auto& vocab = ApiVocabulary::instance();
+  std::set<std::string_view> names;
+  for (std::size_t i = 0; i < vocab.size(); ++i) {
+    names.insert(vocab.call(static_cast<nn::TokenId>(i)).name);
+  }
+  EXPECT_EQ(names.size(), vocab.size());
+}
+
+TEST(Vocab, TokenLookupRoundTrips) {
+  const auto& vocab = ApiVocabulary::instance();
+  for (std::size_t i = 0; i < vocab.size(); ++i) {
+    const auto token = static_cast<nn::TokenId>(i);
+    const auto found = vocab.token_of(vocab.call(token).name);
+    ASSERT_TRUE(found.has_value());
+    EXPECT_EQ(*found, token);
+  }
+}
+
+TEST(Vocab, UnknownNamesHandled) {
+  const auto& vocab = ApiVocabulary::instance();
+  EXPECT_FALSE(vocab.token_of("NotARealApiCall").has_value());
+  EXPECT_THROW(vocab.require("NotARealApiCall"), PreconditionError);
+  EXPECT_THROW(vocab.call(-1), PreconditionError);
+  EXPECT_THROW(vocab.call(278), PreconditionError);
+}
+
+TEST(Vocab, CategoryTokensPartitionTheVocabulary) {
+  const auto& vocab = ApiVocabulary::instance();
+  std::size_t total = 0;
+  std::set<nn::TokenId> seen;
+  for (int c = 0; c <= static_cast<int>(ApiCategory::Misc); ++c) {
+    const auto& tokens = vocab.category_tokens(static_cast<ApiCategory>(c));
+    total += tokens.size();
+    for (const nn::TokenId t : tokens) {
+      EXPECT_EQ(vocab.call(t).category, static_cast<ApiCategory>(c));
+      seen.insert(t);
+    }
+  }
+  EXPECT_EQ(total, vocab.size());
+  EXPECT_EQ(seen.size(), vocab.size());
+}
+
+TEST(Vocab, SignatureCallsPresent) {
+  // Calls the motifs and the paper's threat model depend on.
+  const auto& vocab = ApiVocabulary::instance();
+  for (const char* name :
+       {"CryptEncrypt", "BCryptEncrypt", "FindFirstFileW", "FindNextFileW",
+        "WriteFile", "MoveFileExW", "NetShareEnum", "RegSetValueExW",
+        "CreateProcessW", "IsDebuggerPresent"}) {
+    EXPECT_TRUE(vocab.token_of(name).has_value()) << name;
+  }
+  EXPECT_EQ(vocab.call(vocab.require("CryptEncrypt")).category,
+            ApiCategory::Crypto);
+  EXPECT_EQ(vocab.call(vocab.require("NetShareEnum")).category,
+            ApiCategory::Propagation);
+}
+
+TEST(Vocab, CategoryNamesResolve) {
+  EXPECT_STREQ(category_name(ApiCategory::Crypto), "crypto");
+  EXPECT_STREQ(category_name(ApiCategory::FileSystem), "filesystem");
+  EXPECT_STREQ(category_name(ApiCategory::Misc), "misc");
+}
+
+}  // namespace
+}  // namespace csdml::ransomware

@@ -1,0 +1,169 @@
+#include "nn/weights_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace csdml::nn {
+namespace {
+
+TEST(WeightsIo, RoundTripIsExact) {
+  LstmConfig config{.vocab_size = 9, .embed_dim = 3, .hidden_dim = 5,
+                    .activation = CellActivation::Softsign};
+  Rng rng(3);
+  const LstmParams params = LstmParams::glorot(config, rng);
+
+  std::stringstream buffer;
+  save_weights(buffer, config, params);
+  const ModelSnapshot loaded = load_weights(buffer);
+
+  EXPECT_EQ(loaded.config.vocab_size, config.vocab_size);
+  EXPECT_EQ(loaded.config.embed_dim, config.embed_dim);
+  EXPECT_EQ(loaded.config.hidden_dim, config.hidden_dim);
+  EXPECT_EQ(loaded.config.activation, config.activation);
+
+  for (std::size_t i = 0; i < params.embedding.size(); ++i) {
+    EXPECT_DOUBLE_EQ(loaded.params.embedding.data()[i], params.embedding.data()[i]);
+  }
+  for (std::size_t g = 0; g < kNumGates; ++g) {
+    for (std::size_t i = 0; i < params.w_x[g].size(); ++i) {
+      EXPECT_DOUBLE_EQ(loaded.params.w_x[g].data()[i], params.w_x[g].data()[i]);
+    }
+    for (std::size_t i = 0; i < params.w_h[g].size(); ++i) {
+      EXPECT_DOUBLE_EQ(loaded.params.w_h[g].data()[i], params.w_h[g].data()[i]);
+    }
+    EXPECT_EQ(loaded.params.bias[g], params.bias[g]);
+  }
+  EXPECT_EQ(loaded.params.dense_w, params.dense_w);
+  EXPECT_DOUBLE_EQ(loaded.params.dense_b, params.dense_b);
+}
+
+TEST(WeightsIo, LoadedModelPredictsIdentically) {
+  LstmConfig config;
+  Rng rng(5);
+  const LstmClassifier original(config, rng);
+
+  std::stringstream buffer;
+  save_weights(buffer, config, original.params());
+  const ModelSnapshot snapshot = load_weights(buffer);
+  const LstmClassifier restored(snapshot.config, snapshot.params);
+
+  Rng token_rng(7);
+  for (int trial = 0; trial < 10; ++trial) {
+    Sequence seq;
+    for (int i = 0; i < 30; ++i) {
+      seq.push_back(static_cast<TokenId>(token_rng.uniform_int(0, 277)));
+    }
+    EXPECT_DOUBLE_EQ(original.forward(seq, nullptr),
+                     restored.forward(seq, nullptr));
+  }
+}
+
+TEST(WeightsIo, TanhActivationRoundTrips) {
+  LstmConfig config{.vocab_size = 4, .embed_dim = 2, .hidden_dim = 3,
+                    .activation = CellActivation::Tanh};
+  Rng rng(9);
+  std::stringstream buffer;
+  save_weights(buffer, config, LstmParams::glorot(config, rng));
+  EXPECT_EQ(load_weights(buffer).config.activation, CellActivation::Tanh);
+}
+
+TEST(WeightsIo, FileRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/csdml_weights.txt";
+  LstmConfig config{.vocab_size = 4, .embed_dim = 2, .hidden_dim = 3};
+  Rng rng(11);
+  const LstmParams params = LstmParams::glorot(config, rng);
+  save_weights_file(path, config, params);
+  const ModelSnapshot loaded = load_weights_file(path);
+  EXPECT_DOUBLE_EQ(loaded.params.dense_b, params.dense_b);
+  std::remove(path.c_str());
+}
+
+TEST(WeightsIo, RejectsMalformedInput) {
+  {
+    std::stringstream buffer("not-a-weight-file");
+    EXPECT_THROW(load_weights(buffer), ParseError);
+  }
+  {
+    std::stringstream buffer("csdml-weights v999 ");
+    EXPECT_THROW(load_weights(buffer), ParseError);
+  }
+  {
+    std::stringstream buffer("csdml-weights v1 activation relu");
+    EXPECT_THROW(load_weights(buffer), ParseError);
+  }
+  {
+    // Truncated after the header.
+    std::stringstream buffer("csdml-weights v1 activation softsign vocab 4 "
+                             "embed 2 hidden 3 embedding 0.1 0.2");
+    EXPECT_THROW(load_weights(buffer), ParseError);
+  }
+  EXPECT_THROW(load_weights_file("/nonexistent/weights.txt"), ParseError);
+}
+
+TEST(GruWeightsIo, RoundTripIsExact) {
+  GruConfig config{.vocab_size = 9, .embed_dim = 3, .hidden_dim = 5};
+  Rng rng(5);
+  const GruParams params = GruParams::glorot(config, rng);
+  std::stringstream buffer;
+  save_gru_weights(buffer, config, params);
+  const GruModelSnapshot loaded = load_gru_weights(buffer);
+  EXPECT_EQ(loaded.config.vocab_size, config.vocab_size);
+  EXPECT_EQ(loaded.config.hidden_dim, config.hidden_dim);
+  for (std::size_t g = 0; g < kNumGruGates; ++g) {
+    for (std::size_t i = 0; i < params.w_h[g].size(); ++i) {
+      EXPECT_DOUBLE_EQ(loaded.params.w_h[g].data()[i], params.w_h[g].data()[i]);
+    }
+    EXPECT_EQ(loaded.params.bias[g], params.bias[g]);
+  }
+  EXPECT_DOUBLE_EQ(loaded.params.dense_b, params.dense_b);
+}
+
+TEST(GruWeightsIo, RestoredModelPredictsIdentically) {
+  GruConfig config;
+  Rng rng(7);
+  const GruClassifier original(config, rng);
+  std::stringstream buffer;
+  save_gru_weights(buffer, config, original.params());
+  const GruModelSnapshot snapshot = load_gru_weights(buffer);
+  const GruClassifier restored(snapshot.config, snapshot.params);
+  Rng token_rng(9);
+  for (int trial = 0; trial < 5; ++trial) {
+    Sequence seq;
+    for (int i = 0; i < 30; ++i) {
+      seq.push_back(static_cast<TokenId>(token_rng.uniform_int(0, 277)));
+    }
+    EXPECT_DOUBLE_EQ(original.forward(seq, nullptr),
+                     restored.forward(seq, nullptr));
+  }
+}
+
+TEST(GruWeightsIo, MagicDistinguishesModelFamilies) {
+  // An LSTM file must not load as a GRU and vice versa.
+  LstmConfig lstm_config{.vocab_size = 4, .embed_dim = 2, .hidden_dim = 3};
+  Rng rng(11);
+  std::stringstream lstm_file;
+  save_weights(lstm_file, lstm_config, LstmParams::glorot(lstm_config, rng));
+  EXPECT_THROW(load_gru_weights(lstm_file), ParseError);
+
+  GruConfig gru_config{.vocab_size = 4, .embed_dim = 2, .hidden_dim = 3};
+  std::stringstream gru_file;
+  save_gru_weights(gru_file, gru_config, GruParams::glorot(gru_config, rng));
+  EXPECT_THROW(load_weights(gru_file), ParseError);
+}
+
+TEST(GruWeightsIo, FileRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/csdml_gru_weights.txt";
+  GruConfig config{.vocab_size = 4, .embed_dim = 2, .hidden_dim = 3};
+  Rng rng(13);
+  const GruParams params = GruParams::glorot(config, rng);
+  save_gru_weights_file(path, config, params);
+  EXPECT_DOUBLE_EQ(load_gru_weights_file(path).params.dense_b, params.dense_b);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace csdml::nn

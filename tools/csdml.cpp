@@ -1,0 +1,14 @@
+// The csdml command-line tool. All logic lives in src/host/cli.cpp so the
+// test suite exercises it in-process; this translation unit is only the
+// entry point.
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "host/cli.hpp"
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args;
+  for (int i = 1; i < argc; ++i) args.emplace_back(argv[i]);
+  return csdml::host::run_cli(args, std::cout, std::cerr);
+}
