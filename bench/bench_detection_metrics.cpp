@@ -59,5 +59,6 @@ int main(int argc, char** argv) {
   std::cout << "confusion (on-CSD): TP " << on_device.true_positive << "  FP "
             << on_device.false_positive << "  FN " << on_device.false_negative
             << "  TN " << on_device.true_negative << "\n";
+  bench::dump_metrics_json("bench_detection_metrics");
   return 0;
 }

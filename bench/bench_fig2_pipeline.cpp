@@ -57,5 +57,6 @@ void render(kernels::OptimizationLevel level, std::size_t items) {
 int main() {
   render(kernels::OptimizationLevel::Vanilla, 6);
   render(kernels::OptimizationLevel::FixedPoint, 6);
+  bench::dump_metrics_json("bench_fig2_pipeline");
   return 0;
 }

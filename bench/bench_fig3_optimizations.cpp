@@ -90,5 +90,6 @@ int main() {
   std::cout << "\nNote: the II-level gates bar is a documented divergence — the\n"
                "paper's measured 2.001 us exceeds its own vanilla bar; our cost\n"
                "model predicts the pragma helps (see EXPERIMENTS.md).\n";
+  bench::dump_metrics_json("bench_fig3_optimizations");
   return 0;
 }

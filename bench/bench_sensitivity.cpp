@@ -120,5 +120,6 @@ int main() {
             << " across +/-30% perturbations of every operator latency and\n"
                "the AXI setup cost: the reproduction's shape does not depend\n"
                "on the exact calibration constants.\n";
+  bench::dump_metrics_json("bench_sensitivity");
   return all_hold ? 0 : 1;
 }

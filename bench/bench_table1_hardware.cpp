@@ -76,5 +76,6 @@ int main() {
   std::cout << "\nLong-run means over 20k samples: CPU "
             << TextTable::num(cpu_long.mean(), 1) << " us, GPU "
             << TextTable::num(gpu_long.mean(), 1) << " us\n";
+  bench::dump_metrics_json("bench_table1_hardware");
   return 0;
 }

@@ -2,15 +2,38 @@
 // rows next to the values this reproduction measures.
 #pragma once
 
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
 #include <iostream>
 #include <string>
 
 #include "common/table.hpp"
+#include "obs/metrics.hpp"
 
 namespace csdml::bench {
 
 inline void print_header(const std::string& title) {
   std::cout << "\n=== " << title << " ===\n\n";
+}
+
+/// Dumps the global metrics registry as JSON next to the bench output.
+/// Opt-in: only writes when CSDML_METRICS_OUT names a directory; the file
+/// becomes `<dir>/<bench_name>.metrics.json`.
+inline void dump_metrics_json(const std::string& bench_name) {
+  const char* dir = std::getenv("CSDML_METRICS_OUT");
+  if (dir == nullptr || *dir == '\0') return;
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);  // best effort
+  const std::string path =
+      std::string(dir) + "/" + bench_name + ".metrics.json";
+  std::ofstream out(path);
+  if (!out) {
+    std::cerr << "cannot write metrics to " << path << "\n";
+    return;
+  }
+  out << obs::registry().snapshot().to_json() << '\n';
+  std::cout << "metrics -> " << path << "\n";
 }
 
 /// Relative deviation as a percentage string, e.g. "+4.2%".

@@ -1,13 +1,22 @@
 #include "common/log.hpp"
 
+#include <algorithm>
 #include <atomic>
+#include <cctype>
+#include <cstdlib>
 #include <iostream>
 #include <mutex>
 
 namespace csdml {
 namespace {
 
-std::atomic<LogLevel> g_level{LogLevel::Warn};
+LogLevel level_from_env() {
+  const char* env = std::getenv("CSDML_LOG_LEVEL");
+  if (env == nullptr) return LogLevel::Warn;
+  return parse_log_level(env, LogLevel::Warn);
+}
+
+std::atomic<LogLevel> g_level{level_from_env()};
 std::mutex g_mutex;
 
 const char* level_name(LogLevel level) {
@@ -26,6 +35,20 @@ const char* level_name(LogLevel level) {
 
 void set_log_level(LogLevel level) { g_level.store(level); }
 LogLevel log_level() { return g_level.load(); }
+
+LogLevel parse_log_level(std::string_view name, LogLevel fallback) {
+  std::string lower(name);
+  std::transform(lower.begin(), lower.end(), lower.begin(), [](unsigned char c) {
+    return static_cast<char>(std::tolower(c));
+  });
+  if (lower == "trace") return LogLevel::Trace;
+  if (lower == "debug") return LogLevel::Debug;
+  if (lower == "info") return LogLevel::Info;
+  if (lower == "warn" || lower == "warning") return LogLevel::Warn;
+  if (lower == "error") return LogLevel::Error;
+  if (lower == "off" || lower == "none") return LogLevel::Off;
+  return fallback;
+}
 
 void log_message(LogLevel level, const std::string& component,
                  const std::string& message) {

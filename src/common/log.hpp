@@ -1,9 +1,13 @@
 // Tiny leveled logger. Off-by-default below Warn so benches stay quiet;
-// examples flip the level to Info to narrate what the CSD is doing.
+// examples flip the level to Info to narrate what the CSD is doing. The
+// CSDML_LOG_LEVEL environment variable (trace|debug|info|warn|error|off)
+// sets the startup threshold, so examples/CI can turn on Debug without
+// code changes.
 #pragma once
 
 #include <sstream>
 #include <string>
+#include <string_view>
 
 namespace csdml {
 
@@ -12,6 +16,20 @@ enum class LogLevel { Trace = 0, Debug = 1, Info = 2, Warn = 3, Error = 4, Off =
 /// Global threshold; messages below it are discarded.
 void set_log_level(LogLevel level);
 LogLevel log_level();
+
+/// Parses a CSDML_LOG_LEVEL-style name (case-insensitive); `fallback` on
+/// anything unrecognised.
+LogLevel parse_log_level(std::string_view name, LogLevel fallback);
+
+/// Structured key=value suffix for log lines:
+///   CSDML_LOG_INFO("csd") << "flash read" << kv("pages", pages);
+/// renders as `flash read pages=4`.
+template <typename T>
+std::string kv(std::string_view key, const T& value) {
+  std::ostringstream out;
+  out << ' ' << key << '=' << value;
+  return out.str();
+}
 
 /// Emits one formatted line to stderr (thread-safe at line granularity).
 void log_message(LogLevel level, const std::string& component,

@@ -3,8 +3,26 @@
 #include <algorithm>
 
 #include "common/error.hpp"
+#include "obs/metrics.hpp"
 
 namespace csdml::csd {
+
+namespace {
+
+const char* opcode_name(NvmeOpcode opcode) {
+  switch (opcode) {
+    case NvmeOpcode::Read: return "read";
+    case NvmeOpcode::Write: return "write";
+    case NvmeOpcode::Flush: return "flush";
+    case NvmeOpcode::FpgaDmaWrite: return "fpga_dma_write";
+    case NvmeOpcode::FpgaDmaRead: return "fpga_dma_read";
+    case NvmeOpcode::FpgaP2pLoad: return "fpga_p2p_load";
+    case NvmeOpcode::FpgaCompute: return "fpga_compute";
+  }
+  return "unknown";
+}
+
+}  // namespace
 
 NvmeQueue::NvmeQueue(SmartSsd& device, NvmeQueueConfig config)
     : device_(device), config_(config) {
@@ -17,6 +35,15 @@ void NvmeQueue::submit(NvmeCommand command, TimePoint at) {
                         std::to_string(config_.queue_depth) + ")");
   }
   const TimePoint start = at + config_.doorbell_latency;
+  obs::MetricsRegistry& metrics = obs::registry();
+  metrics.add_counter("nvme.commands_submitted");
+  metrics.add_counter(std::string("nvme.opcode.") + opcode_name(command.opcode));
+  if (command.opcode == NvmeOpcode::Read ||
+      command.opcode == NvmeOpcode::FpgaP2pLoad) {
+    metrics.add_counter("nvme.read_blocks", command.block_count);
+  } else if (command.opcode == NvmeOpcode::Write) {
+    metrics.add_counter("nvme.write_bytes", command.payload.size());
+  }
   inflight_.push_back(execute(command, start));
 }
 
@@ -81,6 +108,7 @@ std::optional<NvmeCompletion> NvmeQueue::reap(TimePoint now) {
   NvmeCompletion completion = std::move(inflight_.front());
   inflight_.pop_front();
   ++completed_count_;
+  obs::registry().add_counter("nvme.commands_completed");
   return completion;
 }
 
@@ -89,6 +117,7 @@ NvmeCompletion NvmeQueue::wait_oldest() {
   NvmeCompletion completion = std::move(inflight_.front());
   inflight_.pop_front();
   ++completed_count_;
+  obs::registry().add_counter("nvme.commands_completed");
   return completion;
 }
 

@@ -1,8 +1,20 @@
 #include "detect/detector.hpp"
 
 #include "common/error.hpp"
+#include "obs/metrics.hpp"
 
 namespace csdml::detect {
+
+namespace {
+
+/// Deciles of window fill — occupancy is a fraction in [0, 1].
+const std::vector<double>& occupancy_bounds() {
+  static const std::vector<double> bounds{0.1, 0.2, 0.3, 0.4, 0.5,
+                                          0.6, 0.7, 0.8, 0.9, 1.0};
+  return bounds;
+}
+
+}  // namespace
 
 StreamingDetector::StreamingDetector(kernels::CsdLstmEngine& engine,
                                      DetectorConfig config)
@@ -15,7 +27,13 @@ StreamingDetector::StreamingDetector(kernels::CsdLstmEngine& engine,
 
 std::optional<Detection> StreamingDetector::on_api_call(ProcessId process,
                                                         nn::TokenId token) {
+  obs::MetricsRegistry& metrics = obs::registry();
+  const bool new_process = !processes_.contains(process);
   ProcessState& state = processes_[process];
+  if (new_process) {
+    metrics.set_gauge("detector.tracked_processes",
+                      static_cast<double>(processes_.size()));
+  }
   state.window.push_back(token);
   if (state.window.size() > config_.window_length) state.window.pop_front();
   ++state.calls_seen;
@@ -32,13 +50,23 @@ std::optional<Detection> StreamingDetector::on_api_call(ProcessId process,
   const kernels::InferenceResult result = engine_.infer(sequence);
   ++classifications_;
   device_time_ += result.device_time;
+  metrics.add_counter("detector.classifications");
+  metrics.observe("detector.inference_us",
+                  result.device_time.as_microseconds());
 
   if (result.probability >= config_.threshold) {
     ++state.alert_streak;
   } else {
     state.alert_streak = 0;
   }
-  if (state.alert_streak < config_.consecutive_alerts) return std::nullopt;
+  if (state.alert_streak < config_.consecutive_alerts) {
+    // Over threshold but still inside the debounce window.
+    if (state.alert_streak > 0) {
+      metrics.add_counter("detector.debounce_suppressions");
+    }
+    return std::nullopt;
+  }
+  metrics.add_counter("detector.alerts");
 
   Detection detection;
   detection.process = process;
@@ -48,6 +76,24 @@ std::optional<Detection> StreamingDetector::on_api_call(ProcessId process,
   return detection;
 }
 
-void StreamingDetector::forget(ProcessId process) { processes_.erase(process); }
+void StreamingDetector::forget(ProcessId process) {
+  const auto it = processes_.find(process);
+  if (it == processes_.end()) return;
+  // Flush the per-process state into aggregate counters before erasing so
+  // long-running fleets don't silently leak stats with process churn.
+  obs::MetricsRegistry& metrics = obs::registry();
+  metrics.add_counter("detector.processes_forgotten");
+  if (it->second.alert_streak > 0) {
+    metrics.add_counter("detector.pending_alert_streaks_flushed",
+                        it->second.alert_streak);
+  }
+  metrics.observe("detector.window_occupancy",
+                  static_cast<double>(it->second.window.size()) /
+                      static_cast<double>(config_.window_length),
+                  occupancy_bounds());
+  processes_.erase(it);
+  metrics.set_gauge("detector.tracked_processes",
+                    static_cast<double>(processes_.size()));
+}
 
 }  // namespace csdml::detect

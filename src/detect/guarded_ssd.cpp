@@ -2,6 +2,7 @@
 
 #include "common/error.hpp"
 #include "common/log.hpp"
+#include "obs/metrics.hpp"
 
 namespace csdml::detect {
 
@@ -16,9 +17,10 @@ MitigationAction GuardedSsd::on_api_call(ProcessId process, nn::TokenId token,
   if (action == MitigationAction::QuarantineProcess && !was_quarantined) {
     const std::uint64_t before = stats_.blocks_restored;
     restore(process, at);
+    obs::registry().add_counter("guarded_ssd.quarantine_rollbacks");
     CSDML_LOG_INFO("guarded-ssd")
-        << "process " << process << " quarantined; "
-        << stats_.blocks_restored - before << " blocks rolled back";
+        << "process quarantined" << kv("process", process)
+        << kv("blocks_rolled_back", stats_.blocks_restored - before);
   }
   return action;
 }
@@ -29,6 +31,7 @@ GuardedWriteResult GuardedSsd::write(ProcessId process, std::uint64_t lba,
   CSDML_REQUIRE(!data.empty(), "empty write");
   GuardedWriteResult result;
   if (!guard_.allow_write(process)) {
+    obs::registry().add_counter("guarded_ssd.writes_rejected");
     return result;  // rejected at the drive
   }
 
@@ -40,6 +43,7 @@ GuardedWriteResult GuardedSsd::write(ProcessId process, std::uint64_t lba,
   // touched before. (A quarantined process never reaches this point, and a
   // resolved-benign one has an empty shadow map that simply regrows.)
   auto& shadow = shadows_[process];
+  const std::uint64_t preserved_before = stats_.blocks_preserved;
   csd::IoResult pre = board_.ssd().read(lba, block_count, at);
   TimePoint cursor = pre.done;
   bool snapshotted = false;
@@ -58,6 +62,14 @@ GuardedWriteResult GuardedSsd::write(ProcessId process, std::uint64_t lba,
   result.done = board_.ssd().write(lba, data, cursor);
   result.accepted = true;
   result.snapshotted = snapshotted;
+  obs::MetricsRegistry& metrics = obs::registry();
+  metrics.add_counter("guarded_ssd.writes_accepted");
+  metrics.add_counter("guarded_ssd.write_blocks", block_count);
+  if (snapshotted) {
+    metrics.add_counter("guarded_ssd.snapshotted_writes");
+    metrics.add_counter("guarded_ssd.blocks_preserved",
+                        stats_.blocks_preserved - preserved_before);
+  }
   return result;
 }
 
@@ -69,6 +81,7 @@ TimePoint GuardedSsd::restore(ProcessId process, TimePoint at) {
     cursor = board_.ssd().write(lba, pre_image, cursor);
     ++stats_.blocks_restored;
   }
+  obs::registry().add_counter("guarded_ssd.blocks_restored", it->second.size());
   shadows_.erase(it);
   return cursor;
 }

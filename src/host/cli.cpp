@@ -7,11 +7,16 @@
 #include "common/error.hpp"
 #include "common/table.hpp"
 #include "detect/attribution.hpp"
+#include "detect/detector.hpp"
 #include "hls/report.hpp"
 #include "kernels/engine.hpp"
 #include "nn/train.hpp"
 #include "nn/weights_io.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace_export.hpp"
 #include "ransomware/dataset_builder.hpp"
+#include "ransomware/families.hpp"
+#include "ransomware/sandbox.hpp"
 #include "ransomware/trace_io.hpp"
 
 namespace csdml::host {
@@ -32,7 +37,14 @@ commands:
                [--batch N] [--test-fraction F] [--seed N]
                train the 7,472-parameter LSTM, export the weight text file
   classify     --weights PATH --dataset PATH [--level vanilla|ii|fixed-point]
-               deploy on the simulated SmartSSD and report metrics + AUC
+               [--trace-out PATH] [--stats]
+               deploy on the simulated SmartSSD and report metrics + AUC;
+               --trace-out writes the device trace as Chrome-trace JSON,
+               --stats appends the telemetry registry tables
+  stats        [--level L] [--calls N] [--seed N] [--json] [--trace-out PATH]
+               run a sample streaming detection and print the telemetry
+               registry (counters, gauges, p50/p95/p99 histograms) plus a
+               span summary; --json emits machine-readable metrics instead
   attribute    --weights PATH --dataset PATH --row N [--top K]
                explain one window: occlusion attribution of its API calls
   timings      [--level L] [--cus N] [--stream]
@@ -192,6 +204,80 @@ int cmd_classify(const Flags& flags, std::ostream& out) {
       << TextTable::num(device_time.as_microseconds() /
                             static_cast<double>(dataset.size()), 1)
       << " us/window\n";
+  if (const auto trace_out = flags.get("trace-out"); trace_out.has_value()) {
+    obs::write_chrome_trace_file(*trace_out, board.trace());
+    out << "trace -> " << *trace_out << "\n";
+  }
+  if (flags.has("stats")) {
+    out << "\n" << obs::trace_summary(board.trace()) << "\n"
+        << obs::registry().snapshot().to_text();
+  }
+  return 0;
+}
+
+int cmd_stats(const Flags& flags, std::ostream& out) {
+  const kernels::OptimizationLevel level =
+      parse_level(flags.get("level").value_or("fixed-point"));
+  const auto calls = static_cast<std::size_t>(flags.get_long("calls", 1'200));
+  const auto seed = static_cast<std::uint64_t>(flags.get_long("seed", 2024));
+  CSDML_REQUIRE(calls >= 200, "--calls must be at least 200");
+
+  // Sample workload: one ransomware process interleaved with two benign
+  // ones through the streaming detector, so every instrumented layer
+  // (engine kernels, detector, xrt syncs) populates the registry.
+  obs::registry().reset();
+  nn::LstmConfig config;
+  Rng rng(seed);
+  csd::SmartSsd board{csd::SmartSsdConfig{}};
+  xrt::Device device{board};
+  kernels::CsdLstmEngine engine(device, config,
+                                nn::LstmParams::glorot(config, rng),
+                                kernels::EngineConfig{.level = level});
+  detect::StreamingDetector detector(
+      engine, detect::DetectorConfig{.window_length = 100, .hop = 25,
+                                     .consecutive_alerts = 2});
+
+  const ransomware::SandboxTraceGenerator sandbox{ransomware::SandboxConfig{}};
+  const auto& families = ransomware::ransomware_families();
+  const auto& benign = ransomware::benign_profiles();
+  CSDML_REQUIRE(!families.empty() && benign.size() >= 2,
+                "corpus profiles unavailable");
+  const auto variant =
+      static_cast<std::uint32_t>(seed % families.front().variants);
+  const std::vector<std::vector<nn::TokenId>> streams = {
+      sandbox.ransomware_trace(families.front(), variant, calls),
+      sandbox.benign_trace(benign[0], variant + 1, calls),
+      sandbox.benign_trace(benign[1], variant + 2, calls),
+  };
+  for (std::size_t i = 0; i < calls; ++i) {
+    for (std::size_t p = 0; p < streams.size(); ++p) {
+      if (i < streams[p].size()) {
+        detector.on_api_call(static_cast<detect::ProcessId>(p + 1),
+                             streams[p][i]);
+      }
+    }
+  }
+  // Processes terminate: their pending debounce state flushes into the
+  // aggregate counters instead of leaking.
+  for (std::size_t p = 0; p < streams.size(); ++p) {
+    detector.forget(static_cast<detect::ProcessId>(p + 1));
+  }
+
+  if (const auto trace_out = flags.get("trace-out"); trace_out.has_value()) {
+    obs::write_chrome_trace_file(*trace_out, board.trace());
+  }
+  if (flags.has("json")) {
+    out << obs::registry().snapshot().to_json() << "\n";
+    return 0;
+  }
+  out << "sample detection: " << streams.size() << " processes x " << calls
+      << " API calls (" << kernels::optimization_name(level) << " build)\n\n";
+  out << obs::trace_summary(board.trace()) << "\n";
+  out << obs::registry().snapshot().to_text();
+  if (const auto trace_out = flags.get("trace-out"); trace_out.has_value()) {
+    out << "\ntrace -> " << *trace_out
+        << "  (open in chrome://tracing or ui.perfetto.dev)\n";
+  }
   return 0;
 }
 
@@ -286,7 +372,10 @@ int run_cli(const std::vector<std::string>& args, std::ostream& out,
       return cmd_train(Flags(args, 1, {}), out);
     }
     if (command == "classify") {
-      return cmd_classify(Flags(args, 1, {}), out);
+      return cmd_classify(Flags(args, 1, {"stats"}), out);
+    }
+    if (command == "stats") {
+      return cmd_stats(Flags(args, 1, {"json"}), out);
     }
     if (command == "attribute") {
       return cmd_attribute(Flags(args, 1, {}), out);

@@ -5,6 +5,7 @@
 
 #include "common/error.hpp"
 #include "common/log.hpp"
+#include "obs/metrics.hpp"
 
 namespace csdml::kernels {
 
@@ -90,8 +91,10 @@ void CsdLstmEngine::initialise() {
   weights_bo_->write(image);
   weights_bo_->sync_to_device();
   ++weight_updates_;
-  CSDML_LOG_INFO("engine") << "staged " << image.size()
-                           << " weight bytes on bank " << config_.sequence_bank;
+  obs::registry().add_counter("engine.weight_updates");
+  CSDML_LOG_INFO("engine") << "staged weight image"
+                           << kv("bytes", image.size())
+                           << kv("bank", config_.sequence_bank);
 }
 
 void CsdLstmEngine::update_weights(const nn::LstmParams& params) {
@@ -110,7 +113,9 @@ void CsdLstmEngine::update_weights(const nn::LstmParams& params) {
   weights_bo_->write(image);
   weights_bo_->sync_to_device();
   ++weight_updates_;
-  CSDML_LOG_INFO("engine") << "weight update #" << weight_updates_ << " applied";
+  obs::registry().add_counter("engine.weight_updates");
+  CSDML_LOG_INFO("engine") << "weight update applied"
+                           << kv("update", weight_updates_);
 }
 
 KernelTimings CsdLstmEngine::per_item_timings() const {
@@ -163,7 +168,24 @@ InferenceResult CsdLstmEngine::infer(const nn::Sequence& sequence) {
 
   const TimePoint start = device_.now();
   device_.advance_to(start + total);
-  device_.board().trace().record("lstm_sequence", start, start + total);
+  // Per-kernel spans (aggregated over the sequence) plus the parent span,
+  // so trace exports show the Fig. 3 breakdown per classification.
+  sim::Trace& trace = device_.board().trace();
+  const TimePoint preprocess_done = start + per_item.preprocess;
+  const TimePoint gates_done = preprocess_done + per_item.gates * items;
+  trace.record("kernel_preprocess", start, preprocess_done);
+  trace.record("kernel_gates", preprocess_done, gates_done);
+  trace.record("kernel_hidden_state", gates_done, start + total);
+  trace.record("lstm_sequence", start, start + total);
+
+  obs::MetricsRegistry& metrics = obs::registry();
+  metrics.add_counter("engine.inferences");
+  metrics.observe("engine.kernel.preprocess_us",
+                  per_item.preprocess.as_microseconds());
+  metrics.observe("engine.kernel.gates_us", per_item.gates.as_microseconds());
+  metrics.observe("engine.kernel.hidden_state_us",
+                  per_item.hidden_state.as_microseconds());
+  metrics.observe("engine.sequence_us", total.as_microseconds());
 
   InferenceResult result;
   result.probability = probability;
@@ -197,6 +219,10 @@ CsdLstmEngine::BatchResult CsdLstmEngine::infer_batch(
   const TimePoint start = device_.now();
   device_.advance_to(start + result.device_time);
   device_.board().trace().record("lstm_batch", start, start + result.device_time);
+  obs::MetricsRegistry& metrics = obs::registry();
+  metrics.add_counter("engine.batch_inferences");
+  metrics.add_counter("engine.batch_windows", sequences.size());
+  metrics.observe("engine.batch_us", result.device_time.as_microseconds());
 
   const double seconds = static_cast<double>(result.device_time.picos) * 1e-12;
   result.windows_per_second =

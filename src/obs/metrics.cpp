@@ -1,0 +1,219 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/error.hpp"
+#include "common/table.hpp"
+
+namespace csdml::obs {
+
+namespace {
+
+void write_json_string(std::ostream& out, const std::string& value) {
+  out << '"';
+  for (const char c : value) {
+    switch (c) {
+      case '"': out << "\\\""; break;
+      case '\\': out << "\\\\"; break;
+      case '\n': out << "\\n"; break;
+      case '\t': out << "\\t"; break;
+      default: out << c;
+    }
+  }
+  out << '"';
+}
+
+void write_json_number(std::ostream& out, double value) {
+  // JSON has no inf/nan; metrics never legitimately produce them, but a
+  // malformed export must not poison downstream tooling.
+  if (value != value || value > 1e308 || value < -1e308) {
+    out << 0;
+    return;
+  }
+  std::ostringstream s;
+  s.precision(12);
+  s << value;
+  out << s.str();
+}
+
+}  // namespace
+
+double HistogramSnapshot::percentile(double p) const {
+  if (count == 0) return 0.0;
+  p = std::clamp(p, 0.0, 1.0);
+  const double rank = p * static_cast<double>(count);
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < buckets.size(); ++i) {
+    if (buckets[i] == 0) {
+      continue;
+    }
+    const double before = static_cast<double>(cumulative);
+    cumulative += buckets[i];
+    if (static_cast<double>(cumulative) < rank) continue;
+    // Rank falls inside bucket i: interpolate between its edges, using the
+    // observed extrema for the open-ended first/last buckets.
+    const double lower = i == 0 ? min : bounds[i - 1];
+    const double upper = i < bounds.size() ? bounds[i] : max;
+    const double fraction =
+        (rank - before) / static_cast<double>(buckets[i]);
+    const double estimate = lower + (upper - lower) * std::clamp(fraction, 0.0, 1.0);
+    return std::clamp(estimate, min, max);
+  }
+  return max;
+}
+
+std::string MetricsSnapshot::to_text() const {
+  std::ostringstream out;
+  if (!counters.empty() || !gauges.empty()) {
+    TextTable table({"metric", "type", "value"});
+    for (const auto& [name, value] : counters) {
+      table.add_row({name, "counter", std::to_string(value)});
+    }
+    for (const auto& [name, value] : gauges) {
+      table.add_row({name, "gauge", TextTable::num(value, 3)});
+    }
+    table.print(out);
+  }
+  if (!histograms.empty()) {
+    if (!counters.empty() || !gauges.empty()) out << '\n';
+    TextTable table({"histogram", "count", "mean", "p50", "p95", "p99", "max"});
+    for (const auto& h : histograms) {
+      table.add_row({h.name, std::to_string(h.count), TextTable::num(h.mean(), 4),
+                     TextTable::num(h.percentile(0.50), 4),
+                     TextTable::num(h.percentile(0.95), 4),
+                     TextTable::num(h.percentile(0.99), 4),
+                     TextTable::num(h.max, 4)});
+    }
+    table.print(out);
+  }
+  return out.str();
+}
+
+std::string MetricsSnapshot::to_json() const {
+  std::ostringstream out;
+  out << "{\"counters\":{";
+  for (std::size_t i = 0; i < counters.size(); ++i) {
+    if (i) out << ',';
+    write_json_string(out, counters[i].first);
+    out << ':' << counters[i].second;
+  }
+  out << "},\"gauges\":{";
+  for (std::size_t i = 0; i < gauges.size(); ++i) {
+    if (i) out << ',';
+    write_json_string(out, gauges[i].first);
+    out << ':';
+    write_json_number(out, gauges[i].second);
+  }
+  out << "},\"histograms\":{";
+  for (std::size_t i = 0; i < histograms.size(); ++i) {
+    const HistogramSnapshot& h = histograms[i];
+    if (i) out << ',';
+    write_json_string(out, h.name);
+    out << ":{\"count\":" << h.count << ",\"sum\":";
+    write_json_number(out, h.sum);
+    out << ",\"min\":";
+    write_json_number(out, h.min);
+    out << ",\"max\":";
+    write_json_number(out, h.max);
+    out << ",\"mean\":";
+    write_json_number(out, h.mean());
+    out << ",\"p50\":";
+    write_json_number(out, h.percentile(0.50));
+    out << ",\"p95\":";
+    write_json_number(out, h.percentile(0.95));
+    out << ",\"p99\":";
+    write_json_number(out, h.percentile(0.99));
+    out << ",\"bounds\":[";
+    for (std::size_t b = 0; b < h.bounds.size(); ++b) {
+      if (b) out << ',';
+      write_json_number(out, h.bounds[b]);
+    }
+    out << "],\"buckets\":[";
+    for (std::size_t b = 0; b < h.buckets.size(); ++b) {
+      if (b) out << ',';
+      out << h.buckets[b];
+    }
+    out << "]}";
+  }
+  out << "}}";
+  return out.str();
+}
+
+void MetricsRegistry::add_counter(const std::string& name, std::uint64_t delta) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  counters_[name] += delta;
+}
+
+void MetricsRegistry::set_gauge(const std::string& name, double value) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  gauges_[name] = value;
+}
+
+void MetricsRegistry::observe(const std::string& name, double value) {
+  observe(name, value, default_latency_bounds());
+}
+
+void MetricsRegistry::observe(const std::string& name, double value,
+                              const std::vector<double>& bounds) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    CSDML_REQUIRE(!bounds.empty(), "histogram needs at least one bound");
+    CSDML_REQUIRE(std::is_sorted(bounds.begin(), bounds.end()),
+                  "histogram bounds must ascend");
+    Histogram h;
+    h.bounds = bounds;
+    h.buckets.assign(bounds.size() + 1, 0);
+    it = histograms_.emplace(name, std::move(h)).first;
+  }
+  Histogram& h = it->second;
+  const auto bucket = static_cast<std::size_t>(
+      std::lower_bound(h.bounds.begin(), h.bounds.end(), value) -
+      h.bounds.begin());
+  ++h.buckets[bucket];
+  if (h.count == 0 || value < h.min) h.min = value;
+  if (h.count == 0 || value > h.max) h.max = value;
+  ++h.count;
+  h.sum += value;
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  MetricsSnapshot snap;
+  snap.counters.assign(counters_.begin(), counters_.end());
+  snap.gauges.assign(gauges_.begin(), gauges_.end());
+  snap.histograms.reserve(histograms_.size());
+  for (const auto& [name, h] : histograms_) {
+    HistogramSnapshot s;
+    s.name = name;
+    s.count = h.count;
+    s.sum = h.sum;
+    s.min = h.min;
+    s.max = h.max;
+    s.bounds = h.bounds;
+    s.buckets = h.buckets;
+    snap.histograms.push_back(std::move(s));
+  }
+  return snap;
+}
+
+void MetricsRegistry::reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  counters_.clear();
+  gauges_.clear();
+  histograms_.clear();
+}
+
+std::vector<double> MetricsRegistry::default_latency_bounds() {
+  std::vector<double> bounds;
+  for (double b = 1.0 / 16.0; b <= 1048576.0; b *= 2.0) bounds.push_back(b);
+  return bounds;
+}
+
+MetricsRegistry& registry() {
+  static MetricsRegistry instance;
+  return instance;
+}
+
+}  // namespace csdml::obs

@@ -1,0 +1,94 @@
+// Telemetry registry for the deployed detector.
+//
+// The paper's evaluation is all measured latency (Fig. 3's per-kernel
+// breakdown) and detection quality; an operable in-storage detector also
+// needs those quantities *live*: counters for classifications and alerts,
+// gauges for fleet state, latency histograms with tail percentiles. The
+// instrumented hot paths (engine, detector, xrt, NVMe, guarded SSD) write
+// into the process-global registry; the CLI (`csdml stats`) and the bench
+// harness render or export snapshots.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace csdml::obs {
+
+/// Frozen view of one histogram: fixed upper bounds plus an implicit
+/// overflow bucket, with enough summary state to estimate percentiles.
+struct HistogramSnapshot {
+  std::string name;
+  std::uint64_t count{0};
+  double sum{0.0};
+  double min{0.0};
+  double max{0.0};
+  std::vector<double> bounds;          ///< ascending upper bounds
+  std::vector<std::uint64_t> buckets;  ///< bounds.size() + 1 entries
+
+  double mean() const { return count ? sum / static_cast<double>(count) : 0.0; }
+  /// Estimated p-quantile (p in [0,1]): linear interpolation inside the
+  /// bucket containing the rank, clamped to the observed [min, max].
+  double percentile(double p) const;
+};
+
+/// Point-in-time copy of every metric, sorted by name.
+struct MetricsSnapshot {
+  std::vector<std::pair<std::string, std::uint64_t>> counters;
+  std::vector<std::pair<std::string, double>> gauges;
+  std::vector<HistogramSnapshot> histograms;
+
+  bool empty() const {
+    return counters.empty() && gauges.empty() && histograms.empty();
+  }
+  /// TextTable rendering: counters/gauges, then histograms with
+  /// count/mean/p50/p95/p99/max columns.
+  std::string to_text() const;
+  /// Single JSON object {"counters":{...},"gauges":{...},"histograms":{...}}.
+  std::string to_json() const;
+};
+
+/// Thread-safe name-keyed metrics. Creation is implicit on first touch so
+/// instrumentation sites stay one-liners.
+class MetricsRegistry {
+ public:
+  void add_counter(const std::string& name, std::uint64_t delta = 1);
+  void set_gauge(const std::string& name, double value);
+  /// Records `value` into the named histogram (default latency buckets).
+  void observe(const std::string& name, double value);
+  /// Same, but the histogram is created with `bounds` (ascending upper
+  /// bounds) if it does not exist yet; bounds of an existing histogram are
+  /// immutable.
+  void observe(const std::string& name, double value,
+               const std::vector<double>& bounds);
+
+  MetricsSnapshot snapshot() const;
+  void reset();
+
+  /// Power-of-two bounds from 2^-4 to 2^20 — covers sub-µs kernel items
+  /// through multi-second scans when values are in microseconds.
+  static std::vector<double> default_latency_bounds();
+
+ private:
+  struct Histogram {
+    std::vector<double> bounds;
+    std::vector<std::uint64_t> buckets;
+    std::uint64_t count{0};
+    double sum{0.0};
+    double min{0.0};
+    double max{0.0};
+  };
+
+  mutable std::mutex mutex_;
+  std::map<std::string, std::uint64_t> counters_;
+  std::map<std::string, double> gauges_;
+  std::map<std::string, Histogram> histograms_;
+};
+
+/// The process-global registry every instrumented component writes into.
+MetricsRegistry& registry();
+
+}  // namespace csdml::obs

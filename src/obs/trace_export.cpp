@@ -1,0 +1,122 @@
+#include "obs/trace_export.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <sstream>
+
+#include "common/error.hpp"
+#include "common/table.hpp"
+
+namespace csdml::obs {
+
+namespace {
+
+void write_json_string(std::ostream& out, const std::string& value) {
+  out << '"';
+  for (const char c : value) {
+    switch (c) {
+      case '"': out << "\\\""; break;
+      case '\\': out << "\\\\"; break;
+      case '\n': out << "\\n"; break;
+      case '\t': out << "\\t"; break;
+      default: out << c;
+    }
+  }
+  out << '"';
+}
+
+/// Microseconds with picosecond precision, fixed notation (the Trace Event
+/// Format wants ts/dur in microseconds).
+std::string as_us(std::int64_t picos) {
+  char buffer[48];
+  std::snprintf(buffer, sizeof(buffer), "%.6f",
+                static_cast<double>(picos) / 1e6);
+  return buffer;
+}
+
+void append_device_events(std::ostream& out, const sim::Trace& trace,
+                          const ChromeTraceOptions& options, bool& first) {
+  const auto emit_separator = [&] {
+    if (!first) out << ',';
+    first = false;
+  };
+
+  emit_separator();
+  out << "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":" << options.pid
+      << ",\"tid\":0,\"args\":{\"name\":";
+  write_json_string(out, options.process_name);
+  out << "}}";
+
+  // One tid per distinct span name (per kernel CU), first-seen order.
+  std::map<std::string, int> tids;
+  for (const std::string& name : trace.names()) {
+    const int tid = static_cast<int>(tids.size());
+    tids.emplace(name, tid);
+    emit_separator();
+    out << "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":" << options.pid
+        << ",\"tid\":" << tid << ",\"args\":{\"name\":";
+    write_json_string(out, name);
+    out << "}}";
+  }
+
+  for (const sim::Span& span : trace.spans()) {
+    emit_separator();
+    out << "{\"name\":";
+    write_json_string(out, span.name);
+    out << ",\"cat\":\"sim\",\"ph\":\"X\",\"ts\":" << as_us(span.start.picos)
+        << ",\"dur\":" << as_us(span.duration().picos)
+        << ",\"pid\":" << options.pid << ",\"tid\":" << tids.at(span.name)
+        << "}";
+  }
+}
+
+}  // namespace
+
+std::string to_chrome_trace_json(const sim::Trace& trace,
+                                 const ChromeTraceOptions& options) {
+  return to_chrome_trace_json({DeviceTrace{&trace, options}});
+}
+
+std::string to_chrome_trace_json(const std::vector<DeviceTrace>& devices) {
+  std::ostringstream out;
+  out << "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[";
+  bool first = true;
+  for (const DeviceTrace& device : devices) {
+    CSDML_REQUIRE(device.trace != nullptr, "null trace in export");
+    append_device_events(out, *device.trace, device.options, first);
+  }
+  out << "]}";
+  return out.str();
+}
+
+void write_chrome_trace_file(const std::string& path, const sim::Trace& trace,
+                             const ChromeTraceOptions& options) {
+  std::ofstream out(path);
+  if (!out) throw Error("cannot open trace output file: " + path);
+  out << to_chrome_trace_json(trace, options) << '\n';
+}
+
+std::string trace_summary(const sim::Trace& trace) {
+  Duration all{};
+  for (const sim::Span& span : trace.spans()) all += span.duration();
+
+  TextTable table({"span", "count", "total_us", "mean_us", "max_us", "share"});
+  for (const std::string& name : trace.names()) {
+    const Duration total = trace.total(name);
+    const std::size_t count = trace.count(name);
+    const double share =
+        all.picos > 0
+            ? static_cast<double>(total.picos) / static_cast<double>(all.picos)
+            : 0.0;
+    table.add_row({name, std::to_string(count),
+                   TextTable::num(total.as_microseconds(), 3),
+                   TextTable::num(total.as_microseconds() /
+                                      static_cast<double>(count ? count : 1), 3),
+                   TextTable::num(trace.max(name).as_microseconds(), 3),
+                   TextTable::num(share * 100.0, 1) + "%"});
+  }
+  return table.to_string();
+}
+
+}  // namespace csdml::obs

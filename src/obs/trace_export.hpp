@@ -1,0 +1,44 @@
+// Chrome-trace / Perfetto export of sim::Trace spans.
+//
+// Every simulated component already records named spans (kernel launches,
+// DMA transfers, flash reads) into its device's sim::Trace; this module
+// turns those spans into the Trace Event Format JSON that
+// chrome://tracing and ui.perfetto.dev open directly — one pid per
+// device, one tid per distinct span name (i.e. per kernel CU) — plus a
+// text summary table for terminals.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sim/trace.hpp"
+
+namespace csdml::obs {
+
+struct ChromeTraceOptions {
+  int pid{0};                            ///< one pid per device
+  std::string process_name{"smartssd"};  ///< shown in the trace viewer
+};
+
+/// One device's spans plus its identity in a multi-device export.
+struct DeviceTrace {
+  const sim::Trace* trace{nullptr};
+  ChromeTraceOptions options;
+};
+
+/// Renders complete ("ph":"X") events, ts/dur in microseconds, with
+/// process_name / thread_name metadata. Valid JSON even for empty traces.
+std::string to_chrome_trace_json(const sim::Trace& trace,
+                                 const ChromeTraceOptions& options = {});
+
+/// Multi-device export: spans of every device in one JSON document.
+std::string to_chrome_trace_json(const std::vector<DeviceTrace>& devices);
+
+/// Writes the export to `path`; throws Error when the file cannot open.
+void write_chrome_trace_file(const std::string& path, const sim::Trace& trace,
+                             const ChromeTraceOptions& options = {});
+
+/// Per-name aggregate table: count, total/mean/max µs, share of the sum.
+std::string trace_summary(const sim::Trace& trace);
+
+}  // namespace csdml::obs

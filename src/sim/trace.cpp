@@ -11,6 +11,29 @@ void Trace::record(std::string name, TimePoint start, TimePoint end) {
   spans_.push_back(Span{std::move(name), start, end});
 }
 
+void Trace::merge(const Trace& other) {
+  // Self-merge duplicates the spans; iterate by index so reallocation
+  // during push_back cannot invalidate the source.
+  const std::size_t n = other.spans_.size();
+  spans_.reserve(spans_.size() + n);
+  for (std::size_t i = 0; i < n; ++i) spans_.push_back(other.spans_[i]);
+}
+
+void Trace::merge(const Trace& other, const std::string& name_prefix) {
+  spans_.reserve(spans_.size() + other.spans_.size());
+  for (const Span& span : other.spans_) {
+    spans_.push_back(Span{name_prefix + span.name, span.start, span.end});
+  }
+}
+
+Trace Trace::filter_prefix(const std::string& name_prefix) const {
+  Trace out;
+  for (const Span& span : spans_) {
+    if (span.name.rfind(name_prefix, 0) == 0) out.spans_.push_back(span);
+  }
+  return out;
+}
+
 Duration Trace::total(const std::string& name) const {
   Duration sum{};
   for (const auto& span : spans_) {

@@ -27,6 +27,15 @@ class Trace {
   const std::vector<Span>& spans() const { return spans_; }
   void clear() { spans_.clear(); }
 
+  /// Appends every span of `other` (detector-level traces absorb the
+  /// per-inference engine traces this way).
+  void merge(const Trace& other);
+  /// Same, but each absorbed span name gains `name_prefix` (e.g.
+  /// "engine/" to namespace a sub-component's spans).
+  void merge(const Trace& other, const std::string& name_prefix);
+  /// Copy of the spans whose name starts with `name_prefix`.
+  Trace filter_prefix(const std::string& name_prefix) const;
+
   /// Sum of durations of spans whose name matches exactly.
   Duration total(const std::string& name) const;
   /// Number of spans with the given name.

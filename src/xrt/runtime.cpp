@@ -4,6 +4,7 @@
 
 #include "common/error.hpp"
 #include "common/log.hpp"
+#include "obs/metrics.hpp"
 
 namespace csdml::xrt {
 
@@ -24,6 +25,9 @@ void BufferObject::sync_to_device() {
   const csd::TransferResult result = device_->board_.host_write_to_fpga(
       host_, bank_, offset_, device_->now_);
   device_->advance_to(result.done);
+  obs::MetricsRegistry& metrics = obs::registry();
+  metrics.add_counter("xrt.bo_syncs_to_device");
+  metrics.add_counter("xrt.pcie_to_device_bytes", size_);
 }
 
 void BufferObject::sync_from_device() {
@@ -31,6 +35,9 @@ void BufferObject::sync_from_device() {
       bank_, offset_, size_, device_->now_);
   host_ = result.data;
   device_->advance_to(result.done);
+  obs::MetricsRegistry& metrics = obs::registry();
+  metrics.add_counter("xrt.bo_syncs_from_device");
+  metrics.add_counter("xrt.pcie_from_device_bytes", size_);
 }
 
 Duration Kernel::latency() const {
@@ -45,6 +52,9 @@ TimePoint Kernel::launch(TimePoint at) {
   const TimePoint end = at + latency;
   device_->board_.trace().record(spec_.name, at, end);
   device_->advance_to(end);
+  obs::MetricsRegistry& metrics = obs::registry();
+  metrics.add_counter("xrt.kernel_launches");
+  metrics.observe("xrt.kernel_launch_us", latency.as_microseconds());
   return end;
 }
 

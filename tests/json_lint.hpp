@@ -1,0 +1,122 @@
+// Minimal strict JSON syntax checker for test assertions (the CI
+// workflow additionally validates exported files with `python3 -m
+// json.tool`; this keeps the same guarantee inside the gtest suite).
+#pragma once
+
+#include <cctype>
+#include <string>
+
+namespace csdml::testing {
+
+class JsonLint {
+ public:
+  /// True iff `text` is exactly one syntactically valid JSON value.
+  static bool valid(const std::string& text) {
+    JsonLint lint(text);
+    return lint.value() && (lint.skip_space(), lint.pos_ == text.size());
+  }
+
+ private:
+  explicit JsonLint(const std::string& text) : text_(text) {}
+
+  bool value() {
+    skip_space();
+    if (pos_ >= text_.size()) return false;
+    switch (text_[pos_]) {
+      case '{': return object();
+      case '[': return array();
+      case '"': return string();
+      case 't': return literal("true");
+      case 'f': return literal("false");
+      case 'n': return literal("null");
+      default: return number();
+    }
+  }
+
+  bool object() {
+    ++pos_;  // '{'
+    skip_space();
+    if (consume('}')) return true;
+    while (true) {
+      skip_space();
+      if (pos_ >= text_.size() || text_[pos_] != '"' || !string()) return false;
+      skip_space();
+      if (!consume(':') || !value()) return false;
+      skip_space();
+      if (consume('}')) return true;
+      if (!consume(',')) return false;
+    }
+  }
+
+  bool array() {
+    ++pos_;  // '['
+    skip_space();
+    if (consume(']')) return true;
+    while (true) {
+      if (!value()) return false;
+      skip_space();
+      if (consume(']')) return true;
+      if (!consume(',')) return false;
+    }
+  }
+
+  bool string() {
+    ++pos_;  // '"'
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      if (static_cast<unsigned char>(text_[pos_]) < 0x20) return false;
+      if (text_[pos_] == '\\') {
+        ++pos_;
+        if (pos_ >= text_.size()) return false;
+        const char esc = text_[pos_];
+        if (esc != '"' && esc != '\\' && esc != '/' && esc != 'b' &&
+            esc != 'f' && esc != 'n' && esc != 'r' && esc != 't' &&
+            esc != 'u') {
+          return false;
+        }
+      }
+      ++pos_;
+    }
+    if (pos_ >= text_.size()) return false;
+    ++pos_;  // closing quote
+    return true;
+  }
+
+  bool number() {
+    const std::size_t start = pos_;
+    if (consume('-')) {}
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-')) {
+      ++pos_;
+    }
+    return pos_ > start;
+  }
+
+  bool literal(const char* word) {
+    for (const char* c = word; *c; ++c, ++pos_) {
+      if (pos_ >= text_.size() || text_[pos_] != *c) return false;
+    }
+    return true;
+  }
+
+  bool consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  void skip_space() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  const std::string& text_;
+  std::size_t pos_{0};
+};
+
+}  // namespace csdml::testing

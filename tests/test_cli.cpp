@@ -4,6 +4,7 @@
 
 #include <cstdio>
 #include <filesystem>
+#include <fstream>
 #include <sstream>
 
 namespace csdml::host {
@@ -109,6 +110,38 @@ TEST(Cli, GenTracesWritesJsonl) {
   EXPECT_NE(result.out.find("112 sample traces"), std::string::npos);
   EXPECT_TRUE(std::filesystem::exists(path));
   std::remove(path.c_str());
+}
+
+TEST(Cli, StatsRendersTelemetry) {
+  const std::string trace = temp_path("csdml_cli_stats_trace.json");
+  const CliRun result =
+      run({"stats", "--calls", "300", "--trace-out", trace});
+  ASSERT_EQ(result.code, 0) << result.err;
+  // The metrics tables carry the percentile columns and the kernel lanes.
+  EXPECT_NE(result.out.find("p50"), std::string::npos);
+  EXPECT_NE(result.out.find("p95"), std::string::npos);
+  EXPECT_NE(result.out.find("p99"), std::string::npos);
+  EXPECT_NE(result.out.find("engine.kernel.gates_us"), std::string::npos);
+  EXPECT_NE(result.out.find("detector.classifications"), std::string::npos);
+  // The chrome trace names all three pipeline kernels.
+  ASSERT_TRUE(std::filesystem::exists(trace));
+  std::ifstream in(trace);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const std::string json = buffer.str();
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("kernel_preprocess"), std::string::npos);
+  EXPECT_NE(json.find("kernel_gates"), std::string::npos);
+  EXPECT_NE(json.find("kernel_hidden_state"), std::string::npos);
+  std::remove(trace.c_str());
+
+  const CliRun json_mode = run({"stats", "--calls", "300", "--json"});
+  ASSERT_EQ(json_mode.code, 0) << json_mode.err;
+  EXPECT_EQ(json_mode.out.front(), '{');
+  EXPECT_NE(json_mode.out.find("\"histograms\""), std::string::npos);
+
+  EXPECT_EQ(run({"stats", "--calls", "10"}).code, 2);  // below minimum
+  EXPECT_EQ(run({"stats", "--level", "quantum"}).code, 2);
 }
 
 TEST(Cli, MissingFilesReturnOne) {

@@ -4,6 +4,7 @@
 
 #include "common/error.hpp"
 #include "nn/train.hpp"
+#include "obs/metrics.hpp"
 
 namespace csdml::detect {
 namespace {
@@ -159,6 +160,53 @@ TEST(Detector, ForgetResetsProcessState) {
     EXPECT_FALSE(detector.on_api_call(1, f.benign_token(rng)).has_value());
   }
   EXPECT_EQ(detector.classifications_run(), 0u);
+}
+
+TEST(Detector, ForgetFlushesPendingDebounceIntoCounters) {
+  DetectorFixture f;
+  obs::registry().reset();
+  // consecutive_alerts = 3: a malicious stream accrues a pending streak
+  // that never fires if the process dies first.
+  StreamingDetector detector(
+      *f.engine, DetectorConfig{.window_length = 20, .hop = 10,
+                                .consecutive_alerts = 3});
+  Rng rng(23);
+  for (int i = 0; i < 30; ++i) detector.on_api_call(1, f.malicious_token(rng));
+  detector.forget(1);
+  detector.forget(1);  // unknown process: no double counting
+  detector.forget(99);
+
+  const obs::MetricsSnapshot snap = obs::registry().snapshot();
+  std::uint64_t forgotten = 0;
+  std::uint64_t flushed = 0;
+  for (const auto& [name, value] : snap.counters) {
+    if (name == "detector.processes_forgotten") forgotten = value;
+    if (name == "detector.pending_alert_streaks_flushed") flushed = value;
+  }
+  EXPECT_EQ(forgotten, 1u);
+  EXPECT_GE(flushed, 1u);  // the interrupted streak was preserved
+  // Window occupancy of the dead process lands in the histogram.
+  bool occupancy_seen = false;
+  for (const auto& h : snap.histograms) {
+    if (h.name == "detector.window_occupancy") occupancy_seen = h.count == 1;
+  }
+  EXPECT_TRUE(occupancy_seen);
+}
+
+TEST(Detector, ClassificationCountersTrackRuns) {
+  DetectorFixture f;
+  obs::registry().reset();
+  StreamingDetector detector(*f.engine, DetectorConfig{.window_length = 10,
+                                                       .hop = 5});
+  Rng rng(25);
+  for (int i = 0; i < 25; ++i) detector.on_api_call(1, f.benign_token(rng));
+  const obs::MetricsSnapshot snap = obs::registry().snapshot();
+  std::uint64_t classifications = 0;
+  for (const auto& [name, value] : snap.counters) {
+    if (name == "detector.classifications") classifications = value;
+  }
+  EXPECT_EQ(classifications, detector.classifications_run());
+  EXPECT_GT(classifications, 0u);
 }
 
 TEST(Detector, AccumulatesDeviceTime) {

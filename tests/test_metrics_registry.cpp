@@ -1,0 +1,162 @@
+#include "obs/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "common/error.hpp"
+#include "json_lint.hpp"
+
+namespace csdml::obs {
+namespace {
+
+TEST(MetricsRegistry, CountersAccumulate) {
+  MetricsRegistry reg;
+  reg.add_counter("a");
+  reg.add_counter("a", 4);
+  reg.add_counter("b");
+  const MetricsSnapshot snap = reg.snapshot();
+  ASSERT_EQ(snap.counters.size(), 2u);
+  EXPECT_EQ(snap.counters[0].first, "a");
+  EXPECT_EQ(snap.counters[0].second, 5u);
+  EXPECT_EQ(snap.counters[1].second, 1u);
+}
+
+TEST(MetricsRegistry, GaugesOverwrite) {
+  MetricsRegistry reg;
+  reg.set_gauge("g", 1.5);
+  reg.set_gauge("g", -2.0);
+  const MetricsSnapshot snap = reg.snapshot();
+  ASSERT_EQ(snap.gauges.size(), 1u);
+  EXPECT_DOUBLE_EQ(snap.gauges[0].second, -2.0);
+}
+
+TEST(MetricsRegistry, HistogramSummaryStats) {
+  MetricsRegistry reg;
+  for (const double v : {1.0, 2.0, 3.0, 4.0}) reg.observe("h", v);
+  const MetricsSnapshot snap = reg.snapshot();
+  ASSERT_EQ(snap.histograms.size(), 1u);
+  const HistogramSnapshot& h = snap.histograms[0];
+  EXPECT_EQ(h.name, "h");
+  EXPECT_EQ(h.count, 4u);
+  EXPECT_DOUBLE_EQ(h.sum, 10.0);
+  EXPECT_DOUBLE_EQ(h.min, 1.0);
+  EXPECT_DOUBLE_EQ(h.max, 4.0);
+  EXPECT_DOUBLE_EQ(h.mean(), 2.5);
+  EXPECT_EQ(h.buckets.size(), h.bounds.size() + 1);
+}
+
+TEST(MetricsRegistry, PercentileEdges) {
+  HistogramSnapshot empty;
+  EXPECT_DOUBLE_EQ(empty.percentile(0.5), 0.0);
+
+  MetricsRegistry reg;
+  reg.observe("one", 7.0);
+  const HistogramSnapshot one = reg.snapshot().histograms[0];
+  // A single observation: every percentile collapses onto it.
+  EXPECT_DOUBLE_EQ(one.percentile(0.0), 7.0);
+  EXPECT_DOUBLE_EQ(one.percentile(0.5), 7.0);
+  EXPECT_DOUBLE_EQ(one.percentile(1.0), 7.0);
+}
+
+TEST(MetricsRegistry, PercentilesOrderAndClamp) {
+  MetricsRegistry reg;
+  // 100 observations spread over two decades of the default buckets.
+  for (int i = 1; i <= 100; ++i) reg.observe("h", static_cast<double>(i));
+  const HistogramSnapshot h = reg.snapshot().histograms[0];
+  const double p50 = h.percentile(0.50);
+  const double p95 = h.percentile(0.95);
+  const double p99 = h.percentile(0.99);
+  EXPECT_LE(p50, p95);
+  EXPECT_LE(p95, p99);
+  EXPECT_GE(p50, h.min);
+  EXPECT_LE(p99, h.max);
+  // Bucketed estimation: p50 of uniform 1..100 lands within its bucket
+  // (33..64 under power-of-two bounds), nowhere near the extremes.
+  EXPECT_GT(p50, 30.0);
+  EXPECT_LT(p50, 70.0);
+  EXPECT_GT(p99, 64.0);
+}
+
+TEST(MetricsRegistry, CustomBoundsBindOnFirstUse) {
+  MetricsRegistry reg;
+  const std::vector<double> bounds{0.5, 1.0};
+  reg.observe("occ", 0.25, bounds);
+  reg.observe("occ", 0.75, bounds);
+  reg.observe("occ", 2.0, bounds);  // overflow bucket
+  const HistogramSnapshot h = reg.snapshot().histograms[0];
+  EXPECT_EQ(h.bounds, bounds);
+  EXPECT_EQ(h.buckets, (std::vector<std::uint64_t>{1, 1, 1}));
+}
+
+TEST(MetricsRegistry, RejectsBadBounds) {
+  MetricsRegistry reg;
+  EXPECT_THROW(reg.observe("h", 1.0, {}), PreconditionError);
+  EXPECT_THROW(reg.observe("h2", 1.0, {2.0, 1.0}), PreconditionError);
+}
+
+TEST(MetricsRegistry, ConcurrentIncrementsDontLoseUpdates) {
+  MetricsRegistry reg;
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 10'000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&reg] {
+      for (int i = 0; i < kPerThread; ++i) {
+        reg.add_counter("c");
+        reg.observe("h", 1.0);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  const MetricsSnapshot snap = reg.snapshot();
+  EXPECT_EQ(snap.counters[0].second,
+            static_cast<std::uint64_t>(kThreads * kPerThread));
+  EXPECT_EQ(snap.histograms[0].count,
+            static_cast<std::uint64_t>(kThreads * kPerThread));
+}
+
+TEST(MetricsRegistry, ResetEmpties) {
+  MetricsRegistry reg;
+  reg.add_counter("c");
+  reg.set_gauge("g", 1.0);
+  reg.observe("h", 1.0);
+  EXPECT_FALSE(reg.snapshot().empty());
+  reg.reset();
+  EXPECT_TRUE(reg.snapshot().empty());
+}
+
+TEST(MetricsRegistry, TextRenderingHasPercentileColumns) {
+  MetricsRegistry reg;
+  reg.add_counter("detector.alerts", 3);
+  reg.observe("engine.kernel.gates_us", 2.15);
+  const std::string text = reg.snapshot().to_text();
+  EXPECT_NE(text.find("detector.alerts"), std::string::npos);
+  EXPECT_NE(text.find("p50"), std::string::npos);
+  EXPECT_NE(text.find("p95"), std::string::npos);
+  EXPECT_NE(text.find("p99"), std::string::npos);
+  EXPECT_NE(text.find("engine.kernel.gates_us"), std::string::npos);
+}
+
+TEST(MetricsRegistry, JsonRenderingIsValid) {
+  MetricsRegistry reg;
+  const std::string empty = reg.snapshot().to_json();
+  EXPECT_TRUE(testing::JsonLint::valid(empty)) << empty;
+
+  reg.add_counter(R"(weird"name\with escapes)");
+  reg.set_gauge("g", -0.125);
+  reg.observe("h", 3.5);
+  const std::string json = reg.snapshot().to_json();
+  EXPECT_TRUE(testing::JsonLint::valid(json)) << json;
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"histograms\""), std::string::npos);
+  EXPECT_NE(json.find("\"p99\""), std::string::npos);
+}
+
+TEST(MetricsRegistry, GlobalRegistryIsSingleton) {
+  EXPECT_EQ(&registry(), &registry());
+}
+
+}  // namespace
+}  // namespace csdml::obs

@@ -42,5 +42,53 @@ TEST(Trace, ClearEmptiesSpans) {
   EXPECT_TRUE(trace.spans().empty());
 }
 
+TEST(Trace, MergeAbsorbsSpans) {
+  Trace detector;
+  detector.record("classification", TimePoint{0}, TimePoint{10});
+  Trace engine;
+  engine.record("kernel_gates", TimePoint{2}, TimePoint{5});
+  engine.record("kernel_hidden_state", TimePoint{5}, TimePoint{8});
+
+  detector.merge(engine);
+  EXPECT_EQ(detector.spans().size(), 3u);
+  EXPECT_EQ(detector.count("kernel_gates"), 1u);
+  EXPECT_EQ(detector.total("kernel_hidden_state").picos, 3);
+  // The source is untouched.
+  EXPECT_EQ(engine.spans().size(), 2u);
+}
+
+TEST(Trace, MergeWithPrefixNamespacesSpans) {
+  Trace detector;
+  Trace engine;
+  engine.record("kernel_gates", TimePoint{0}, TimePoint{4});
+  detector.merge(engine, "engine/");
+  EXPECT_EQ(detector.count("kernel_gates"), 0u);
+  EXPECT_EQ(detector.count("engine/kernel_gates"), 1u);
+  EXPECT_EQ(detector.total("engine/kernel_gates").picos, 4);
+}
+
+TEST(Trace, SelfMergeDuplicates) {
+  Trace trace;
+  trace.record("x", TimePoint{0}, TimePoint{1});
+  trace.record("y", TimePoint{1}, TimePoint{2});
+  trace.merge(trace);
+  EXPECT_EQ(trace.spans().size(), 4u);
+  EXPECT_EQ(trace.count("x"), 2u);
+}
+
+TEST(Trace, FilterPrefixSelectsMatchingSpans) {
+  Trace trace;
+  trace.record("kernel_gates", TimePoint{0}, TimePoint{1});
+  trace.record("kernel_hidden_state", TimePoint{1}, TimePoint{2});
+  trace.record("dma_read", TimePoint{2}, TimePoint{3});
+
+  const Trace kernels = trace.filter_prefix("kernel_");
+  EXPECT_EQ(kernels.spans().size(), 2u);
+  EXPECT_EQ(kernels.count("dma_read"), 0u);
+  EXPECT_TRUE(trace.filter_prefix("nope").spans().empty());
+  // Empty prefix matches everything.
+  EXPECT_EQ(trace.filter_prefix("").spans().size(), 3u);
+}
+
 }  // namespace
 }  // namespace csdml::sim
