@@ -1,0 +1,279 @@
+// Throughput of the software datapaths: fused table-driven kernels vs the
+// seed's stage-by-stage reference, float vs fixed, and batch scaling
+// across thread counts. Unlike the Fig. 2/3 benches, which report the
+// *simulated FPGA* cost model, this one measures real wall-clock of the
+// functional forward passes — the quantity the fused layouts, the
+// token→gate-preactivation table and the batch thread pool exist to move.
+//
+// Emits BENCH_throughput.json (into CSDML_METRICS_OUT when set, else the
+// working directory). `--tiny` shrinks dims and repetitions for CI smoke.
+#include <chrono>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "common/json_writer.hpp"
+#include "common/rng.hpp"
+#include "common/table.hpp"
+#include "csd/smartssd.hpp"
+#include "kernels/engine.hpp"
+#include "kernels/functional.hpp"
+#include "xrt/runtime.hpp"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+struct SingleStreamRow {
+  std::string datapath;  // "float" | "fixed"
+  std::string variant;   // "reference" | "fused"
+  double tokens_per_sec{0.0};
+  double us_per_window{0.0};
+};
+
+/// Runs `fn` (one window classification) `reps` times and returns the
+/// result of the last call through `probability` plus the timing row.
+template <typename Fn>
+SingleStreamRow time_single_stream(const std::string& datapath,
+                                   const std::string& variant, std::size_t reps,
+                                   std::size_t window, double& probability,
+                                   Fn&& fn) {
+  probability = fn();  // warm-up (sizes scratch, faults pages)
+  const auto start = Clock::now();
+  for (std::size_t r = 0; r < reps; ++r) probability = fn();
+  const double elapsed = seconds_since(start);
+  SingleStreamRow row;
+  row.datapath = datapath;
+  row.variant = variant;
+  row.tokens_per_sec =
+      static_cast<double>(reps) * static_cast<double>(window) / elapsed;
+  row.us_per_window = elapsed * 1e6 / static_cast<double>(reps);
+  return row;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace csdml;
+  bool tiny = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--tiny") == 0) tiny = true;
+  }
+
+  // Paper dims (Section III): 307-call vocabulary, 32-wide embeddings,
+  // 128 hidden units, 100-call windows.
+  nn::LstmConfig config;
+  config.vocab_size = tiny ? 41 : 307;
+  config.embed_dim = tiny ? 8 : 32;
+  config.hidden_dim = tiny ? 16 : 128;
+  const std::size_t window = tiny ? 12 : 100;
+  const std::size_t reps = tiny ? 4 : 30;
+  const std::size_t batch_windows = tiny ? 12 : 512;
+
+  bench::print_header("Datapath throughput (wall-clock)");
+  std::cout << "vocab=" << config.vocab_size << " embed=" << config.embed_dim
+            << " hidden=" << config.hidden_dim << " window=" << window
+            << (tiny ? "  [tiny smoke]" : "") << "\n";
+
+  Rng rng(17);
+  const nn::LstmParams params = nn::LstmParams::glorot(config, rng);
+  Rng token_rng(5);
+  nn::Sequence sequence;
+  for (std::size_t i = 0; i < window; ++i) {
+    sequence.push_back(
+        static_cast<nn::TokenId>(token_rng.uniform_int(0, config.vocab_size - 1)));
+  }
+
+  const kernels::FloatDatapath float_path(config, params);
+  const kernels::FixedDatapath fixed_path(config, params);
+  kernels::FloatScratch float_scratch;
+  kernels::FixedScratch fixed_scratch;
+
+  // --- single stream: tokens/sec, fused vs reference -----------------
+  std::vector<SingleStreamRow> single;
+  double p_float_ref = 0.0, p_float_fused = 0.0;
+  double p_fixed_ref = 0.0, p_fixed_fused = 0.0;
+  single.push_back(time_single_stream(
+      "float", "reference", reps, window, p_float_ref,
+      [&] { return float_path.infer_reference(sequence); }));
+  single.push_back(time_single_stream(
+      "float", "fused", reps, window, p_float_fused,
+      [&] { return float_path.infer(sequence, float_scratch); }));
+  single.push_back(time_single_stream(
+      "fixed", "reference", reps, window, p_fixed_ref,
+      [&] { return fixed_path.infer_reference(sequence); }));
+  single.push_back(time_single_stream(
+      "fixed", "fused", reps, window, p_fixed_fused,
+      [&] { return fixed_path.infer(sequence, fixed_scratch); }));
+
+  // The whole point of the fused path is that it changes nothing — bail
+  // loudly if it drifts from the oracle.
+  if (p_float_ref != p_float_fused || p_fixed_ref != p_fixed_fused) {
+    std::cerr << "FUSED/REFERENCE MISMATCH: float " << p_float_ref << " vs "
+              << p_float_fused << ", fixed " << p_fixed_ref << " vs "
+              << p_fixed_fused << "\n";
+    return 1;
+  }
+
+  const double float_speedup =
+      single[1].tokens_per_sec / single[0].tokens_per_sec;
+  const double fixed_speedup =
+      single[3].tokens_per_sec / single[2].tokens_per_sec;
+
+  TextTable table({"datapath", "variant", "tokens_per_s", "us_per_window",
+                   "speedup"});
+  for (std::size_t i = 0; i < single.size(); ++i) {
+    const bool fused = single[i].variant == "fused";
+    const double speedup = i < 2 ? float_speedup : fixed_speedup;
+    table.add_row({single[i].datapath, single[i].variant,
+                   TextTable::num(single[i].tokens_per_sec, 0),
+                   TextTable::num(single[i].us_per_window, 1),
+                   fused ? TextTable::num(speedup, 2) + "x" : "1.00x"});
+  }
+  table.print(std::cout);
+
+  // --- batched: windows/sec vs thread count --------------------------
+  // The engine path stages weights onto the simulated FPGA, so the model
+  // must pass placement: use the deployed model's dims (the seed default,
+  // which matches the paper's Table I resource budget) — the big
+  // single-stream config above does not fit the xcku15p at any level.
+  nn::LstmConfig batch_config;
+  if (tiny) {
+    batch_config.vocab_size = config.vocab_size;
+    batch_config.embed_dim = config.embed_dim;
+    batch_config.hidden_dim = config.hidden_dim;
+  }
+  Rng batch_rng(23);
+  const nn::LstmParams batch_params =
+      nn::LstmParams::glorot(batch_config, batch_rng);
+  bench::print_header("Batched inference (wall-clock windows / second)");
+  std::cout << "engine model: vocab=" << batch_config.vocab_size
+            << " embed=" << batch_config.embed_dim
+            << " hidden=" << batch_config.hidden_dim << " window=" << window
+            << "\n";
+  std::vector<nn::Sequence> windows;
+  for (std::size_t w = 0; w < batch_windows; ++w) {
+    nn::Sequence seq;
+    for (std::size_t i = 0; i < window; ++i) {
+      seq.push_back(static_cast<nn::TokenId>(
+          token_rng.uniform_int(0, batch_config.vocab_size - 1)));
+    }
+    windows.push_back(std::move(seq));
+  }
+
+  const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+  std::vector<std::uint32_t> thread_counts{1};
+  if (hw >= 2) thread_counts.push_back(2);
+  if (hw > 2) thread_counts.push_back(hw);
+
+  struct BatchRow {
+    std::string level;
+    std::uint32_t threads{1};
+    double windows_per_sec{0.0};
+    double scaling_vs_one{1.0};
+  };
+  std::vector<BatchRow> batch_rows;
+  const nn::ModelSnapshot snapshot{batch_config, batch_params};
+  TextTable batch_table({"level", "threads", "windows_per_s", "scaling"});
+  for (const char* level : {"float", "fixed"}) {
+    double one_thread = 0.0;
+    for (const std::uint32_t threads : thread_counts) {
+      csd::SmartSsd board{csd::SmartSsdConfig{}};
+      xrt::Device device{board};
+      kernels::EngineConfig engine_config;
+      engine_config.level = std::strcmp(level, "fixed") == 0
+                                ? kernels::OptimizationLevel::FixedPoint
+                                : kernels::OptimizationLevel::Vanilla;
+      engine_config.batch_threads = threads;
+      kernels::CsdLstmEngine engine(device, snapshot, engine_config);
+      engine.infer_batch(windows);  // warm-up (spawns pool, sizes scratch)
+      const auto start = Clock::now();
+      const auto result = engine.infer_batch(windows);
+      const double elapsed = seconds_since(start);
+      (void)result;
+      BatchRow row;
+      row.level = level;
+      row.threads = threads;
+      row.windows_per_sec = static_cast<double>(batch_windows) / elapsed;
+      if (threads == 1) one_thread = row.windows_per_sec;
+      row.scaling_vs_one =
+          one_thread > 0.0 ? row.windows_per_sec / one_thread : 1.0;
+      batch_table.add_row({row.level, std::to_string(row.threads),
+                           TextTable::num(row.windows_per_sec, 0),
+                           TextTable::num(row.scaling_vs_one, 2) + "x"});
+      batch_rows.push_back(row);
+    }
+  }
+  batch_table.print(std::cout);
+
+  // --- BENCH_throughput.json -----------------------------------------
+  JsonWriter json;
+  json.begin_object();
+  json.field("bench", "throughput");
+  json.key("config");
+  json.begin_object();
+  json.field("vocab_size", static_cast<std::int64_t>(config.vocab_size));
+  json.field("embed_dim", config.embed_dim);
+  json.field("hidden_dim", config.hidden_dim);
+  json.field("window", window);
+  json.field("repetitions", reps);
+  json.field("batch_windows", batch_windows);
+  json.field("batch_hidden_dim", batch_config.hidden_dim);
+  json.field("tiny", tiny);
+  json.end_object();
+  json.key("single_stream");
+  json.begin_array();
+  for (const SingleStreamRow& row : single) {
+    json.begin_object();
+    json.field("datapath", row.datapath);
+    json.field("variant", row.variant);
+    json.field("tokens_per_sec", row.tokens_per_sec);
+    json.field("us_per_window", row.us_per_window);
+    json.end_object();
+  }
+  json.end_array();
+  json.field("float_fused_speedup", float_speedup);
+  json.field("fixed_fused_speedup", fixed_speedup);
+  json.key("batched");
+  json.begin_array();
+  for (const BatchRow& row : batch_rows) {
+    json.begin_object();
+    json.field("level", row.level);
+    json.field("threads", static_cast<std::int64_t>(row.threads));
+    json.field("windows_per_sec", row.windows_per_sec);
+    json.field("scaling_vs_one_thread", row.scaling_vs_one);
+    json.end_object();
+  }
+  json.end_array();
+  json.end_object();
+
+  const char* out_dir = std::getenv("CSDML_METRICS_OUT");
+  if (out_dir != nullptr && *out_dir != '\0') {
+    std::error_code ec;
+    std::filesystem::create_directories(out_dir, ec);  // best effort
+  }
+  const std::string json_path =
+      (out_dir != nullptr && *out_dir != '\0' ? std::string(out_dir) + "/"
+                                              : std::string()) +
+      "BENCH_throughput.json";
+  {
+    std::ofstream out(json_path);
+    if (!out) {
+      std::cerr << "cannot write " << json_path << "\n";
+      return 1;
+    }
+    out << json.str() << '\n';
+  }
+  std::cout << "\nthroughput -> " << json_path << "\n";
+  bench::dump_metrics_json("bench_throughput");
+  return 0;
+}

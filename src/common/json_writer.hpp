@@ -1,0 +1,106 @@
+// Minimal JSON document builder for machine-readable bench/tool output.
+//
+// The metrics registry serialises itself; this helper exists for outputs
+// with structure the registry doesn't model (nested objects, arrays of
+// result rows, e.g. BENCH_throughput.json). Emission-only, append-order
+// preserving, no DOM.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+
+namespace csdml {
+
+class JsonWriter {
+ public:
+  JsonWriter& begin_object() { return open('{'); }
+  JsonWriter& end_object() { return close('}'); }
+  JsonWriter& begin_array() { return open('['); }
+  JsonWriter& end_array() { return close(']'); }
+
+  JsonWriter& key(const std::string& name) {
+    separate();
+    out_ += quote(name);
+    out_ += ':';
+    pending_value_ = true;
+    return *this;
+  }
+
+  JsonWriter& value(const std::string& v) { return raw(quote(v)); }
+  JsonWriter& value(const char* v) { return raw(quote(v)); }
+  JsonWriter& value(double v) {
+    if (!std::isfinite(v)) return raw("null");
+    char buffer[32];
+    std::snprintf(buffer, sizeof(buffer), "%.9g", v);
+    return raw(buffer);
+  }
+  JsonWriter& value(std::int64_t v) { return raw(std::to_string(v)); }
+  JsonWriter& value(std::uint64_t v) { return raw(std::to_string(v)); }
+  JsonWriter& value(int v) { return raw(std::to_string(v)); }
+  JsonWriter& value(unsigned v) { return raw(std::to_string(v)); }
+  JsonWriter& value(bool v) { return raw(v ? "true" : "false"); }
+
+  template <typename T>
+  JsonWriter& field(const std::string& name, const T& v) {
+    return key(name).value(v);
+  }
+
+  const std::string& str() const { return out_; }
+
+ private:
+  JsonWriter& open(char c) {
+    separate();
+    out_ += c;
+    first_ = true;
+    return *this;
+  }
+  JsonWriter& close(char c) {
+    out_ += c;
+    first_ = false;
+    return *this;
+  }
+  JsonWriter& raw(const std::string& text) {
+    separate();
+    out_ += text;
+    return *this;
+  }
+  /// Emits the comma between container members; keys already did it.
+  void separate() {
+    if (pending_value_) {
+      pending_value_ = false;
+      return;
+    }
+    if (!first_) out_ += ',';
+    first_ = false;
+  }
+  static std::string quote(const std::string& s) {
+    std::string quoted = "\"";
+    for (const char c : s) {
+      switch (c) {
+        case '"': quoted += "\\\""; break;
+        case '\\': quoted += "\\\\"; break;
+        case '\n': quoted += "\\n"; break;
+        case '\t': quoted += "\\t"; break;
+        case '\r': quoted += "\\r"; break;
+        default:
+          if (static_cast<unsigned char>(c) < 0x20) {
+            char buffer[8];
+            std::snprintf(buffer, sizeof(buffer), "\\u%04x", c);
+            quoted += buffer;
+          } else {
+            quoted += c;
+          }
+      }
+    }
+    quoted += '"';
+    return quoted;
+  }
+
+  std::string out_;
+  bool first_{true};
+  bool pending_value_{false};
+};
+
+}  // namespace csdml

@@ -1,0 +1,86 @@
+#include "common/thread_pool.hpp"
+
+#include "common/error.hpp"
+
+namespace csdml {
+
+ThreadPool::ThreadPool(std::size_t thread_count) {
+  if (thread_count == 0) {
+    thread_count = std::thread::hardware_concurrency();
+    if (thread_count == 0) thread_count = 1;
+  }
+  workers_.reserve(thread_count - 1);
+  for (std::size_t i = 1; i < thread_count; ++i) {
+    workers_.emplace_back([this, i] { worker_main(i); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  wake_cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ThreadPool::run_indices(std::size_t executor) {
+  const std::function<void(std::size_t, std::size_t)>* fn = job_;
+  const std::size_t count = job_count_;
+  for (std::size_t index = next_index_.fetch_add(1); index < count;
+       index = next_index_.fetch_add(1)) {
+    try {
+      (*fn)(executor, index);
+    } catch (...) {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      if (!first_error_) first_error_ = std::current_exception();
+    }
+  }
+}
+
+void ThreadPool::worker_main(std::size_t executor) {
+  std::uint64_t seen_generation = 0;
+  while (true) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    wake_cv_.wait(lock, [&] {
+      return stopping_ || generation_ != seen_generation;
+    });
+    if (stopping_) return;
+    seen_generation = generation_;
+    lock.unlock();
+
+    run_indices(executor);
+
+    lock.lock();
+    if (--busy_workers_ == 0) done_cv_.notify_all();
+  }
+}
+
+void ThreadPool::parallel_for(
+    std::size_t count, const std::function<void(std::size_t, std::size_t)>& fn) {
+  if (count == 0) return;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    CSDML_REQUIRE(job_ == nullptr, "parallel_for is not reentrant");
+    job_ = &fn;
+    job_count_ = count;
+    next_index_.store(0);
+    busy_workers_ = workers_.size();
+    ++generation_;
+  }
+  wake_cv_.notify_all();
+
+  // The caller is executor 0 and works the same index stream.
+  run_indices(0);
+
+  std::unique_lock<std::mutex> lock(mutex_);
+  done_cv_.wait(lock, [&] { return busy_workers_ == 0; });
+  job_ = nullptr;
+  job_count_ = 0;
+  std::exception_ptr error = first_error_;
+  first_error_ = nullptr;
+  lock.unlock();
+  if (error) std::rethrow_exception(error);
+}
+
+}  // namespace csdml

@@ -1,0 +1,63 @@
+// Small fixed-size thread pool for data-parallel sweeps.
+//
+// The software model of the CSD has to sustain the same batch pressure the
+// paper's device absorbs from "traffic from millions of users": the engine
+// fans classification batches out across cores, and the bench/dataset
+// sweeps reuse the same pool. The pool is deliberately minimal — one
+// parallel_for primitive with index-granular work stealing — because every
+// hot caller is an embarrassingly parallel loop over sequences.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace csdml {
+
+class ThreadPool {
+ public:
+  /// `thread_count` is the total number of executors, including the caller
+  /// of parallel_for; 0 picks std::thread::hardware_concurrency(). A pool
+  /// of size 1 spawns no workers and runs everything inline.
+  explicit ThreadPool(std::size_t thread_count = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Total executors (workers + the calling thread).
+  std::size_t thread_count() const { return workers_.size() + 1; }
+
+  /// Runs fn(executor, index) for every index in [0, count). Indices are
+  /// claimed atomically, each runs exactly once, and `executor` is in
+  /// [0, thread_count()) — callers key per-thread scratch off it (the
+  /// calling thread is executor 0). Blocks until every index finished;
+  /// if any invocation threw, the first captured exception is rethrown
+  /// after the loop drains. Not reentrant.
+  void parallel_for(std::size_t count,
+                    const std::function<void(std::size_t, std::size_t)>& fn);
+
+ private:
+  void worker_main(std::size_t executor);
+  void run_indices(std::size_t executor);
+
+  std::vector<std::thread> workers_;
+
+  std::mutex mutex_;
+  std::condition_variable wake_cv_;   ///< signals workers that a job exists
+  std::condition_variable done_cv_;   ///< signals the caller that workers drained
+  std::uint64_t generation_{0};       ///< bumped once per parallel_for
+  bool stopping_{false};
+  const std::function<void(std::size_t, std::size_t)>* job_{nullptr};
+  std::size_t job_count_{0};
+  std::size_t busy_workers_{0};
+  std::atomic<std::size_t> next_index_{0};
+  std::exception_ptr first_error_;
+};
+
+}  // namespace csdml

@@ -31,23 +31,24 @@ std::optional<Detection> StreamingDetector::on_api_call(ProcessId process,
   const bool new_process = !processes_.contains(process);
   ProcessState& state = processes_[process];
   if (new_process) {
+    state.window = TokenRing(config_.window_length);
     metrics.set_gauge("detector.tracked_processes",
                       static_cast<double>(processes_.size()));
   }
-  state.window.push_back(token);
-  if (state.window.size() > config_.window_length) state.window.pop_front();
+  state.window.push(token);
   ++state.calls_seen;
   ++state.calls_since_eval;
 
-  if (state.window.size() < config_.window_length) return std::nullopt;
+  if (!state.window.full()) return std::nullopt;
   const bool first_full_window = state.calls_seen == config_.window_length;
   if (!first_full_window && state.calls_since_eval < config_.hop) {
     return std::nullopt;
   }
   state.calls_since_eval = 0;
 
-  const nn::Sequence sequence(state.window.begin(), state.window.end());
-  const kernels::InferenceResult result = engine_.infer(sequence);
+  // Zero-copy: the ring's doubled backing store makes the window one
+  // contiguous run, so classification needs no per-call Sequence copy.
+  const kernels::InferenceResult result = engine_.infer(state.window.view());
   ++classifications_;
   device_time_ += result.device_time;
   metrics.add_counter("detector.classifications");

@@ -8,11 +8,11 @@
 #pragma once
 
 #include <cstdint>
-#include <deque>
 #include <optional>
 #include <unordered_map>
 #include <vector>
 
+#include "detect/token_ring.hpp"
 #include "kernels/engine.hpp"
 #include "nn/dataset.hpp"
 
@@ -57,7 +57,9 @@ class StreamingDetector {
 
  private:
   struct ProcessState {
-    std::deque<nn::TokenId> window;
+    /// Fixed-capacity ring: each hop classification reads the window as a
+    /// contiguous span, with no per-classification allocation or copy.
+    TokenRing window;
     std::uint64_t calls_seen{0};
     std::uint64_t calls_since_eval{0};
     std::size_t alert_streak{0};

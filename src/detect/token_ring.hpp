@@ -1,0 +1,64 @@
+// Fixed-capacity sliding token window with a contiguous zero-copy view.
+//
+// The streaming detector used to keep a std::deque per process and copy it
+// into a fresh nn::Sequence for every hop classification — O(window)
+// allocation + copy on the hottest path. This ring mirrors every token
+// into a doubled backing store, so the logical window [oldest, newest] is
+// always one contiguous run and view() is a pointer + length, never a
+// copy. Cost: 2× window storage (800 bytes at the paper's window of 100).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/error.hpp"
+#include "nn/dataset.hpp"
+
+namespace csdml::detect {
+
+class TokenRing {
+ public:
+  TokenRing() = default;
+  explicit TokenRing(std::size_t capacity)
+      : capacity_(capacity), data_(2 * capacity, 0) {
+    CSDML_REQUIRE(capacity > 0, "ring capacity must be positive");
+  }
+
+  std::size_t capacity() const { return capacity_; }
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  bool full() const { return size_ == capacity_; }
+
+  /// Appends a token, evicting the oldest once the window is full. The
+  /// token is written to its slot and the slot's mirror, keeping every
+  /// window position readable without wraparound.
+  void push(nn::TokenId token) {
+    CSDML_REQUIRE(capacity_ > 0, "push on default-constructed ring");
+    data_[write_] = token;
+    data_[write_ + capacity_] = token;
+    write_ = write_ + 1 == capacity_ ? 0 : write_ + 1;
+    if (size_ < capacity_) ++size_;
+  }
+
+  /// Contiguous oldest→newest view; valid until the next push.
+  nn::TokenSpan view() const {
+    // While filling, the oldest token sits at slot 0; once full, the slot
+    // about to be overwritten holds the oldest and the mirror makes the
+    // run contiguous past the physical end.
+    const std::size_t start = full() ? write_ : 0;
+    return nn::TokenSpan(data_.data() + start, size_);
+  }
+
+  void clear() {
+    write_ = 0;
+    size_ = 0;
+  }
+
+ private:
+  std::size_t capacity_{0};
+  std::size_t write_{0};  ///< next physical slot in [0, capacity)
+  std::size_t size_{0};
+  std::vector<nn::TokenId> data_;  ///< 2 × capacity, mirrored halves
+};
+
+}  // namespace csdml::detect

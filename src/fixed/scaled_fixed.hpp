@@ -94,6 +94,15 @@ class ScaledFixed {
 
   ScaledFixed abs() const { return ScaledFixed(raw_ < 0 ? -raw_ : raw_, scale_); }
 
+  /// Raw-domain product with the paper's post-product correction —
+  /// bit-identical to `from_raw(a) * from_raw(b)` at the same scale. The
+  /// fused datapaths keep whole tensors at one known scale and use this to
+  /// skip the per-operand scale bookkeeping in their inner loops.
+  static std::int64_t mul_raw(std::int64_t a, std::int64_t b,
+                              std::int64_t scale) {
+    return round_div(static_cast<__int128>(a) * b, scale);
+  }
+
   /// Largest representable magnitude error of a conversion: 0.5 / scale.
   double quantum() const { return 0.5 / static_cast<double>(scale_); }
 
@@ -115,6 +124,58 @@ class ScaledFixed {
 
   std::int64_t raw_{0};
   std::int64_t scale_{kPaperScale};
+};
+
+/// Invariant-divisor companion to `ScaledFixed::mul_raw` for fused inner
+/// loops. A datapath's scale never changes after construction, so the
+/// post-product correction — a 128-bit division in `round_div`, the single
+/// most expensive operation in the fixed hot loops — can be replaced by a
+/// double-precision reciprocal estimate repaired to the exact integer
+/// quotient. `mul(a, b)` is bit-identical to `mul_raw(a, b, scale())` for
+/// all inputs: the repair loops establish `0 <= r < scale` without
+/// assuming anything about the estimate's rounding, and products too big
+/// for the double-exact window fall back to the wide path.
+class InvariantScale {
+ public:
+  explicit InvariantScale(std::int64_t scale)
+      : scale_(scale),
+        half_(scale / 2),
+        inv_(1.0 / static_cast<double>(scale)) {
+    CSDML_REQUIRE(scale > 0, "scale must be positive");
+  }
+
+  std::int64_t scale() const { return scale_; }
+
+  std::int64_t mul(std::int64_t a, std::int64_t b) const {
+    const __int128 wide = static_cast<__int128>(a) * b;
+    // Need |product| + scale/2 exactly representable as a double (< 2^53);
+    // LSTM-range operands never leave this window.
+    constexpr std::int64_t kExact = std::int64_t{1} << 52;
+    if (wide >= kExact || wide <= -kExact) {
+      return ScaledFixed::mul_raw(a, b, scale_);
+    }
+    const std::int64_t narrow = static_cast<std::int64_t>(wide);
+    const std::int64_t mag = narrow < 0 ? -narrow : narrow;
+    // round_div's ties-away rounding on the signed product is floor
+    // division of |product| + scale/2 with the sign re-applied.
+    const std::int64_t nh = mag + half_;
+    std::int64_t q = static_cast<std::int64_t>(static_cast<double>(nh) * inv_);
+    std::int64_t r = nh - q * scale_;
+    while (r < 0) {
+      --q;
+      r += scale_;
+    }
+    while (r >= scale_) {
+      ++q;
+      r -= scale_;
+    }
+    return narrow < 0 ? -q : q;
+  }
+
+ private:
+  std::int64_t scale_;
+  std::int64_t half_;
+  double inv_;
 };
 
 }  // namespace csdml::fixedpt

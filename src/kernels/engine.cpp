@@ -1,6 +1,7 @@
 #include "kernels/engine.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cstring>
 
 #include "common/error.hpp"
@@ -48,16 +49,7 @@ CsdLstmEngine::CsdLstmEngine(xrt::Device& device, const nn::LstmConfig& model_co
       config_(config) {
   CSDML_REQUIRE(config_.gate_cu_count >= 1 && config_.gate_cu_count <= 4,
                 "gate CU count must be in [1, 4]");
-  if (config_.level == OptimizationLevel::FixedPoint) {
-    fixed_path_ = std::make_unique<FixedDatapath>(model_config, params,
-                                                  config_.fixed_scale);
-  } else {
-    float_path_ = std::make_unique<FloatDatapath>(model_config, params);
-  }
-  // Keep a float path around for the dense readback in all configs.
-  if (float_path_ == nullptr) {
-    float_path_ = std::make_unique<FloatDatapath>(model_config, params);
-  }
+  build_datapath();
 
   // Build the xclbin: one preprocess kernel, `gate_cu_count` gate CUs, one
   // hidden-state kernel.
@@ -83,6 +75,41 @@ CsdLstmEngine::CsdLstmEngine(xrt::Device& device, const nn::ModelSnapshot& snaps
                              EngineConfig config)
     : CsdLstmEngine(device, snapshot.config, snapshot.params, config) {}
 
+void CsdLstmEngine::build_datapath() {
+  // One datapath, not two: the float path used to be constructed
+  // unconditionally alongside the fixed one even though fixed-point mode
+  // never reads it. Staging time (this includes the token-table build) is
+  // tracked so CTI hot swaps stay observable.
+  const auto start = std::chrono::steady_clock::now();
+  if (config_.level == OptimizationLevel::FixedPoint) {
+    fixed_path_ = std::make_unique<FixedDatapath>(model_config_, params_,
+                                                  config_.fixed_scale);
+    float_path_.reset();
+  } else {
+    float_path_ = std::make_unique<FloatDatapath>(model_config_, params_);
+    fixed_path_.reset();
+  }
+  const double elapsed_us =
+      std::chrono::duration<double, std::micro>(std::chrono::steady_clock::now() -
+                                                start)
+          .count();
+  obs::registry().observe("engine.weight_table_rebuild_us", elapsed_us);
+}
+
+double CsdLstmEngine::forward(nn::TokenSpan sequence, FloatScratch& float_scratch,
+                              FixedScratch& fixed_scratch) const {
+  return config_.level == OptimizationLevel::FixedPoint
+             ? fixed_path_->infer(sequence, fixed_scratch)
+             : float_path_->infer(sequence, float_scratch);
+}
+
+ThreadPool& CsdLstmEngine::batch_pool() {
+  if (batch_pool_ == nullptr) {
+    batch_pool_ = std::make_unique<ThreadPool>(config_.batch_threads);
+  }
+  return *batch_pool_;
+}
+
 void CsdLstmEngine::initialise() {
   // Host program initialisation (Fig. 2): the weight/embedding image moves
   // host -> PCIe -> FPGA DDR once, before any inference runs.
@@ -103,11 +130,9 @@ void CsdLstmEngine::update_weights(const nn::LstmParams& params) {
                     params.dense_w.size() == params_.dense_w.size(),
                 "update_weights: model architecture changed");
   params_ = params;
-  if (config_.level == OptimizationLevel::FixedPoint) {
-    fixed_path_ = std::make_unique<FixedDatapath>(model_config_, params_,
-                                                  config_.fixed_scale);
-  }
-  float_path_ = std::make_unique<FloatDatapath>(model_config_, params_);
+  // Rebuild the active datapath (and its precomputed token table) so the
+  // fused hot path serves the new weights.
+  build_datapath();
   // Same xclbin, fresh weight image: the paper's compile-once update path.
   const std::vector<std::uint8_t> image = weight_image(params_);
   weights_bo_->write(image);
@@ -150,14 +175,13 @@ KernelTimings CsdLstmEngine::per_item_timings() const {
   return timings;
 }
 
-InferenceResult CsdLstmEngine::infer(const nn::Sequence& sequence) {
+InferenceResult CsdLstmEngine::infer(nn::TokenSpan sequence) {
   CSDML_REQUIRE(!sequence.empty(), "empty sequence");
   const KernelTimings per_item = per_item_timings();
 
-  // Functional result through the configured datapath.
-  const double probability = config_.level == OptimizationLevel::FixedPoint
-                                 ? fixed_path_->infer(sequence)
-                                 : float_path_->infer(sequence);
+  // Functional result through the configured datapath (fused table path,
+  // engine-owned scratch: allocation-free in steady state).
+  const double probability = forward(sequence, float_scratch_, fixed_scratch_);
 
   // Timing: preprocess overlaps the previous item's gate/hidden stage
   // (Section III-C), so it is exposed once; every item then pays
@@ -202,18 +226,26 @@ CsdLstmEngine::BatchResult CsdLstmEngine::infer_batch(
   const Duration steady = per_item.gates + per_item.hidden_state;
 
   BatchResult result;
-  result.probabilities.reserve(sequences.size());
-  result.labels.reserve(sequences.size());
+  result.probabilities.resize(sequences.size());
+  result.labels.resize(sequences.size());
   std::int64_t total_items = 0;
   for (const nn::Sequence& sequence : sequences) {
     CSDML_REQUIRE(!sequence.empty(), "empty sequence in batch");
-    const double probability = config_.level == OptimizationLevel::FixedPoint
-                                   ? fixed_path_->infer(sequence)
-                                   : float_path_->infer(sequence);
-    result.probabilities.push_back(probability);
-    result.labels.push_back(probability >= 0.5 ? 1 : 0);
     total_items += static_cast<std::int64_t>(sequence.size());
   }
+
+  // Fan the functional forward passes out across the pool; each executor
+  // owns one scratch pair, results land at their sequence index.
+  ThreadPool& pool = batch_pool();
+  std::vector<FloatScratch> float_scratch(pool.thread_count());
+  std::vector<FixedScratch> fixed_scratch(pool.thread_count());
+  pool.parallel_for(
+      sequences.size(), [&](std::size_t executor, std::size_t index) {
+        const double probability = forward(
+            sequences[index], float_scratch[executor], fixed_scratch[executor]);
+        result.probabilities[index] = probability;
+        result.labels[index] = probability >= 0.5 ? 1 : 0;
+      });
   result.device_time = per_item.preprocess + steady * total_items;
 
   const TimePoint start = device_.now();
@@ -223,6 +255,8 @@ CsdLstmEngine::BatchResult CsdLstmEngine::infer_batch(
   metrics.add_counter("engine.batch_inferences");
   metrics.add_counter("engine.batch_windows", sequences.size());
   metrics.observe("engine.batch_us", result.device_time.as_microseconds());
+  metrics.set_gauge("engine.batch_threads",
+                    static_cast<double>(pool.thread_count()));
 
   const double seconds = static_cast<double>(result.device_time.picos) * 1e-12;
   result.windows_per_second =

@@ -11,12 +11,18 @@
 // kernel_preprocess runs one item ahead of the gate/hidden pipeline
 // (Section III-C), so per-item latency in steady state is
 // gates + hidden_state, and preprocess is only exposed for the first item.
+//
+// The functional result runs through the fused table-driven datapaths
+// (see functional.hpp); batches fan out across a thread pool with
+// per-thread scratch, since wall-clock throughput of the software model is
+// itself a measured quantity (bench_throughput).
 #pragma once
 
 #include <cstdint>
 #include <memory>
 #include <optional>
 
+#include "common/thread_pool.hpp"
 #include "kernels/functional.hpp"
 #include "kernels/specs.hpp"
 #include "nn/weights_io.hpp"
@@ -34,6 +40,9 @@ struct EngineConfig {
   /// Inter-kernel data movement; Stream is the paper's "streaming can be
   /// easily ported ... for additional acceleration" variant.
   KernelLink link{KernelLink::AxiMemory};
+  /// Executors for infer_batch (including the caller); 0 picks
+  /// hardware_concurrency, 1 keeps the batch loop single-threaded.
+  std::uint32_t batch_threads{0};
 };
 
 /// Per-item kernel timings — the Fig. 3 quantities.
@@ -72,13 +81,15 @@ class CsdLstmEngine {
   KernelTimings per_item_timings() const;
 
   /// Classifies a sequence already resident in FPGA DRAM (the steady-state
-  /// in-storage path).
-  InferenceResult infer(const nn::Sequence& sequence);
+  /// in-storage path). Accepts any contiguous token window (e.g. a ring
+  /// buffer view) without copying.
+  InferenceResult infer(nn::TokenSpan sequence);
 
   /// Classifies a batch of sequences streamed back-to-back through the
   /// kernel pipeline. In steady state the lookahead preprocess keeps every
   /// stage busy across sequence boundaries, so only the first sequence
-  /// exposes the preprocess latency.
+  /// exposes the preprocess latency. The functional forward passes fan out
+  /// across `config().batch_threads` executors with per-thread scratch.
   struct BatchResult {
     std::vector<double> probabilities;
     std::vector<int> labels;
@@ -105,7 +116,9 @@ class CsdLstmEngine {
   /// the paper's update path ("the FPGA-based model is compiled once and
   /// can be updated at the operator's discretion", e.g. after retraining
   /// on new strains from CTI feeds). Re-stages the weight image over PCIe
-  /// (time charged to the device) and rebuilds the functional datapaths.
+  /// (time charged to the device) and rebuilds the active functional
+  /// datapath, including its token→gate-preactivation table (wall-clock
+  /// recorded in the `engine.weight_table_rebuild_us` histogram).
   /// The model architecture (dims, activation) must be unchanged.
   void update_weights(const nn::LstmParams& params);
 
@@ -114,13 +127,22 @@ class CsdLstmEngine {
 
  private:
   void initialise();
+  void build_datapath();
+  double forward(nn::TokenSpan sequence, FloatScratch& float_scratch,
+                 FixedScratch& fixed_scratch) const;
+  ThreadPool& batch_pool();
 
   xrt::Device& device_;
   nn::LstmConfig model_config_;
   nn::LstmParams params_;
   EngineConfig config_;
+  // Exactly one functional datapath is live: fixed for FixedPoint, float
+  // otherwise (Vanilla/II change timing, not arithmetic).
   std::unique_ptr<FloatDatapath> float_path_;
   std::unique_ptr<FixedDatapath> fixed_path_;
+  FloatScratch float_scratch_;
+  FixedScratch fixed_scratch_;
+  std::unique_ptr<ThreadPool> batch_pool_;  ///< lazily created on first batch
   std::optional<xrt::BufferObject> weights_bo_;
   std::uint32_t weight_updates_{0};
 };

@@ -1,5 +1,7 @@
 #include "kernels/functional.hpp"
 
+#include <algorithm>
+
 #include "common/error.hpp"
 #include "fixed/activations.hpp"
 #include "nn/tensor.hpp"
@@ -13,6 +15,47 @@ FloatDatapath::FloatDatapath(const nn::LstmConfig& config,
   CSDML_REQUIRE(owned_.embedding.rows() ==
                     static_cast<std::size_t>(config.vocab_size),
                 "params do not match config");
+  build_tables();
+}
+
+void FloatDatapath::build_tables() {
+  const std::size_t hidden = config_.hidden_dim;
+  const std::size_t embed = config_.embed_dim;
+  const std::size_t vocab = static_cast<std::size_t>(config_.vocab_size);
+  const std::size_t gate_width = nn::kNumGates * hidden;
+
+  // token_table_ row t = per-gate `bias + W_x·x_t` in the reference
+  // operation order (bias first, then x contributions with the zero-input
+  // skip accumulate_vec_mat applies), so the fused path stays bit-exact.
+  token_table_ = nn::Matrix(vocab, gate_width);
+  for (std::size_t t = 0; t < vocab; ++t) {
+    double* row = token_table_.row(t);
+    for (std::size_t g = 0; g < nn::kNumGates; ++g) {
+      const nn::Vector& bias = params_->bias[g];
+      for (std::size_t j = 0; j < hidden; ++j) row[g * hidden + j] = bias[j];
+    }
+    const double* x = params_->embedding.row(t);
+    for (std::size_t g = 0; g < nn::kNumGates; ++g) {
+      double* seg = row + g * hidden;
+      const nn::Matrix& w_x = params_->w_x[g];
+      for (std::size_t i = 0; i < embed; ++i) {
+        const double xi = x[i];
+        if (xi == 0.0) continue;
+        const double* wrow = w_x.row(i);
+        for (std::size_t j = 0; j < hidden; ++j) seg[j] += xi * wrow[j];
+      }
+    }
+  }
+
+  w_h_packed_ = nn::Matrix(hidden, gate_width);
+  for (std::size_t g = 0; g < nn::kNumGates; ++g) {
+    const nn::Matrix& w_h = params_->w_h[g];
+    for (std::size_t i = 0; i < hidden; ++i) {
+      const double* src = w_h.row(i);
+      double* dst = w_h_packed_.row(i) + g * hidden;
+      for (std::size_t j = 0; j < hidden; ++j) dst[j] = src[j];
+    }
+  }
 }
 
 nn::Vector FloatDatapath::preprocess(nn::TokenId token) const {
@@ -56,7 +99,7 @@ double FloatDatapath::dense(const nn::Vector& h) const {
   return fixedpt::sigmoid(nn::dot(params_->dense_w, h) + params_->dense_b);
 }
 
-double FloatDatapath::infer(const nn::Sequence& sequence) const {
+double FloatDatapath::infer_reference(nn::TokenSpan sequence) const {
   CSDML_REQUIRE(!sequence.empty(), "empty sequence");
   nn::Vector h(config_.hidden_dim, 0.0);
   nn::Vector c(config_.hidden_dim, 0.0);
@@ -66,6 +109,65 @@ double FloatDatapath::infer(const nn::Sequence& sequence) const {
     hidden_state(g, c, h);
   }
   return dense(h);
+}
+
+void FloatDatapath::ensure_scratch(FloatScratch& scratch) const {
+  const std::size_t hidden = config_.hidden_dim;
+  scratch.pre.resize(nn::kNumGates * hidden);
+  scratch.c.assign(hidden, 0.0);
+  scratch.h.assign(hidden, 0.0);
+}
+
+double FloatDatapath::infer(nn::TokenSpan sequence) const {
+  FloatScratch scratch;
+  return infer(sequence, scratch);
+}
+
+double FloatDatapath::infer(nn::TokenSpan sequence, FloatScratch& scratch) const {
+  CSDML_REQUIRE(!sequence.empty(), "empty sequence");
+  const std::size_t hidden = config_.hidden_dim;
+  ensure_scratch(scratch);
+  double* pre = scratch.pre.data();
+  double* c = scratch.c.data();
+  double* h = scratch.h.data();
+  const std::size_t gate_width = nn::kNumGates * hidden;
+
+  for (const nn::TokenId token : sequence) {
+    CSDML_REQUIRE(token >= 0 && token < config_.vocab_size, "token out of range");
+    // kernel_preprocess + the W_x half of kernel_gates: one table row.
+    const double* row = token_table_.row(static_cast<std::size_t>(token));
+    std::copy(row, row + gate_width, pre);
+    // Recurrent half: one unit-stride pass over the packed block. The
+    // zero-input skip matches accumulate_vec_mat (and matters for the
+    // all-zero initial state's bit pattern).
+    for (std::size_t i = 0; i < hidden; ++i) {
+      const double hi = h[i];
+      if (hi == 0.0) continue;
+      const double* wrow = w_h_packed_.row(i);
+      for (std::size_t col = 0; col < gate_width; ++col) pre[col] += hi * wrow[col];
+    }
+    // Activations in place.
+    for (std::size_t g = 0; g < nn::kNumGates; ++g) {
+      double* seg = pre + g * hidden;
+      if (g == nn::kCandidate) {
+        for (std::size_t j = 0; j < hidden; ++j) {
+          seg[j] = nn::apply_cell_activation(config_.activation, seg[j]);
+        }
+      } else {
+        for (std::size_t j = 0; j < hidden; ++j) seg[j] = fixedpt::sigmoid(seg[j]);
+      }
+    }
+    // kernel_hidden_state.
+    const double* gi = pre + nn::kInput * hidden;
+    const double* gf = pre + nn::kForget * hidden;
+    const double* gc = pre + nn::kCandidate * hidden;
+    const double* go = pre + nn::kOutput * hidden;
+    for (std::size_t j = 0; j < hidden; ++j) {
+      c[j] = gf[j] * c[j] + gi[j] * gc[j];
+      h[j] = go[j] * nn::apply_cell_activation(config_.activation, c[j]);
+    }
+  }
+  return dense(scratch.h);
 }
 
 // --- fixed-point datapath -------------------------------------------------
@@ -103,6 +205,47 @@ FixedDatapath::FixedDatapath(const nn::LstmConfig& config,
   dense_w_.reserve(hidden);
   for (std::size_t j = 0; j < hidden; ++j) dense_w_.push_back(fx(params.dense_w[j]));
   dense_b_ = fx(params.dense_b);
+  build_tables();
+}
+
+void FixedDatapath::build_tables() {
+  const std::size_t hidden = config_.hidden_dim;
+  const std::size_t embed = config_.embed_dim;
+  const std::size_t vocab = static_cast<std::size_t>(config_.vocab_size);
+  const std::size_t gate_width = nn::kNumGates * hidden;
+
+  // Raw-integer `bias + W_x·x_t` per token. Integer addition is exact, so
+  // folding the x half here leaves the fused result bit-identical to the
+  // reference accumulation order.
+  token_table_raw_.assign(vocab * gate_width, 0);
+  for (std::size_t t = 0; t < vocab; ++t) {
+    std::int64_t* row = token_table_raw_.data() + t * gate_width;
+    const FixedVector& x = embedding_rows_[t];
+    for (std::size_t g = 0; g < nn::kNumGates; ++g) {
+      std::int64_t* seg = row + g * hidden;
+      for (std::size_t j = 0; j < hidden; ++j) {
+        std::int64_t acc = bias_[g][j].raw();
+        const FixedVector& wx = w_x_cols_[g][j];
+        for (std::size_t i = 0; i < embed; ++i) {
+          acc += fixedpt::ScaledFixed::mul_raw(wx[i].raw(), x[i].raw(), scale_);
+        }
+        seg[j] = acc;
+      }
+    }
+  }
+
+  w_h_packed_raw_.assign(hidden * gate_width, 0);
+  for (std::size_t g = 0; g < nn::kNumGates; ++g) {
+    for (std::size_t j = 0; j < hidden; ++j) {
+      const FixedVector& wh = w_h_cols_[g][j];
+      for (std::size_t i = 0; i < hidden; ++i) {
+        w_h_packed_raw_[i * gate_width + g * hidden + j] = wh[i].raw();
+      }
+    }
+  }
+
+  dense_w_raw_.resize(hidden);
+  for (std::size_t j = 0; j < hidden; ++j) dense_w_raw_[j] = dense_w_[j].raw();
 }
 
 FixedVector FixedDatapath::preprocess(nn::TokenId token) const {
@@ -148,7 +291,7 @@ double FixedDatapath::dense(const FixedVector& h) const {
   return fixedpt::sigmoid_fixed(acc).to_double();
 }
 
-double FixedDatapath::infer(const nn::Sequence& sequence) const {
+double FixedDatapath::infer_reference(nn::TokenSpan sequence) const {
   CSDML_REQUIRE(!sequence.empty(), "empty sequence");
   FixedVector h(config_.hidden_dim, fixedpt::ScaledFixed::from_raw(0, scale_));
   FixedVector c(config_.hidden_dim, fixedpt::ScaledFixed::from_raw(0, scale_));
@@ -158,6 +301,73 @@ double FixedDatapath::infer(const nn::Sequence& sequence) const {
     hidden_state(g, c, h);
   }
   return dense(h);
+}
+
+void FixedDatapath::ensure_scratch(FixedScratch& scratch) const {
+  const std::size_t hidden = config_.hidden_dim;
+  scratch.pre.resize(nn::kNumGates * hidden);
+  scratch.c.assign(hidden, 0);
+  scratch.h.assign(hidden, 0);
+}
+
+double FixedDatapath::infer(nn::TokenSpan sequence) const {
+  FixedScratch scratch;
+  return infer(sequence, scratch);
+}
+
+double FixedDatapath::infer(nn::TokenSpan sequence, FixedScratch& scratch) const {
+  CSDML_REQUIRE(!sequence.empty(), "empty sequence");
+  const std::size_t hidden = config_.hidden_dim;
+  const std::int64_t scale = scale_;
+  const fixedpt::InvariantScale div(scale);
+  ensure_scratch(scratch);
+  std::int64_t* pre = scratch.pre.data();
+  std::int64_t* c = scratch.c.data();
+  std::int64_t* h = scratch.h.data();
+  const std::size_t gate_width = nn::kNumGates * hidden;
+  using Fx = fixedpt::ScaledFixed;
+
+  for (const nn::TokenId token : sequence) {
+    CSDML_REQUIRE(token >= 0 && token < config_.vocab_size, "token out of range");
+    const std::int64_t* row =
+        token_table_raw_.data() + static_cast<std::size_t>(token) * gate_width;
+    std::copy(row, row + gate_width, pre);
+    for (std::size_t i = 0; i < hidden; ++i) {
+      const std::int64_t hi = h[i];
+      if (hi == 0) continue;  // exact: skipped products are exactly zero
+      const std::int64_t* wrow = w_h_packed_raw_.data() + i * gate_width;
+      for (std::size_t col = 0; col < gate_width; ++col) {
+        pre[col] += div.mul(wrow[col], hi);
+      }
+    }
+    for (std::size_t g = 0; g < nn::kNumGates; ++g) {
+      std::int64_t* seg = pre + g * hidden;
+      if (g == nn::kCandidate) {
+        for (std::size_t j = 0; j < hidden; ++j) {
+          seg[j] = fixedpt::softsign_fixed(Fx::from_raw(seg[j], scale)).raw();
+        }
+      } else {
+        for (std::size_t j = 0; j < hidden; ++j) {
+          seg[j] = fixedpt::sigmoid_fixed(Fx::from_raw(seg[j], scale)).raw();
+        }
+      }
+    }
+    const std::int64_t* gi = pre + nn::kInput * hidden;
+    const std::int64_t* gf = pre + nn::kForget * hidden;
+    const std::int64_t* gc = pre + nn::kCandidate * hidden;
+    const std::int64_t* go = pre + nn::kOutput * hidden;
+    for (std::size_t j = 0; j < hidden; ++j) {
+      c[j] = div.mul(gf[j], c[j]) + div.mul(gi[j], gc[j]);
+      h[j] = div.mul(go[j],
+                     fixedpt::softsign_fixed(Fx::from_raw(c[j], scale)).raw());
+    }
+  }
+
+  std::int64_t logit = dense_b_.raw();
+  for (std::size_t j = 0; j < hidden; ++j) {
+    logit += div.mul(dense_w_raw_[j], h[j]);
+  }
+  return fixedpt::sigmoid_fixed(Fx::from_raw(logit, scale)).to_double();
 }
 
 }  // namespace csdml::kernels

@@ -6,6 +6,21 @@
 // nn::LstmClassifier); the fixed datapath runs the paper's 10^6-scaled
 // integer arithmetic, so tests can quantify exactly how much accuracy the
 // fixed-point optimization costs.
+//
+// Two implementations coexist per datapath:
+//
+//   - the *reference* decomposition (preprocess / gates / hidden_state /
+//     infer_reference): naive per-token loops that mirror Fig. 2 stage by
+//     stage. Kept as the parity oracle and for stage-level tests.
+//   - the *fused* path (`infer`): since x_t is always one of vocab_size
+//     embedding rows, `bias + W_x·x_t` is precomputed per token into a
+//     vocab_size × 4·hidden table at weight-staging time (the software
+//     analogue of widening kernel_preprocess to emit gate pre-activations),
+//     the four per-gate recurrent matrices are packed into one row-major
+//     hidden × 4·hidden block walked with unit stride, and all per-token
+//     state lives in a reusable scratch — no allocation after warm-up.
+//     Results are bit-identical to the reference (same per-accumulator
+//     operation order for float; integer arithmetic is exact for fixed).
 #pragma once
 
 #include <array>
@@ -20,6 +35,14 @@ namespace csdml::kernels {
 /// Output of the four parallel kernel_gates CUs for one item.
 struct GateVectors {
   std::array<nn::Vector, nn::kNumGates> act;
+};
+
+/// Reusable per-thread scratch for FloatDatapath::infer. Sized lazily on
+/// first use; reusing one across calls makes the hot loop allocation-free.
+struct FloatScratch {
+  nn::Vector pre;  ///< 4·hidden gate pre-activations, then activations
+  nn::Vector c;
+  nn::Vector h;
 };
 
 /// Float datapath: exactly the offline model's arithmetic, reorganised
@@ -39,19 +62,40 @@ class FloatDatapath {
   /// Final fully-connected layer + sigmoid.
   double dense(const nn::Vector& h) const;
 
-  /// Whole-sequence forward pass through the kernel decomposition.
-  double infer(const nn::Sequence& sequence) const;
+  /// Whole-sequence forward pass through the fused table-driven kernels.
+  double infer(nn::TokenSpan sequence) const;
+  /// Same, reusing caller-owned scratch (allocation-free once warm).
+  double infer(nn::TokenSpan sequence, FloatScratch& scratch) const;
+
+  /// The seed's unoptimized stage-by-stage loop — the parity/bench oracle.
+  double infer_reference(nn::TokenSpan sequence) const;
+
+  /// vocab_size × 4·hidden precomputed `bias + W_x·x_token` table.
+  const nn::Matrix& token_gate_table() const { return token_table_; }
 
  private:
+  void build_tables();
+  void ensure_scratch(FloatScratch& scratch) const;
+
   nn::LstmConfig config_;
   const nn::LstmParams* params_;
   nn::LstmParams owned_;
+  nn::Matrix token_table_;  ///< vocab × 4·hidden: bias + W_x·embedding row
+  nn::Matrix w_h_packed_;   ///< hidden × 4·hidden: w_h[g](i,j) at (i, g·hidden+j)
 };
 
 using FixedVector = std::vector<fixedpt::ScaledFixed>;
 
 struct FixedGateVectors {
   std::array<FixedVector, nn::kNumGates> act;
+};
+
+/// Reusable per-thread scratch for FixedDatapath::infer (raw-integer
+/// domain; every element carries the datapath's single scale implicitly).
+struct FixedScratch {
+  std::vector<std::int64_t> pre;  ///< 4·hidden raw pre-activations/activations
+  std::vector<std::int64_t> c;
+  std::vector<std::int64_t> h;
 };
 
 /// Fixed datapath: all parameters pre-scaled by `scale` (paper: 10^6)
@@ -70,12 +114,19 @@ class FixedDatapath {
                     FixedVector& h) const;
   double dense(const FixedVector& h) const;
 
-  double infer(const nn::Sequence& sequence) const;
+  /// Fused table-driven forward pass; bit-identical to infer_reference.
+  double infer(nn::TokenSpan sequence) const;
+  double infer(nn::TokenSpan sequence, FixedScratch& scratch) const;
+
+  /// The seed's unoptimized stage-by-stage loop — the parity/bench oracle.
+  double infer_reference(nn::TokenSpan sequence) const;
 
  private:
   fixedpt::ScaledFixed fx(double v) const {
     return fixedpt::ScaledFixed::from_double(v, scale_);
   }
+  void build_tables();
+  void ensure_scratch(FixedScratch& scratch) const;
 
   nn::LstmConfig config_;
   std::int64_t scale_;
@@ -86,6 +137,10 @@ class FixedDatapath {
   std::array<FixedVector, nn::kNumGates> bias_;
   FixedVector dense_w_;
   fixedpt::ScaledFixed dense_b_;
+  // Fused-path layouts (raw integers at scale_).
+  std::vector<std::int64_t> token_table_raw_;  ///< vocab × 4·hidden
+  std::vector<std::int64_t> w_h_packed_raw_;   ///< hidden × 4·hidden
+  std::vector<std::int64_t> dense_w_raw_;      ///< hidden
 };
 
 }  // namespace csdml::kernels

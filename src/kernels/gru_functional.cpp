@@ -1,5 +1,7 @@
 #include "kernels/gru_functional.hpp"
 
+#include <algorithm>
+
 #include "common/error.hpp"
 #include "fixed/activations.hpp"
 
@@ -39,9 +41,47 @@ FixedGruDatapath::FixedGruDatapath(const nn::GruConfig& config,
   dense_w_.reserve(hidden);
   for (std::size_t j = 0; j < hidden; ++j) dense_w_.push_back(fx(params.dense_w[j]));
   dense_b_ = fx(params.dense_b);
+  build_tables();
 }
 
-double FixedGruDatapath::infer(const nn::Sequence& sequence) const {
+void FixedGruDatapath::build_tables() {
+  const std::size_t hidden = config_.hidden_dim;
+  const std::size_t embed = config_.embed_dim;
+  const std::size_t vocab = static_cast<std::size_t>(config_.vocab_size);
+  const std::size_t gate_width = nn::kNumGruGates * hidden;
+
+  token_table_raw_.assign(vocab * gate_width, 0);
+  for (std::size_t t = 0; t < vocab; ++t) {
+    std::int64_t* row = token_table_raw_.data() + t * gate_width;
+    const std::vector<Fx>& x = embedding_rows_[t];
+    for (std::size_t g = 0; g < nn::kNumGruGates; ++g) {
+      std::int64_t* seg = row + g * hidden;
+      for (std::size_t j = 0; j < hidden; ++j) {
+        std::int64_t acc = bias_[g][j].raw();
+        const std::vector<Fx>& wx = w_x_cols_[g][j];
+        for (std::size_t i = 0; i < embed; ++i) {
+          acc += Fx::mul_raw(wx[i].raw(), x[i].raw(), scale_);
+        }
+        seg[j] = acc;
+      }
+    }
+  }
+
+  w_h_packed_raw_.assign(hidden * gate_width, 0);
+  for (std::size_t g = 0; g < nn::kNumGruGates; ++g) {
+    for (std::size_t j = 0; j < hidden; ++j) {
+      const std::vector<Fx>& wh = w_h_cols_[g][j];
+      for (std::size_t i = 0; i < hidden; ++i) {
+        w_h_packed_raw_[i * gate_width + g * hidden + j] = wh[i].raw();
+      }
+    }
+  }
+
+  dense_w_raw_.resize(hidden);
+  for (std::size_t j = 0; j < hidden; ++j) dense_w_raw_[j] = dense_w_[j].raw();
+}
+
+double FixedGruDatapath::infer_reference(nn::TokenSpan sequence) const {
   CSDML_REQUIRE(!sequence.empty(), "empty sequence");
   const std::size_t hidden = config_.hidden_dim;
   const Fx zero = Fx::from_raw(0, scale_);
@@ -85,6 +125,79 @@ double FixedGruDatapath::infer(const nn::Sequence& sequence) const {
   Fx logit = dense_b_;
   for (std::size_t j = 0; j < hidden; ++j) logit += dense_w_[j] * h[j];
   return fixedpt::sigmoid_fixed(logit).to_double();
+}
+
+double FixedGruDatapath::infer(nn::TokenSpan sequence) const {
+  GruFixedScratch scratch;
+  return infer(sequence, scratch);
+}
+
+double FixedGruDatapath::infer(nn::TokenSpan sequence,
+                               GruFixedScratch& scratch) const {
+  CSDML_REQUIRE(!sequence.empty(), "empty sequence");
+  const std::size_t hidden = config_.hidden_dim;
+  const std::int64_t scale = scale_;
+  const fixedpt::InvariantScale div(scale);
+  const std::int64_t one_raw = fx(1.0).raw();
+  const std::size_t gate_width = nn::kNumGruGates * hidden;
+  scratch.pre.resize(gate_width);
+  scratch.z.resize(hidden);
+  scratch.r.resize(hidden);
+  scratch.h.assign(hidden, 0);
+  std::int64_t* pre = scratch.pre.data();
+  std::int64_t* z = scratch.z.data();
+  std::int64_t* r = scratch.r.data();
+  std::int64_t* h = scratch.h.data();
+
+  for (const nn::TokenId token : sequence) {
+    CSDML_REQUIRE(token >= 0 && token < config_.vocab_size, "token range");
+    const std::int64_t* row =
+        token_table_raw_.data() + static_cast<std::size_t>(token) * gate_width;
+    std::copy(row, row + gate_width, pre);
+
+    // Recurrent half for z and r (the candidate's recurrent term needs r,
+    // computed below, so its columns wait for the second pass).
+    const std::size_t zr_width = 2 * hidden;
+    for (std::size_t i = 0; i < hidden; ++i) {
+      const std::int64_t hi = h[i];
+      if (hi == 0) continue;  // exact: skipped products are exactly zero
+      const std::int64_t* wrow = w_h_packed_raw_.data() + i * gate_width;
+      for (std::size_t col = 0; col < zr_width; ++col) {
+        pre[col] += div.mul(wrow[col], hi);
+      }
+    }
+    for (std::size_t j = 0; j < hidden; ++j) {
+      z[j] = fixedpt::sigmoid_fixed(Fx::from_raw(pre[nn::kUpdate * hidden + j],
+                                                 scale))
+                 .raw();
+      r[j] = fixedpt::sigmoid_fixed(Fx::from_raw(pre[nn::kReset * hidden + j],
+                                                 scale))
+                 .raw();
+    }
+    // Candidate recurrent half over r ⊙ h.
+    std::int64_t* cand = pre + nn::kCandidateGate * hidden;
+    for (std::size_t i = 0; i < hidden; ++i) {
+      const std::int64_t rh = div.mul(r[i], h[i]);
+      if (rh == 0) continue;
+      const std::int64_t* wrow =
+          w_h_packed_raw_.data() + i * gate_width + nn::kCandidateGate * hidden;
+      for (std::size_t j = 0; j < hidden; ++j) {
+        cand[j] += div.mul(wrow[j], rh);
+      }
+    }
+    // h' = (1 - z) h + z g.
+    for (std::size_t j = 0; j < hidden; ++j) {
+      const std::int64_t g_act =
+          fixedpt::softsign_fixed(Fx::from_raw(cand[j], scale)).raw();
+      h[j] = div.mul(one_raw - z[j], h[j]) + div.mul(z[j], g_act);
+    }
+  }
+
+  std::int64_t logit = dense_b_.raw();
+  for (std::size_t j = 0; j < hidden; ++j) {
+    logit += div.mul(dense_w_raw_[j], h[j]);
+  }
+  return fixedpt::sigmoid_fixed(Fx::from_raw(logit, scale)).to_double();
 }
 
 }  // namespace csdml::kernels

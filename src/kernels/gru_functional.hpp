@@ -2,15 +2,29 @@
 // the same arithmetic the deployed LSTM build uses: the paper's 10^6
 // decimal scaling with post-product correction, PLAN sigmoid for the z/r
 // gates, softsign for the candidate.
+//
+// Like the LSTM datapaths, `infer` runs the fused table-driven fast path
+// (precomputed vocab × 3·hidden `bias + W_x·x_token` table, packed
+// hidden × 3·hidden recurrent block, reusable scratch); integer arithmetic
+// makes it bit-identical to `infer_reference`, the seed's naive loop.
 #pragma once
 
 #include <array>
+#include <cstdint>
 #include <vector>
 
 #include "fixed/scaled_fixed.hpp"
 #include "nn/gru.hpp"
 
 namespace csdml::kernels {
+
+/// Reusable per-thread scratch for FixedGruDatapath::infer.
+struct GruFixedScratch {
+  std::vector<std::int64_t> pre;  ///< 3·hidden raw pre-activations
+  std::vector<std::int64_t> z;
+  std::vector<std::int64_t> r;
+  std::vector<std::int64_t> h;
+};
 
 class FixedGruDatapath {
  public:
@@ -20,15 +34,19 @@ class FixedGruDatapath {
   const nn::GruConfig& config() const { return config_; }
   std::int64_t scale() const { return scale_; }
 
-  /// Forward pass -> ransomware probability.
-  double infer(const nn::Sequence& sequence) const;
-  int predict(const nn::Sequence& sequence) const {
+  /// Forward pass -> ransomware probability (fused table-driven path).
+  double infer(nn::TokenSpan sequence) const;
+  double infer(nn::TokenSpan sequence, GruFixedScratch& scratch) const;
+  /// The seed's unoptimized loop — the parity oracle.
+  double infer_reference(nn::TokenSpan sequence) const;
+  int predict(nn::TokenSpan sequence) const {
     return infer(sequence) >= 0.5 ? 1 : 0;
   }
 
  private:
   using Fx = fixedpt::ScaledFixed;
   Fx fx(double v) const { return Fx::from_double(v, scale_); }
+  void build_tables();
 
   nn::GruConfig config_;
   std::int64_t scale_;
@@ -38,6 +56,10 @@ class FixedGruDatapath {
   std::array<std::vector<Fx>, nn::kNumGruGates> bias_;
   std::vector<Fx> dense_w_;
   Fx dense_b_;
+  // Fused-path layouts (raw integers at scale_).
+  std::vector<std::int64_t> token_table_raw_;  ///< vocab × 3·hidden
+  std::vector<std::int64_t> w_h_packed_raw_;   ///< hidden × 3·hidden
+  std::vector<std::int64_t> dense_w_raw_;
 };
 
 }  // namespace csdml::kernels

@@ -1,5 +1,6 @@
 #include "kernels/mixed.hpp"
 
+#include <algorithm>
 #include <array>
 #include <cstdlib>
 #include <vector>
@@ -66,28 +67,45 @@ class MixedDatapath final : public IQuantizedInference {
       : config_(config), description_(std::move(description)) {
     const std::size_t hidden = config.hidden_dim;
     const std::size_t embed = config.embed_dim;
+    const std::size_t gate_width = nn::kNumGates * hidden;
 
-    embedding_.resize(static_cast<std::size_t>(config.vocab_size));
-    for (std::size_t r = 0; r < embedding_.size(); ++r) {
-      embedding_[r].reserve(embed);
-      for (std::size_t c = 0; c < embed; ++c) {
-        embedding_[r].push_back(GateQ::from_double(params.embedding(r, c)));
+    // Same fusion as the deployed datapaths: x_t is one of vocab_size
+    // embedding rows, so `bias + W_x·x_t` is a per-token constant —
+    // precompute it once in the narrow gate format (integer arithmetic
+    // keeps this exactly the reference accumulation).
+    std::vector<std::vector<GateQ>> w_x_cols(gate_width);
+    std::vector<GateQ> bias(gate_width);
+    for (std::size_t g = 0; g < nn::kNumGates; ++g) {
+      for (std::size_t j = 0; j < hidden; ++j) {
+        auto& col = w_x_cols[g * hidden + j];
+        col.reserve(embed);
+        for (std::size_t i = 0; i < embed; ++i) {
+          col.push_back(GateQ::from_double(params.w_x[g](i, j)));
+        }
+        bias[g * hidden + j] = GateQ::from_double(params.bias[g][j]);
       }
     }
+    token_table_.resize(static_cast<std::size_t>(config.vocab_size) * gate_width);
+    std::vector<GateQ> x(embed);
+    for (std::size_t t = 0; t < static_cast<std::size_t>(config.vocab_size); ++t) {
+      for (std::size_t i = 0; i < embed; ++i) {
+        x[i] = GateQ::from_double(params.embedding(t, i));
+      }
+      GateQ* row = token_table_.data() + t * gate_width;
+      for (std::size_t col = 0; col < gate_width; ++col) {
+        GateQ acc = bias[col];
+        for (std::size_t i = 0; i < embed; ++i) acc += w_x_cols[col][i] * x[i];
+        row[col] = acc;
+      }
+    }
+    // Packed row-major recurrent block: w_h[g](i,j) at (i, g·hidden + j).
+    w_h_packed_.resize(hidden * gate_width);
     for (std::size_t g = 0; g < nn::kNumGates; ++g) {
-      w_x_[g].resize(hidden);
-      w_h_[g].resize(hidden);
-      bias_[g].reserve(hidden);
-      for (std::size_t j = 0; j < hidden; ++j) {
-        w_x_[g][j].reserve(embed);
-        for (std::size_t i = 0; i < embed; ++i) {
-          w_x_[g][j].push_back(GateQ::from_double(params.w_x[g](i, j)));
+      for (std::size_t i = 0; i < hidden; ++i) {
+        for (std::size_t j = 0; j < hidden; ++j) {
+          w_h_packed_[i * gate_width + g * hidden + j] =
+              GateQ::from_double(params.w_h[g](i, j));
         }
-        w_h_[g][j].reserve(hidden);
-        for (std::size_t i = 0; i < hidden; ++i) {
-          w_h_[g][j].push_back(GateQ::from_double(params.w_h[g](i, j)));
-        }
-        bias_[g].push_back(GateQ::from_double(params.bias[g][j]));
       }
     }
     dense_w_.reserve(hidden);
@@ -97,39 +115,42 @@ class MixedDatapath final : public IQuantizedInference {
     dense_b_ = StateQ::from_double(params.dense_b);
   }
 
-  double infer(const nn::Sequence& sequence) const override {
+  double infer(nn::TokenSpan sequence) const override {
     CSDML_REQUIRE(!sequence.empty(), "empty sequence");
     const std::size_t hidden = config_.hidden_dim;
+    const std::size_t gate_width = nn::kNumGates * hidden;
     std::vector<StateQ> c(hidden, StateQ::from_raw(0));
     std::vector<StateQ> h(hidden, StateQ::from_raw(0));
     std::vector<GateQ> h_narrow(hidden, GateQ::from_raw(0));
-
-    std::array<std::vector<GateQ>, nn::kNumGates> act;
-    for (auto& v : act) v.resize(hidden);
+    std::vector<GateQ> pre(gate_width);
 
     for (const nn::TokenId token : sequence) {
       CSDML_REQUIRE(token >= 0 && token < config_.vocab_size, "token range");
-      const std::vector<GateQ>& x =
-          embedding_[static_cast<std::size_t>(token)];
-
-      // kernel_gates in the narrow format.
+      // kernel_preprocess + the W_x half of kernel_gates: one table row.
+      const GateQ* row =
+          token_table_.data() + static_cast<std::size_t>(token) * gate_width;
+      std::copy(row, row + gate_width, pre.begin());
+      for (std::size_t i = 0; i < hidden; ++i) {
+        const GateQ hi = h_narrow[i];
+        if (hi.raw() == 0) continue;  // exact: products of zero are zero
+        const GateQ* wrow = w_h_packed_.data() + i * gate_width;
+        for (std::size_t col = 0; col < gate_width; ++col) {
+          pre[col] += wrow[col] * hi;
+        }
+      }
       for (std::size_t g = 0; g < nn::kNumGates; ++g) {
+        GateQ* seg = pre.data() + g * hidden;
         for (std::size_t j = 0; j < hidden; ++j) {
-          GateQ acc = bias_[g][j];
-          const auto& wx = w_x_[g][j];
-          for (std::size_t i = 0; i < x.size(); ++i) acc += wx[i] * x[i];
-          const auto& wh = w_h_[g][j];
-          for (std::size_t i = 0; i < hidden; ++i) acc += wh[i] * h_narrow[i];
-          act[g][j] = g == nn::kCandidate ? softsign_q(acc)
-                                          : sigmoid_plan_q(acc);
+          seg[j] = g == nn::kCandidate ? softsign_q(seg[j])
+                                       : sigmoid_plan_q(seg[j]);
         }
       }
       // kernel_hidden_state in the wide format.
       for (std::size_t j = 0; j < hidden; ++j) {
-        const StateQ i_gate = convert<StateQ>(act[nn::kInput][j]);
-        const StateQ f_gate = convert<StateQ>(act[nn::kForget][j]);
-        const StateQ g_cand = convert<StateQ>(act[nn::kCandidate][j]);
-        const StateQ o_gate = convert<StateQ>(act[nn::kOutput][j]);
+        const StateQ i_gate = convert<StateQ>(pre[nn::kInput * hidden + j]);
+        const StateQ f_gate = convert<StateQ>(pre[nn::kForget * hidden + j]);
+        const StateQ g_cand = convert<StateQ>(pre[nn::kCandidate * hidden + j]);
+        const StateQ o_gate = convert<StateQ>(pre[nn::kOutput * hidden + j]);
         c[j] = f_gate * c[j] + i_gate * g_cand;
         h[j] = o_gate * softsign_q(c[j]);
         h_narrow[j] = convert<GateQ>(h[j]);
@@ -146,10 +167,8 @@ class MixedDatapath final : public IQuantizedInference {
  private:
   nn::LstmConfig config_;
   std::string description_;
-  std::vector<std::vector<GateQ>> embedding_;
-  std::array<std::vector<std::vector<GateQ>>, nn::kNumGates> w_x_;
-  std::array<std::vector<std::vector<GateQ>>, nn::kNumGates> w_h_;
-  std::array<std::vector<GateQ>, nn::kNumGates> bias_;
+  std::vector<GateQ> token_table_;  ///< vocab × 4·hidden: bias + W_x·x_token
+  std::vector<GateQ> w_h_packed_;   ///< hidden × 4·hidden
   std::vector<StateQ> dense_w_;
   StateQ dense_b_{};
 };

@@ -25,7 +25,7 @@ class IQuantizedInference {
  public:
   virtual ~IQuantizedInference() = default;
   /// Forward pass -> ransomware probability.
-  virtual double infer(const nn::Sequence& sequence) const = 0;
+  virtual double infer(nn::TokenSpan sequence) const = 0;
   /// Human-readable description of the arithmetic, e.g. "Q16 gates / Q24 state".
   virtual std::string describe() const = 0;
 };

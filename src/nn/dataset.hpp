@@ -6,6 +6,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -15,6 +16,9 @@ namespace csdml::nn {
 
 using TokenId = std::int32_t;
 using Sequence = std::vector<TokenId>;
+/// Borrowed contiguous view of a token window — what the inference hot
+/// paths take, so ring-buffer windows classify without a copy.
+using TokenSpan = std::span<const TokenId>;
 
 struct SequenceDataset {
   std::vector<Sequence> sequences;

@@ -87,7 +87,7 @@ TEST(FixedGru, Guards) {
   const Fixture f;
   const FixedGruDatapath fixed(f.config, f.params);
   EXPECT_THROW(fixed.infer({}), PreconditionError);
-  EXPECT_THROW(fixed.infer({-1}), PreconditionError);
+  EXPECT_THROW(fixed.infer(nn::Sequence{-1}), PreconditionError);
   EXPECT_THROW(FixedGruDatapath(f.config, f.params, 0), PreconditionError);
 }
 

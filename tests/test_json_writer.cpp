@@ -1,0 +1,77 @@
+#include "common/json_writer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "json_lint.hpp"
+
+namespace csdml {
+namespace {
+
+TEST(JsonWriter, EmitsValidNestedDocument) {
+  JsonWriter json;
+  json.begin_object();
+  json.field("bench", "throughput");
+  json.key("config");
+  json.begin_object();
+  json.field("hidden", std::size_t{128});
+  json.field("tiny", false);
+  json.end_object();
+  json.key("rows");
+  json.begin_array();
+  for (int i = 0; i < 3; ++i) {
+    json.begin_object();
+    json.field("index", i);
+    json.field("value", 1.5 * i);
+    json.end_object();
+  }
+  json.end_array();
+  json.end_object();
+
+  EXPECT_TRUE(testing::JsonLint::valid(json.str())) << json.str();
+  EXPECT_NE(json.str().find("\"bench\":\"throughput\""), std::string::npos);
+  EXPECT_NE(json.str().find("\"hidden\":128"), std::string::npos);
+}
+
+TEST(JsonWriter, EmptyContainersAndEscapes) {
+  JsonWriter json;
+  json.begin_object();
+  json.key("empty_array");
+  json.begin_array();
+  json.end_array();
+  json.key("empty_object");
+  json.begin_object();
+  json.end_object();
+  json.field("quoted", "a \"b\"\n\tc\\d");
+  json.end_object();
+  EXPECT_TRUE(testing::JsonLint::valid(json.str())) << json.str();
+  EXPECT_NE(json.str().find("\\\"b\\\""), std::string::npos);
+  EXPECT_NE(json.str().find("\\n\\t"), std::string::npos);
+}
+
+TEST(JsonWriter, NonFiniteDoublesBecomeNull) {
+  JsonWriter json;
+  json.begin_object();
+  json.field("nan", std::numeric_limits<double>::quiet_NaN());
+  json.field("inf", std::numeric_limits<double>::infinity());
+  json.field("ok", 2.5);
+  json.end_object();
+  EXPECT_TRUE(testing::JsonLint::valid(json.str())) << json.str();
+  EXPECT_EQ(json.str(), R"({"nan":null,"inf":null,"ok":2.5})");
+}
+
+TEST(JsonWriter, ScalarArraysSeparateCorrectly) {
+  JsonWriter json;
+  json.begin_array();
+  json.value(1);
+  json.value(2.5);
+  json.value("three");
+  json.value(true);
+  json.end_array();
+  EXPECT_TRUE(testing::JsonLint::valid(json.str())) << json.str();
+  EXPECT_EQ(json.str(), R"([1,2.5,"three",true])");
+}
+
+}  // namespace
+}  // namespace csdml

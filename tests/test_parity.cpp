@@ -1,0 +1,227 @@
+// The fused table-driven datapaths exist purely for speed: every one of
+// them must be indistinguishable from the seed's stage-by-stage reference
+// loops. Fixed-point paths are bit-identical (integer arithmetic is exact
+// under the fusion's reordering); the float path preserves the reference
+// accumulation order, so it too must match to the last bit.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "csd/smartssd.hpp"
+#include "kernels/engine.hpp"
+#include "kernels/functional.hpp"
+#include "kernels/gru_functional.hpp"
+#include "nn/gru.hpp"
+#include "nn/lstm.hpp"
+#include "xrt/runtime.hpp"
+
+namespace csdml::kernels {
+namespace {
+
+nn::Sequence random_sequence(std::uint64_t seed, nn::TokenId vocab,
+                             int length) {
+  Rng rng(seed);
+  nn::Sequence seq;
+  for (int i = 0; i < length; ++i) {
+    seq.push_back(static_cast<nn::TokenId>(rng.uniform_int(0, vocab - 1)));
+  }
+  return seq;
+}
+
+/// A few deliberately awkward shapes: default, odd hidden width, wide
+/// embedding, single-unit corner.
+std::vector<nn::LstmConfig> lstm_shapes() {
+  std::vector<nn::LstmConfig> shapes(4);
+  shapes[1].vocab_size = 53;
+  shapes[1].embed_dim = 7;
+  shapes[1].hidden_dim = 19;
+  shapes[2].vocab_size = 31;
+  shapes[2].embed_dim = 24;
+  shapes[2].hidden_dim = 5;
+  shapes[2].activation = nn::CellActivation::Tanh;
+  shapes[3].vocab_size = 9;
+  shapes[3].embed_dim = 1;
+  shapes[3].hidden_dim = 1;
+  return shapes;
+}
+
+TEST(FusedParity, InvariantScaleDividerMatchesMulRaw) {
+  using fixedpt::InvariantScale;
+  using fixedpt::ScaledFixed;
+  for (const std::int64_t scale :
+       {std::int64_t{1}, std::int64_t{3}, std::int64_t{1'000'000},
+        std::int64_t{999'983}}) {
+    const InvariantScale div(scale);
+    Rng rng(static_cast<std::uint64_t>(scale));
+    for (int trial = 0; trial < 20000; ++trial) {
+      // Mix magnitudes: tiny, LSTM-typical, and past the double-exact
+      // window so the wide fallback is exercised too (2^31 × 2^31 = 2^62
+      // keeps the quotient in mul_raw's own domain even at scale 1).
+      const std::int64_t lim =
+          trial % 3 == 0 ? 100 : (trial % 3 == 1 ? 2'000'000 : (1LL << 31));
+      const std::int64_t a = rng.uniform_int(-lim, lim);
+      const std::int64_t b = rng.uniform_int(-lim, lim);
+      ASSERT_EQ(div.mul(a, b), ScaledFixed::mul_raw(a, b, scale))
+          << a << " * " << b << " / " << scale;
+    }
+    // Exact ties round away from zero, like round_div.
+    EXPECT_EQ(div.mul(1, scale / 2 + scale % 2), 1);
+    EXPECT_EQ(div.mul(-1, scale / 2 + scale % 2), -1);
+  }
+}
+
+TEST(FusedParity, FloatBitIdenticalToReference) {
+  std::uint64_t model_seed = 100;
+  for (const nn::LstmConfig& config : lstm_shapes()) {
+    Rng rng(model_seed++);
+    const nn::LstmParams params = nn::LstmParams::glorot(config, rng);
+    const FloatDatapath path(config, params);
+    FloatScratch scratch;
+    for (std::uint64_t seed = 0; seed < 8; ++seed) {
+      const nn::Sequence seq =
+          random_sequence(seed, config.vocab_size, 40 + static_cast<int>(seed));
+      const double reference = path.infer_reference(seq);
+      EXPECT_DOUBLE_EQ(path.infer(seq), reference);
+      // Scratch reuse across differently-sized calls must not change bits.
+      EXPECT_DOUBLE_EQ(path.infer(seq, scratch), reference);
+    }
+  }
+}
+
+TEST(FusedParity, FixedBitIdenticalToReference) {
+  std::uint64_t model_seed = 200;
+  for (const nn::LstmConfig& config : lstm_shapes()) {
+    Rng rng(model_seed++);
+    const nn::LstmParams params = nn::LstmParams::glorot(config, rng);
+    const FixedDatapath path(config, params);
+    FixedScratch scratch;
+    for (std::uint64_t seed = 0; seed < 8; ++seed) {
+      const nn::Sequence seq =
+          random_sequence(seed, config.vocab_size, 40 + static_cast<int>(seed));
+      const double reference = path.infer_reference(seq);
+      EXPECT_DOUBLE_EQ(path.infer(seq), reference);
+      EXPECT_DOUBLE_EQ(path.infer(seq, scratch), reference);
+    }
+  }
+}
+
+TEST(FusedParity, GruFixedBitIdenticalToReference) {
+  for (std::uint64_t model_seed = 300; model_seed < 303; ++model_seed) {
+    nn::GruConfig config;
+    if (model_seed == 301) {
+      config.vocab_size = 37;
+      config.embed_dim = 5;
+      config.hidden_dim = 13;
+    }
+    Rng rng(model_seed);
+    const nn::GruParams params = nn::GruParams::glorot(config, rng);
+    const FixedGruDatapath path(config, params);
+    GruFixedScratch scratch;
+    for (std::uint64_t seed = 0; seed < 8; ++seed) {
+      const nn::Sequence seq =
+          random_sequence(seed, config.vocab_size, 35 + static_cast<int>(seed));
+      const double reference = path.infer_reference(seq);
+      EXPECT_DOUBLE_EQ(path.infer(seq), reference);
+      EXPECT_DOUBLE_EQ(path.infer(seq, scratch), reference);
+    }
+  }
+}
+
+TEST(FusedParity, EngineMatchesReferenceAtEveryOptimizationLevel) {
+  nn::LstmConfig config;
+  config.vocab_size = 61;
+  config.embed_dim = 6;
+  config.hidden_dim = 14;
+  Rng rng(7);
+  const nn::LstmParams params = nn::LstmParams::glorot(config, rng);
+  const FloatDatapath float_ref(config, params);
+  const FixedDatapath fixed_ref(config, params);
+
+  for (const OptimizationLevel level :
+       {OptimizationLevel::Vanilla, OptimizationLevel::II,
+        OptimizationLevel::FixedPoint}) {
+    csd::SmartSsd board{csd::SmartSsdConfig{}};
+    xrt::Device device{board};
+    EngineConfig engine_config;
+    engine_config.level = level;
+    CsdLstmEngine engine(device, config, params, engine_config);
+    for (std::uint64_t seed = 0; seed < 6; ++seed) {
+      const nn::Sequence seq = random_sequence(seed, config.vocab_size, 50);
+      const double expected = level == OptimizationLevel::FixedPoint
+                                  ? fixed_ref.infer_reference(seq)
+                                  : float_ref.infer_reference(seq);
+      EXPECT_DOUBLE_EQ(engine.infer(seq).probability, expected)
+          << "level " << static_cast<int>(level) << " seed " << seed;
+    }
+  }
+}
+
+TEST(FusedParity, EngineStaysBitExactAfterWeightHotSwap) {
+  nn::LstmConfig config;
+  config.vocab_size = 43;
+  config.embed_dim = 6;
+  config.hidden_dim = 11;
+  Rng rng_a(11);
+  Rng rng_b(22);
+  const nn::LstmParams params_a = nn::LstmParams::glorot(config, rng_a);
+  const nn::LstmParams params_b = nn::LstmParams::glorot(config, rng_b);
+  const nn::Sequence seq = random_sequence(9, config.vocab_size, 64);
+
+  for (const OptimizationLevel level :
+       {OptimizationLevel::II, OptimizationLevel::FixedPoint}) {
+    csd::SmartSsd board{csd::SmartSsdConfig{}};
+    xrt::Device device{board};
+    EngineConfig engine_config;
+    engine_config.level = level;
+    CsdLstmEngine engine(device, config, params_a, engine_config);
+    const double before = engine.infer(seq).probability;
+
+    // The CTI update path must rebuild the token table: the swapped-in
+    // model has to answer exactly like an engine built from scratch on it.
+    engine.update_weights(params_b);
+    const double expected_b =
+        level == OptimizationLevel::FixedPoint
+            ? FixedDatapath(config, params_b).infer_reference(seq)
+            : FloatDatapath(config, params_b).infer_reference(seq);
+    EXPECT_DOUBLE_EQ(engine.infer(seq).probability, expected_b);
+    EXPECT_NE(engine.infer(seq).probability, before);
+
+    // And swapping back restores the original answer bit-for-bit.
+    engine.update_weights(params_a);
+    EXPECT_DOUBLE_EQ(engine.infer(seq).probability, before);
+  }
+}
+
+TEST(FusedParity, BatchAgreesWithSingleStreamAcrossThreadCounts) {
+  nn::LstmConfig config;
+  config.vocab_size = 29;
+  config.embed_dim = 5;
+  config.hidden_dim = 9;
+  Rng rng(31);
+  const nn::LstmParams params = nn::LstmParams::glorot(config, rng);
+  std::vector<nn::Sequence> batch;
+  for (std::uint64_t seed = 0; seed < 17; ++seed) {
+    batch.push_back(random_sequence(seed, config.vocab_size,
+                                    20 + static_cast<int>(seed % 5)));
+  }
+
+  for (const std::uint32_t threads : {1u, 4u}) {
+    csd::SmartSsd board{csd::SmartSsdConfig{}};
+    xrt::Device device{board};
+    EngineConfig engine_config;
+    engine_config.level = OptimizationLevel::FixedPoint;
+    engine_config.batch_threads = threads;
+    CsdLstmEngine engine(device, config, params, engine_config);
+    const auto result = engine.infer_batch(batch);
+    ASSERT_EQ(result.probabilities.size(), batch.size());
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      EXPECT_DOUBLE_EQ(result.probabilities[i],
+                       engine.infer(batch[i]).probability)
+          << "threads " << threads << " window " << i;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace csdml::kernels

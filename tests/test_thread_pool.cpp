@@ -1,0 +1,93 @@
+#include "common/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+namespace csdml {
+namespace {
+
+TEST(ThreadPool, RunsEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  constexpr std::size_t kCount = 997;  // prime: not a multiple of any pool
+  std::vector<std::atomic<int>> hits(kCount);
+  pool.parallel_for(kCount, [&](std::size_t, std::size_t index) {
+    hits[index].fetch_add(1, std::memory_order_relaxed);
+  });
+  for (std::size_t i = 0; i < kCount; ++i) {
+    ASSERT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPool, ExecutorIdsStayInRange) {
+  ThreadPool pool(3);
+  ASSERT_EQ(pool.thread_count(), 3u);
+  std::atomic<bool> out_of_range{false};
+  pool.parallel_for(500, [&](std::size_t executor, std::size_t) {
+    if (executor >= pool.thread_count()) out_of_range = true;
+  });
+  EXPECT_FALSE(out_of_range.load());
+}
+
+TEST(ThreadPool, SingleThreadPoolRunsOnCaller) {
+  ThreadPool pool(1);
+  ASSERT_EQ(pool.thread_count(), 1u);
+  const std::thread::id caller = std::this_thread::get_id();
+  std::atomic<bool> wrong_thread{false};
+  pool.parallel_for(64, [&](std::size_t executor, std::size_t) {
+    if (executor != 0 || std::this_thread::get_id() != caller) {
+      wrong_thread = true;
+    }
+  });
+  EXPECT_FALSE(wrong_thread.load());
+}
+
+TEST(ThreadPool, ZeroCountIsANoop) {
+  ThreadPool pool(2);
+  pool.parallel_for(0, [&](std::size_t, std::size_t) { FAIL(); });
+}
+
+TEST(ThreadPool, PropagatesFirstExceptionAndStaysUsable) {
+  ThreadPool pool(4);
+  EXPECT_THROW(
+      pool.parallel_for(100,
+                        [&](std::size_t, std::size_t index) {
+                          if (index == 37) {
+                            throw std::runtime_error("boom at 37");
+                          }
+                        }),
+      std::runtime_error);
+  // The failed job must not poison the pool: later jobs still complete.
+  std::atomic<std::size_t> done{0};
+  pool.parallel_for(100, [&](std::size_t, std::size_t) {
+    done.fetch_add(1, std::memory_order_relaxed);
+  });
+  EXPECT_EQ(done.load(), 100u);
+}
+
+TEST(ThreadPool, ReusableAcrossManyJobs) {
+  ThreadPool pool(2);
+  std::atomic<std::size_t> total{0};
+  for (int round = 0; round < 50; ++round) {
+    pool.parallel_for(10, [&](std::size_t, std::size_t) {
+      total.fetch_add(1, std::memory_order_relaxed);
+    });
+  }
+  EXPECT_EQ(total.load(), 500u);
+}
+
+TEST(ThreadPool, DefaultSizeUsesAtLeastOneThread) {
+  ThreadPool pool;  // 0 = hardware_concurrency, floor 1
+  EXPECT_GE(pool.thread_count(), 1u);
+  std::atomic<std::size_t> done{0};
+  pool.parallel_for(32, [&](std::size_t, std::size_t) {
+    done.fetch_add(1, std::memory_order_relaxed);
+  });
+  EXPECT_EQ(done.load(), 32u);
+}
+
+}  // namespace
+}  // namespace csdml

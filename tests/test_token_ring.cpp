@@ -1,0 +1,86 @@
+#include "detect/token_ring.hpp"
+
+#include <gtest/gtest.h>
+
+#include <deque>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace csdml::detect {
+namespace {
+
+std::vector<nn::TokenId> materialize(nn::TokenSpan view) {
+  return {view.begin(), view.end()};
+}
+
+TEST(TokenRing, FillsThenSlides) {
+  TokenRing ring(3);
+  EXPECT_TRUE(ring.empty());
+  EXPECT_EQ(ring.capacity(), 3u);
+
+  ring.push(10);
+  EXPECT_EQ(materialize(ring.view()), (std::vector<nn::TokenId>{10}));
+  ring.push(11);
+  ring.push(12);
+  EXPECT_TRUE(ring.full());
+  EXPECT_EQ(materialize(ring.view()), (std::vector<nn::TokenId>{10, 11, 12}));
+
+  // Wrap: oldest evicted, order preserved, still contiguous.
+  ring.push(13);
+  EXPECT_EQ(ring.size(), 3u);
+  EXPECT_EQ(materialize(ring.view()), (std::vector<nn::TokenId>{11, 12, 13}));
+  ring.push(14);
+  EXPECT_EQ(materialize(ring.view()), (std::vector<nn::TokenId>{12, 13, 14}));
+}
+
+TEST(TokenRing, MatchesDequeModelAcrossManyWraps) {
+  TokenRing ring(7);
+  std::deque<nn::TokenId> model;
+  Rng rng(123);
+  for (int i = 0; i < 500; ++i) {
+    const auto token = static_cast<nn::TokenId>(rng.uniform_int(0, 300));
+    ring.push(token);
+    model.push_back(token);
+    if (model.size() > 7) model.pop_front();
+    ASSERT_EQ(materialize(ring.view()),
+              std::vector<nn::TokenId>(model.begin(), model.end()))
+        << "after push " << i;
+  }
+}
+
+TEST(TokenRing, ViewIsContiguousMemory) {
+  TokenRing ring(4);
+  for (nn::TokenId t = 0; t < 11; ++t) ring.push(t);
+  const nn::TokenSpan view = ring.view();
+  ASSERT_EQ(view.size(), 4u);
+  // span guarantees contiguity by construction; check the values line up
+  // with raw pointer walks to make sure the mirror slots are in sync.
+  const nn::TokenId* data = view.data();
+  for (std::size_t i = 0; i < view.size(); ++i) {
+    EXPECT_EQ(data[i], static_cast<nn::TokenId>(7 + i));
+  }
+}
+
+TEST(TokenRing, ClearResets) {
+  TokenRing ring(3);
+  ring.push(1);
+  ring.push(2);
+  ring.push(3);
+  ring.push(4);
+  ring.clear();
+  EXPECT_TRUE(ring.empty());
+  EXPECT_EQ(ring.view().size(), 0u);
+  ring.push(9);
+  EXPECT_EQ(materialize(ring.view()), (std::vector<nn::TokenId>{9}));
+}
+
+TEST(TokenRing, RejectsZeroCapacityAndDefaultPush) {
+  EXPECT_THROW(TokenRing(0), PreconditionError);
+  TokenRing unsized;
+  EXPECT_THROW(unsized.push(1), PreconditionError);
+}
+
+}  // namespace
+}  // namespace csdml::detect
