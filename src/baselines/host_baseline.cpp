@@ -48,11 +48,11 @@ HostBaseline::HostBaseline(std::string name, const nn::LstmConfig& model_config,
   CSDML_REQUIRE(latency_.gflops > 0.0, "gflops must be positive");
 }
 
-double HostBaseline::infer(const nn::Sequence& sequence) const {
+double HostBaseline::infer(nn::TokenSpan sequence) const {
   return model_.forward(sequence, nullptr);
 }
 
-int HostBaseline::predict(const nn::Sequence& sequence) const {
+int HostBaseline::predict(nn::TokenSpan sequence) const {
   return model_.predict(sequence);
 }
 

@@ -72,8 +72,10 @@ class HostBaseline {
   const std::string& name() const { return name_; }
 
   /// Functional forward pass (identical math to the offline model).
-  double infer(const nn::Sequence& sequence) const;
-  int predict(const nn::Sequence& sequence) const;
+  /// Accepts any contiguous token view, matching the engine's infer —
+  /// required for the fallback path, which serves ring-buffer windows.
+  double infer(nn::TokenSpan sequence) const;
+  int predict(nn::TokenSpan sequence) const;
 
   /// One sampled per-item forward-pass latency.
   Duration sample_item_latency(Rng& rng) const;

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/error.hpp"
+#include "faults/fault_plan.hpp"
 
 namespace csdml::csd {
 
@@ -49,10 +50,19 @@ NandArray::ReadResult NandArray::read_page(const PageAddress& addr, TimePoint at
   TimePoint done = bus_start + transfer;
 
   ReadResult result;
-  // Failure injection: raw bit errors per read, Poisson(bits x BER),
-  // spread uniformly across the page's ECC codewords. A codeword holding
-  // more errors than the LDPC budget is uncorrectable.
-  if (config_.raw_bit_error_rate > 0.0) {
+  // Planned read-disturb faults trump natural BER sampling: an injected
+  // disturb always exceeds the LDPC budget, and skipping the natural draw
+  // keeps the reliability stream's schedule independent of the plan.
+  if (fault_plan_ != nullptr &&
+      fault_plan_->should_inject(faults::FaultKind::NandReadDisturb)) {
+    const std::uint64_t codewords =
+        (config_.page_size.count + config_.ecc_codeword.count - 1) /
+        config_.ecc_codeword.count;
+    fault_plan_->draw_detail(codewords);  // which codeword blew the budget
+    result.raw_bit_errors = config_.ecc_correctable_bits + 1;
+    result.uncorrectable = true;
+    ++uncorrectable_reads_;
+  } else if (config_.raw_bit_error_rate > 0.0) {
     const double bits = static_cast<double>(config_.page_size.count) * 8.0;
     const double lambda = bits * config_.raw_bit_error_rate;
     // Poisson via thinning of expected count (exact for small lambda; the

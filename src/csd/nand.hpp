@@ -11,6 +11,10 @@
 #include "common/units.hpp"
 #include "sim/simulation.hpp"
 
+namespace csdml::faults {
+class FaultPlan;
+}
+
 namespace csdml::csd {
 
 struct NandConfig {
@@ -83,6 +87,10 @@ class NandArray {
   /// Aggregate busy time of all channel buses (utilisation accounting).
   Duration total_channel_busy() const;
 
+  /// Attaches a fault plan consulted on every page read for injected
+  /// read-disturb errors (nullptr detaches). Not owned.
+  void set_fault_plan(faults::FaultPlan* plan) { fault_plan_ = plan; }
+
  private:
   std::uint64_t die_index(const PageAddress& addr) const;
   std::uint64_t page_key(const PageAddress& addr) const;
@@ -92,6 +100,7 @@ class NandArray {
   std::vector<sim::SerialResource> channel_bus_;   // ONFI bus per channel
   std::vector<sim::SerialResource> die_;           // die busy (tR/tPROG)
   std::unordered_map<std::uint64_t, std::vector<std::uint8_t>> pages_;
+  faults::FaultPlan* fault_plan_{nullptr};
   Rng reliability_rng_;
   std::uint64_t corrected_reads_{0};
   std::uint64_t uncorrectable_reads_{0};

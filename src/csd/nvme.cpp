@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/error.hpp"
+#include "faults/fault_plan.hpp"
 #include "obs/metrics.hpp"
 
 namespace csdml::csd {
@@ -24,6 +25,15 @@ const char* opcode_name(NvmeOpcode opcode) {
 
 }  // namespace
 
+const char* nvme_status_name(NvmeStatus status) {
+  switch (status) {
+    case NvmeStatus::Ok: return "ok";
+    case NvmeStatus::TimedOut: return "timed_out";
+    case NvmeStatus::CompletionLost: return "completion_lost";
+  }
+  return "unknown";
+}
+
 NvmeQueue::NvmeQueue(SmartSsd& device, NvmeQueueConfig config)
     : device_(device), config_(config) {
   CSDML_REQUIRE(config_.queue_depth > 0, "queue depth must be positive");
@@ -44,7 +54,33 @@ void NvmeQueue::submit(NvmeCommand command, TimePoint at) {
   } else if (command.opcode == NvmeOpcode::Write) {
     metrics.add_counter("nvme.write_bytes", command.payload.size());
   }
-  inflight_.push_back(execute(command, start));
+
+  faults::FaultPlan* plan = device_.fault_plan();
+  if (plan != nullptr &&
+      plan->should_inject(faults::FaultKind::NvmeTimeout)) {
+    // The command never makes progress; the host notices only once its
+    // timeout expires. No device work is modelled.
+    plan->note_detail(command.command_id);
+    NvmeCompletion timed_out;
+    timed_out.command_id = command.command_id;
+    timed_out.success = false;
+    timed_out.status = NvmeStatus::TimedOut;
+    timed_out.completed_at = start + config_.command_timeout;
+    inflight_.push_back(std::move(timed_out));
+    return;
+  }
+  NvmeCompletion completion = execute(command, start);
+  if (plan != nullptr &&
+      plan->should_inject(faults::FaultKind::NvmeDroppedCompletion)) {
+    // Device work happened (time already advanced inside execute), but
+    // the CQE is lost: the host sees a failure after its timeout.
+    plan->note_detail(command.command_id);
+    completion.success = false;
+    completion.status = NvmeStatus::CompletionLost;
+    completion.data.clear();
+    completion.completed_at = completion.completed_at + config_.command_timeout;
+  }
+  inflight_.push_back(std::move(completion));
 }
 
 NvmeCompletion NvmeQueue::execute(const NvmeCommand& command, TimePoint start) {
@@ -101,14 +137,25 @@ NvmeCompletion NvmeQueue::execute(const NvmeCommand& command, TimePoint start) {
   return completion;
 }
 
+void NvmeQueue::account(const NvmeCompletion& completion) {
+  ++completed_count_;
+  obs::MetricsRegistry& metrics = obs::registry();
+  metrics.add_counter("nvme.commands_completed");
+  if (!completion.success) {
+    ++failed_count_;
+    metrics.add_counter("nvme.commands_failed");
+    metrics.add_counter(std::string("nvme.failed.") +
+                        nvme_status_name(completion.status));
+  }
+}
+
 std::optional<NvmeCompletion> NvmeQueue::reap(TimePoint now) {
   if (inflight_.empty() || inflight_.front().completed_at > now) {
     return std::nullopt;
   }
   NvmeCompletion completion = std::move(inflight_.front());
   inflight_.pop_front();
-  ++completed_count_;
-  obs::registry().add_counter("nvme.commands_completed");
+  account(completion);
   return completion;
 }
 
@@ -116,8 +163,7 @@ NvmeCompletion NvmeQueue::wait_oldest() {
   CSDML_REQUIRE(!inflight_.empty(), "nothing outstanding");
   NvmeCompletion completion = std::move(inflight_.front());
   inflight_.pop_front();
-  ++completed_count_;
-  obs::registry().add_counter("nvme.commands_completed");
+  account(completion);
   return completion;
 }
 

@@ -45,9 +45,20 @@ struct NvmeCommand {
   Duration compute_time{};
 };
 
+/// Why a command did not succeed. Fault injection produces the non-Ok
+/// states; on the happy path every completion is Ok.
+enum class NvmeStatus : std::uint8_t {
+  Ok = 0,
+  TimedOut,        ///< no response within command_timeout; data unusable
+  CompletionLost,  ///< device work done but the CQE never arrived
+};
+
+const char* nvme_status_name(NvmeStatus status);
+
 struct NvmeCompletion {
   std::uint16_t command_id{0};
   bool success{true};
+  NvmeStatus status{NvmeStatus::Ok};
   TimePoint completed_at{};
   std::vector<std::uint8_t> data;  ///< Read / FpgaDmaRead results
 };
@@ -56,6 +67,9 @@ struct NvmeQueueConfig {
   std::uint32_t queue_depth{64};
   Duration doorbell_latency{Duration::nanoseconds(300)};  ///< MMIO write
   Duration completion_latency{Duration::nanoseconds(500)};///< CQE + interrupt
+  /// Host-side deadline: a timed-out (or lost-completion) command is
+  /// surfaced to the reaper only after this much waiting.
+  Duration command_timeout{Duration::microseconds(10'000)};
 };
 
 /// One submission/completion queue pair bound to a SmartSSD.
@@ -81,14 +95,18 @@ class NvmeQueue {
 
   /// Total commands completed since construction.
   std::uint64_t completed_count() const { return completed_count_; }
+  /// Commands that completed unsuccessfully (timeout / lost completion).
+  std::uint64_t failed_count() const { return failed_count_; }
 
  private:
   NvmeCompletion execute(const NvmeCommand& command, TimePoint start);
+  void account(const NvmeCompletion& completion);
 
   SmartSsd& device_;
   NvmeQueueConfig config_;
   std::deque<NvmeCompletion> inflight_;  ///< completions in submission order
   std::uint64_t completed_count_{0};
+  std::uint64_t failed_count_{0};
 };
 
 }  // namespace csdml::csd

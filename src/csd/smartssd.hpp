@@ -16,6 +16,10 @@
 #include "csd/ssd.hpp"
 #include "sim/trace.hpp"
 
+namespace csdml::faults {
+class FaultPlan;
+}
+
 namespace csdml::csd {
 
 struct SmartSsdConfig {
@@ -61,7 +65,19 @@ class SmartSsd {
   IoResult host_read_from_fpga(std::uint32_t bank, std::uint64_t bank_offset,
                                std::size_t size, TimePoint at);
 
+  /// Attaches a fault plan to the whole board: NAND read disturbs plus
+  /// single-bit corruption on every PCIe payload crossing the switch.
+  /// The plan is not owned and must outlive the board (or be detached
+  /// with nullptr).
+  void set_fault_plan(faults::FaultPlan* plan);
+  faults::FaultPlan* fault_plan() const { return fault_plan_; }
+
  private:
+  /// Consults the plan for a PCIe corruption and, when injected, flips
+  /// one plan-chosen bit of `data` in place.
+  void maybe_corrupt(std::vector<std::uint8_t>& data);
+
+  faults::FaultPlan* fault_plan_{nullptr};
   SmartSsdConfig config_;
   SsdController ssd_;
   FpgaDevice fpga_;

@@ -53,6 +53,9 @@ class SsdController {
   /// Reliability counters from the NAND layer.
   const NandArray& nand() const { return nand_; }
 
+  /// Forwards a fault plan to the NAND layer (read-disturb injection).
+  void set_fault_plan(faults::FaultPlan* plan) { nand_.set_fault_plan(plan); }
+
   /// SMART-style health snapshot.
   struct SmartHealth {
     Bytes host_bytes_read{};

@@ -1,6 +1,7 @@
 #include "detect/detector.hpp"
 
 #include "common/error.hpp"
+#include "faults/fault_plan.hpp"
 #include "obs/metrics.hpp"
 
 namespace csdml::detect {
@@ -27,6 +28,8 @@ StreamingDetector::StreamingDetector(kernels::CsdLstmEngine& engine,
 
 std::optional<Detection> StreamingDetector::on_api_call(ProcessId process,
                                                         nn::TokenId token) {
+  CSDML_REQUIRE(token >= 0 && token < engine_.model_config().vocab_size,
+                "API-call token outside model vocabulary");
   obs::MetricsRegistry& metrics = obs::registry();
   const bool new_process = !processes_.contains(process);
   ProcessState& state = processes_[process];
@@ -40,6 +43,9 @@ std::optional<Detection> StreamingDetector::on_api_call(ProcessId process,
   ++state.calls_since_eval;
 
   if (!state.window.full()) return std::nullopt;
+  // A classification is due on the call that first fills the window, then
+  // every `hop` calls — including hop > window_length, where consecutive
+  // windows simply skip hop - window_length calls entirely.
   const bool first_full_window = state.calls_seen == config_.window_length;
   if (!first_full_window && state.calls_since_eval < config_.hop) {
     return std::nullopt;
@@ -48,7 +54,21 @@ std::optional<Detection> StreamingDetector::on_api_call(ProcessId process,
 
   // Zero-copy: the ring's doubled backing store makes the window one
   // contiguous run, so classification needs no per-call Sequence copy.
-  const kernels::InferenceResult result = engine_.infer(state.window.view());
+  kernels::InferenceResult result;
+  try {
+    result = engine_.infer(state.window.view());
+  } catch (const faults::CsdUnavailableError&) {
+    // The due classification is deferred, not dropped: prime the hop
+    // counter so the very next call for this process retries it (the
+    // first-full-window condition can never re-trigger).
+    state.calls_since_eval = config_.hop;
+    ++degraded_;
+    metrics.add_counter("detector.degraded_classifications");
+    return std::nullopt;
+  }
+  if (result.degraded) {
+    metrics.add_counter("detector.fallback_classifications");
+  }
   ++classifications_;
   device_time_ += result.device_time;
   metrics.add_counter("detector.classifications");
@@ -74,12 +94,18 @@ std::optional<Detection> StreamingDetector::on_api_call(ProcessId process,
   detection.probability = result.probability;
   detection.call_index = state.calls_seen;
   detection.inference_time = result.device_time;
+  detection.degraded = result.degraded;
   return detection;
 }
 
 void StreamingDetector::forget(ProcessId process) {
   const auto it = processes_.find(process);
-  if (it == processes_.end()) return;
+  if (it == processes_.end()) {
+    // Unknown id: process exit raced stream teardown, or it never made a
+    // call. Count it; every other detector invariant is untouched.
+    obs::registry().add_counter("detector.forget_unknown");
+    return;
+  }
   // Flush the per-process state into aggregate counters before erasing so
   // long-running fleets don't silently leak stats with process churn.
   obs::MetricsRegistry& metrics = obs::registry();

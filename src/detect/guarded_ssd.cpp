@@ -11,6 +11,10 @@ GuardedSsd::GuardedSsd(csd::SmartSsd& board, CsdGuard& guard)
 
 MitigationAction GuardedSsd::on_api_call(ProcessId process, nn::TokenId token,
                                          TimePoint at) {
+  flush_deferred();
+  if (!guard_.csd_healthy()) {
+    obs::registry().add_counter("guarded_ssd.degraded_calls");
+  }
   const bool was_quarantined = guard_.is_quarantined(process);
   const MitigationAction action = guard_.on_api_call(process, token);
   // Roll back exactly once, on the quarantine transition.
@@ -29,6 +33,7 @@ GuardedWriteResult GuardedSsd::write(ProcessId process, std::uint64_t lba,
                                      const std::vector<std::uint8_t>& data,
                                      TimePoint at) {
   CSDML_REQUIRE(!data.empty(), "empty write");
+  flush_deferred();
   GuardedWriteResult result;
   if (!guard_.allow_write(process)) {
     obs::registry().add_counter("guarded_ssd.writes_rejected");
@@ -86,11 +91,33 @@ TimePoint GuardedSsd::restore(ProcessId process, TimePoint at) {
   return cursor;
 }
 
-void GuardedSsd::resolve_benign(ProcessId process) {
+void GuardedSsd::discard(ProcessId process) {
   const auto it = shadows_.find(process);
   if (it == shadows_.end()) return;
   stats_.blocks_discarded += it->second.size();
   shadows_.erase(it);
+}
+
+void GuardedSsd::flush_deferred() {
+  if (deferred_benign_.empty() || !guard_.csd_healthy()) return;
+  for (const ProcessId process : deferred_benign_) {
+    discard(process);
+  }
+  obs::registry().add_counter("guarded_ssd.deferred_discards_flushed",
+                              deferred_benign_.size());
+  deferred_benign_.clear();
+}
+
+void GuardedSsd::resolve_benign(ProcessId process) {
+  if (!guard_.csd_healthy()) {
+    // The benign verdict may predate deferred classifications; keep the
+    // pre-images (rollback capital) until the CSD can re-examine.
+    if (shadows_.contains(process) && deferred_benign_.insert(process).second) {
+      obs::registry().add_counter("guarded_ssd.deferred_discards");
+    }
+    return;
+  }
+  discard(process);
 }
 
 std::size_t GuardedSsd::preserved_blocks(ProcessId process) const {

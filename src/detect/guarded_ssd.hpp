@@ -17,6 +17,7 @@
 #include <cstdint>
 #include <map>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "detect/mitigation.hpp"
@@ -54,8 +55,14 @@ class GuardedSsd {
                            const std::vector<std::uint8_t>& data, TimePoint at);
 
   /// Marks a process as resolved-benign (e.g. it exited cleanly): its
-  /// pre-images are discarded.
+  /// pre-images are discarded. While the CSD is unhealthy (classifications
+  /// deferred or served degraded) the discard itself is deferred — the
+  /// verdict might be overturned once the backlog drains — and flushed on
+  /// the first call after the CSD recovers.
   void resolve_benign(ProcessId process);
+
+  /// Benign discards currently parked awaiting CSD recovery.
+  std::size_t deferred_discards() const { return deferred_benign_.size(); }
 
   /// Blocks currently preserved for a process.
   std::size_t preserved_blocks(ProcessId process) const;
@@ -64,12 +71,17 @@ class GuardedSsd {
  private:
   /// Restores every preserved pre-image of `process`; returns completion.
   TimePoint restore(ProcessId process, TimePoint at);
+  /// Unconditionally drops a process's shadow blocks.
+  void discard(ProcessId process);
+  /// Applies parked benign discards once the CSD is healthy again.
+  void flush_deferred();
 
   csd::SmartSsd& board_;
   CsdGuard& guard_;
   /// process -> (lba -> pre-image block). std::map keeps restores ordered.
   std::unordered_map<ProcessId, std::map<std::uint64_t, std::vector<std::uint8_t>>>
       shadows_;
+  std::unordered_set<ProcessId> deferred_benign_;
   SnapshotStats stats_;
 };
 

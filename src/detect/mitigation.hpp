@@ -54,6 +54,11 @@ class CsdGuard {
 
   const GuardStats& stats() const { return stats_; }
   const StreamingDetector& detector() const { return detector_; }
+  StreamingDetector& detector() { return detector_; }
+
+  /// False while the CSD engine is marked unhealthy; GuardedSsd consults
+  /// this before making irreversible snapshot decisions.
+  bool csd_healthy() const { return detector_.csd_healthy(); }
 
  private:
   StreamingDetector detector_;

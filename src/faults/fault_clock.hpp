@@ -1,0 +1,29 @@
+// Logical clock for fault-injection decisions.
+//
+// Every consultation of the fault plan — inject or not — advances this
+// clock by one tick, and the tick value is stamped onto any fault the plan
+// injects. Because injection sites consult the plan in a fixed order for a
+// given workload, the (tick, kind, detail) triples of a campaign form a
+// schedule that is bit-identical across runs with the same seed: the
+// reproducibility contract the campaign tests assert via FaultPlan::digest.
+#pragma once
+
+#include <cstdint>
+
+namespace csdml::faults {
+
+class FaultClock {
+ public:
+  /// Consumes and returns the next decision index.
+  std::uint64_t tick() { return next_++; }
+
+  /// Decisions taken so far (the index the next tick will return).
+  std::uint64_t now() const { return next_; }
+
+  void reset() { next_ = 0; }
+
+ private:
+  std::uint64_t next_{0};
+};
+
+}  // namespace csdml::faults

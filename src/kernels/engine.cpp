@@ -4,8 +4,10 @@
 #include <chrono>
 #include <cstring>
 
+#include "baselines/host_baseline.hpp"
 #include "common/error.hpp"
 #include "common/log.hpp"
+#include "faults/fault_plan.hpp"
 #include "obs/metrics.hpp"
 
 namespace csdml::kernels {
@@ -104,10 +106,96 @@ double CsdLstmEngine::forward(nn::TokenSpan sequence, FloatScratch& float_scratc
 }
 
 ThreadPool& CsdLstmEngine::batch_pool() {
+  std::lock_guard<std::mutex> lock(batch_pool_mutex_);
   if (batch_pool_ == nullptr) {
     batch_pool_ = std::make_unique<ThreadPool>(config_.batch_threads);
   }
   return *batch_pool_;
+}
+
+void CsdLstmEngine::set_fallback(const baselines::HostBaseline* fallback) {
+  fallback_ = fallback;
+}
+
+void CsdLstmEngine::restore_health() {
+  if (!healthy_.exchange(true, std::memory_order_relaxed)) {
+    obs::registry().add_counter("engine.recoveries");
+  }
+  degraded_serves_.store(0, std::memory_order_relaxed);
+}
+
+bool CsdLstmEngine::attempt_launch() {
+  faults::FaultPlan* plan = device_.board().fault_plan();
+  if (plan == nullptr) return true;
+  obs::MetricsRegistry& metrics = obs::registry();
+  for (std::uint32_t attempt = 0; attempt < config_.retry.max_attempts;
+       ++attempt) {
+    if (!plan->should_inject(faults::FaultKind::XrtLaunchFailure)) {
+      if (attempt > 0) metrics.add_counter("engine.retry_successes");
+      return true;
+    }
+    metrics.add_counter("engine.launch_faults");
+    if (attempt + 1 < config_.retry.max_attempts) {
+      // Exponential backoff before the next attempt, charged to the
+      // simulated clock like any other device-side wait.
+      const Duration backoff =
+          config_.retry.base_backoff * static_cast<std::int64_t>(1u << attempt);
+      device_.advance_to(device_.now() + backoff);
+      metrics.add_counter("engine.retries");
+      metrics.observe("engine.retry_backoff_us", backoff.as_microseconds());
+    }
+  }
+  if (healthy_.exchange(false, std::memory_order_relaxed)) {
+    metrics.add_counter("engine.marked_unhealthy");
+    CSDML_LOG_WARN("engine") << "kernel launch retries exhausted, CSD marked "
+                                "unhealthy";
+  }
+  degraded_serves_.store(0, std::memory_order_relaxed);
+  return false;
+}
+
+bool CsdLstmEngine::ensure_csd_available() {
+  if (healthy()) return attempt_launch();
+  // Unhealthy: probe the pipeline again every Nth degraded serve so a
+  // transient fault burst doesn't pin the detector on the host forever.
+  const std::uint32_t interval = config_.retry.recovery_probe_interval;
+  const std::uint32_t serve =
+      degraded_serves_.fetch_add(1, std::memory_order_relaxed) + 1;
+  if (interval == 0 || serve % interval != 0) return false;
+  faults::FaultPlan* plan = device_.board().fault_plan();
+  if (plan != nullptr &&
+      plan->should_inject(faults::FaultKind::XrtLaunchFailure)) {
+    return false;  // probe failed too; stay degraded
+  }
+  healthy_.store(true, std::memory_order_relaxed);
+  obs::registry().add_counter("engine.recoveries");
+  CSDML_LOG_INFO("engine") << "recovery probe succeeded, CSD healthy again";
+  return true;
+}
+
+InferenceResult CsdLstmEngine::degraded_infer(nn::TokenSpan sequence) {
+  obs::MetricsRegistry& metrics = obs::registry();
+  if (fallback_ == nullptr) {
+    metrics.add_counter("engine.unavailable_inferences");
+    throw faults::CsdUnavailableError(
+        "CSD unhealthy and no host fallback configured");
+  }
+  metrics.add_counter("engine.fallback_inferences");
+  const double probability = fallback_->infer(sequence);
+  // The host serve still advances the single simulated clock so campaign
+  // timelines stay monotonic across degraded stretches.
+  const Duration host_time = fallback_->batch_window_latency(1, sequence.size());
+  const TimePoint start = device_.now();
+  device_.advance_to(start + host_time);
+  device_.board().trace().record("host_fallback", start, start + host_time);
+  metrics.observe("engine.fallback_us", host_time.as_microseconds());
+
+  InferenceResult result;
+  result.probability = probability;
+  result.label = probability >= 0.5 ? 1 : 0;
+  result.device_time = host_time;
+  result.degraded = true;
+  return result;
 }
 
 void CsdLstmEngine::initialise() {
@@ -125,6 +213,9 @@ void CsdLstmEngine::initialise() {
 }
 
 void CsdLstmEngine::update_weights(const nn::LstmParams& params) {
+  // Exclusive against in-flight infer / infer_batch shared holders: the
+  // datapath pointer swap below must never run under a reader's feet.
+  std::unique_lock<std::shared_mutex> swap_guard(swap_mutex_);
   CSDML_REQUIRE(params.embedding.rows() == params_.embedding.rows() &&
                     params.embedding.cols() == params_.embedding.cols() &&
                     params.dense_w.size() == params_.dense_w.size(),
@@ -177,6 +268,11 @@ KernelTimings CsdLstmEngine::per_item_timings() const {
 
 InferenceResult CsdLstmEngine::infer(nn::TokenSpan sequence) {
   CSDML_REQUIRE(!sequence.empty(), "empty sequence");
+  // Shared against update_weights' exclusive datapath swap. The engine-
+  // owned scratch means infer is still single-caller; the lock only makes
+  // it safe alongside concurrent hot swaps and infer_batch.
+  std::shared_lock<std::shared_mutex> swap_guard(swap_mutex_);
+  if (!ensure_csd_available()) return degraded_infer(sequence);
   const KernelTimings per_item = per_item_timings();
 
   // Functional result through the configured datapath (fused table path,
@@ -222,8 +318,7 @@ InferenceResult CsdLstmEngine::infer(nn::TokenSpan sequence) {
 CsdLstmEngine::BatchResult CsdLstmEngine::infer_batch(
     const std::vector<nn::Sequence>& sequences) {
   CSDML_REQUIRE(!sequences.empty(), "empty batch");
-  const KernelTimings per_item = per_item_timings();
-  const Duration steady = per_item.gates + per_item.hidden_state;
+  std::shared_lock<std::shared_mutex> swap_guard(swap_mutex_);
 
   BatchResult result;
   result.probabilities.resize(sequences.size());
@@ -233,6 +328,30 @@ CsdLstmEngine::BatchResult CsdLstmEngine::infer_batch(
     CSDML_REQUIRE(!sequence.empty(), "empty sequence in batch");
     total_items += static_cast<std::int64_t>(sequence.size());
   }
+
+  // One availability decision per batch (the whole batch rides one
+  // pipeline launch); a degraded batch is served window-by-window from
+  // the host fallback so every classification is still produced.
+  if (!ensure_csd_available()) {
+    Duration total{};
+    for (std::size_t i = 0; i < sequences.size(); ++i) {
+      const InferenceResult one = degraded_infer(sequences[i]);
+      result.probabilities[i] = one.probability;
+      result.labels[i] = one.label;
+      total += one.device_time;
+    }
+    result.device_time = total;
+    const double degraded_seconds = static_cast<double>(total.picos) * 1e-12;
+    result.windows_per_second =
+        degraded_seconds > 0.0
+            ? static_cast<double>(sequences.size()) / degraded_seconds
+            : 0.0;
+    obs::registry().add_counter("engine.batch_degraded");
+    return result;
+  }
+
+  const KernelTimings per_item = per_item_timings();
+  const Duration steady = per_item.gates + per_item.hidden_state;
 
   // Fan the functional forward passes out across the pool; each executor
   // owns one scratch pair, results land at their sequence index.

@@ -18,9 +18,12 @@
 // itself a measured quantity (bench_throughput).
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <optional>
+#include <shared_mutex>
 
 #include "common/thread_pool.hpp"
 #include "kernels/functional.hpp"
@@ -28,7 +31,23 @@
 #include "nn/weights_io.hpp"
 #include "xrt/runtime.hpp"
 
+namespace csdml::baselines {
+class HostBaseline;
+}
+
 namespace csdml::kernels {
+
+/// How the engine reacts to injected kernel-launch failures: bounded
+/// retries with exponential backoff (charged to simulated device time),
+/// then mark the CSD unhealthy and serve from the host fallback until a
+/// periodic recovery probe succeeds.
+struct RetryPolicy {
+  std::uint32_t max_attempts{3};
+  Duration base_backoff{Duration::microseconds(50)};  ///< doubles per retry
+  /// While unhealthy, re-probe the pipeline every Nth degraded serve
+  /// (0 disables probing: once unhealthy, always degraded).
+  std::uint32_t recovery_probe_interval{8};
+};
 
 struct EngineConfig {
   OptimizationLevel level{OptimizationLevel::FixedPoint};
@@ -43,6 +62,7 @@ struct EngineConfig {
   /// Executors for infer_batch (including the caller); 0 picks
   /// hardware_concurrency, 1 keeps the batch loop single-threaded.
   std::uint32_t batch_threads{0};
+  RetryPolicy retry{};
 };
 
 /// Per-item kernel timings — the Fig. 3 quantities.
@@ -59,6 +79,10 @@ struct InferenceResult {
   int label{0};
   Duration device_time;      ///< end-to-end simulated FPGA time for the sequence
   KernelTimings per_item;    ///< steady-state per-item breakdown
+  /// True when the FPGA pipeline was unavailable and the classification
+  /// was served by the host fallback instead (per-item timings are then
+  /// zero and device_time is the modelled host latency).
+  bool degraded{false};
 };
 
 class CsdLstmEngine {
@@ -125,12 +149,31 @@ class CsdLstmEngine {
   /// Number of weight images staged so far (1 after construction).
   std::uint32_t weight_updates() const { return weight_updates_; }
 
+  /// Registers the host deployment consulted while the CSD is unhealthy.
+  /// Not owned; must outlive the engine (nullptr detaches — classifying
+  /// while unhealthy then throws faults::CsdUnavailableError, so no
+  /// degraded classification can pass unnoticed).
+  void set_fallback(const baselines::HostBaseline* fallback);
+
+  /// False once launch retries were exhausted; recovery probes (every
+  /// `retry.recovery_probe_interval` degraded serves) flip it back.
+  bool healthy() const { return healthy_.load(std::memory_order_relaxed); }
+
+  /// Test/operator hook: clears the unhealthy latch immediately.
+  void restore_health();
+
  private:
   void initialise();
   void build_datapath();
   double forward(nn::TokenSpan sequence, FloatScratch& float_scratch,
                  FixedScratch& fixed_scratch) const;
   ThreadPool& batch_pool();
+  /// True when the pipeline is usable for this classification: healthy
+  /// and the (possibly retried) launch succeeded, or a recovery probe
+  /// just brought the CSD back. Charges backoff to device time.
+  bool ensure_csd_available();
+  bool attempt_launch();
+  InferenceResult degraded_infer(nn::TokenSpan sequence);
 
   xrt::Device& device_;
   nn::LstmConfig model_config_;
@@ -143,8 +186,15 @@ class CsdLstmEngine {
   FloatScratch float_scratch_;
   FixedScratch fixed_scratch_;
   std::unique_ptr<ThreadPool> batch_pool_;  ///< lazily created on first batch
+  std::mutex batch_pool_mutex_;
   std::optional<xrt::BufferObject> weights_bo_;
   std::uint32_t weight_updates_{0};
+  /// Guards the live datapath against update_weights hot swaps: infer /
+  /// infer_batch hold it shared, update_weights exclusively.
+  mutable std::shared_mutex swap_mutex_;
+  std::atomic<bool> healthy_{true};
+  std::atomic<std::uint32_t> degraded_serves_{0};
+  const baselines::HostBaseline* fallback_{nullptr};
 };
 
 }  // namespace csdml::kernels

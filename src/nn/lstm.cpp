@@ -148,7 +148,7 @@ void LstmClassifier::step(const Vector& x, Vector& h, Vector& c,
   h = std::move(new_h);
 }
 
-double LstmClassifier::forward(const Sequence& sequence, ForwardCache* cache) const {
+double LstmClassifier::forward(TokenSpan sequence, ForwardCache* cache) const {
   CSDML_REQUIRE(!sequence.empty(), "forward pass over empty sequence");
   const std::size_t hidden = config_.hidden_dim;
   Vector h(hidden, 0.0);
@@ -175,7 +175,7 @@ double LstmClassifier::forward(const Sequence& sequence, ForwardCache* cache) co
   return probability;
 }
 
-int LstmClassifier::predict(const Sequence& sequence) const {
+int LstmClassifier::predict(TokenSpan sequence) const {
   return forward(sequence, nullptr) >= 0.5 ? 1 : 0;
 }
 

@@ -93,12 +93,14 @@ class LstmClassifier {
   /// `cache` is non-null.
   void step(const Vector& x, Vector& h, Vector& c, StepCache* cache) const;
 
-  /// Full forward pass over a token sequence -> ransomware probability.
-  /// When `cache` is non-null every intermediate needed by BPTT is stored.
-  double forward(const Sequence& sequence, ForwardCache* cache) const;
+  /// Full forward pass over a token window -> ransomware probability.
+  /// Accepts any contiguous token view (e.g. a detect::TokenRing window)
+  /// without copying. When `cache` is non-null every intermediate needed
+  /// by BPTT is stored.
+  double forward(TokenSpan sequence, ForwardCache* cache) const;
 
   /// Hard decision at threshold 0.5.
-  int predict(const Sequence& sequence) const;
+  int predict(TokenSpan sequence) const;
 
  private:
   LstmConfig config_;

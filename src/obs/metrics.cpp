@@ -145,6 +145,12 @@ void MetricsRegistry::add_counter(const std::string& name, std::uint64_t delta) 
   counters_[name] += delta;
 }
 
+std::uint64_t MetricsRegistry::counter_value(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = counters_.find(name);
+  return it == counters_.end() ? 0 : it->second;
+}
+
 void MetricsRegistry::set_gauge(const std::string& name, double value) {
   std::lock_guard<std::mutex> lock(mutex_);
   gauges_[name] = value;

@@ -65,6 +65,10 @@ class MetricsRegistry {
   void observe(const std::string& name, double value,
                const std::vector<double>& bounds);
 
+  /// Current value of one counter (0 when never touched) — cheaper than a
+  /// full snapshot for per-event assertions in tests and fuzz harnesses.
+  std::uint64_t counter_value(const std::string& name) const;
+
   MetricsSnapshot snapshot() const;
   void reset();
 

@@ -4,6 +4,7 @@
 
 #include "common/error.hpp"
 #include "common/log.hpp"
+#include "faults/fault_plan.hpp"
 #include "obs/metrics.hpp"
 
 namespace csdml::xrt {
@@ -48,6 +49,13 @@ hls::KernelReport Kernel::analyze() const { return device_->model_.analyze(spec_
 
 TimePoint Kernel::launch(TimePoint at) {
   CSDML_REQUIRE(at >= TimePoint{}, "launch before simulation start");
+  faults::FaultPlan* plan = device_->board_.fault_plan();
+  if (plan != nullptr &&
+      plan->should_inject(faults::FaultKind::XrtLaunchFailure)) {
+    obs::registry().add_counter("xrt.kernel_launch_faults");
+    throw faults::FaultInjectedError("kernel '" + spec_.name +
+                                     "' launch failed (injected)");
+  }
   const Duration latency = this->latency();
   const TimePoint end = at + latency;
   device_->board_.trace().record(spec_.name, at, end);

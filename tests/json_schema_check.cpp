@@ -1,0 +1,58 @@
+// csdml_json_check — CI gate for exported JSON artefacts.
+//
+//   csdml_json_check FILE [--require KEY]...
+//
+// Fails (exit 1) when FILE is missing, is not syntactically valid JSON, or
+// lacks any of the required top-level-ish keys (presence of "KEY" as a
+// quoted string anywhere in the document — enough to catch a bench binary
+// silently dropping a section from BENCH_throughput.json).
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "json_lint.hpp"
+
+namespace {
+
+int fail(const std::string& message) {
+  std::cerr << "csdml_json_check: " << message << '\n';
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    return fail("usage: csdml_json_check FILE [--require KEY]...");
+  }
+  const std::string path = argv[1];
+  std::vector<std::string> required;
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--require" && i + 1 < argc) {
+      required.emplace_back(argv[++i]);
+    } else {
+      return fail("unknown argument '" + arg + "'");
+    }
+  }
+
+  std::ifstream in(path);
+  if (!in) return fail("cannot open '" + path + "'");
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  const std::string text = buffer.str();
+  if (text.empty()) return fail("'" + path + "' is empty");
+  if (!csdml::testing::JsonLint::valid(text)) {
+    return fail("'" + path + "' is not valid JSON");
+  }
+  for (const std::string& key : required) {
+    if (text.find('"' + key + '"') == std::string::npos) {
+      return fail("'" + path + "' is missing required key \"" + key + "\"");
+    }
+  }
+  std::cout << "csdml_json_check: '" << path << "' OK (" << required.size()
+            << " required keys present)\n";
+  return 0;
+}

@@ -218,6 +218,41 @@ TEST(Detector, AccumulatesDeviceTime) {
   EXPECT_GT(detector.device_time_spent().picos, 0);
 }
 
+TEST(Detector, ForgetUnknownProcessIsWellDefinedNoOp) {
+  DetectorFixture f;
+  obs::registry().reset();
+  StreamingDetector detector(*f.engine, DetectorConfig{.window_length = 10});
+  // Forget before any call ever arrived: counted, nothing else changes.
+  EXPECT_NO_THROW(detector.forget(99));
+  EXPECT_EQ(obs::registry().counter_value("detector.forget_unknown"), 1u);
+  EXPECT_EQ(obs::registry().counter_value("detector.processes_forgotten"), 0u);
+
+  // The detector still works normally afterwards.
+  Rng rng(27);
+  for (int i = 0; i < 10; ++i) detector.on_api_call(1, f.benign_token(rng));
+  EXPECT_EQ(detector.classifications_run(), 1u);
+}
+
+TEST(Detector, HopLargerThanWindowKeepsClassifying) {
+  DetectorFixture f;
+  // hop 25 > window 10: consecutive windows skip 15 calls entirely, but
+  // classification must keep recurring every hop calls (regression: the
+  // schedule used to be undefined in this configuration).
+  StreamingDetector detector(
+      *f.engine, DetectorConfig{.window_length = 10, .hop = 25});
+  Rng rng(29);
+  for (int i = 0; i < 110; ++i) detector.on_api_call(1, f.benign_token(rng));
+  // First at call 10, then calls 35, 60, 85, 110.
+  EXPECT_EQ(detector.classifications_run(), 5u);
+}
+
+TEST(Detector, RejectsOutOfVocabularyTokens) {
+  DetectorFixture f;
+  StreamingDetector detector(*f.engine, DetectorConfig{.window_length = 10});
+  EXPECT_THROW(detector.on_api_call(1, f.config.vocab_size), PreconditionError);
+  EXPECT_THROW(detector.on_api_call(1, -1), PreconditionError);
+}
+
 TEST(Detector, ConfigGuards) {
   DetectorFixture f;
   EXPECT_THROW(StreamingDetector(*f.engine, DetectorConfig{.window_length = 0}),

@@ -1,0 +1,93 @@
+// Differential fuzzing of the full detection stack under fault schedules.
+//
+// Each campaign replays a seeded randomized event stream (API calls,
+// process churn, SSD/NVMe traffic) through a FuzzStack and checks every
+// classification against independent oracles — fused vs stage-by-stage
+// reference vs host baseline — plus the no-silent-drop accounting. CI runs
+// ≥1k events per campaign; CSDML_FUZZ_ITERS scales the loops up for long
+// local runs without touching the code.
+#include "fuzz_harness.hpp"
+
+#include <gtest/gtest.h>
+
+namespace csdml::testing {
+namespace {
+
+faults::FaultConfig moderate_faults(std::uint64_t seed) {
+  faults::FaultConfig config;
+  config.seed = seed;
+  config.xrt_launch_failure_probability = 0.01;
+  config.nand_read_disturb_probability = 0.05;
+  config.pcie_corruption_probability = 0.05;
+  config.nvme_timeout_probability = 0.10;
+  config.nvme_drop_probability = 0.10;
+  return config;
+}
+
+void run_campaign(kernels::OptimizationLevel level, std::uint64_t seed,
+                  bool with_fallback) {
+  FuzzConfig config;
+  config.seed = seed;
+  config.level = level;
+  config.faults = moderate_faults(seed * 31 + 7);
+  config.with_fallback = with_fallback;
+  FuzzStack stack(config);
+  const FuzzOutcome outcome = stack.run(fuzz_iterations(1200));
+
+  EXPECT_EQ(outcome.parity_mismatches, 0u) << "seed " << seed;
+  EXPECT_EQ(outcome.accounting_mismatches, 0u) << "seed " << seed;
+  EXPECT_GT(outcome.detections, 0u) << "seed " << seed;
+  EXPECT_GT(outcome.faults_injected, 0u) << "seed " << seed;
+}
+
+TEST(DifferentialFuzz, FixedPointCampaignsHoldParityUnderFaults) {
+  for (const std::uint64_t seed : {11ULL, 22ULL, 33ULL}) {
+    run_campaign(kernels::OptimizationLevel::FixedPoint, seed, true);
+  }
+}
+
+TEST(DifferentialFuzz, VanillaCampaignsHoldParityUnderFaults) {
+  for (const std::uint64_t seed : {44ULL, 55ULL, 66ULL}) {
+    run_campaign(kernels::OptimizationLevel::Vanilla, seed, true);
+  }
+}
+
+TEST(DifferentialFuzz, NoFallbackCampaignDefersInsteadOfDropping) {
+  // Without a host fallback every unhealthy stretch must show up as
+  // deferred classifications — the accounting check inside run() fails the
+  // campaign if any due classification vanishes.
+  FuzzConfig config;
+  config.seed = 99;
+  config.level = kernels::OptimizationLevel::FixedPoint;
+  config.faults = moderate_faults(991);
+  // Aggressive launch failures so retry exhaustion (three consecutive
+  // failed attempts) actually occurs and unhealthy windows open up.
+  config.faults.xrt_launch_failure_probability = 0.5;
+  config.with_fallback = false;
+  FuzzStack stack(config);
+  const FuzzOutcome outcome = stack.run(fuzz_iterations(1200));
+
+  EXPECT_EQ(outcome.parity_mismatches, 0u);
+  EXPECT_EQ(outcome.accounting_mismatches, 0u);
+  EXPECT_GT(outcome.deferred, 0u);
+  EXPECT_EQ(outcome.degraded_serves, 0u);  // no fallback to serve them
+  EXPECT_GT(outcome.detections, 0u);
+}
+
+TEST(DifferentialFuzz, FaultFreeCampaignNeverDegrades) {
+  FuzzConfig config;
+  config.seed = 7;
+  config.faults.seed = 7;  // all probabilities zero
+  FuzzStack stack(config);
+  const FuzzOutcome outcome = stack.run(fuzz_iterations(1200));
+
+  EXPECT_EQ(outcome.parity_mismatches, 0u);
+  EXPECT_EQ(outcome.accounting_mismatches, 0u);
+  EXPECT_EQ(outcome.faults_injected, 0u);
+  EXPECT_EQ(outcome.deferred, 0u);
+  EXPECT_EQ(outcome.degraded_serves, 0u);
+  EXPECT_GT(outcome.detections, 0u);
+}
+
+}  // namespace
+}  // namespace csdml::testing

@@ -1,0 +1,437 @@
+// Seeded fault-injection campaigns through every device-stack site: the
+// FaultPlan determinism contract, NAND read-disturb, NVMe timeouts and
+// lost completions, PCIe bit corruption, XRT launch failures, and the
+// engine/detector resilience behaviour layered on top (retry + backoff,
+// host fallback, recovery probes, deferred classifications).
+#include "faults/fault_plan.hpp"
+
+#include <gtest/gtest.h>
+
+#include <bit>
+
+#include "baselines/host_baseline.hpp"
+#include "csd/nvme.hpp"
+#include "detect/detector.hpp"
+#include "fuzz_harness.hpp"
+#include "kernels/engine.hpp"
+#include "obs/metrics.hpp"
+
+namespace csdml::faults {
+namespace {
+
+std::vector<bool> decisions(FaultPlan& plan, FaultKind kind, int n) {
+  std::vector<bool> out;
+  out.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) out.push_back(plan.should_inject(kind));
+  return out;
+}
+
+TEST(FaultPlan, SameSeedGivesIdenticalScheduleAndDigest) {
+  FaultConfig config;
+  config.seed = 404;
+  config.nvme_timeout_probability = 0.3;
+  config.pcie_corruption_probability = 0.2;
+  FaultPlan a(config);
+  FaultPlan b(config);
+  for (int i = 0; i < 500; ++i) {
+    const FaultKind kind =
+        i % 2 == 0 ? FaultKind::NvmeTimeout : FaultKind::PcieCorruption;
+    ASSERT_EQ(a.should_inject(kind), b.should_inject(kind)) << "decision " << i;
+  }
+  EXPECT_EQ(a.log().size(), b.log().size());
+  EXPECT_EQ(a.log(), b.log());
+  EXPECT_EQ(a.digest(), b.digest());
+  EXPECT_GT(a.injected(), 0u);
+
+  FaultConfig other = config;
+  other.seed = 405;
+  FaultPlan c(other);
+  for (int i = 0; i < 500; ++i) {
+    c.should_inject(i % 2 == 0 ? FaultKind::NvmeTimeout
+                               : FaultKind::PcieCorruption);
+  }
+  EXPECT_NE(a.digest(), c.digest());
+}
+
+TEST(FaultPlan, ResetReplaysTheExactSchedule) {
+  FaultConfig config;
+  config.seed = 11;
+  config.xrt_launch_failure_probability = 0.4;
+  FaultPlan plan(config);
+  const std::vector<bool> first = decisions(plan, FaultKind::XrtLaunchFailure, 200);
+  const std::uint64_t digest = plan.digest();
+  plan.reset();
+  EXPECT_EQ(plan.injected(), 0u);
+  EXPECT_EQ(decisions(plan, FaultKind::XrtLaunchFailure, 200), first);
+  EXPECT_EQ(plan.digest(), digest);
+}
+
+TEST(FaultPlan, KindsDrawFromIndependentStreams) {
+  // Enabling a second fault kind must not perturb the first kind's
+  // schedule: each kind forks its own stream and zero-probability kinds
+  // never draw.
+  FaultConfig lone;
+  lone.seed = 77;
+  lone.nand_read_disturb_probability = 0.25;
+  FaultPlan a(lone);
+
+  FaultConfig mixed = lone;
+  mixed.pcie_corruption_probability = 0.9;
+  FaultPlan b(mixed);
+
+  std::vector<bool> a_nand;
+  std::vector<bool> b_nand;
+  for (int i = 0; i < 300; ++i) {
+    a_nand.push_back(a.should_inject(FaultKind::NandReadDisturb));
+    a.should_inject(FaultKind::PcieCorruption);  // p=0: never draws
+    b_nand.push_back(b.should_inject(FaultKind::NandReadDisturb));
+    b.should_inject(FaultKind::PcieCorruption);
+  }
+  EXPECT_EQ(a_nand, b_nand);
+  EXPECT_EQ(a.injected(FaultKind::PcieCorruption), 0u);
+  EXPECT_GT(b.injected(FaultKind::PcieCorruption), 0u);
+}
+
+TEST(FaultPlan, MaxFaultsCapsInjection) {
+  FaultConfig config;
+  config.seed = 5;
+  config.nvme_timeout_probability = 1.0;
+  config.max_faults = 3;
+  FaultPlan plan(config);
+  int injected = 0;
+  for (int i = 0; i < 50; ++i) {
+    if (plan.should_inject(FaultKind::NvmeTimeout)) ++injected;
+  }
+  EXPECT_EQ(injected, 3);
+  EXPECT_EQ(plan.injected(), 3u);
+  EXPECT_EQ(plan.log().size(), 3u);
+}
+
+TEST(NandFaults, InjectedReadDisturbIsUncorrectable) {
+  FaultConfig config;
+  config.nand_read_disturb_probability = 1.0;
+  FaultPlan plan(config);
+
+  csd::NandArray nand{csd::NandConfig{}};
+  const csd::PageAddress addr{.channel = 0, .die = 0, .page = 0};
+  nand.program_page(addr, TimePoint{}, std::vector<std::uint8_t>(64, 0xAB));
+  nand.set_fault_plan(&plan);
+  std::vector<std::uint8_t> out;
+  const csd::NandArray::ReadResult result = nand.read_page(addr, TimePoint{}, &out);
+  EXPECT_TRUE(result.uncorrectable);
+  EXPECT_GT(result.raw_bit_errors, nand.config().ecc_correctable_bits);
+  EXPECT_EQ(nand.uncorrectable_reads(), 1u);
+  EXPECT_EQ(plan.injected(FaultKind::NandReadDisturb), 1u);
+}
+
+TEST(NandFaults, SsdReadRetryAlsoFailsAtProbabilityOne) {
+  FaultConfig config;
+  config.nand_read_disturb_probability = 1.0;
+  FaultPlan plan(config);
+
+  csd::SsdController ssd{csd::SsdConfig{}};
+  ssd.write(0, std::vector<std::uint8_t>(256, 0x5C), TimePoint{});
+  ssd.set_fault_plan(&plan);
+  const csd::IoResult io = ssd.read(0, 1, TimePoint{});
+  EXPECT_TRUE(io.uncorrectable);
+  // The controller's read-retry consumed a second injection.
+  EXPECT_GE(plan.injected(FaultKind::NandReadDisturb), 2u);
+  EXPECT_GE(ssd.smart().uncorrectable_reads, 2u);
+}
+
+TEST(NvmeFaults, TimeoutSkipsDeviceWorkAndCountsAsFailed) {
+  FaultConfig config;
+  config.nvme_timeout_probability = 1.0;
+  FaultPlan plan(config);
+
+  csd::SmartSsd board{csd::SmartSsdConfig{}};
+  board.ssd().write(4, std::vector<std::uint8_t>(128, 0x11), TimePoint{});
+  board.set_fault_plan(&plan);
+  csd::NvmeQueue queue(board, csd::NvmeQueueConfig{});
+
+  csd::NvmeCommand command;
+  command.opcode = csd::NvmeOpcode::Read;
+  command.command_id = 42;
+  command.lba = 4;
+  command.block_count = 1;
+  const TimePoint start{};
+  queue.submit(command, start);
+  const csd::NvmeCompletion completion = queue.wait_oldest();
+  EXPECT_FALSE(completion.success);
+  EXPECT_EQ(completion.status, csd::NvmeStatus::TimedOut);
+  EXPECT_EQ(completion.command_id, 42);
+  EXPECT_TRUE(completion.data.empty());
+  // The host-side deadline runs from doorbell ring (MMIO write done).
+  EXPECT_EQ(completion.completed_at,
+            start + csd::NvmeQueueConfig{}.doorbell_latency +
+                csd::NvmeQueueConfig{}.command_timeout);
+  EXPECT_EQ(queue.failed_count(), 1u);
+  EXPECT_EQ(queue.completed_count(), 1u);
+  // The injected record carries the command id, stamped without consuming
+  // the detail stream.
+  ASSERT_EQ(plan.log().size(), 1u);
+  EXPECT_EQ(plan.log()[0].kind, FaultKind::NvmeTimeout);
+  EXPECT_EQ(plan.log()[0].detail, 42u);
+}
+
+TEST(NvmeFaults, DroppedCompletionLosesDataAfterDeviceWork) {
+  FaultConfig config;
+  config.nvme_drop_probability = 1.0;
+  FaultPlan plan(config);
+
+  csd::SmartSsd board{csd::SmartSsdConfig{}};
+  board.ssd().write(8, std::vector<std::uint8_t>(128, 0x22), TimePoint{});
+  board.set_fault_plan(&plan);
+  csd::NvmeQueue queue(board, csd::NvmeQueueConfig{});
+
+  csd::NvmeCommand command;
+  command.opcode = csd::NvmeOpcode::Read;
+  command.command_id = 7;
+  command.lba = 8;
+  command.block_count = 1;
+  queue.submit(command, TimePoint{});
+  const csd::NvmeCompletion completion = queue.wait_oldest();
+  EXPECT_FALSE(completion.success);
+  EXPECT_EQ(completion.status, csd::NvmeStatus::CompletionLost);
+  EXPECT_TRUE(completion.data.empty());
+  EXPECT_EQ(queue.failed_count(), 1u);
+}
+
+TEST(PcieFaults, CorruptionFlipsExactlyOneBit) {
+  FaultConfig config;
+  config.pcie_corruption_probability = 1.0;
+  config.max_faults = 1;  // only the first crossing corrupts
+  FaultPlan plan(config);
+
+  csd::SmartSsd board{csd::SmartSsdConfig{}};
+  board.set_fault_plan(&plan);
+  std::vector<std::uint8_t> payload(64);
+  for (std::size_t i = 0; i < payload.size(); ++i) {
+    payload[i] = static_cast<std::uint8_t>(i * 37);
+  }
+  board.host_write_to_fpga(payload, 0, 0, TimePoint{});
+  const csd::IoResult readback =
+      board.host_read_from_fpga(0, 0, payload.size(), TimePoint{});
+
+  ASSERT_EQ(readback.data.size(), payload.size());
+  int flipped_bits = 0;
+  for (std::size_t i = 0; i < payload.size(); ++i) {
+    flipped_bits += std::popcount(
+        static_cast<unsigned>(payload[i] ^ readback.data[i]));
+  }
+  EXPECT_EQ(flipped_bits, 1);
+  EXPECT_EQ(plan.injected(FaultKind::PcieCorruption), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Engine resilience
+// ---------------------------------------------------------------------------
+
+struct ResilienceFixture {
+  static nn::LstmParams make_params(const nn::LstmConfig& config) {
+    Rng rng(33);
+    return nn::LstmParams::glorot(config, rng);
+  }
+
+  // Members initialise in declaration order: params before the baseline.
+  nn::LstmConfig model_config{.vocab_size = 48, .embed_dim = 4, .hidden_dim = 8};
+  nn::LstmParams params = make_params(model_config);
+  csd::SmartSsd board{csd::SmartSsdConfig{}};
+  xrt::Device device{board};
+  baselines::HostBaseline host{"host", model_config, params,
+                               baselines::HostLatencyConfig{}};
+
+  nn::Sequence sequence(std::uint64_t seed, int length = 24) const {
+    Rng rng(seed);
+    nn::Sequence seq;
+    for (int i = 0; i < length; ++i) {
+      seq.push_back(static_cast<nn::TokenId>(
+          rng.uniform_int(0, model_config.vocab_size - 1)));
+    }
+    return seq;
+  }
+};
+
+TEST(EngineResilience, RetriesThenSucceedsWithBackoffCharged) {
+  ResilienceFixture f;
+  kernels::CsdLstmEngine engine(
+      f.device, f.model_config, f.params,
+      kernels::EngineConfig{.batch_threads = 1,
+                            .retry = {.max_attempts = 3}});
+  const nn::Sequence seq = f.sequence(1);
+  const double expected = engine.infer(seq).probability;  // healthy run
+
+  FaultConfig config;
+  config.xrt_launch_failure_probability = 1.0;
+  config.max_faults = 2;  // two failed attempts, third succeeds
+  FaultPlan plan(config);
+  f.board.set_fault_plan(&plan);
+
+  obs::MetricsRegistry& metrics = obs::registry();
+  const std::uint64_t retries_before = metrics.counter_value("engine.retries");
+  const TimePoint before = f.device.now();
+  const kernels::InferenceResult result = engine.infer(seq);
+  EXPECT_EQ(result.probability, expected);
+  EXPECT_FALSE(result.degraded);
+  EXPECT_TRUE(engine.healthy());
+  EXPECT_EQ(metrics.counter_value("engine.retries") - retries_before, 2u);
+  // Backoff 50µs + 100µs charged to simulated device time on top of the
+  // inference itself.
+  EXPECT_GE((f.device.now() - before).as_microseconds(), 150.0);
+}
+
+TEST(EngineResilience, ExhaustedRetriesFallBackToHostBaseline) {
+  ResilienceFixture f;
+  kernels::CsdLstmEngine engine(
+      f.device, f.model_config, f.params,
+      kernels::EngineConfig{.batch_threads = 1,
+                            .retry = {.max_attempts = 2,
+                                      .recovery_probe_interval = 0}});
+  engine.set_fallback(&f.host);
+
+  FaultConfig config;
+  config.xrt_launch_failure_probability = 1.0;
+  FaultPlan plan(config);
+  f.board.set_fault_plan(&plan);
+
+  const nn::Sequence seq = f.sequence(2);
+  const kernels::InferenceResult result = engine.infer(seq);
+  EXPECT_TRUE(result.degraded);
+  EXPECT_FALSE(engine.healthy());
+  EXPECT_EQ(result.probability, f.host.infer(seq));
+  // Degraded serves stay degraded while probing is disabled.
+  EXPECT_TRUE(engine.infer(seq).degraded);
+}
+
+TEST(EngineResilience, UnhealthyWithoutFallbackThrows) {
+  ResilienceFixture f;
+  kernels::CsdLstmEngine engine(
+      f.device, f.model_config, f.params,
+      kernels::EngineConfig{.batch_threads = 1,
+                            .retry = {.max_attempts = 1,
+                                      .recovery_probe_interval = 0}});
+  FaultConfig config;
+  config.xrt_launch_failure_probability = 1.0;
+  FaultPlan plan(config);
+  f.board.set_fault_plan(&plan);
+  EXPECT_THROW(engine.infer(f.sequence(3)), CsdUnavailableError);
+}
+
+TEST(EngineResilience, RecoveryProbeRestoresHealth) {
+  ResilienceFixture f;
+  kernels::CsdLstmEngine engine(
+      f.device, f.model_config, f.params,
+      kernels::EngineConfig{.batch_threads = 1,
+                            .retry = {.max_attempts = 1,
+                                      .recovery_probe_interval = 2}});
+  engine.set_fallback(&f.host);
+
+  FaultConfig config;
+  config.xrt_launch_failure_probability = 1.0;
+  config.max_faults = 1;  // one failure marks unhealthy; probes then succeed
+  FaultPlan plan(config);
+  f.board.set_fault_plan(&plan);
+
+  const nn::Sequence seq = f.sequence(4);
+  EXPECT_TRUE(engine.infer(seq).degraded);
+  EXPECT_FALSE(engine.healthy());
+  // Degraded serve #1 is below the probe interval; serve #2 hits it, the
+  // probe launch succeeds (the plan is exhausted) and health returns.
+  EXPECT_TRUE(engine.infer(seq).degraded);
+  const kernels::InferenceResult recovered = engine.infer(seq);
+  EXPECT_FALSE(recovered.degraded);
+  EXPECT_TRUE(engine.healthy());
+}
+
+TEST(EngineResilience, RestoreHealthClearsTheLatchImmediately) {
+  ResilienceFixture f;
+  kernels::CsdLstmEngine engine(
+      f.device, f.model_config, f.params,
+      kernels::EngineConfig{.batch_threads = 1,
+                            .retry = {.max_attempts = 1,
+                                      .recovery_probe_interval = 0}});
+  engine.set_fallback(&f.host);
+  FaultConfig config;
+  config.xrt_launch_failure_probability = 1.0;
+  config.max_faults = 1;
+  FaultPlan plan(config);
+  f.board.set_fault_plan(&plan);
+
+  const nn::Sequence seq = f.sequence(5);
+  EXPECT_TRUE(engine.infer(seq).degraded);
+  engine.restore_health();
+  EXPECT_TRUE(engine.healthy());
+  EXPECT_FALSE(engine.infer(seq).degraded);
+}
+
+TEST(DetectorResilience, DeferredClassificationRetriesOnNextCall) {
+  ResilienceFixture f;
+  kernels::CsdLstmEngine engine(
+      f.device, f.model_config, f.params,
+      kernels::EngineConfig{.batch_threads = 1,
+                            .retry = {.max_attempts = 1,
+                                      .recovery_probe_interval = 0}});
+  // No fallback: classifying while unhealthy throws, the detector defers.
+  FaultConfig config;
+  config.xrt_launch_failure_probability = 1.0;
+  config.max_faults = 1;
+  FaultPlan plan(config);
+  f.board.set_fault_plan(&plan);
+
+  detect::StreamingDetector detector(
+      engine, detect::DetectorConfig{.window_length = 8,
+                                     .hop = 4,
+                                     .threshold = 0.0,
+                                     .consecutive_alerts = 1});
+  // Fill the window: the 8th call comes due, hits the injected launch
+  // failure, and is deferred rather than dropped.
+  for (int i = 0; i < 8; ++i) {
+    detector.on_api_call(1, static_cast<nn::TokenId>(i % 48));
+  }
+  EXPECT_EQ(detector.classifications_run(), 0u);
+  EXPECT_EQ(detector.degraded_classifications(), 1u);
+  EXPECT_FALSE(detector.csd_healthy());
+
+  // The plan is exhausted, so a manual restore sticks; the very next call
+  // retries the deferred classification (no hop-length wait).
+  engine.restore_health();
+  const std::optional<detect::Detection> detection =
+      detector.on_api_call(1, 9);
+  ASSERT_TRUE(detection.has_value());
+  EXPECT_FALSE(detection->degraded);
+  EXPECT_EQ(detector.classifications_run(), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Acceptance: a full seeded campaign through the fuzz stack is reproducible
+// bit for bit — identical fault schedule, identical outcomes.
+// ---------------------------------------------------------------------------
+
+TEST(FaultCampaign, SeededCampaignIsReproducible) {
+  csdml::testing::FuzzConfig config;
+  config.seed = 2024;
+  config.faults.seed = 2024;
+  config.faults.xrt_launch_failure_probability = 0.02;
+  config.faults.nand_read_disturb_probability = 0.05;
+  config.faults.pcie_corruption_probability = 0.05;
+  config.faults.nvme_timeout_probability = 0.1;
+  config.faults.nvme_drop_probability = 0.1;
+
+  csdml::testing::FuzzStack first(config);
+  const csdml::testing::FuzzOutcome a = first.run(600);
+  csdml::testing::FuzzStack second(config);
+  const csdml::testing::FuzzOutcome b = second.run(600);
+
+  EXPECT_GT(a.detections, 0u);
+  EXPECT_GT(a.faults_injected, 0u);
+  EXPECT_EQ(a.parity_mismatches, 0u);
+  EXPECT_EQ(a.accounting_mismatches, 0u);
+  EXPECT_EQ(a.fault_digest, b.fault_digest);
+  EXPECT_EQ(a.outcome_digest, b.outcome_digest);
+  EXPECT_EQ(a.detections, b.detections);
+  EXPECT_EQ(a.degraded_serves, b.degraded_serves);
+  EXPECT_EQ(first.plan().log(), second.plan().log());
+}
+
+}  // namespace
+}  // namespace csdml::faults

@@ -64,8 +64,8 @@ TEST(Lstm, DifferentSequencesGiveDifferentOutputs) {
   LstmConfig config;
   Rng rng(6);
   const LstmClassifier model(config, rng);
-  const double p1 = model.forward({1, 2, 3, 4, 5}, nullptr);
-  const double p2 = model.forward({200, 201, 202, 203, 204}, nullptr);
+  const double p1 = model.forward(Sequence{1, 2, 3, 4, 5}, nullptr);
+  const double p2 = model.forward(Sequence{200, 201, 202, 203, 204}, nullptr);
   EXPECT_NE(p1, p2);
 }
 
@@ -74,8 +74,8 @@ TEST(Lstm, OrderSensitivity) {
   LstmConfig config;
   Rng rng(7);
   const LstmClassifier model(config, rng);
-  const double forward_order = model.forward({10, 20, 30, 40, 50}, nullptr);
-  const double reverse_order = model.forward({50, 40, 30, 20, 10}, nullptr);
+  const double forward_order = model.forward(Sequence{10, 20, 30, 40, 50}, nullptr);
+  const double reverse_order = model.forward(Sequence{50, 40, 30, 20, 10}, nullptr);
   EXPECT_NE(forward_order, reverse_order);
 }
 

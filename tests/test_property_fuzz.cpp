@@ -1,0 +1,103 @@
+// Property-based fuzzing of the two data structures whose correctness the
+// serving path leans on hardest:
+//
+//   * TokenRing — the zero-copy sliding window — against a naive
+//     std::deque model, over randomized push/clear streams and capacities;
+//   * InvariantScale::mul — the reciprocal-estimate fast path — against
+//     ScaledFixed::mul_raw, the exact 128-bit oracle, over adversarial
+//     ±2^k±1 operands that straddle the double-exact window.
+//
+// Both run ≥10k seeded iterations (scalable via CSDML_FUZZ_ITERS).
+#include "detect/token_ring.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <deque>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "fixed/scaled_fixed.hpp"
+#include "fuzz_harness.hpp"
+
+namespace csdml {
+namespace {
+
+TEST(TokenRingProperty, MatchesDequeModelOverRandomOperations) {
+  Rng rng(0xA11CE);
+  const std::size_t iterations = testing::fuzz_iterations(10'000);
+  std::size_t operations = 0;
+  while (operations < iterations) {
+    const auto capacity = static_cast<std::size_t>(rng.uniform_int(1, 9));
+    detect::TokenRing ring(capacity);
+    std::deque<nn::TokenId> model;
+    const auto episode = static_cast<std::size_t>(rng.uniform_int(1, 64));
+    for (std::size_t op = 0; op < episode; ++op, ++operations) {
+      if (rng.chance(0.05)) {
+        ring.clear();
+        model.clear();
+      } else {
+        const auto token = static_cast<nn::TokenId>(rng.uniform_int(0, 1'000));
+        ring.push(token);
+        model.push_back(token);
+        if (model.size() > capacity) model.pop_front();
+      }
+      ASSERT_EQ(ring.size(), model.size());
+      ASSERT_EQ(ring.full(), model.size() == capacity);
+      ASSERT_EQ(ring.empty(), model.empty());
+      const nn::TokenSpan view = ring.view();
+      ASSERT_EQ(view.size(), model.size());
+      const std::vector<nn::TokenId> window(view.begin(), view.end());
+      ASSERT_TRUE(std::equal(window.begin(), window.end(), model.begin()))
+          << "capacity " << capacity << " after op " << op;
+    }
+  }
+}
+
+std::vector<std::int64_t> adversarial_operands() {
+  // ±2^k, ±(2^k ± 1): the values where a reciprocal estimate is most
+  // likely to land on the wrong side of a rounding boundary, spanning both
+  // sides of InvariantScale's 2^52 exact window (products up to ~2^62).
+  std::vector<std::int64_t> values{0, 1, -1, 2, -2};
+  for (int k = 2; k <= 31; ++k) {
+    const std::int64_t p = std::int64_t{1} << k;
+    for (const std::int64_t v : {p - 1, p, p + 1}) {
+      values.push_back(v);
+      values.push_back(-v);
+    }
+  }
+  return values;
+}
+
+TEST(InvariantScaleProperty, MulMatchesExactOracleOnAdversarialOperands) {
+  const std::vector<std::int64_t> operands = adversarial_operands();
+  for (const std::int64_t scale :
+       {std::int64_t{1}, std::int64_t{3}, std::int64_t{1000},
+        fixedpt::kPaperScale, std::int64_t{1} << 20}) {
+    const fixedpt::InvariantScale inv(scale);
+    for (const std::int64_t a : operands) {
+      for (const std::int64_t b : operands) {
+        ASSERT_EQ(inv.mul(a, b), fixedpt::ScaledFixed::mul_raw(a, b, scale))
+            << "a=" << a << " b=" << b << " scale=" << scale;
+      }
+    }
+  }
+}
+
+TEST(InvariantScaleProperty, MulMatchesExactOracleOnRandomOperands) {
+  Rng rng(0xF1D0);
+  const fixedpt::InvariantScale inv(fixedpt::kPaperScale);
+  const std::size_t iterations = testing::fuzz_iterations(10'000);
+  for (std::size_t i = 0; i < iterations; ++i) {
+    // LSTM-magnitude raw values (|x| ≲ 10^3 at scale 10^6 → raw ≲ 10^9),
+    // stretched another order of magnitude to cross the exact window.
+    const std::int64_t a = rng.uniform_int(-10'000'000'000, 10'000'000'000);
+    const std::int64_t b = rng.uniform_int(-10'000'000'000, 10'000'000'000);
+    ASSERT_EQ(inv.mul(a, b),
+              fixedpt::ScaledFixed::mul_raw(a, b, fixedpt::kPaperScale))
+        << "a=" << a << " b=" << b;
+  }
+}
+
+}  // namespace
+}  // namespace csdml
