@@ -23,6 +23,8 @@
 #include "detect/detector.hpp"
 #include "faults/fault_plan.hpp"
 #include "kernels/engine.hpp"
+#include "obs/flight_recorder.hpp"
+#include "obs/health.hpp"
 
 namespace {
 
@@ -37,6 +39,7 @@ struct CampaignRow {
   std::uint64_t recoveries{0};
   std::uint64_t faults_injected{0};
   double windows_per_sec{0.0};
+  csdml::obs::HealthReport health;
 };
 
 }  // namespace
@@ -47,6 +50,10 @@ int main(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--tiny") == 0) tiny = true;
   }
+
+  // Post-mortem coverage: if a campaign crashes the process, the flight
+  // recorder still ships its last events as JSON before the re-raise.
+  obs::FlightRecorder::install_crash_handler();
 
   nn::LstmConfig config;  // seed defaults: fit the xcku15p at every level
   const std::size_t window = tiny ? 12 : 100;
@@ -62,11 +69,17 @@ int main(int argc, char** argv) {
             << " window=" << window << " calls=" << calls
             << (tiny ? "  [tiny smoke]" : "") << "\n";
 
-  const std::vector<double> fault_rates{0.0, 0.005, 0.02, 0.05};
+  // 0.25 is the storm rate: 3 consecutive launch failures per window are
+  // likely enough that the unhealthy latch (and its flight-recorder dump)
+  // fires deterministically even in the tiny CI campaign.
+  const std::vector<double> fault_rates{0.0, 0.005, 0.02, 0.05, 0.25};
   std::vector<CampaignRow> rows;
   TextTable table({"fault_rate", "classified", "degraded", "deferred",
-                   "retries", "recoveries", "windows_per_s"});
+                   "retries", "recoveries", "windows_per_s", "health"});
   for (const double rate : fault_rates) {
+    // Fresh registry per campaign so the health verdict judges this
+    // campaign's tail, not the accumulated history of previous rates.
+    obs::registry().reset();
     csd::SmartSsd board{csd::SmartSsdConfig{}};
     xrt::Device device{board};
     kernels::CsdLstmEngine engine(
@@ -115,6 +128,7 @@ int main(int argc, char** argv) {
     row.faults_injected = plan.injected();
     row.windows_per_sec =
         elapsed > 0.0 ? static_cast<double>(row.classifications) / elapsed : 0.0;
+    row.health = obs::evaluate_health(metrics.snapshot(), engine.healthy());
     rows.push_back(row);
     table.add_row({TextTable::num(rate, 3),
                    std::to_string(row.classifications),
@@ -122,7 +136,8 @@ int main(int argc, char** argv) {
                    std::to_string(row.deferred),
                    std::to_string(row.retries),
                    std::to_string(row.recoveries),
-                   TextTable::num(row.windows_per_sec, 0)});
+                   TextTable::num(row.windows_per_sec, 0),
+                   obs::health_verdict_name(row.health.verdict)});
   }
   table.print(std::cout);
 
@@ -149,9 +164,17 @@ int main(int argc, char** argv) {
     json.field("recoveries", row.recoveries);
     json.field("faults_injected", row.faults_injected);
     json.field("windows_per_sec", row.windows_per_sec);
+    json.field("health_verdict", obs::health_verdict_name(row.health.verdict));
+    json.field("slo_burn", row.health.slo_burn);
+    json.field("within_slo", row.health.within_slo);
+    json.field("unhealthy_latches", row.health.unhealthy_latches);
     json.end_object();
   }
   json.end_array();
+  json.field("final_health_verdict",
+             obs::health_verdict_name(rows.back().health.verdict));
+  json.field("flight_events_recorded",
+             obs::FlightRecorder::instance().recorded());
   json.end_object();
 
   const char* out_dir = std::getenv("CSDML_METRICS_OUT");

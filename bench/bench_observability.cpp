@@ -1,0 +1,193 @@
+// Observability overhead: what request-scoped tracing and the flight
+// recorder cost on the inference hot path.
+//
+// Runs the same engine.infer stream twice — spans disabled, then enabled
+// (each classification then opens a trace with ~6 spans and string names)
+// — and reports the wall-clock delta. Also measures the per-event cost of
+// FlightRecorder::record, which hot paths call unconditionally. Emits
+// BENCH_observability.json (into CSDML_METRICS_OUT when set); `--tiny`
+// shrinks the stream for CI. The acceptance bar: tracing must stay a
+// single-digit-percent tax, since it is on by default in every campaign.
+#include <chrono>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "common/json_writer.hpp"
+#include "common/rng.hpp"
+#include "common/table.hpp"
+#include "kernels/engine.hpp"
+#include "obs/flight_recorder.hpp"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+struct Run {
+  double wall_seconds{0.0};
+  double inferences_per_sec{0.0};
+  std::size_t spans_recorded{0};
+};
+
+/// Interleaves the two modes in alternating blocks so slow drift in machine
+/// load (noisy-neighbour CI runners) charges both sides equally instead of
+/// whichever mode ran second.
+void run_interleaved(csdml::kernels::CsdLstmEngine& engine,
+                     const std::vector<csdml::nn::Sequence>& windows, Run& off,
+                     Run& on) {
+  using namespace csdml;
+  obs::SpanTrace& spans = engine.span_trace();
+  // Warmup: fault-free steady state, datapath tables hot.
+  for (std::size_t i = 0; i < 16 && i < windows.size(); ++i) {
+    (void)engine.infer(windows[i]);
+  }
+  spans.clear();
+
+  const std::size_t block = 50;
+  std::size_t inferences = 0;
+  for (std::size_t base = 0; base < windows.size(); base += block) {
+    const std::size_t end = std::min(base + block, windows.size());
+    for (const bool spans_on : {false, true}) {
+      spans.set_enabled(spans_on);
+      const auto start = Clock::now();
+      for (std::size_t i = base; i < end; ++i) {
+        (void)engine.infer(windows[i]);
+      }
+      const double elapsed =
+          std::chrono::duration<double>(Clock::now() - start).count();
+      (spans_on ? on : off).wall_seconds += elapsed;
+    }
+    inferences += end - base;
+  }
+  for (Run* run : {&off, &on}) {
+    run->inferences_per_sec =
+        run->wall_seconds > 0.0
+            ? static_cast<double>(inferences) / run->wall_seconds
+            : 0.0;
+  }
+  on.spans_recorded = spans.spans().size();
+  spans.set_enabled(true);  // leave the board in its default state
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace csdml;
+  bool tiny = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--tiny") == 0) tiny = true;
+  }
+
+  nn::LstmConfig config;
+  const std::size_t window = 100;
+  const std::size_t iters = tiny ? 1'000 : 10'000;
+
+  Rng rng(29);
+  const nn::LstmParams params = nn::LstmParams::glorot(config, rng);
+  csd::SmartSsd board{csd::SmartSsdConfig{}};
+  xrt::Device device{board};
+  kernels::CsdLstmEngine engine(device, config, params,
+                                kernels::EngineConfig{.batch_threads = 1});
+  // Keep the retained-span buffer well under the iteration count so the
+  // enabled run also pays the amortized trim, like a real campaign.
+  engine.span_trace().set_retention(1u << 12);
+
+  std::vector<nn::Sequence> windows(iters);
+  Rng token_rng(31);
+  for (nn::Sequence& sequence : windows) {
+    sequence.resize(window);
+    for (nn::TokenId& token : sequence) {
+      token = static_cast<nn::TokenId>(
+          token_rng.uniform_int(0, config.vocab_size - 1));
+    }
+  }
+
+  bench::print_header("Observability overhead (request spans + flight recorder)");
+  std::cout << "vocab=" << config.vocab_size << " hidden=" << config.hidden_dim
+            << " window=" << window << " iters=" << iters
+            << (tiny ? "  [tiny smoke]" : "") << "\n";
+
+  Run off, on;
+  run_interleaved(engine, windows, off, on);
+  const double overhead_pct =
+      off.wall_seconds > 0.0
+          ? (on.wall_seconds - off.wall_seconds) / off.wall_seconds * 100.0
+          : 0.0;
+
+  // Flight-recorder append cost, measured alone: hot paths record into the
+  // ring unconditionally, so this must stay in the tens of nanoseconds.
+  obs::FlightRecorder recorder(1u << 10);
+  const std::size_t flight_iters = tiny ? 200'000 : 2'000'000;
+  const auto flight_start = Clock::now();
+  for (std::size_t i = 0; i < flight_iters; ++i) {
+    recorder.record(obs::FlightEventKind::Fault, "bench", "event",
+                    TimePoint{static_cast<std::int64_t>(i)}, i, i);
+  }
+  const double flight_elapsed =
+      std::chrono::duration<double>(Clock::now() - flight_start).count();
+  const double flight_ns =
+      flight_elapsed / static_cast<double>(flight_iters) * 1e9;
+
+  TextTable table({"mode", "wall_s", "inferences_per_s", "spans_retained"});
+  table.add_row({"spans off", TextTable::num(off.wall_seconds, 3),
+                 TextTable::num(off.inferences_per_sec, 0),
+                 std::to_string(off.spans_recorded)});
+  table.add_row({"spans on", TextTable::num(on.wall_seconds, 3),
+                 TextTable::num(on.inferences_per_sec, 0),
+                 std::to_string(on.spans_recorded)});
+  table.print(std::cout);
+  std::cout << "tracing overhead " << TextTable::num(overhead_pct, 2)
+            << "%  flight record " << TextTable::num(flight_ns, 1)
+            << " ns/event\n";
+
+  JsonWriter json;
+  json.begin_object();
+  json.field("bench", "observability");
+  json.key("config");
+  json.begin_object();
+  json.field("vocab_size", static_cast<std::int64_t>(config.vocab_size));
+  json.field("hidden_dim", config.hidden_dim);
+  json.field("window", window);
+  json.field("iters", iters);
+  json.field("tiny", tiny);
+  json.end_object();
+  json.key("spans_off");
+  json.begin_object();
+  json.field("wall_seconds", off.wall_seconds);
+  json.field("inferences_per_sec", off.inferences_per_sec);
+  json.end_object();
+  json.key("spans_on");
+  json.begin_object();
+  json.field("wall_seconds", on.wall_seconds);
+  json.field("inferences_per_sec", on.inferences_per_sec);
+  json.field("spans_retained", on.spans_recorded);
+  json.end_object();
+  json.field("tracing_overhead_pct", overhead_pct);
+  json.field("flight_record_ns", flight_ns);
+  json.end_object();
+
+  const char* out_dir = std::getenv("CSDML_METRICS_OUT");
+  if (out_dir != nullptr && *out_dir != '\0') {
+    std::error_code ec;
+    std::filesystem::create_directories(out_dir, ec);  // best effort
+  }
+  const std::string json_path =
+      (out_dir != nullptr && *out_dir != '\0' ? std::string(out_dir) + "/"
+                                              : std::string()) +
+      "BENCH_observability.json";
+  {
+    std::ofstream out(json_path);
+    if (!out) {
+      std::cerr << "cannot write " << json_path << "\n";
+      return 1;
+    }
+    out << json.str() << '\n';
+  }
+  std::cout << "\nobservability -> " << json_path << "\n";
+  bench::dump_metrics_json("bench_observability");
+  return 0;
+}

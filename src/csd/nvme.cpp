@@ -4,6 +4,7 @@
 
 #include "common/error.hpp"
 #include "faults/fault_plan.hpp"
+#include "obs/flight_recorder.hpp"
 #include "obs/metrics.hpp"
 
 namespace csdml::csd {
@@ -55,6 +56,11 @@ void NvmeQueue::submit(NvmeCommand command, TimePoint at) {
     metrics.add_counter("nvme.write_bytes", command.payload.size());
   }
 
+  obs::SpanTrace& spans = device_.span_trace();
+  const bool traced = spans.enabled() && spans.in_trace();
+  const std::string span_name =
+      std::string("nvme.") + opcode_name(command.opcode);
+
   faults::FaultPlan* plan = device_.fault_plan();
   if (plan != nullptr &&
       plan->should_inject(faults::FaultKind::NvmeTimeout)) {
@@ -66,9 +72,19 @@ void NvmeQueue::submit(NvmeCommand command, TimePoint at) {
     timed_out.success = false;
     timed_out.status = NvmeStatus::TimedOut;
     timed_out.completed_at = start + config_.command_timeout;
+    if (traced) {
+      const obs::SpanId span = spans.begin_span(span_name, start);
+      spans.tag(span, "fault", "nvme_timeout");
+      spans.tag(span, "status", nvme_status_name(timed_out.status));
+      spans.end_span(span, timed_out.completed_at);
+    }
+    obs::FlightRecorder::instance().record(
+        obs::FlightEventKind::Fault, "nvme", "timeout", start,
+        spans.current_trace(), command.command_id);
     inflight_.push_back(std::move(timed_out));
     return;
   }
+  const obs::SpanId span = traced ? spans.begin_span(span_name, start) : 0;
   NvmeCompletion completion = execute(command, start);
   if (plan != nullptr &&
       plan->should_inject(faults::FaultKind::NvmeDroppedCompletion)) {
@@ -79,7 +95,15 @@ void NvmeQueue::submit(NvmeCommand command, TimePoint at) {
     completion.status = NvmeStatus::CompletionLost;
     completion.data.clear();
     completion.completed_at = completion.completed_at + config_.command_timeout;
+    if (traced) {
+      spans.tag(span, "fault", "nvme_dropped_completion");
+      spans.tag(span, "status", nvme_status_name(completion.status));
+    }
+    obs::FlightRecorder::instance().record(
+        obs::FlightEventKind::Fault, "nvme", "dropped_completion", start,
+        spans.current_trace(), command.command_id);
   }
+  if (traced) spans.end_span(span, completion.completed_at);
   inflight_.push_back(std::move(completion));
 }
 

@@ -33,6 +33,7 @@ TransferResult SmartSsd::p2p_read_to_fpga(std::uint64_t lba,
   const TimePoint landed = fpga_.bank(bank).access(bytes, switched);
   fpga_.bank(bank).store(bank_offset, io.data);
   trace_.record("p2p_read", at, landed);
+  obs::record_span(span_trace_, "p2p_read", at, landed);
   return TransferResult{landed, bytes};
 }
 
@@ -52,6 +53,7 @@ TransferResult SmartSsd::host_read_to_fpga(std::uint64_t lba,
   const TimePoint landed = fpga_.bank(bank).access(bytes, back_down);
   fpga_.bank(bank).store(bank_offset, io.data);
   trace_.record("host_read", at, landed);
+  obs::record_span(span_trace_, "host_read", at, landed);
   return TransferResult{landed, bytes};
 }
 
@@ -69,6 +71,7 @@ TransferResult SmartSsd::host_write_to_fpga(const std::vector<std::uint8_t>& dat
     fpga_.bank(bank).store(bank_offset, data);
   }
   trace_.record("host_write_fpga", at, landed);
+  obs::record_span(span_trace_, "host_write_fpga", at, landed);
   return TransferResult{landed, bytes};
 }
 
@@ -81,6 +84,7 @@ IoResult SmartSsd::host_read_from_fpga(std::uint32_t bank, std::uint64_t bank_of
   const TimePoint fetched = fpga_.bank(bank).access(bytes, at);
   result.done = switch_.to_host(bytes, fetched);
   trace_.record("host_read_fpga", at, result.done);
+  obs::record_span(span_trace_, "host_read_fpga", at, result.done);
   return result;
 }
 

@@ -14,6 +14,7 @@
 #include "csd/fpga_device.hpp"
 #include "csd/pcie.hpp"
 #include "csd/ssd.hpp"
+#include "obs/span_trace.hpp"
 #include "sim/trace.hpp"
 
 namespace csdml::faults {
@@ -44,6 +45,10 @@ class SmartSsd {
   const FpgaDevice& fpga() const { return fpga_; }
   PcieSwitch& pcie() { return switch_; }
   sim::Trace& trace() { return trace_; }
+  /// Request-scoped causal spans for everything that flows through this
+  /// board (detector -> engine -> transfers -> kernels). Transfers record
+  /// into it only while a trace is open, so init-time staging stays out.
+  obs::SpanTrace& span_trace() { return span_trace_; }
 
   /// P2P read: NAND -> switch -> FPGA DDR `bank` at `bank_offset`.
   TransferResult p2p_read_to_fpga(std::uint64_t lba, std::uint32_t block_count,
@@ -83,6 +88,7 @@ class SmartSsd {
   FpgaDevice fpga_;
   PcieSwitch switch_;
   sim::Trace trace_;
+  obs::SpanTrace span_trace_;
 };
 
 }  // namespace csdml::csd

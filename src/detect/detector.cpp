@@ -2,6 +2,7 @@
 
 #include "common/error.hpp"
 #include "faults/fault_plan.hpp"
+#include "obs/flight_recorder.hpp"
 #include "obs/metrics.hpp"
 
 namespace csdml::detect {
@@ -52,6 +53,19 @@ std::optional<Detection> StreamingDetector::on_api_call(ProcessId process,
   }
   state.calls_since_eval = 0;
 
+  // Request ingress: one trace per classification. Everything the engine,
+  // transfers and kernels record until end_trace lands in this tree.
+  obs::SpanTrace& spans = engine_.span_trace();
+  const bool tracing = spans.enabled();
+  obs::TraceId trace_id = 0;
+  obs::SpanId root = 0;
+  if (tracing) {
+    trace_id = spans.begin_trace();
+    root = spans.begin_span("detector.classify", engine_.device_now());
+    spans.tag(root, "process", std::to_string(process));
+    spans.tag(root, "call_index", std::to_string(state.calls_seen));
+  }
+
   // Zero-copy: the ring's doubled backing store makes the window one
   // contiguous run, so classification needs no per-call Sequence copy.
   kernels::InferenceResult result;
@@ -64,10 +78,19 @@ std::optional<Detection> StreamingDetector::on_api_call(ProcessId process,
     state.calls_since_eval = config_.hop;
     ++degraded_;
     metrics.add_counter("detector.degraded_classifications");
+    if (tracing) {
+      spans.tag(root, "deferred", "1");
+      spans.end_span(root, engine_.device_now());
+      spans.end_trace();
+    }
+    obs::FlightRecorder::instance().record(
+        obs::FlightEventKind::Deferred, "detector", "csd_unavailable",
+        engine_.device_now(), trace_id, process);
     return std::nullopt;
   }
   if (result.degraded) {
     metrics.add_counter("detector.fallback_classifications");
+    if (tracing) spans.tag(root, "degraded", "1");
   }
   ++classifications_;
   device_time_ += result.device_time;
@@ -80,14 +103,23 @@ std::optional<Detection> StreamingDetector::on_api_call(ProcessId process,
   } else {
     state.alert_streak = 0;
   }
-  if (state.alert_streak < config_.consecutive_alerts) {
+  const bool alert = state.alert_streak >= config_.consecutive_alerts;
+  if (!alert && state.alert_streak > 0) {
     // Over threshold but still inside the debounce window.
-    if (state.alert_streak > 0) {
-      metrics.add_counter("detector.debounce_suppressions");
-    }
-    return std::nullopt;
+    metrics.add_counter("detector.debounce_suppressions");
+    if (tracing) spans.tag(root, "debounced", "1");
   }
+  if (tracing) {
+    if (alert) spans.tag(root, "alert", "1");
+    spans.end_span(root, engine_.device_now());
+    spans.end_trace();
+  }
+  if (!alert) return std::nullopt;
   metrics.add_counter("detector.alerts");
+  obs::FlightRecorder::instance().record(
+      obs::FlightEventKind::Alert, "detector", "ransomware_alert",
+      engine_.device_now(), trace_id, process);
+  obs::FlightRecorder::instance().auto_dump("alert");
 
   Detection detection;
   detection.process = process;
@@ -95,6 +127,7 @@ std::optional<Detection> StreamingDetector::on_api_call(ProcessId process,
   detection.call_index = state.calls_seen;
   detection.inference_time = result.device_time;
   detection.degraded = result.degraded;
+  detection.trace_id = trace_id;
   return detection;
 }
 

@@ -41,6 +41,9 @@ struct Detection {
   /// True when the classification was served by the host fallback while
   /// the CSD was unhealthy (same alert semantics, different datapath).
   bool degraded{false};
+  /// Request trace id assigned at ingress (0 when tracing is disabled).
+  /// Joins the alert to its span tree in exported traces.
+  obs::TraceId trace_id{0};
 };
 
 class StreamingDetector {

@@ -2,6 +2,7 @@
 
 #include "common/error.hpp"
 #include "common/log.hpp"
+#include "obs/flight_recorder.hpp"
 #include "obs/metrics.hpp"
 
 namespace csdml::detect {
@@ -22,6 +23,10 @@ MitigationAction GuardedSsd::on_api_call(ProcessId process, nn::TokenId token,
     const std::uint64_t before = stats_.blocks_restored;
     restore(process, at);
     obs::registry().add_counter("guarded_ssd.quarantine_rollbacks");
+    obs::FlightRecorder::instance().record(
+        obs::FlightEventKind::Rollback, "guarded_ssd", "quarantine_rollback",
+        at, board_.span_trace().current_trace(),
+        stats_.blocks_restored - before);
     CSDML_LOG_INFO("guarded-ssd")
         << "process quarantined" << kv("process", process)
         << kv("blocks_rolled_back", stats_.blocks_restored - before);

@@ -1,18 +1,24 @@
 #include "host/cli.hpp"
 
+#include <fstream>
 #include <map>
+#include <memory>
 #include <optional>
 #include <ostream>
 
+#include "baselines/host_baseline.hpp"
 #include "common/error.hpp"
 #include "common/table.hpp"
 #include "detect/attribution.hpp"
 #include "detect/detector.hpp"
+#include "faults/fault_plan.hpp"
 #include "hls/report.hpp"
 #include "kernels/engine.hpp"
 #include "nn/train.hpp"
 #include "nn/weights_io.hpp"
+#include "obs/health.hpp"
 #include "obs/metrics.hpp"
+#include "obs/prometheus.hpp"
 #include "obs/trace_export.hpp"
 #include "ransomware/dataset_builder.hpp"
 #include "ransomware/families.hpp"
@@ -41,10 +47,19 @@ commands:
                deploy on the simulated SmartSSD and report metrics + AUC;
                --trace-out writes the device trace as Chrome-trace JSON,
                --stats appends the telemetry registry tables
-  stats        [--level L] [--calls N] [--seed N] [--json] [--trace-out PATH]
+  stats        [--level L] [--calls N] [--seed N] [--fault-rate F] [--json]
+               [--health] [--prometheus] [--trace-out PATH]
                run a sample streaming detection and print the telemetry
-               registry (counters, gauges, p50/p95/p99 histograms) plus a
-               span summary; --json emits machine-readable metrics instead
+               registry (counters, gauges, p50/p95/p99 histograms) plus the
+               device and request-span summaries; --json emits machine-
+               readable metrics, --health the SLO verdict (JSON with
+               --json), --prometheus the text exposition format
+  watch        [--level L] [--rounds N] [--interval-calls N] [--seed N]
+               [--fault-rate F] [--health]
+               run the sample stream in rounds and print per-round snapshot
+               deltas (classifications, alerts, deferrals, fallback serves,
+               p99, health verdict); exits 1 if the final verdict is
+               unhealthy
   attribute    --weights PATH --dataset PATH --row N [--top K]
                explain one window: occlusion attribution of its API calls
   timings      [--level L] [--cus N] [--stream]
@@ -97,6 +112,107 @@ class Flags {
 
  private:
   std::map<std::string, std::string> values_;
+};
+
+/// Fails fast — before minutes of workload run behind it — when the trace
+/// destination cannot be opened for writing. Append mode probes without
+/// clobbering whatever is already there.
+void require_writable(const std::string& path) {
+  std::ofstream probe(path, std::ios::app);
+  if (!probe) throw Error("cannot open trace output file: " + path);
+}
+
+std::uint64_t snapshot_counter(const obs::MetricsSnapshot& snapshot,
+                               const std::string& name) {
+  for (const auto& [key, value] : snapshot.counters) {
+    if (key == name) return value;
+  }
+  return 0;
+}
+
+/// The sample workload `stats` and `watch` share: one ransomware process
+/// interleaved with two benign ones through the streaming detector, so
+/// every instrumented layer (engine kernels, detector, xrt syncs) feeds
+/// the registry, the device trace and the request-span tree. A nonzero
+/// fault rate attaches an XRT launch-failure plan plus a host fallback so
+/// the degraded-mode machinery shows up in the deltas.
+class SampleRig {
+ public:
+  SampleRig(kernels::OptimizationLevel level, std::uint64_t seed,
+            std::size_t calls, double fault_rate)
+      : rng_(seed), params_(nn::LstmParams::glorot(config_, rng_)),
+        board_{csd::SmartSsdConfig{}}, device_{board_},
+        engine_(device_, config_, params_,
+                kernels::EngineConfig{.level = level}),
+        detector_(engine_, detect::DetectorConfig{.window_length = 100,
+                                                  .hop = 25,
+                                                  .consecutive_alerts = 2}) {
+    if (fault_rate > 0.0) {
+      faults::FaultConfig fault_config;
+      fault_config.seed = seed + 404;
+      fault_config.xrt_launch_failure_probability = fault_rate;
+      plan_.emplace(fault_config);
+      board_.set_fault_plan(&*plan_);
+      fallback_ = std::make_unique<baselines::HostBaseline>(
+          "host-fallback", config_, params_,
+          baselines::HostLatencyConfig::xeon_cpu());
+      engine_.set_fallback(fallback_.get());
+    }
+    const ransomware::SandboxTraceGenerator sandbox{ransomware::SandboxConfig{}};
+    const auto& families = ransomware::ransomware_families();
+    const auto& benign = ransomware::benign_profiles();
+    CSDML_REQUIRE(!families.empty() && benign.size() >= 2,
+                  "corpus profiles unavailable");
+    const auto variant =
+        static_cast<std::uint32_t>(seed % families.front().variants);
+    streams_ = {
+        sandbox.ransomware_trace(families.front(), variant, calls),
+        sandbox.benign_trace(benign[0], variant + 1, calls),
+        sandbox.benign_trace(benign[1], variant + 2, calls),
+    };
+  }
+
+  /// Feeds calls [begin, end) of every stream round-robin; returns the
+  /// number of alerts fired.
+  std::size_t run(std::size_t begin, std::size_t end) {
+    std::size_t alerts = 0;
+    for (std::size_t i = begin; i < end; ++i) {
+      for (std::size_t p = 0; p < streams_.size(); ++p) {
+        if (i >= streams_[p].size()) continue;
+        if (detector_
+                .on_api_call(static_cast<detect::ProcessId>(p + 1),
+                             streams_[p][i])
+                .has_value()) {
+          ++alerts;
+        }
+      }
+    }
+    return alerts;
+  }
+
+  /// Processes terminate: pending debounce state flushes into aggregate
+  /// counters instead of leaking.
+  void forget_all() {
+    for (std::size_t p = 0; p < streams_.size(); ++p) {
+      detector_.forget(static_cast<detect::ProcessId>(p + 1));
+    }
+  }
+
+  csd::SmartSsd& board() { return board_; }
+  detect::StreamingDetector& detector() { return detector_; }
+  std::size_t stream_count() const { return streams_.size(); }
+
+ private:
+  nn::LstmConfig config_;
+  Rng rng_;
+  nn::LstmParams params_;
+  csd::SmartSsd board_;
+  xrt::Device device_;
+  kernels::CsdLstmEngine engine_;
+  detect::StreamingDetector detector_;
+  std::optional<faults::FaultPlan> plan_;
+  std::unique_ptr<baselines::HostBaseline> fallback_;
+  std::vector<std::vector<nn::TokenId>> streams_;
 };
 
 kernels::OptimizationLevel parse_level(const std::string& name) {
@@ -174,6 +290,9 @@ int cmd_classify(const Flags& flags, std::ostream& out) {
   const kernels::OptimizationLevel level =
       parse_level(flags.get("level").value_or("fixed-point"));
 
+  const auto trace_out = flags.get("trace-out");
+  if (trace_out.has_value()) require_writable(*trace_out);
+
   csd::SmartSsd board{csd::SmartSsdConfig{}};
   xrt::Device device{board};
   kernels::CsdLstmEngine engine(device, snapshot,
@@ -204,12 +323,14 @@ int cmd_classify(const Flags& flags, std::ostream& out) {
       << TextTable::num(device_time.as_microseconds() /
                             static_cast<double>(dataset.size()), 1)
       << " us/window\n";
-  if (const auto trace_out = flags.get("trace-out"); trace_out.has_value()) {
-    obs::write_chrome_trace_file(*trace_out, board.trace());
+  if (trace_out.has_value()) {
+    obs::write_chrome_trace_file(*trace_out, board.trace(),
+                                 board.span_trace());
     out << "trace -> " << *trace_out << "\n";
   }
   if (flags.has("stats")) {
     out << "\n" << obs::trace_summary(board.trace()) << "\n"
+        << board.span_trace().summary() << "\n"
         << obs::registry().snapshot().to_text();
   }
   return 0;
@@ -220,65 +341,115 @@ int cmd_stats(const Flags& flags, std::ostream& out) {
       parse_level(flags.get("level").value_or("fixed-point"));
   const auto calls = static_cast<std::size_t>(flags.get_long("calls", 1'200));
   const auto seed = static_cast<std::uint64_t>(flags.get_long("seed", 2024));
+  const double fault_rate = flags.get_double("fault-rate", 0.0);
   CSDML_REQUIRE(calls >= 200, "--calls must be at least 200");
+  CSDML_REQUIRE(fault_rate >= 0.0 && fault_rate < 1.0,
+                "--fault-rate must be in [0, 1)");
+  const auto trace_out = flags.get("trace-out");
+  if (trace_out.has_value()) require_writable(*trace_out);
 
-  // Sample workload: one ransomware process interleaved with two benign
-  // ones through the streaming detector, so every instrumented layer
-  // (engine kernels, detector, xrt syncs) populates the registry.
   obs::registry().reset();
-  nn::LstmConfig config;
-  Rng rng(seed);
-  csd::SmartSsd board{csd::SmartSsdConfig{}};
-  xrt::Device device{board};
-  kernels::CsdLstmEngine engine(device, config,
-                                nn::LstmParams::glorot(config, rng),
-                                kernels::EngineConfig{.level = level});
-  detect::StreamingDetector detector(
-      engine, detect::DetectorConfig{.window_length = 100, .hop = 25,
-                                     .consecutive_alerts = 2});
+  SampleRig rig(level, seed, calls, fault_rate);
+  rig.run(0, calls);
+  rig.forget_all();
 
-  const ransomware::SandboxTraceGenerator sandbox{ransomware::SandboxConfig{}};
-  const auto& families = ransomware::ransomware_families();
-  const auto& benign = ransomware::benign_profiles();
-  CSDML_REQUIRE(!families.empty() && benign.size() >= 2,
-                "corpus profiles unavailable");
-  const auto variant =
-      static_cast<std::uint32_t>(seed % families.front().variants);
-  const std::vector<std::vector<nn::TokenId>> streams = {
-      sandbox.ransomware_trace(families.front(), variant, calls),
-      sandbox.benign_trace(benign[0], variant + 1, calls),
-      sandbox.benign_trace(benign[1], variant + 2, calls),
-  };
-  for (std::size_t i = 0; i < calls; ++i) {
-    for (std::size_t p = 0; p < streams.size(); ++p) {
-      if (i < streams[p].size()) {
-        detector.on_api_call(static_cast<detect::ProcessId>(p + 1),
-                             streams[p][i]);
-      }
-    }
+  if (trace_out.has_value()) {
+    obs::write_chrome_trace_file(*trace_out, rig.board().trace(),
+                                 rig.board().span_trace());
   }
-  // Processes terminate: their pending debounce state flushes into the
-  // aggregate counters instead of leaking.
-  for (std::size_t p = 0; p < streams.size(); ++p) {
-    detector.forget(static_cast<detect::ProcessId>(p + 1));
-  }
-
-  if (const auto trace_out = flags.get("trace-out"); trace_out.has_value()) {
-    obs::write_chrome_trace_file(*trace_out, board.trace());
-  }
-  if (flags.has("json")) {
-    out << obs::registry().snapshot().to_json() << "\n";
+  const obs::MetricsSnapshot snapshot = obs::registry().snapshot();
+  if (flags.has("prometheus")) {
+    out << obs::to_prometheus_text(snapshot);
     return 0;
   }
-  out << "sample detection: " << streams.size() << " processes x " << calls
+  const obs::HealthReport health =
+      obs::evaluate_health(snapshot, rig.detector().csd_healthy());
+  if (flags.has("json")) {
+    out << (flags.has("health") ? health.to_json() : snapshot.to_json())
+        << "\n";
+    return 0;
+  }
+  out << "sample detection: " << rig.stream_count() << " processes x " << calls
       << " API calls (" << kernels::optimization_name(level) << " build)\n\n";
-  out << obs::trace_summary(board.trace()) << "\n";
-  out << obs::registry().snapshot().to_text();
-  if (const auto trace_out = flags.get("trace-out"); trace_out.has_value()) {
+  out << obs::trace_summary(rig.board().trace()) << "\n";
+  out << rig.board().span_trace().summary() << "\n";
+  out << snapshot.to_text();
+  if (flags.has("health")) out << "\n" << health.to_text();
+  if (trace_out.has_value()) {
     out << "\ntrace -> " << *trace_out
         << "  (open in chrome://tracing or ui.perfetto.dev)\n";
   }
   return 0;
+}
+
+int cmd_watch(const Flags& flags, std::ostream& out) {
+  const kernels::OptimizationLevel level =
+      parse_level(flags.get("level").value_or("fixed-point"));
+  const auto rounds = static_cast<std::size_t>(flags.get_long("rounds", 6));
+  const auto interval =
+      static_cast<std::size_t>(flags.get_long("interval-calls", 200));
+  const auto seed = static_cast<std::uint64_t>(flags.get_long("seed", 2024));
+  const double fault_rate = flags.get_double("fault-rate", 0.0);
+  CSDML_REQUIRE(rounds > 0, "--rounds must be positive");
+  CSDML_REQUIRE(interval >= 100, "--interval-calls must be at least 100");
+  CSDML_REQUIRE(fault_rate >= 0.0 && fault_rate < 1.0,
+                "--fault-rate must be in [0, 1)");
+
+  obs::registry().reset();
+  SampleRig rig(level, seed, rounds * interval, fault_rate);
+  out << "watch: " << rig.stream_count() << " processes, " << rounds
+      << " rounds x " << interval << " calls ("
+      << kernels::optimization_name(level) << " build";
+  if (fault_rate > 0.0) out << ", fault rate " << TextTable::num(fault_rate, 3);
+  out << ")\n";
+
+  // Each round feeds the next slice of every stream, snapshots the
+  // registry, and prints the delta since the previous round — a top-style
+  // live view over the simulated workload.
+  TextTable table({"round", "classified", "alerts", "deferred", "fallback",
+                   "retries", "p99_us", "health"});
+  std::uint64_t classified_prev = 0;
+  std::uint64_t deferred_prev = 0;
+  std::uint64_t fallback_prev = 0;
+  std::uint64_t retries_prev = 0;
+  for (std::size_t round = 0; round < rounds; ++round) {
+    const std::size_t alerts =
+        rig.run(round * interval, (round + 1) * interval);
+    const obs::MetricsSnapshot snapshot = obs::registry().snapshot();
+    const obs::HealthReport health =
+        obs::evaluate_health(snapshot, rig.detector().csd_healthy());
+    const std::uint64_t classified =
+        snapshot_counter(snapshot, "detector.classifications");
+    const std::uint64_t deferred =
+        snapshot_counter(snapshot, "detector.degraded_classifications");
+    const std::uint64_t fallback =
+        snapshot_counter(snapshot, "engine.fallback_inferences");
+    const std::uint64_t retries = snapshot_counter(snapshot, "engine.retries");
+    double p99 = 0.0;
+    for (const obs::HistogramSnapshot& histogram : snapshot.histograms) {
+      if (histogram.name == "detector.inference_us") {
+        p99 = histogram.percentile(0.99);
+      }
+    }
+    table.add_row({std::to_string(round + 1),
+                   std::to_string(classified - classified_prev),
+                   std::to_string(alerts),
+                   std::to_string(deferred - deferred_prev),
+                   std::to_string(fallback - fallback_prev),
+                   std::to_string(retries - retries_prev),
+                   TextTable::num(p99, 1),
+                   obs::health_verdict_name(health.verdict)});
+    classified_prev = classified;
+    deferred_prev = deferred;
+    fallback_prev = fallback;
+    retries_prev = retries;
+  }
+  rig.forget_all();
+  table.print(out);
+  const obs::HealthReport final_health = obs::evaluate_health(
+      obs::registry().snapshot(), rig.detector().csd_healthy());
+  if (flags.has("health")) out << "\n" << final_health.to_text();
+  return final_health.verdict == obs::HealthVerdict::Unhealthy ? 1 : 0;
 }
 
 int cmd_attribute(const Flags& flags, std::ostream& out) {
@@ -375,7 +546,10 @@ int run_cli(const std::vector<std::string>& args, std::ostream& out,
       return cmd_classify(Flags(args, 1, {"stats"}), out);
     }
     if (command == "stats") {
-      return cmd_stats(Flags(args, 1, {"json"}), out);
+      return cmd_stats(Flags(args, 1, {"json", "health", "prometheus"}), out);
+    }
+    if (command == "watch") {
+      return cmd_watch(Flags(args, 1, {"health"}), out);
     }
     if (command == "attribute") {
       return cmd_attribute(Flags(args, 1, {}), out);

@@ -8,11 +8,45 @@
 #include "common/error.hpp"
 #include "common/log.hpp"
 #include "faults/fault_plan.hpp"
+#include "obs/flight_recorder.hpp"
 #include "obs/metrics.hpp"
+#include "obs/span_trace.hpp"
 
 namespace csdml::kernels {
 
 namespace {
+
+/// Request-scoped span covering one engine entry point. If no trace is open
+/// (direct engine use, no detector in front) it opens one so the span tree
+/// is never orphaned, and closes it again on scope exit — including the
+/// exception unwind out of degraded_infer when no fallback is configured.
+class ScopedRequestSpan {
+ public:
+  ScopedRequestSpan(obs::SpanTrace& spans, xrt::Device& device,
+                    const char* name)
+      : spans_(spans), device_(device) {
+    if (!spans_.enabled()) return;
+    own_trace_ = !spans_.in_trace();
+    if (own_trace_) spans_.begin_trace();
+    span_ = spans_.begin_span(name, device_.now());
+    active_ = true;
+  }
+  ScopedRequestSpan(const ScopedRequestSpan&) = delete;
+  ScopedRequestSpan& operator=(const ScopedRequestSpan&) = delete;
+  ~ScopedRequestSpan() {
+    if (!active_) return;
+    spans_.end_span(span_, device_.now());
+    if (own_trace_) spans_.end_trace();
+  }
+  bool active() const { return active_; }
+
+ private:
+  obs::SpanTrace& spans_;
+  xrt::Device& device_;
+  obs::SpanId span_{0};
+  bool own_trace_{false};
+  bool active_{false};
+};
 
 /// Serialises the parameters as the raw little-endian float32 image the
 /// host program stages into FPGA DDR.
@@ -128,13 +162,21 @@ bool CsdLstmEngine::attempt_launch() {
   faults::FaultPlan* plan = device_.board().fault_plan();
   if (plan == nullptr) return true;
   obs::MetricsRegistry& metrics = obs::registry();
+  obs::SpanTrace& spans = device_.board().span_trace();
+  const bool traced = spans.enabled() && spans.in_trace();
   for (std::uint32_t attempt = 0; attempt < config_.retry.max_attempts;
        ++attempt) {
     if (!plan->should_inject(faults::FaultKind::XrtLaunchFailure)) {
-      if (attempt > 0) metrics.add_counter("engine.retry_successes");
+      if (attempt > 0) {
+        metrics.add_counter("engine.retry_successes");
+        if (traced) spans.tag_current("retries", std::to_string(attempt));
+      }
       return true;
     }
     metrics.add_counter("engine.launch_faults");
+    obs::FlightRecorder::instance().record(
+        obs::FlightEventKind::Fault, "engine", "launch_fault", device_.now(),
+        spans.current_trace(), attempt + 1);
     if (attempt + 1 < config_.retry.max_attempts) {
       // Exponential backoff before the next attempt, charged to the
       // simulated clock like any other device-side wait.
@@ -143,12 +185,25 @@ bool CsdLstmEngine::attempt_launch() {
       device_.advance_to(device_.now() + backoff);
       metrics.add_counter("engine.retries");
       metrics.observe("engine.retry_backoff_us", backoff.as_microseconds());
+      obs::FlightRecorder::instance().record(
+          obs::FlightEventKind::Retry, "engine", "launch_backoff",
+          device_.now(), spans.current_trace(), attempt + 1);
     }
+  }
+  if (traced) {
+    spans.tag_current("retries",
+                      std::to_string(config_.retry.max_attempts - 1));
+    spans.tag_current("fault", "launch_retries_exhausted");
   }
   if (healthy_.exchange(false, std::memory_order_relaxed)) {
     metrics.add_counter("engine.marked_unhealthy");
     CSDML_LOG_WARN("engine") << "kernel launch retries exhausted, CSD marked "
                                 "unhealthy";
+    if (traced) spans.tag_current("unhealthy_latch", "1");
+    obs::FlightRecorder::instance().record(
+        obs::FlightEventKind::UnhealthyLatch, "engine", "retries_exhausted",
+        device_.now(), spans.current_trace(), config_.retry.max_attempts);
+    obs::FlightRecorder::instance().auto_dump("unhealthy_latch");
   }
   degraded_serves_.store(0, std::memory_order_relaxed);
   return false;
@@ -170,13 +225,23 @@ bool CsdLstmEngine::ensure_csd_available() {
   healthy_.store(true, std::memory_order_relaxed);
   obs::registry().add_counter("engine.recoveries");
   CSDML_LOG_INFO("engine") << "recovery probe succeeded, CSD healthy again";
+  obs::SpanTrace& spans = device_.board().span_trace();
+  if (spans.enabled() && spans.in_trace()) {
+    spans.tag_current("recovered", "1");
+  }
+  obs::FlightRecorder::instance().record(
+      obs::FlightEventKind::Recovery, "engine", "probe_succeeded",
+      device_.now(), spans.current_trace(), serve);
   return true;
 }
 
 InferenceResult CsdLstmEngine::degraded_infer(nn::TokenSpan sequence) {
   obs::MetricsRegistry& metrics = obs::registry();
+  obs::SpanTrace& spans = device_.board().span_trace();
+  const bool traced = spans.enabled() && spans.in_trace();
   if (fallback_ == nullptr) {
     metrics.add_counter("engine.unavailable_inferences");
+    if (traced) spans.tag_current("csd_unavailable", "1");
     throw faults::CsdUnavailableError(
         "CSD unhealthy and no host fallback configured");
   }
@@ -188,6 +253,15 @@ InferenceResult CsdLstmEngine::degraded_infer(nn::TokenSpan sequence) {
   const TimePoint start = device_.now();
   device_.advance_to(start + host_time);
   device_.board().trace().record("host_fallback", start, start + host_time);
+  if (traced) {
+    const obs::SpanId span = spans.begin_span("host_fallback", start);
+    spans.tag(span, "fallback", "host");
+    spans.end_span(span, start + host_time);
+    spans.tag_current("fallback", "host");
+  }
+  obs::FlightRecorder::instance().record(
+      obs::FlightEventKind::Fallback, "engine", "host_fallback",
+      start + host_time, spans.current_trace());
   metrics.observe("engine.fallback_us", host_time.as_microseconds());
 
   InferenceResult result;
@@ -230,6 +304,9 @@ void CsdLstmEngine::update_weights(const nn::LstmParams& params) {
   weights_bo_->sync_to_device();
   ++weight_updates_;
   obs::registry().add_counter("engine.weight_updates");
+  obs::FlightRecorder::instance().record(
+      obs::FlightEventKind::WeightUpdate, "engine", "hot_swap", device_.now(),
+      device_.board().span_trace().current_trace(), weight_updates_);
   CSDML_LOG_INFO("engine") << "weight update applied"
                            << kv("update", weight_updates_);
 }
@@ -272,6 +349,8 @@ InferenceResult CsdLstmEngine::infer(nn::TokenSpan sequence) {
   // owned scratch means infer is still single-caller; the lock only makes
   // it safe alongside concurrent hot swaps and infer_batch.
   std::shared_lock<std::shared_mutex> swap_guard(swap_mutex_);
+  obs::SpanTrace& spans = device_.board().span_trace();
+  ScopedRequestSpan scope(spans, device_, "engine.infer");
   if (!ensure_csd_available()) return degraded_infer(sequence);
   const KernelTimings per_item = per_item_timings();
 
@@ -297,6 +376,13 @@ InferenceResult CsdLstmEngine::infer(nn::TokenSpan sequence) {
   trace.record("kernel_gates", preprocess_done, gates_done);
   trace.record("kernel_hidden_state", gates_done, start + total);
   trace.record("lstm_sequence", start, start + total);
+  if (scope.active()) {
+    const obs::SpanId seq_span = spans.begin_span("lstm_sequence", start);
+    obs::record_span(spans, "kernel_preprocess", start, preprocess_done);
+    obs::record_span(spans, "kernel_gates", preprocess_done, gates_done);
+    obs::record_span(spans, "kernel_hidden_state", gates_done, start + total);
+    spans.end_span(seq_span, start + total);
+  }
 
   obs::MetricsRegistry& metrics = obs::registry();
   metrics.add_counter("engine.inferences");
@@ -319,6 +405,8 @@ CsdLstmEngine::BatchResult CsdLstmEngine::infer_batch(
     const std::vector<nn::Sequence>& sequences) {
   CSDML_REQUIRE(!sequences.empty(), "empty batch");
   std::shared_lock<std::shared_mutex> swap_guard(swap_mutex_);
+  obs::SpanTrace& spans = device_.board().span_trace();
+  ScopedRequestSpan scope(spans, device_, "engine.infer_batch");
 
   BatchResult result;
   result.probabilities.resize(sequences.size());
@@ -370,6 +458,7 @@ CsdLstmEngine::BatchResult CsdLstmEngine::infer_batch(
   const TimePoint start = device_.now();
   device_.advance_to(start + result.device_time);
   device_.board().trace().record("lstm_batch", start, start + result.device_time);
+  obs::record_span(spans, "lstm_batch", start, start + result.device_time);
   obs::MetricsRegistry& metrics = obs::registry();
   metrics.add_counter("engine.batch_inferences");
   metrics.add_counter("engine.batch_windows", sequences.size());
@@ -387,6 +476,10 @@ CsdLstmEngine::SsdInferenceResult CsdLstmEngine::infer_from_ssd(
     std::uint64_t lba, std::uint32_t block_count, const nn::Sequence& sequence,
     bool p2p) {
   csd::SmartSsd& board = device_.board();
+  ScopedRequestSpan scope(board.span_trace(), device_, "engine.infer_from_ssd");
+  if (scope.active()) {
+    board.span_trace().tag_current("path", p2p ? "p2p" : "host");
+  }
   const TimePoint start = device_.now();
 
   // Stage the sequence image on the SSD so the read returns real bytes.

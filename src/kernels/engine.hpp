@@ -136,6 +136,13 @@ class CsdLstmEngine {
   /// FPGA resource utilisation after placement.
   double fpga_utilization() const;
 
+  /// The board's request-span collector. The detector opens a trace here at
+  /// ingress; every stage below (engine, transfers, kernels) then records
+  /// into the same tree.
+  obs::SpanTrace& span_trace() { return device_.board().span_trace(); }
+  /// Current simulated device time (span/trace boundary timestamps).
+  TimePoint device_now() const { return device_.now(); }
+
   /// Hot-swaps the model parameters without recompiling the FPGA binary —
   /// the paper's update path ("the FPGA-based model is compiled once and
   /// can be updated at the operator's discretion", e.g. after retraining

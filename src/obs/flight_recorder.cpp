@@ -1,0 +1,208 @@
+#include "obs/flight_recorder.hpp"
+
+#include <algorithm>
+#include <csignal>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <ostream>
+#include <sstream>
+
+#include "common/log.hpp"
+
+namespace csdml::obs {
+
+namespace {
+
+constexpr std::size_t kDefaultCapacity = 1024;
+constexpr std::size_t kMinCapacity = 16;
+constexpr std::size_t kMaxCapacity = 1u << 20;
+
+std::size_t round_up_pow2(std::size_t n) {
+  std::size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+std::size_t capacity_from_env() {
+  const char* env = std::getenv("CSDML_FLIGHT_EVENTS");
+  if (env == nullptr || *env == '\0') return kDefaultCapacity;
+  const long parsed = std::strtol(env, nullptr, 10);
+  if (parsed <= 0) return kDefaultCapacity;
+  return std::clamp(static_cast<std::size_t>(parsed), kMinCapacity,
+                    kMaxCapacity);
+}
+
+void copy_field(char* dst, std::size_t dst_size, const char* src) {
+  if (src == nullptr) {
+    dst[0] = '\0';
+    return;
+  }
+  std::strncpy(dst, src, dst_size - 1);
+  dst[dst_size - 1] = '\0';
+}
+
+void write_json_string(std::ostream& out, const char* value) {
+  out << '"';
+  for (const char* c = value; *c != '\0'; ++c) {
+    switch (*c) {
+      case '"': out << "\\\""; break;
+      case '\\': out << "\\\\"; break;
+      case '\n': out << "\\n"; break;
+      case '\t': out << "\\t"; break;
+      default: out << *c;
+    }
+  }
+  out << '"';
+}
+
+}  // namespace
+
+const char* flight_event_kind_name(FlightEventKind kind) {
+  switch (kind) {
+    case FlightEventKind::Fault: return "fault";
+    case FlightEventKind::Retry: return "retry";
+    case FlightEventKind::Fallback: return "fallback";
+    case FlightEventKind::UnhealthyLatch: return "unhealthy_latch";
+    case FlightEventKind::Recovery: return "recovery";
+    case FlightEventKind::Deferred: return "deferred";
+    case FlightEventKind::Alert: return "alert";
+    case FlightEventKind::WeightUpdate: return "weight_update";
+    case FlightEventKind::Rollback: return "rollback";
+    case FlightEventKind::Dump: return "dump";
+  }
+  return "unknown";
+}
+
+FlightRecorder::FlightRecorder(std::size_t capacity)
+    : capacity_(round_up_pow2(std::max(capacity, kMinCapacity))),
+      mask_(capacity_ - 1),
+      slots_(new Slot[capacity_]) {}
+
+FlightRecorder& FlightRecorder::instance() {
+  static FlightRecorder recorder(capacity_from_env());
+  return recorder;
+}
+
+void FlightRecorder::record(FlightEventKind kind, const char* component,
+                            const char* detail, TimePoint sim_time,
+                            std::uint64_t trace_id,
+                            std::uint64_t value) noexcept {
+  const std::uint64_t seq = head_.fetch_add(1, std::memory_order_relaxed) + 1;
+  Slot& slot = slots_[(seq - 1) & mask_];
+  // Mark the slot in-progress so a concurrent snapshot skips it instead of
+  // reading a half-written event.
+  slot.commit.store(0, std::memory_order_release);
+  slot.event.seq = seq;
+  slot.event.sim_ps = sim_time.picos;
+  slot.event.kind = kind;
+  copy_field(slot.event.component, sizeof(slot.event.component), component);
+  copy_field(slot.event.detail, sizeof(slot.event.detail), detail);
+  slot.event.trace_id = trace_id;
+  slot.event.value = value;
+  slot.commit.store(seq, std::memory_order_release);
+}
+
+std::vector<FlightEvent> FlightRecorder::snapshot() const {
+  std::vector<FlightEvent> events;
+  events.reserve(capacity_);
+  for (std::size_t i = 0; i < capacity_; ++i) {
+    const Slot& slot = slots_[i];
+    const std::uint64_t commit = slot.commit.load(std::memory_order_acquire);
+    if (commit == 0) continue;  // never written, or write in progress
+    FlightEvent copy = slot.event;
+    if (slot.commit.load(std::memory_order_acquire) != commit) continue;
+    copy.seq = commit;  // the committed identity, even mid-overwrite
+    events.push_back(copy);
+  }
+  std::sort(events.begin(), events.end(),
+            [](const FlightEvent& a, const FlightEvent& b) {
+              return a.seq < b.seq;
+            });
+  return events;
+}
+
+void FlightRecorder::dump_to(std::ostream& out,
+                             const std::string& reason) const {
+  const std::vector<FlightEvent> events = snapshot();
+  const std::uint64_t total = recorded();
+  out << "{\"flight_recorder\":{\"reason\":";
+  write_json_string(out, reason.c_str());
+  out << ",\"capacity\":" << capacity_ << ",\"recorded\":" << total
+      << ",\"dropped\":" << (total > events.size() ? total - events.size() : 0)
+      << ",\"events\":[";
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    const FlightEvent& e = events[i];
+    if (i) out << ',';
+    out << "{\"seq\":" << e.seq << ",\"sim_us\":"
+        << static_cast<double>(e.sim_ps) / 1e6 << ",\"kind\":";
+    write_json_string(out, flight_event_kind_name(e.kind));
+    out << ",\"component\":";
+    write_json_string(out, e.component);
+    out << ",\"detail\":";
+    write_json_string(out, e.detail);
+    out << ",\"trace_id\":" << e.trace_id << ",\"value\":" << e.value << "}";
+  }
+  out << "]}}";
+}
+
+std::string FlightRecorder::to_json(const std::string& reason) const {
+  std::ostringstream out;
+  dump_to(out, reason);
+  return out.str();
+}
+
+bool FlightRecorder::dump_to_file(const std::string& path,
+                                  const std::string& reason) {
+  record(FlightEventKind::Dump, "flightrec", reason.c_str(), TimePoint{});
+  std::ofstream out(path);
+  if (!out) {
+    CSDML_LOG_WARN("flightrec")
+        << "cannot write flight-recorder dump to " << path;
+    return false;
+  }
+  dump_to(out, reason);
+  out << '\n';
+  CSDML_LOG_INFO("flightrec")
+      << "dumped " << recorded() << " events" << kv("reason", reason)
+      << kv("path", path);
+  return true;
+}
+
+bool FlightRecorder::auto_dump(const char* reason) {
+  const char* path = std::getenv("CSDML_FLIGHT_DUMP");
+  if (path == nullptr || *path == '\0') return false;
+  return dump_to_file(path, reason);
+}
+
+namespace {
+
+void crash_dump_handler(int sig) {
+  // Reset first so a fault inside the dump re-raises straight to default.
+  std::signal(sig, SIG_DFL);
+  const char* path = std::getenv("CSDML_FLIGHT_DUMP");
+  FlightRecorder::instance().dump_to_file(
+      path != nullptr && *path != '\0' ? path : "csdml_flightrec.crash.json",
+      std::string("signal_") + std::to_string(sig));
+  std::raise(sig);
+}
+
+}  // namespace
+
+void FlightRecorder::install_crash_handler() {
+  static bool installed = false;
+  if (installed) return;
+  installed = true;
+  for (const int sig : {SIGSEGV, SIGABRT, SIGBUS, SIGFPE}) {
+    std::signal(sig, crash_dump_handler);
+  }
+}
+
+void FlightRecorder::clear() {
+  for (std::size_t i = 0; i < capacity_; ++i) {
+    slots_[i].commit.store(0, std::memory_order_relaxed);
+  }
+  head_.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace csdml::obs

@@ -1,0 +1,112 @@
+// Black-box flight recorder: a fixed-capacity, allocation-free ring of
+// structured events that the hot paths append to for pennies, and that
+// ships a JSON post-mortem exactly when something goes wrong.
+//
+// The detector sits below the host's own monitoring (SHIELD's argument for
+// host-independent transparency), so when a fault campaign latches the CSD
+// unhealthy, the evidence must come from the device side: the last N
+// notable events (faults, retries, fallback serves, latch/recovery
+// transitions, deferrals, alerts) are always resident in the ring. Dumps
+// trigger on the unhealthy latch, on alert firing, and on crash signals;
+// they are written to the path named by CSDML_FLIGHT_DUMP (no env var, no
+// dump — recording itself is always on and allocation-free).
+//
+// Capacity comes from CSDML_FLIGHT_EVENTS (rounded up to a power of two,
+// default 1024). Writers claim a slot with one relaxed fetch_add and fill
+// fixed-size fields — no locks, no heap — so instrumenting a hot path with
+// an event is safe from any thread.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/units.hpp"
+
+namespace csdml::obs {
+
+enum class FlightEventKind : std::uint8_t {
+  Fault = 0,       ///< injected fault observed (xrt launch, nvme, pcie, nand)
+  Retry,           ///< launch retry with backoff
+  Fallback,        ///< classification served by the host baseline
+  UnhealthyLatch,  ///< retries exhausted; CSD marked unhealthy
+  Recovery,        ///< recovery probe succeeded; CSD healthy again
+  Deferred,        ///< due classification deferred (no fallback available)
+  Alert,           ///< detector alert fired
+  WeightUpdate,    ///< CTI hot swap staged a new weight image
+  Rollback,        ///< guarded SSD quarantine rollback
+  Dump,            ///< the recorder itself dumped (reason in detail)
+};
+
+const char* flight_event_kind_name(FlightEventKind kind);
+
+/// One ring slot. Fixed-size character fields keep recording free of
+/// allocation; longer strings are truncated, never dropped.
+struct FlightEvent {
+  std::uint64_t seq{0};        ///< global sequence number (1-based)
+  std::int64_t sim_ps{0};      ///< simulated device time of the event
+  FlightEventKind kind{FlightEventKind::Fault};
+  char component[16]{};        ///< e.g. "engine", "detector", "nvme"
+  char detail[48]{};           ///< free-form short description
+  std::uint64_t trace_id{0};   ///< owning request trace (0 = none)
+  std::uint64_t value{0};      ///< kind-specific payload (count, pid, ...)
+};
+
+class FlightRecorder {
+ public:
+  /// Test constructor with explicit capacity (rounded up to a power of 2).
+  explicit FlightRecorder(std::size_t capacity);
+
+  /// Process-global recorder; capacity read from CSDML_FLIGHT_EVENTS once.
+  static FlightRecorder& instance();
+
+  std::size_t capacity() const { return capacity_; }
+  /// Total events ever recorded (>= retained).
+  std::uint64_t recorded() const {
+    return head_.load(std::memory_order_relaxed);
+  }
+
+  /// Lock-free, allocation-free append; safe from any thread.
+  void record(FlightEventKind kind, const char* component, const char* detail,
+              TimePoint sim_time, std::uint64_t trace_id = 0,
+              std::uint64_t value = 0) noexcept;
+
+  /// Retained events, oldest first. (Racing writers may be mid-slot; such
+  /// slots are skipped — the recorder favours the hot path, not the reader.)
+  std::vector<FlightEvent> snapshot() const;
+
+  /// {"flight_recorder":{"reason":...,"capacity":...,"events":[...]}}
+  std::string to_json(const std::string& reason) const;
+  void dump_to(std::ostream& out, const std::string& reason) const;
+
+  /// Writes the JSON post-mortem to the CSDML_FLIGHT_DUMP path (appends a
+  /// Dump event first). Returns false — without side effects beyond the
+  /// event — when the env var is unset or the file cannot be written.
+  bool auto_dump(const char* reason);
+
+  /// Unconditional dump to an explicit path (crash handler, tests).
+  bool dump_to_file(const std::string& path, const std::string& reason);
+
+  /// Installs SIGSEGV/SIGABRT/SIGBUS/SIGFPE handlers that dump the global
+  /// recorder (to CSDML_FLIGHT_DUMP or csdml_flightrec.crash.json) and
+  /// re-raise. Idempotent.
+  static void install_crash_handler();
+
+  void clear();
+
+ private:
+  struct Slot {
+    std::atomic<std::uint64_t> commit{0};  ///< seq once fully written
+    FlightEvent event;
+  };
+
+  std::size_t capacity_;
+  std::size_t mask_;
+  std::unique_ptr<Slot[]> slots_;
+  std::atomic<std::uint64_t> head_{0};
+};
+
+}  // namespace csdml::obs

@@ -41,7 +41,11 @@ void write_json_number(std::ostream& out, double value) {
 
 double HistogramSnapshot::percentile(double p) const {
   if (count == 0) return 0.0;
-  p = std::clamp(p, 0.0, 1.0);
+  // Exact edges, no interpolation: the extremes are observed values, and a
+  // single observation is every percentile of itself.
+  if (p <= 0.0) return min;
+  if (p >= 1.0) return max;
+  if (count == 1 || min == max) return min;
   const double rank = p * static_cast<double>(count);
   std::uint64_t cumulative = 0;
   for (std::size_t i = 0; i < buckets.size(); ++i) {

@@ -1,0 +1,63 @@
+#include "obs/prometheus.hpp"
+
+#include <cctype>
+#include <cstdio>
+#include <sstream>
+
+namespace csdml::obs {
+
+namespace {
+
+/// Prometheus floats: shortest round-trippable decimal is overkill here;
+/// %.9g keeps bucket bounds like 0.0625 exact and avoids locale surprises.
+std::string prom_number(double value) {
+  if (value != value) return "NaN";
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.9g", value);
+  return buffer;
+}
+
+}  // namespace
+
+std::string prometheus_name(const std::string& name) {
+  std::string out = "csdml_";
+  out.reserve(name.size() + out.size());
+  for (const char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out.push_back(ok ? c : '_');
+  }
+  // A digit cannot follow the prefix's underscore per the grammar; the
+  // prefix itself guarantees a legal first character.
+  return out;
+}
+
+std::string to_prometheus_text(const MetricsSnapshot& snapshot) {
+  std::ostringstream out;
+  for (const auto& [name, value] : snapshot.counters) {
+    const std::string prom = prometheus_name(name) + "_total";
+    out << "# TYPE " << prom << " counter\n";
+    out << prom << ' ' << value << '\n';
+  }
+  for (const auto& [name, value] : snapshot.gauges) {
+    const std::string prom = prometheus_name(name);
+    out << "# TYPE " << prom << " gauge\n";
+    out << prom << ' ' << prom_number(value) << '\n';
+  }
+  for (const HistogramSnapshot& h : snapshot.histograms) {
+    const std::string prom = prometheus_name(h.name);
+    out << "# TYPE " << prom << " histogram\n";
+    std::uint64_t cumulative = 0;
+    for (std::size_t i = 0; i < h.bounds.size(); ++i) {
+      cumulative += i < h.buckets.size() ? h.buckets[i] : 0;
+      out << prom << "_bucket{le=\"" << prom_number(h.bounds[i]) << "\"} "
+          << cumulative << '\n';
+    }
+    out << prom << "_bucket{le=\"+Inf\"} " << h.count << '\n';
+    out << prom << "_sum " << prom_number(h.sum) << '\n';
+    out << prom << "_count " << h.count << '\n';
+  }
+  return out.str();
+}
+
+}  // namespace csdml::obs

@@ -1,0 +1,26 @@
+// Prometheus text-format exposition of the metrics registry.
+//
+// Renders a MetricsSnapshot in the Prometheus text exposition format
+// (version 0.0.4) so a node exporter sidecar — or a curl in a CI job — can
+// scrape the very counters/gauges/histograms the hot paths maintain.
+// Names are sanitised to the [a-zA-Z0-9_:] alphabet and prefixed with
+// `csdml_`; counters additionally gain the conventional `_total` suffix,
+// and histograms expose cumulative `_bucket{le=...}` series plus `_sum` and
+// `_count`, exactly as prometheus' histogram_quantile expects.
+#pragma once
+
+#include <string>
+
+#include "obs/metrics.hpp"
+
+namespace csdml::obs {
+
+/// Full exposition document: one # TYPE comment + samples per metric,
+/// terminated by a trailing newline (scrapers require it).
+std::string to_prometheus_text(const MetricsSnapshot& snapshot);
+
+/// `csdml_`-prefixed, alphabet-sanitised metric name (dots become
+/// underscores): "engine.kernel.gates_us" -> "csdml_engine_kernel_gates_us".
+std::string prometheus_name(const std::string& name);
+
+}  // namespace csdml::obs

@@ -1,0 +1,163 @@
+#include "obs/span_trace.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <map>
+#include <sstream>
+
+#include "common/table.hpp"
+
+namespace csdml::obs {
+
+const std::string* SpanRecord::tag(const std::string& key) const {
+  for (const SpanTag& t : tags) {
+    if (t.key == key) return &t.value;
+  }
+  return nullptr;
+}
+
+TraceId SpanTrace::begin_trace() {
+  if (!enabled_) return 0;
+  current_trace_ = next_trace_++;
+  return current_trace_;
+}
+
+void SpanTrace::end_trace() {
+  if (!enabled_) return;
+  // Close anything an exception unwind left open: zero-length at start so
+  // every record satisfies end >= start.
+  while (!stack_.empty()) {
+    SpanRecord& span = spans_[stack_.back()];
+    span.end = span.start;
+    stack_.pop_back();
+  }
+  current_trace_ = 0;
+  if (spans_.size() > retention_) {
+    // Drop to half the budget, not just the excess: trimming memmoves the
+    // whole buffer, so shedding in large batches keeps the per-trace cost
+    // amortized O(1) over campaigns that run for days.
+    spans_.erase(spans_.begin(),
+                 spans_.begin() + static_cast<std::ptrdiff_t>(
+                                      spans_.size() - retention_ / 2));
+  }
+}
+
+SpanId SpanTrace::begin_span(std::string name, TimePoint start) {
+  if (!enabled_) return 0;
+  SpanRecord span;
+  span.trace_id = current_trace_;
+  span.id = next_span_++;
+  span.parent = stack_.empty() ? 0 : spans_[stack_.back()].id;
+  span.name = std::move(name);
+  span.start = start;
+  span.end = start;
+  stack_.push_back(spans_.size());
+  spans_.push_back(std::move(span));
+  return spans_.back().id;
+}
+
+void SpanTrace::end_span(SpanId id, TimePoint end) {
+  if (!enabled_ || id == 0) return;
+  // Pop everything nested inside `id` (forgiving against a child left open
+  // by an error path), then `id` itself.
+  while (!stack_.empty()) {
+    SpanRecord& span = spans_[stack_.back()];
+    span.end = end < span.start ? span.start : end;
+    stack_.pop_back();
+    if (span.id == id) return;
+  }
+}
+
+SpanRecord* SpanTrace::find_open(SpanId id) {
+  for (auto it = stack_.rbegin(); it != stack_.rend(); ++it) {
+    if (spans_[*it].id == id) return &spans_[*it];
+  }
+  return nullptr;
+}
+
+void SpanTrace::tag(SpanId id, std::string key, std::string value) {
+  if (!enabled_ || id == 0) return;
+  if (SpanRecord* span = find_open(id)) {
+    span->tags.push_back(SpanTag{std::move(key), std::move(value)});
+  }
+}
+
+void SpanTrace::tag_current(std::string key, std::string value) {
+  if (!enabled_ || stack_.empty()) return;
+  spans_[stack_.back()].tags.push_back(
+      SpanTag{std::move(key), std::move(value)});
+}
+
+void SpanTrace::clear() {
+  spans_.clear();
+  stack_.clear();
+  current_trace_ = 0;
+}
+
+std::vector<const SpanRecord*> SpanTrace::trace_spans(TraceId trace_id) const {
+  std::vector<const SpanRecord*> out;
+  for (const SpanRecord& span : spans_) {
+    if (span.trace_id == trace_id) out.push_back(&span);
+  }
+  return out;
+}
+
+std::size_t SpanTrace::trace_count() const {
+  std::size_t count = 0;
+  TraceId last = 0;
+  for (const SpanRecord& span : spans_) {
+    if (span.trace_id != 0 && span.trace_id != last) {
+      ++count;
+      last = span.trace_id;
+    }
+  }
+  return count;
+}
+
+std::string SpanTrace::summary() const {
+  struct Agg {
+    std::size_t count{0};
+    Duration total{};
+    Duration max{};
+  };
+  std::map<std::string, Agg> by_name;
+  Duration root_total{};
+  std::size_t retries = 0, fallbacks = 0, faults = 0, deferred = 0;
+  for (const SpanRecord& span : spans_) {
+    Agg& agg = by_name[span.name];
+    ++agg.count;
+    agg.total += span.duration();
+    if (span.duration() > agg.max) agg.max = span.duration();
+    if (span.parent == 0) root_total += span.duration();
+    for (const SpanTag& t : span.tags) {
+      if (t.key == "retries") retries += std::strtoull(t.value.c_str(), nullptr, 10);
+      if (t.key == "fallback") ++fallbacks;
+      if (t.key == "fault") ++faults;
+      if (t.key == "deferred") ++deferred;
+    }
+  }
+
+  std::ostringstream out;
+  out << "request spans: " << spans_.size() << " across " << trace_count()
+      << " traces (retries=" << retries << " fallbacks=" << fallbacks
+      << " faults=" << faults << " deferred=" << deferred << ")\n";
+  TextTable table({"span", "count", "total_us", "mean_us", "max_us", "share"});
+  for (const auto& [name, agg] : by_name) {
+    const double share =
+        root_total.picos > 0
+            ? static_cast<double>(agg.total.picos) /
+                  static_cast<double>(root_total.picos)
+            : 0.0;
+    table.add_row({name, std::to_string(agg.count),
+                   TextTable::num(agg.total.as_microseconds(), 3),
+                   TextTable::num(agg.total.as_microseconds() /
+                                      static_cast<double>(agg.count ? agg.count : 1),
+                                  3),
+                   TextTable::num(agg.max.as_microseconds(), 3),
+                   TextTable::num(share * 100.0, 1) + "%"});
+  }
+  table.print(out);
+  return out.str();
+}
+
+}  // namespace csdml::obs

@@ -71,11 +71,78 @@ void append_device_events(std::ostream& out, const sim::Trace& trace,
   }
 }
 
+/// Nested request spans: one "requests" process, all spans on tid 0 so the
+/// viewer stacks them by containment (the simulated clock is sequential, so
+/// containment is exactly the parent/child relation).
+void append_request_events(std::ostream& out, const SpanTrace& spans,
+                           int pid, bool& first) {
+  const auto emit_separator = [&] {
+    if (!first) out << ',';
+    first = false;
+  };
+
+  emit_separator();
+  out << "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":" << pid
+      << ",\"tid\":0,\"args\":{\"name\":\"requests\"}}";
+  emit_separator();
+  out << "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":" << pid
+      << ",\"tid\":0,\"args\":{\"name\":\"classification spans\"}}";
+
+  for (const SpanRecord& span : spans.spans()) {
+    emit_separator();
+    out << "{\"name\":";
+    write_json_string(out, span.name);
+    out << ",\"cat\":\"request\",\"ph\":\"X\",\"ts\":"
+        << as_us(span.start.picos) << ",\"dur\":"
+        << as_us(span.duration().picos) << ",\"pid\":" << pid
+        << ",\"tid\":0,\"args\":{\"trace_id\":" << span.trace_id
+        << ",\"span_id\":" << span.id << ",\"parent_span\":" << span.parent;
+    for (const SpanTag& tag : span.tags) {
+      out << ',';
+      write_json_string(out, tag.key);
+      out << ':';
+      write_json_string(out, tag.value);
+    }
+    out << "}}";
+  }
+}
+
 }  // namespace
 
 std::string to_chrome_trace_json(const sim::Trace& trace,
                                  const ChromeTraceOptions& options) {
   return to_chrome_trace_json({DeviceTrace{&trace, options}});
+}
+
+std::string to_chrome_trace_json(const SpanTrace& spans,
+                                 const ChromeTraceOptions& options) {
+  std::ostringstream out;
+  out << "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[";
+  bool first = true;
+  append_request_events(out, spans, options.pid, first);
+  out << "]}";
+  return out.str();
+}
+
+std::string to_chrome_trace_json(const sim::Trace& device_trace,
+                                 const SpanTrace& spans,
+                                 const ChromeTraceOptions& options) {
+  std::ostringstream out;
+  out << "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[";
+  bool first = true;
+  append_device_events(out, device_trace, options, first);
+  append_request_events(out, spans, options.pid + 1, first);
+  out << "]}";
+  return out.str();
+}
+
+void write_chrome_trace_file(const std::string& path,
+                             const sim::Trace& device_trace,
+                             const SpanTrace& spans,
+                             const ChromeTraceOptions& options) {
+  std::ofstream out(path);
+  if (!out) throw Error("cannot open trace output file: " + path);
+  out << to_chrome_trace_json(device_trace, spans, options) << '\n';
 }
 
 std::string to_chrome_trace_json(const std::vector<DeviceTrace>& devices) {

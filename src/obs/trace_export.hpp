@@ -11,6 +11,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/span_trace.hpp"
 #include "sim/trace.hpp"
 
 namespace csdml::obs {
@@ -40,5 +41,26 @@ void write_chrome_trace_file(const std::string& path, const sim::Trace& trace,
 
 /// Per-name aggregate table: count, total/mean/max µs, share of the sum.
 std::string trace_summary(const sim::Trace& trace);
+
+/// Request-scoped export: the causal SpanTrace rendered as nested "X"
+/// events on one "requests" track (pid = options.pid, tid 0), each carrying
+/// args.trace_id / args.span_id / args.parent_span plus every span tag —
+/// Perfetto shows one classification as a detector→engine→kernel stack
+/// instead of the flat per-name lanes.
+std::string to_chrome_trace_json(const SpanTrace& spans,
+                                 const ChromeTraceOptions& options = {});
+
+/// Combined export: the device's flat lanes (pid = options.pid) plus the
+/// request tree (pid = options.pid + 1). This is what the CLI writes when
+/// request tracing is on.
+std::string to_chrome_trace_json(const sim::Trace& device_trace,
+                                 const SpanTrace& spans,
+                                 const ChromeTraceOptions& options = {});
+
+/// Writes the combined export to `path`; throws Error when it cannot open.
+void write_chrome_trace_file(const std::string& path,
+                             const sim::Trace& device_trace,
+                             const SpanTrace& spans,
+                             const ChromeTraceOptions& options = {});
 
 }  // namespace csdml::obs

@@ -5,7 +5,9 @@
 #include "common/error.hpp"
 #include "common/log.hpp"
 #include "faults/fault_plan.hpp"
+#include "obs/flight_recorder.hpp"
 #include "obs/metrics.hpp"
+#include "obs/span_trace.hpp"
 
 namespace csdml::xrt {
 
@@ -23,19 +25,31 @@ void BufferObject::write(const std::vector<std::uint8_t>& data) {
 }
 
 void BufferObject::sync_to_device() {
+  const TimePoint start = device_->now_;
+  obs::SpanTrace& spans = device_->board_.span_trace();
+  const bool traced = spans.enabled() && spans.in_trace();
+  const obs::SpanId span =
+      traced ? spans.begin_span("xrt.sync_to_device", start) : 0;
   const csd::TransferResult result = device_->board_.host_write_to_fpga(
-      host_, bank_, offset_, device_->now_);
+      host_, bank_, offset_, start);
   device_->advance_to(result.done);
+  if (traced) spans.end_span(span, result.done);
   obs::MetricsRegistry& metrics = obs::registry();
   metrics.add_counter("xrt.bo_syncs_to_device");
   metrics.add_counter("xrt.pcie_to_device_bytes", size_);
 }
 
 void BufferObject::sync_from_device() {
+  const TimePoint start = device_->now_;
+  obs::SpanTrace& spans = device_->board_.span_trace();
+  const bool traced = spans.enabled() && spans.in_trace();
+  const obs::SpanId span =
+      traced ? spans.begin_span("xrt.sync_from_device", start) : 0;
   const csd::IoResult result = device_->board_.host_read_from_fpga(
-      bank_, offset_, size_, device_->now_);
+      bank_, offset_, size_, start);
   host_ = result.data;
   device_->advance_to(result.done);
+  if (traced) spans.end_span(span, result.done);
   obs::MetricsRegistry& metrics = obs::registry();
   metrics.add_counter("xrt.bo_syncs_from_device");
   metrics.add_counter("xrt.pcie_from_device_bytes", size_);
@@ -49,16 +63,27 @@ hls::KernelReport Kernel::analyze() const { return device_->model_.analyze(spec_
 
 TimePoint Kernel::launch(TimePoint at) {
   CSDML_REQUIRE(at >= TimePoint{}, "launch before simulation start");
+  obs::SpanTrace& spans = device_->board_.span_trace();
   faults::FaultPlan* plan = device_->board_.fault_plan();
   if (plan != nullptr &&
       plan->should_inject(faults::FaultKind::XrtLaunchFailure)) {
     obs::registry().add_counter("xrt.kernel_launch_faults");
+    // Zero-length span marks the failed attempt in the request tree.
+    if (spans.enabled() && spans.in_trace()) {
+      const obs::SpanId span = spans.begin_span(spec_.name, at);
+      spans.tag(span, "fault", "xrt_launch_injected");
+      spans.end_span(span, at);
+    }
+    obs::FlightRecorder::instance().record(
+        obs::FlightEventKind::Fault, "xrt", spec_.name.c_str(), at,
+        spans.current_trace());
     throw faults::FaultInjectedError("kernel '" + spec_.name +
                                      "' launch failed (injected)");
   }
   const Duration latency = this->latency();
   const TimePoint end = at + latency;
   device_->board_.trace().record(spec_.name, at, end);
+  obs::record_span(spans, spec_.name, at, end);
   device_->advance_to(end);
   obs::MetricsRegistry& metrics = obs::registry();
   metrics.add_counter("xrt.kernel_launches");

@@ -1,0 +1,181 @@
+// csdml_prom_check — CI gate for Prometheus text-exposition artefacts.
+//
+//   csdml_prom_check FILE [--require METRIC]...
+//
+// Fails (exit 1) when FILE is missing/empty, any line is neither a comment
+// nor a well-formed `name{labels} value` sample, a sample appears without a
+// preceding # TYPE declaration for its family, a histogram's buckets are
+// not cumulative or lack the +Inf terminator, or a required metric family
+// is absent. This is the scrape-side contract `csdml stats --prometheus`
+// must keep.
+#include <cctype>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace {
+
+int fail(const std::string& message) {
+  std::cerr << "csdml_prom_check: " << message << '\n';
+  return 1;
+}
+
+bool valid_metric_name(const std::string& name) {
+  if (name.empty()) return false;
+  if (!(std::isalpha(static_cast<unsigned char>(name[0])) || name[0] == '_' ||
+        name[0] == ':')) {
+    return false;
+  }
+  for (const char c : name) {
+    if (!(std::isalnum(static_cast<unsigned char>(c)) || c == '_' || c == ':')) {
+      return false;
+    }
+  }
+  return true;
+}
+
+/// Strips the _total/_bucket/_sum/_count suffix to recover the family a
+/// sample belongs to (the name the # TYPE line declares).
+std::string family_of(const std::string& name) {
+  for (const char* suffix : {"_total", "_bucket", "_sum", "_count"}) {
+    const std::string s = suffix;
+    if (name.size() > s.size() &&
+        name.compare(name.size() - s.size(), s.size(), s) == 0) {
+      return name.substr(0, name.size() - s.size());
+    }
+  }
+  return name;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    return fail("usage: csdml_prom_check FILE [--require METRIC]...");
+  }
+  const std::string path = argv[1];
+  std::vector<std::string> required;
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--require" && i + 1 < argc) {
+      required.emplace_back(argv[++i]);
+    } else {
+      return fail("unknown argument '" + arg + "'");
+    }
+  }
+
+  std::ifstream in(path);
+  if (!in) return fail("cannot open '" + path + "'");
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  const std::string text = buffer.str();
+  if (text.empty()) return fail("'" + path + "' is empty");
+  if (text.back() != '\n') {
+    return fail("'" + path + "' lacks the trailing newline scrapers require");
+  }
+
+  std::map<std::string, std::string> declared_type;  // family -> type
+  std::map<std::string, std::uint64_t> last_bucket;  // family -> cumulative
+  std::map<std::string, bool> saw_inf;               // family -> +Inf seen
+  std::size_t samples = 0;
+
+  std::istringstream lines(text);
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(lines, line)) {
+    ++line_no;
+    const std::string where = "line " + std::to_string(line_no);
+    if (line.empty()) return fail(where + ": blank line");
+    if (line[0] == '#') {
+      std::istringstream comment(line);
+      std::string hash, keyword, name, type;
+      comment >> hash >> keyword >> name >> type;
+      if (keyword == "TYPE") {
+        if (!valid_metric_name(name)) {
+          return fail(where + ": bad metric name '" + name + "'");
+        }
+        if (type != "counter" && type != "gauge" && type != "histogram" &&
+            type != "summary" && type != "untyped") {
+          return fail(where + ": unknown type '" + type + "'");
+        }
+        declared_type[name] = type;
+      }
+      continue;  // HELP and free comments pass through
+    }
+
+    // Sample: name[{labels}] value
+    const std::size_t brace = line.find('{');
+    const std::size_t space = line.find(' ');
+    if (space == std::string::npos) return fail(where + ": no value");
+    std::string name;
+    std::string labels;
+    if (brace != std::string::npos && brace < space) {
+      const std::size_t close = line.find('}', brace);
+      if (close == std::string::npos || close + 1 >= line.size() ||
+          line[close + 1] != ' ') {
+        return fail(where + ": malformed labels");
+      }
+      name = line.substr(0, brace);
+      labels = line.substr(brace + 1, close - brace - 1);
+    } else {
+      name = line.substr(0, space);
+    }
+    if (!valid_metric_name(name)) {
+      return fail(where + ": bad sample name '" + name + "'");
+    }
+    const std::string value_text = line.substr(line.rfind(' ') + 1);
+    char* end = nullptr;
+    const double value = std::strtod(value_text.c_str(), &end);
+    if (end == value_text.c_str() || *end != '\0') {
+      return fail(where + ": bad value '" + value_text + "'");
+    }
+
+    const std::string family = family_of(name);
+    if (declared_type.find(family) == declared_type.end() &&
+        declared_type.find(name) == declared_type.end()) {
+      return fail(where + ": sample '" + name + "' has no # TYPE declaration");
+    }
+    ++samples;
+
+    if (name.size() > 7 &&
+        name.compare(name.size() - 7, 7, "_bucket") == 0) {
+      if (labels.find("le=") == std::string::npos) {
+        return fail(where + ": bucket sample lacks an le label");
+      }
+      const std::uint64_t count = static_cast<std::uint64_t>(value);
+      if (last_bucket.count(family) && count < last_bucket[family]) {
+        return fail(where + ": buckets of '" + family + "' are not cumulative");
+      }
+      last_bucket[family] = count;
+      if (labels.find("le=\"+Inf\"") != std::string::npos) {
+        saw_inf[family] = true;
+      }
+    }
+  }
+
+  for (const auto& [family, type] : declared_type) {
+    if (type == "histogram" && !saw_inf[family]) {
+      return fail("histogram '" + family + "' has no +Inf bucket");
+    }
+  }
+  for (const std::string& metric : required) {
+    // Counters declare themselves with the _total suffix; accept the bare
+    // family name either way.
+    bool found = declared_type.count(metric) > 0;
+    for (auto it = declared_type.begin(); !found && it != declared_type.end();
+         ++it) {
+      found = family_of(it->first) == metric;
+    }
+    if (!found) {
+      return fail("'" + path + "' is missing required metric '" + metric + "'");
+    }
+  }
+  if (samples == 0) return fail("'" + path + "' has no samples");
+  std::cout << "csdml_prom_check: '" << path << "' OK (" << samples
+            << " samples, " << declared_type.size() << " families)\n";
+  return 0;
+}

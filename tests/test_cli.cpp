@@ -144,6 +144,76 @@ TEST(Cli, StatsRendersTelemetry) {
   EXPECT_EQ(run({"stats", "--level", "quantum"}).code, 2);
 }
 
+TEST(Cli, StatsRendersRequestSpansAndHealth) {
+  const CliRun result = run({"stats", "--calls", "300", "--health"});
+  ASSERT_EQ(result.code, 0) << result.err;
+  // The request-span attribution table sits next to the device trace.
+  EXPECT_NE(result.out.find("request spans:"), std::string::npos);
+  EXPECT_NE(result.out.find("detector.classify"), std::string::npos);
+  EXPECT_NE(result.out.find("engine.infer"), std::string::npos);
+  EXPECT_NE(result.out.find("health: ok"), std::string::npos);
+
+  const CliRun json = run({"stats", "--calls", "300", "--json", "--health"});
+  ASSERT_EQ(json.code, 0) << json.err;
+  EXPECT_NE(json.out.find("\"health\""), std::string::npos);
+  EXPECT_NE(json.out.find("\"verdict\":\"ok\""), std::string::npos);
+}
+
+TEST(Cli, StatsPrometheusExposition) {
+  const CliRun result = run({"stats", "--calls", "300", "--prometheus"});
+  ASSERT_EQ(result.code, 0) << result.err;
+  EXPECT_NE(result.out.find("# TYPE csdml_detector_classifications_total"),
+            std::string::npos);
+  EXPECT_NE(result.out.find("csdml_detector_inference_us_bucket{le=\"+Inf\"}"),
+            std::string::npos);
+  EXPECT_EQ(result.out.back(), '\n');
+}
+
+TEST(Cli, StatsTraceCarriesRequestSpans) {
+  const std::string trace = temp_path("csdml_cli_span_trace.json");
+  const CliRun result = run({"stats", "--calls", "300", "--fault-rate", "0.2",
+                             "--seed", "7", "--trace-out", trace});
+  ASSERT_EQ(result.code, 0) << result.err;
+  std::ifstream in(trace);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const std::string json = buffer.str();
+  EXPECT_NE(json.find("detector.classify"), std::string::npos);
+  EXPECT_NE(json.find("engine.infer"), std::string::npos);
+  EXPECT_NE(json.find("trace_id"), std::string::npos);
+  std::remove(trace.c_str());
+}
+
+TEST(Cli, UnwritableTraceOutFailsBeforeTheRun) {
+  const CliRun stats = run({"stats", "--calls", "300", "--trace-out",
+                            "/nonexistent-dir/trace.json"});
+  EXPECT_EQ(stats.code, 1);
+  EXPECT_NE(stats.err.find("trace"), std::string::npos);
+  // The probe runs before the (expensive) sample campaign, so failure is
+  // immediate: no metrics tables reach stdout.
+  EXPECT_EQ(stats.out.find("request spans:"), std::string::npos);
+}
+
+TEST(Cli, WatchPrintsRoundDeltasAndHealthColumn) {
+  const CliRun result = run({"watch", "--rounds", "2", "--interval-calls",
+                             "150"});
+  ASSERT_EQ(result.code, 0) << result.err;
+  EXPECT_NE(result.out.find("watch: 3 processes, 2 rounds x 150 calls"),
+            std::string::npos);
+  EXPECT_NE(result.out.find("round"), std::string::npos);
+  EXPECT_NE(result.out.find("health"), std::string::npos);
+  EXPECT_NE(result.out.find("ok"), std::string::npos);
+
+  EXPECT_EQ(run({"watch", "--rounds", "0"}).code, 2);
+  EXPECT_EQ(run({"watch", "--interval-calls", "10"}).code, 2);
+  EXPECT_EQ(run({"watch", "--fault-rate", "1.5"}).code, 2);
+}
+
+TEST(Cli, StatsFaultRateValidation) {
+  EXPECT_EQ(run({"stats", "--calls", "300", "--fault-rate", "1.0"}).code, 2);
+  EXPECT_EQ(run({"stats", "--calls", "300", "--fault-rate", "-0.1"}).code, 2);
+}
+
 TEST(Cli, MissingFilesReturnOne) {
   EXPECT_EQ(run({"classify", "--weights", "/no/w.txt", "--dataset",
                  "/no/d.csv"}).code, 1);

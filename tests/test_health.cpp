@@ -1,0 +1,128 @@
+// Health / SLO evaluation: verdict grading from the latency tail, degraded
+// serves and the unhealthy latch, plus the machine-readable renderings.
+#include "obs/health.hpp"
+
+#include <gtest/gtest.h>
+
+#include "json_lint.hpp"
+
+namespace csdml::obs {
+namespace {
+
+TEST(Health, EmptySnapshotIsOk) {
+  MetricsRegistry reg;
+  const HealthReport report = evaluate_health(reg.snapshot(), true);
+  EXPECT_EQ(report.verdict, HealthVerdict::Ok);
+  EXPECT_DOUBLE_EQ(report.slo_burn, 0.0);
+  EXPECT_DOUBLE_EQ(report.within_slo, 1.0);
+  EXPECT_TRUE(report.reasons.empty());
+}
+
+TEST(Health, VerdictNamesAreStable) {
+  EXPECT_STREQ(health_verdict_name(HealthVerdict::Ok), "ok");
+  EXPECT_STREQ(health_verdict_name(HealthVerdict::Degraded), "degraded");
+  EXPECT_STREQ(health_verdict_name(HealthVerdict::Unhealthy), "unhealthy");
+}
+
+TEST(Health, FastTailStaysOk) {
+  MetricsRegistry reg;
+  reg.add_counter("detector.classifications", 100);
+  for (int i = 0; i < 30; ++i) reg.observe("detector.inference_us", 100.0);
+  const HealthReport report = evaluate_health(reg.snapshot(), true);
+  EXPECT_EQ(report.verdict, HealthVerdict::Ok);
+  EXPECT_DOUBLE_EQ(report.within_slo, 1.0);
+  EXPECT_EQ(report.classifications, 100u);
+}
+
+TEST(Health, BurningTheErrorBudgetDegrades) {
+  MetricsRegistry reg;
+  reg.add_counter("detector.classifications", 30);
+  // 2 of 30 classifications blow the 5ms budget: burn ~6.7x, below the
+  // 10x unhealthy threshold.
+  for (int i = 0; i < 28; ++i) reg.observe("detector.inference_us", 100.0);
+  for (int i = 0; i < 2; ++i) reg.observe("detector.inference_us", 1e6);
+  const HealthReport report = evaluate_health(reg.snapshot(), true);
+  EXPECT_EQ(report.verdict, HealthVerdict::Degraded);
+  EXPECT_GE(report.slo_burn, 1.0);
+  EXPECT_LT(report.slo_burn, 10.0);
+  ASSERT_EQ(report.reasons.size(), 1u);
+  EXPECT_EQ(report.reasons[0], "latency_slo_burning");
+}
+
+TEST(Health, CollapsedTailIsUnhealthy) {
+  MetricsRegistry reg;
+  reg.add_counter("detector.classifications", 30);
+  for (int i = 0; i < 30; ++i) reg.observe("detector.inference_us", 1e6);
+  const HealthReport report = evaluate_health(reg.snapshot(), true);
+  EXPECT_EQ(report.verdict, HealthVerdict::Unhealthy);
+  EXPECT_GE(report.slo_burn, 10.0);
+  ASSERT_FALSE(report.reasons.empty());
+  EXPECT_EQ(report.reasons[0], "latency_slo_burn_critical");
+}
+
+TEST(Health, TooFewSamplesIsNoDataNotABurn) {
+  MetricsRegistry reg;
+  // 5 terrible samples, but below min_samples: "no data yet", not a page.
+  for (int i = 0; i < 5; ++i) reg.observe("detector.inference_us", 1e6);
+  const HealthReport report = evaluate_health(reg.snapshot(), true);
+  EXPECT_EQ(report.verdict, HealthVerdict::Ok);
+  EXPECT_DOUBLE_EQ(report.slo_burn, 0.0);
+  EXPECT_GT(report.p99_latency_us, 0.0);  // the tail is still reported
+}
+
+TEST(Health, UnhealthyLatchOverridesEverything) {
+  MetricsRegistry reg;
+  reg.add_counter("detector.classifications", 100);
+  const HealthReport report = evaluate_health(reg.snapshot(), false);
+  EXPECT_EQ(report.verdict, HealthVerdict::Unhealthy);
+  EXPECT_FALSE(report.csd_healthy);
+  ASSERT_FALSE(report.reasons.empty());
+  EXPECT_EQ(report.reasons[0], "csd_unhealthy_latched");
+}
+
+TEST(Health, DegradedServeBudgetExceededDegrades) {
+  MetricsRegistry reg;
+  reg.add_counter("detector.classifications", 100);
+  reg.add_counter("engine.fallback_inferences", 5);  // 5% > 1% budget
+  reg.add_counter("engine.marked_unhealthy", 1);
+  reg.add_counter("engine.recoveries", 1);
+  const HealthReport report = evaluate_health(reg.snapshot(), true);
+  EXPECT_EQ(report.verdict, HealthVerdict::Degraded);
+  EXPECT_EQ(report.fallback_serves, 5u);
+  EXPECT_EQ(report.unhealthy_latches, 1u);
+  EXPECT_EQ(report.recoveries, 1u);
+  ASSERT_EQ(report.reasons.size(), 1u);
+  EXPECT_EQ(report.reasons[0], "degraded_serve_budget_exceeded");
+}
+
+TEST(Health, ConfigurableSlo) {
+  MetricsRegistry reg;
+  reg.add_counter("detector.classifications", 30);
+  for (int i = 0; i < 30; ++i) reg.observe("detector.inference_us", 100.0);
+  SloConfig strict;
+  strict.latency_slo_us = 1.0;  // nothing fits a 1us budget
+  const HealthReport report = evaluate_health(reg.snapshot(), true, strict);
+  EXPECT_EQ(report.verdict, HealthVerdict::Unhealthy);
+  EXPECT_DOUBLE_EQ(report.within_slo, 0.0);
+}
+
+TEST(Health, RenderingsCarryTheVerdictAndReasons) {
+  MetricsRegistry reg;
+  reg.add_counter("detector.classifications", 100);
+  reg.add_counter("engine.fallback_inferences", 5);
+  const HealthReport report = evaluate_health(reg.snapshot(), false);
+
+  const std::string text = report.to_text();
+  EXPECT_NE(text.find("unhealthy"), std::string::npos);
+  EXPECT_NE(text.find("csd_unhealthy_latched"), std::string::npos);
+
+  const std::string json = report.to_json();
+  EXPECT_TRUE(testing::JsonLint::valid(json)) << json;
+  EXPECT_NE(json.find("\"health\""), std::string::npos);
+  EXPECT_NE(json.find("\"verdict\":\"unhealthy\""), std::string::npos);
+  EXPECT_NE(json.find("\"csd_healthy\":false"), std::string::npos);
+  EXPECT_NE(json.find("\"reasons\":["), std::string::npos);
+}
+
+}  // namespace
+}  // namespace csdml::obs

@@ -1,0 +1,72 @@
+// Prometheus text exposition: name sanitisation, the counter/_total and
+// histogram cumulative-bucket conventions, and document shape.
+#include "obs/prometheus.hpp"
+
+#include <gtest/gtest.h>
+
+namespace csdml::obs {
+namespace {
+
+TEST(Prometheus, NamesArePrefixedAndSanitised) {
+  EXPECT_EQ(prometheus_name("engine.kernel.gates_us"),
+            "csdml_engine_kernel_gates_us");
+  EXPECT_EQ(prometheus_name("detector.alerts"), "csdml_detector_alerts");
+  EXPECT_EQ(prometheus_name("weird name-with/chars"),
+            "csdml_weird_name_with_chars");
+  EXPECT_EQ(prometheus_name("9starts_with_digit"), "csdml_9starts_with_digit");
+}
+
+TEST(Prometheus, CountersGainTotalSuffixAndTypeLine) {
+  MetricsRegistry reg;
+  reg.add_counter("detector.alerts", 3);
+  const std::string text = to_prometheus_text(reg.snapshot());
+  EXPECT_NE(text.find("# TYPE csdml_detector_alerts_total counter\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("csdml_detector_alerts_total 3\n"), std::string::npos);
+}
+
+TEST(Prometheus, GaugesRenderAsIs) {
+  MetricsRegistry reg;
+  reg.set_gauge("nand.occupancy", 0.0625);
+  const std::string text = to_prometheus_text(reg.snapshot());
+  EXPECT_NE(text.find("# TYPE csdml_nand_occupancy gauge\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("csdml_nand_occupancy 0.0625\n"), std::string::npos);
+}
+
+TEST(Prometheus, HistogramBucketsAreCumulativeAndEndAtInf) {
+  MetricsRegistry reg;
+  const std::vector<double> bounds{1.0, 2.0};
+  reg.observe("lat", 0.5, bounds);
+  reg.observe("lat", 1.5, bounds);
+  reg.observe("lat", 5.0, bounds);
+  const std::string text = to_prometheus_text(reg.snapshot());
+  EXPECT_NE(text.find("# TYPE csdml_lat histogram\n"), std::string::npos);
+  EXPECT_NE(text.find("csdml_lat_bucket{le=\"1\"} 1\n"), std::string::npos);
+  EXPECT_NE(text.find("csdml_lat_bucket{le=\"2\"} 2\n"), std::string::npos);
+  EXPECT_NE(text.find("csdml_lat_bucket{le=\"+Inf\"} 3\n"), std::string::npos);
+  EXPECT_NE(text.find("csdml_lat_sum 7\n"), std::string::npos);
+  EXPECT_NE(text.find("csdml_lat_count 3\n"), std::string::npos);
+  // +Inf is the last bucket line, as histogram_quantile expects.
+  EXPECT_GT(text.find("le=\"+Inf\""), text.find("le=\"2\""));
+}
+
+TEST(Prometheus, DocumentEndsWithNewline) {
+  MetricsRegistry reg;
+  reg.add_counter("c");
+  reg.set_gauge("g", 1.0);
+  reg.observe("h", 1.0);
+  const std::string text = to_prometheus_text(reg.snapshot());
+  ASSERT_FALSE(text.empty());
+  EXPECT_EQ(text.back(), '\n');
+  // Exactly one sample or comment per line, no blank lines.
+  EXPECT_EQ(text.find("\n\n"), std::string::npos);
+}
+
+TEST(Prometheus, EmptySnapshotRendersEmptyDocument) {
+  MetricsRegistry reg;
+  EXPECT_TRUE(to_prometheus_text(reg.snapshot()).empty());
+}
+
+}  // namespace
+}  // namespace csdml::obs
