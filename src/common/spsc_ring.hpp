@@ -1,0 +1,75 @@
+// Bounded lock-free single-producer/single-consumer ring.
+//
+// The serving layer hands classification requests from ingestion threads to
+// the coalescer through one of these per shard: the producer side is
+// serialised by the shard (whichever ingestion thread holds the shard owns
+// the push), the consumer is always the single coalescer thread, so the
+// classic two-index Lamport queue applies — a push and a pop never touch
+// the same index, and a full ring is a clean, observable rejection
+// (backpressure) instead of an unbounded queue hiding overload.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace csdml {
+
+template <typename T>
+class SpscRing {
+ public:
+  /// Capacity is rounded up to the next power of two so index wrapping is
+  /// a mask, never a modulo.
+  explicit SpscRing(std::size_t min_capacity) {
+    CSDML_REQUIRE(min_capacity > 0, "ring capacity must be positive");
+    std::size_t capacity = 1;
+    while (capacity < min_capacity) capacity <<= 1;
+    slots_.resize(capacity);
+    mask_ = capacity - 1;
+  }
+
+  SpscRing(const SpscRing&) = delete;
+  SpscRing& operator=(const SpscRing&) = delete;
+
+  /// Producer side. Returns false (item untouched beyond the move attempt
+  /// never happening) when the ring is full — the caller sheds.
+  bool try_push(T&& item) {
+    const std::size_t tail = tail_.load(std::memory_order_relaxed);
+    const std::size_t head = head_.load(std::memory_order_acquire);
+    if (tail - head == slots_.size()) return false;
+    slots_[tail & mask_] = std::move(item);
+    tail_.store(tail + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Consumer side. Returns false when the ring is empty.
+  bool try_pop(T& out) {
+    const std::size_t head = head_.load(std::memory_order_relaxed);
+    const std::size_t tail = tail_.load(std::memory_order_acquire);
+    if (head == tail) return false;
+    out = std::move(slots_[head & mask_]);
+    head_.store(head + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Approximate occupancy (exact when read from producer or consumer).
+  std::size_t size() const {
+    return tail_.load(std::memory_order_acquire) -
+           head_.load(std::memory_order_acquire);
+  }
+  bool empty() const { return size() == 0; }
+  std::size_t capacity() const { return slots_.size(); }
+
+ private:
+  std::vector<T> slots_;
+  std::size_t mask_{0};
+  /// Producer and consumer indices live on their own cache lines so a
+  /// pushing ingestion thread never invalidates the coalescer's line.
+  alignas(64) std::atomic<std::size_t> head_{0};  ///< next pop (consumer)
+  alignas(64) std::atomic<std::size_t> tail_{0};  ///< next push (producer)
+};
+
+}  // namespace csdml

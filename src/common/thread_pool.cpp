@@ -59,6 +59,14 @@ void ThreadPool::worker_main(std::size_t executor) {
 void ThreadPool::parallel_for(
     std::size_t count, const std::function<void(std::size_t, std::size_t)>& fn) {
   if (count == 0) return;
+  // Below ~2 indices per executor the wake/steal handshake dominates the
+  // work itself; run the range inline on the caller instead. A full
+  // serving micro-batch (coalesce cap) lands at or above this threshold,
+  // so saturated batches still fan out.
+  if (workers_.empty() || count < 2 * thread_count()) {
+    for (std::size_t index = 0; index < count; ++index) fn(0, index);
+    return;
+  }
   {
     const std::lock_guard<std::mutex> lock(mutex_);
     CSDML_REQUIRE(job_ == nullptr, "parallel_for is not reentrant");

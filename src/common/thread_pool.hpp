@@ -39,6 +39,12 @@ class ThreadPool {
   /// calling thread is executor 0). Blocks until every index finished;
   /// if any invocation threw, the first captured exception is rethrown
   /// after the loop drains. Not reentrant.
+  ///
+  /// Ranges smaller than two indices per executor run inline on the caller
+  /// (as executor 0): waking the workers costs more than it buys on the
+  /// tiny micro-batches the serving coalescer produces under light load.
+  /// On the inline path an exception aborts the remaining range
+  /// immediately (sequential-loop semantics).
   void parallel_for(std::size_t count,
                     const std::function<void(std::size_t, std::size_t)>& fn);
 

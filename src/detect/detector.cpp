@@ -76,6 +76,7 @@ std::optional<Detection> StreamingDetector::on_api_call(ProcessId process,
     // counter so the very next call for this process retries it (the
     // first-full-window condition can never re-trigger).
     state.calls_since_eval = config_.hop;
+    state.deferred_pending = true;
     ++degraded_;
     metrics.add_counter("detector.degraded_classifications");
     if (tracing) {
@@ -92,6 +93,7 @@ std::optional<Detection> StreamingDetector::on_api_call(ProcessId process,
     metrics.add_counter("detector.fallback_classifications");
     if (tracing) spans.tag(root, "degraded", "1");
   }
+  state.deferred_pending = false;
   ++classifications_;
   device_time_ += result.device_time;
   metrics.add_counter("detector.classifications");
@@ -143,6 +145,13 @@ void StreamingDetector::forget(ProcessId process) {
   // long-running fleets don't silently leak stats with process churn.
   obs::MetricsRegistry& metrics = obs::registry();
   metrics.add_counter("detector.processes_forgotten");
+  if (it->second.deferred_pending) {
+    // The process died with a deferred classification still owed: the
+    // retry-on-next-call guarantee can no longer fire, so the deferral is
+    // dropped here — the one place "never dropped" has an asterisk, and
+    // it gets its own counter.
+    metrics.add_counter("detector.forget_pending");
+  }
   if (it->second.alert_streak > 0) {
     metrics.add_counter("detector.pending_alert_streaks_flushed",
                         it->second.alert_streak);

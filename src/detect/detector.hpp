@@ -83,6 +83,10 @@ class StreamingDetector {
     std::uint64_t calls_seen{0};
     std::uint64_t calls_since_eval{0};
     std::size_t alert_streak{0};
+    /// A due classification was deferred (CSD unavailable, no fallback)
+    /// and has not run yet. forget() of such a process drops a pending
+    /// deferral, which operators want to see (`detector.forget_pending`).
+    bool deferred_pending{false};
   };
 
   kernels::CsdLstmEngine& engine_;

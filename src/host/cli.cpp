@@ -24,6 +24,9 @@
 #include "ransomware/families.hpp"
 #include "ransomware/sandbox.hpp"
 #include "ransomware/trace_io.hpp"
+#include "serve/serving.hpp"
+
+#include <thread>
 
 namespace csdml::host {
 
@@ -60,6 +63,12 @@ commands:
                deltas (classifications, alerts, deferrals, fallback serves,
                p99, health verdict); exits 1 if the final verdict is
                unhealthy
+  serve        [--level L] [--calls N] [--seed N] [--ingest-threads N]
+               [--serve-shards N] [--coalesce-max N]
+               [--coalesce-deadline-us N]
+               run the sample streams through the sharded asynchronous
+               serving pipeline (lock-free rings + micro-batch coalescing)
+               and print the pipeline stats and latency percentiles
   attribute    --weights PATH --dataset PATH --row N [--top K]
                explain one window: occlusion attribution of its API calls
   timings      [--level L] [--cus N] [--stream]
@@ -452,6 +461,105 @@ int cmd_watch(const Flags& flags, std::ostream& out) {
   return final_health.verdict == obs::HealthVerdict::Unhealthy ? 1 : 0;
 }
 
+int cmd_serve(const Flags& flags, std::ostream& out) {
+  const kernels::OptimizationLevel level =
+      parse_level(flags.get("level").value_or("fixed-point"));
+  const auto calls = static_cast<std::size_t>(flags.get_long("calls", 1'200));
+  const auto seed = static_cast<std::uint64_t>(flags.get_long("seed", 2024));
+  const auto threads =
+      static_cast<std::size_t>(flags.get_long("ingest-threads", 4));
+  CSDML_REQUIRE(calls >= 200, "--calls must be at least 200");
+  CSDML_REQUIRE(threads >= 1 && threads <= 64,
+                "--ingest-threads must be in [1, 64]");
+
+  serve::ServeConfig serve_config;
+  serve_config.shards =
+      static_cast<std::size_t>(flags.get_long("serve-shards", 4));
+  serve_config.coalesce_max =
+      static_cast<std::size_t>(flags.get_long("coalesce-max", 32));
+  serve_config.coalesce_deadline =
+      std::chrono::microseconds(flags.get_long("coalesce-deadline-us", 200));
+  serve_config.detector = detect::DetectorConfig{
+      .window_length = 100, .hop = 25, .consecutive_alerts = 2};
+
+  obs::registry().reset();
+  nn::LstmConfig model_config;
+  Rng rng(seed);
+  const nn::LstmParams params = nn::LstmParams::glorot(model_config, rng);
+  csd::SmartSsd board{csd::SmartSsdConfig{}};
+  xrt::Device device{board};
+  kernels::CsdLstmEngine engine(device, model_config, params,
+                                kernels::EngineConfig{.level = level});
+
+  // The sample workload, scaled out: every ingestion thread owns three
+  // processes (one ransomware, two benign) and feeds their streams
+  // round-robin, so per-process call order is preserved per thread while
+  // the pipeline absorbs the aggregate concurrently.
+  const ransomware::SandboxTraceGenerator sandbox{ransomware::SandboxConfig{}};
+  const auto& families = ransomware::ransomware_families();
+  const auto& benign = ransomware::benign_profiles();
+  CSDML_REQUIRE(!families.empty() && benign.size() >= 2,
+                "corpus profiles unavailable");
+  struct StreamSet {
+    std::vector<detect::ProcessId> pids;
+    std::vector<std::vector<nn::TokenId>> streams;
+  };
+  std::vector<StreamSet> per_thread(threads);
+  for (std::size_t t = 0; t < threads; ++t) {
+    const auto variant = static_cast<std::uint32_t>((seed + t) %
+                                                    families.front().variants);
+    StreamSet& set = per_thread[t];
+    set.pids = {static_cast<detect::ProcessId>(3 * t + 1),
+                static_cast<detect::ProcessId>(3 * t + 2),
+                static_cast<detect::ProcessId>(3 * t + 3)};
+    set.streams = {
+        sandbox.ransomware_trace(families.front(), variant, calls),
+        sandbox.benign_trace(benign[0], variant + 1, calls),
+        sandbox.benign_trace(benign[1], variant + 2, calls),
+    };
+  }
+
+  serve::ServingPipeline pipeline(engine, serve_config,
+                                  [](const serve::Verdict&) {});
+  std::vector<std::thread> workers;
+  workers.reserve(threads);
+  for (std::size_t t = 0; t < threads; ++t) {
+    workers.emplace_back([&pipeline, &set = per_thread[t], calls] {
+      for (std::size_t i = 0; i < calls; ++i) {
+        for (std::size_t p = 0; p < set.streams.size(); ++p) {
+          if (i < set.streams[p].size()) {
+            pipeline.ingest(set.pids[p], set.streams[p][i]);
+          }
+        }
+      }
+    });
+  }
+  for (std::thread& worker : workers) worker.join();
+  pipeline.flush();
+  for (const StreamSet& set : per_thread) {
+    for (const detect::ProcessId pid : set.pids) pipeline.forget(pid);
+  }
+  pipeline.stop();
+
+  const serve::ServingPipeline::Stats stats = pipeline.stats();
+  out << "serve: " << threads << " ingestion threads x 3 processes x " << calls
+      << " API calls (" << kernels::optimization_name(level) << " build, "
+      << serve_config.shards << " shards, coalesce<=" << serve_config.coalesce_max
+      << ")\n\n";
+  TextTable table({"pipeline", "count"});
+  table.add_row({"ingested", std::to_string(stats.ingested)});
+  table.add_row({"enqueued", std::to_string(stats.enqueued)});
+  table.add_row({"shed (backpressure)", std::to_string(stats.shed)});
+  table.add_row({"deferred (csd down)", std::to_string(stats.deferred)});
+  table.add_row({"verdicts", std::to_string(stats.verdicts)});
+  table.add_row({"alerts", std::to_string(stats.alerts)});
+  table.add_row({"batches", std::to_string(stats.batches)});
+  table.print(out);
+  out << "\n" << obs::registry().snapshot().to_text();
+  // Conservation law of the pipeline: everything enqueued came out.
+  return stats.verdicts + stats.deferred == stats.enqueued ? 0 : 1;
+}
+
 int cmd_attribute(const Flags& flags, std::ostream& out) {
   const nn::ModelSnapshot snapshot =
       nn::load_weights_file(flags.require("weights"));
@@ -550,6 +658,9 @@ int run_cli(const std::vector<std::string>& args, std::ostream& out,
     }
     if (command == "watch") {
       return cmd_watch(Flags(args, 1, {"health"}), out);
+    }
+    if (command == "serve") {
+      return cmd_serve(Flags(args, 1, {}), out);
     }
     if (command == "attribute") {
       return cmd_attribute(Flags(args, 1, {}), out);

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 #include <cstring>
+#include <thread>
 
 #include "baselines/host_baseline.hpp"
 #include "common/error.hpp"
@@ -85,7 +86,7 @@ CsdLstmEngine::CsdLstmEngine(xrt::Device& device, const nn::LstmConfig& model_co
       config_(config) {
   CSDML_REQUIRE(config_.gate_cu_count >= 1 && config_.gate_cu_count <= 4,
                 "gate CU count must be in [1, 4]");
-  build_datapath();
+  build_datapath(slots_[0]);
 
   // Build the xclbin: one preprocess kernel, `gate_cu_count` gate CUs, one
   // hidden-state kernel.
@@ -111,19 +112,19 @@ CsdLstmEngine::CsdLstmEngine(xrt::Device& device, const nn::ModelSnapshot& snaps
                              EngineConfig config)
     : CsdLstmEngine(device, snapshot.config, snapshot.params, config) {}
 
-void CsdLstmEngine::build_datapath() {
-  // One datapath, not two: the float path used to be constructed
-  // unconditionally alongside the fixed one even though fixed-point mode
-  // never reads it. Staging time (this includes the token-table build) is
-  // tracked so CTI hot swaps stay observable.
+void CsdLstmEngine::build_datapath(DatapathSlot& slot) {
+  // One datapath per slot, not two: fixed-point mode never reads the float
+  // path (Vanilla/II change timing, not arithmetic). Staging time (this
+  // includes the token-table build) is tracked so CTI hot swaps stay
+  // observable.
   const auto start = std::chrono::steady_clock::now();
   if (config_.level == OptimizationLevel::FixedPoint) {
-    fixed_path_ = std::make_unique<FixedDatapath>(model_config_, params_,
-                                                  config_.fixed_scale);
-    float_path_.reset();
+    slot.fixed_path = std::make_unique<FixedDatapath>(model_config_, params_,
+                                                      config_.fixed_scale);
+    slot.float_path.reset();
   } else {
-    float_path_ = std::make_unique<FloatDatapath>(model_config_, params_);
-    fixed_path_.reset();
+    slot.float_path = std::make_unique<FloatDatapath>(model_config_, params_);
+    slot.fixed_path.reset();
   }
   const double elapsed_us =
       std::chrono::duration<double, std::micro>(std::chrono::steady_clock::now() -
@@ -132,11 +133,12 @@ void CsdLstmEngine::build_datapath() {
   obs::registry().observe("engine.weight_table_rebuild_us", elapsed_us);
 }
 
-double CsdLstmEngine::forward(nn::TokenSpan sequence, FloatScratch& float_scratch,
+double CsdLstmEngine::forward(const DatapathSlot& slot, nn::TokenSpan sequence,
+                              FloatScratch& float_scratch,
                               FixedScratch& fixed_scratch) const {
   return config_.level == OptimizationLevel::FixedPoint
-             ? fixed_path_->infer(sequence, fixed_scratch)
-             : float_path_->infer(sequence, float_scratch);
+             ? slot.fixed_path->infer(sequence, fixed_scratch)
+             : slot.float_path->infer(sequence, float_scratch);
 }
 
 ThreadPool& CsdLstmEngine::batch_pool() {
@@ -148,7 +150,7 @@ ThreadPool& CsdLstmEngine::batch_pool() {
 }
 
 void CsdLstmEngine::set_fallback(const baselines::HostBaseline* fallback) {
-  fallback_ = fallback;
+  fallback_.store(fallback, std::memory_order_release);
 }
 
 void CsdLstmEngine::restore_health() {
@@ -239,17 +241,19 @@ InferenceResult CsdLstmEngine::degraded_infer(nn::TokenSpan sequence) {
   obs::MetricsRegistry& metrics = obs::registry();
   obs::SpanTrace& spans = device_.board().span_trace();
   const bool traced = spans.enabled() && spans.in_trace();
-  if (fallback_ == nullptr) {
+  const baselines::HostBaseline* fallback =
+      fallback_.load(std::memory_order_acquire);
+  if (fallback == nullptr) {
     metrics.add_counter("engine.unavailable_inferences");
     if (traced) spans.tag_current("csd_unavailable", "1");
     throw faults::CsdUnavailableError(
         "CSD unhealthy and no host fallback configured");
   }
   metrics.add_counter("engine.fallback_inferences");
-  const double probability = fallback_->infer(sequence);
+  const double probability = fallback->infer(sequence);
   // The host serve still advances the single simulated clock so campaign
   // timelines stay monotonic across degraded stretches.
-  const Duration host_time = fallback_->batch_window_latency(1, sequence.size());
+  const Duration host_time = fallback->batch_window_latency(1, sequence.size());
   const TimePoint start = device_.now();
   device_.advance_to(start + host_time);
   device_.board().trace().record("host_fallback", start, start + host_time);
@@ -279,7 +283,7 @@ void CsdLstmEngine::initialise() {
   weights_bo_.emplace(device_.alloc_bo(image.size(), config_.sequence_bank));
   weights_bo_->write(image);
   weights_bo_->sync_to_device();
-  ++weight_updates_;
+  weight_updates_.fetch_add(1, std::memory_order_relaxed);
   obs::registry().add_counter("engine.weight_updates");
   CSDML_LOG_INFO("engine") << "staged weight image"
                            << kv("bytes", image.size())
@@ -287,28 +291,46 @@ void CsdLstmEngine::initialise() {
 }
 
 void CsdLstmEngine::update_weights(const nn::LstmParams& params) {
-  // Exclusive against in-flight infer / infer_batch shared holders: the
-  // datapath pointer swap below must never run under a reader's feet.
-  std::unique_lock<std::shared_mutex> swap_guard(swap_mutex_);
+  // Writers serialise among themselves; readers are never blocked. The
+  // expensive part — rebuilding the datapath and its token table — happens
+  // in the inactive slot with no lock shared with the inference hot path.
+  std::lock_guard<std::mutex> update_guard(update_mutex_);
   CSDML_REQUIRE(params.embedding.rows() == params_.embedding.rows() &&
                     params.embedding.cols() == params_.embedding.cols() &&
                     params.dense_w.size() == params_.dense_w.size(),
                 "update_weights: model architecture changed");
   params_ = params;
-  // Rebuild the active datapath (and its precomputed token table) so the
-  // fused hot path serves the new weights.
-  build_datapath();
+  const std::uint64_t epoch = epoch_.load(std::memory_order_seq_cst);
+  DatapathSlot& target = slots_[(epoch + 1) & 1];
+  // The target slot was live two epochs ago; wait out any straggler still
+  // pinned to it. New readers cannot pin it (its epoch is stale, and
+  // EpochPin's re-check bounces transient increments), so this drains.
+  while (target.readers.load(std::memory_order_seq_cst) != 0) {
+    std::this_thread::yield();
+  }
+  // Rebuild into the inactive slot (precomputed token table included),
+  // then publish: every pin taken after this store reads the new weights.
+  build_datapath(target);
+  epoch_.store(epoch + 1, std::memory_order_seq_cst);
+
   // Same xclbin, fresh weight image: the paper's compile-once update path.
+  // Staging rides the simulated PCIe link, so this brief step is the only
+  // part of a hot swap that contends with inference for the device.
   const std::vector<std::uint8_t> image = weight_image(params_);
-  weights_bo_->write(image);
-  weights_bo_->sync_to_device();
-  ++weight_updates_;
+  const std::uint32_t update_number =
+      weight_updates_.fetch_add(1, std::memory_order_relaxed) + 1;
+  {
+    const auto device_guard = lock_device();
+    weights_bo_->write(image);
+    weights_bo_->sync_to_device();
+    obs::FlightRecorder::instance().record(
+        obs::FlightEventKind::WeightUpdate, "engine", "hot_swap",
+        device_.now(), device_.board().span_trace().current_trace(),
+        update_number);
+  }
   obs::registry().add_counter("engine.weight_updates");
-  obs::FlightRecorder::instance().record(
-      obs::FlightEventKind::WeightUpdate, "engine", "hot_swap", device_.now(),
-      device_.board().span_trace().current_trace(), weight_updates_);
   CSDML_LOG_INFO("engine") << "weight update applied"
-                           << kv("update", weight_updates_);
+                           << kv("update", update_number);
 }
 
 KernelTimings CsdLstmEngine::per_item_timings() const {
@@ -345,10 +367,11 @@ KernelTimings CsdLstmEngine::per_item_timings() const {
 
 InferenceResult CsdLstmEngine::infer(nn::TokenSpan sequence) {
   CSDML_REQUIRE(!sequence.empty(), "empty sequence");
-  // Shared against update_weights' exclusive datapath swap. The engine-
-  // owned scratch means infer is still single-caller; the lock only makes
-  // it safe alongside concurrent hot swaps and infer_batch.
-  std::shared_lock<std::shared_mutex> swap_guard(swap_mutex_);
+  // The device lock serialises concurrent infer/infer_batch callers and
+  // the updater's staging step (clock, trace, spans, engine-owned scratch
+  // are all single-threaded state); the epoch pin below keeps the datapath
+  // alive across a concurrent hot swap without ever blocking on it.
+  const auto device_guard = lock_device();
   obs::SpanTrace& spans = device_.board().span_trace();
   ScopedRequestSpan scope(spans, device_, "engine.infer");
   if (!ensure_csd_available()) return degraded_infer(sequence);
@@ -356,7 +379,11 @@ InferenceResult CsdLstmEngine::infer(nn::TokenSpan sequence) {
 
   // Functional result through the configured datapath (fused table path,
   // engine-owned scratch: allocation-free in steady state).
-  const double probability = forward(sequence, float_scratch_, fixed_scratch_);
+  double probability;
+  {
+    const EpochPin pin(*this);
+    probability = forward(pin.slot(), sequence, float_scratch_, fixed_scratch_);
+  }
 
   // Timing: preprocess overlaps the previous item's gate/hidden stage
   // (Section III-C), so it is exposed once; every item then pays
@@ -404,7 +431,7 @@ InferenceResult CsdLstmEngine::infer(nn::TokenSpan sequence) {
 CsdLstmEngine::BatchResult CsdLstmEngine::infer_batch(
     const std::vector<nn::Sequence>& sequences) {
   CSDML_REQUIRE(!sequences.empty(), "empty batch");
-  std::shared_lock<std::shared_mutex> swap_guard(swap_mutex_);
+  const auto device_guard = lock_device();
   obs::SpanTrace& spans = device_.board().span_trace();
   ScopedRequestSpan scope(spans, device_, "engine.infer_batch");
 
@@ -434,6 +461,7 @@ CsdLstmEngine::BatchResult CsdLstmEngine::infer_batch(
         degraded_seconds > 0.0
             ? static_cast<double>(sequences.size()) / degraded_seconds
             : 0.0;
+    result.degraded = true;
     obs::registry().add_counter("engine.batch_degraded");
     return result;
   }
@@ -442,17 +470,24 @@ CsdLstmEngine::BatchResult CsdLstmEngine::infer_batch(
   const Duration steady = per_item.gates + per_item.hidden_state;
 
   // Fan the functional forward passes out across the pool; each executor
-  // owns one scratch pair, results land at their sequence index.
+  // owns one scratch pair, results land at their sequence index. One epoch
+  // pin covers every worker: they all read the slot resolved here, and the
+  // pin keeps a concurrent hot swap from rebuilding it mid-batch.
   ThreadPool& pool = batch_pool();
   std::vector<FloatScratch> float_scratch(pool.thread_count());
   std::vector<FixedScratch> fixed_scratch(pool.thread_count());
-  pool.parallel_for(
-      sequences.size(), [&](std::size_t executor, std::size_t index) {
-        const double probability = forward(
-            sequences[index], float_scratch[executor], fixed_scratch[executor]);
-        result.probabilities[index] = probability;
-        result.labels[index] = probability >= 0.5 ? 1 : 0;
-      });
+  {
+    const EpochPin pin(*this);
+    const DatapathSlot& slot = pin.slot();
+    pool.parallel_for(
+        sequences.size(), [&](std::size_t executor, std::size_t index) {
+          const double probability =
+              forward(slot, sequences[index], float_scratch[executor],
+                      fixed_scratch[executor]);
+          result.probabilities[index] = probability;
+          result.labels[index] = probability >= 0.5 ? 1 : 0;
+        });
+  }
   result.device_time = per_item.preprocess + steady * total_items;
 
   const TimePoint start = device_.now();
@@ -475,6 +510,8 @@ CsdLstmEngine::BatchResult CsdLstmEngine::infer_batch(
 CsdLstmEngine::SsdInferenceResult CsdLstmEngine::infer_from_ssd(
     std::uint64_t lba, std::uint32_t block_count, const nn::Sequence& sequence,
     bool p2p) {
+  // Recursive device lock: the nested infer() below re-acquires it.
+  const auto device_guard = lock_device();
   csd::SmartSsd& board = device_.board();
   ScopedRequestSpan scope(board.span_trace(), device_, "engine.infer_from_ssd");
   if (scope.active()) {

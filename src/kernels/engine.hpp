@@ -23,7 +23,6 @@
 #include <memory>
 #include <mutex>
 #include <optional>
-#include <shared_mutex>
 
 #include "common/thread_pool.hpp"
 #include "kernels/functional.hpp"
@@ -120,6 +119,9 @@ class CsdLstmEngine {
     Duration device_time;
     /// Classified windows per second of device time.
     double windows_per_second{0.0};
+    /// True when the batch was served window-by-window from the host
+    /// fallback because the FPGA pipeline was unavailable.
+    bool degraded{false};
   };
   BatchResult infer_batch(const std::vector<nn::Sequence>& sequences);
 
@@ -147,14 +149,32 @@ class CsdLstmEngine {
   /// the paper's update path ("the FPGA-based model is compiled once and
   /// can be updated at the operator's discretion", e.g. after retraining
   /// on new strains from CTI feeds). Re-stages the weight image over PCIe
-  /// (time charged to the device) and rebuilds the active functional
-  /// datapath, including its token→gate-preactivation table (wall-clock
-  /// recorded in the `engine.weight_table_rebuild_us` histogram).
+  /// (time charged to the device) and rebuilds the functional datapath,
+  /// including its token→gate-preactivation table (wall-clock recorded in
+  /// the `engine.weight_table_rebuild_us` histogram).
+  ///
+  /// The rebuild happens in the *inactive* datapath slot and is published
+  /// by bumping an epoch counter, so in-flight inference never waits on
+  /// it — a swap only contends with classification for the short PCIe
+  /// staging step (see `device_mutex_`), never for the table build.
   /// The model architecture (dims, activation) must be unchanged.
   void update_weights(const nn::LstmParams& params);
 
   /// Number of weight images staged so far (1 after construction).
-  std::uint32_t weight_updates() const { return weight_updates_; }
+  std::uint32_t weight_updates() const {
+    return weight_updates_.load(std::memory_order_relaxed);
+  }
+
+  /// Hands out the engine's device lock so callers can frame their own
+  /// spans/trace around an engine entry point (the serving coalescer opens
+  /// a `serve.batch` trace, then calls infer_batch while still holding the
+  /// lock — the mutex is recursive precisely so that nesting works). All
+  /// simulated-device state (clock, kernel trace, span collector) is
+  /// single-threaded by contract; every engine path that touches it locks
+  /// this mutex, as must any outside caller.
+  std::unique_lock<std::recursive_mutex> lock_device() const {
+    return std::unique_lock<std::recursive_mutex>(device_mutex_);
+  }
 
   /// Registers the host deployment consulted while the CSD is unhealthy.
   /// Not owned; must outlive the engine (nullptr detaches — classifying
@@ -170,9 +190,56 @@ class CsdLstmEngine {
   void restore_health();
 
  private:
+  /// One buildable copy of the functional datapath. Two of these alternate
+  /// as the live path (exactly one of float/fixed is populated per the
+  /// optimization level): update_weights builds into the inactive slot and
+  /// publishes it by bumping `epoch_` — epoch-based reclamation in place
+  /// of the old reader/writer lock, so hot swaps never stall readers.
+  struct DatapathSlot {
+    std::unique_ptr<FloatDatapath> float_path;
+    std::unique_ptr<FixedDatapath> fixed_path;
+    /// In-flight readers pinned to this slot. A writer may only rebuild
+    /// the slot once this drains to zero; own cache line so reader
+    /// pin/unpin never collides with the datapath pointers.
+    alignas(64) mutable std::atomic<std::uint32_t> readers{0};
+  };
+
+  /// RAII read-side pin. Resolves the active slot from `epoch_`, bumps its
+  /// reader count, then re-checks the epoch: a stale pin (the epoch moved
+  /// between load and increment, meaning a writer may already be rebuilding
+  /// the slot we grabbed) unpins and retries, so it never dereferences a
+  /// slot under construction. seq_cst throughout — the writer's
+  /// drain-then-rebuild and the reader's pin-then-recheck form a Dekker
+  /// handshake that weaker orders would not make total.
+  class EpochPin {
+   public:
+    explicit EpochPin(const CsdLstmEngine& engine) {
+      for (;;) {
+        const std::uint64_t epoch =
+            engine.epoch_.load(std::memory_order_seq_cst);
+        const DatapathSlot& slot = engine.slots_[epoch & 1];
+        slot.readers.fetch_add(1, std::memory_order_seq_cst);
+        if (engine.epoch_.load(std::memory_order_seq_cst) == epoch) {
+          slot_ = &slot;
+          return;
+        }
+        slot.readers.fetch_sub(1, std::memory_order_seq_cst);
+      }
+    }
+    ~EpochPin() { slot_->readers.fetch_sub(1, std::memory_order_seq_cst); }
+    EpochPin(const EpochPin&) = delete;
+    EpochPin& operator=(const EpochPin&) = delete;
+
+    const DatapathSlot& slot() const { return *slot_; }
+
+   private:
+    const DatapathSlot* slot_{nullptr};
+  };
+
   void initialise();
-  void build_datapath();
-  double forward(nn::TokenSpan sequence, FloatScratch& float_scratch,
+  void build_datapath(DatapathSlot& slot);
+  double forward(const DatapathSlot& slot, nn::TokenSpan sequence,
+                 FloatScratch& float_scratch,
                  FixedScratch& fixed_scratch) const;
   ThreadPool& batch_pool();
   /// True when the pipeline is usable for this classification: healthy
@@ -184,24 +251,34 @@ class CsdLstmEngine {
 
   xrt::Device& device_;
   nn::LstmConfig model_config_;
+  /// Written only by the constructor and update_weights (both under
+  /// `update_mutex_`); the inference hot path reads the datapath slots,
+  /// never this.
   nn::LstmParams params_;
   EngineConfig config_;
-  // Exactly one functional datapath is live: fixed for FixedPoint, float
-  // otherwise (Vanilla/II change timing, not arithmetic).
-  std::unique_ptr<FloatDatapath> float_path_;
-  std::unique_ptr<FixedDatapath> fixed_path_;
+  /// Two-slot datapath store: slot `epoch_ & 1` is live, the other is the
+  /// writer's build target. A bumped epoch publishes the rebuilt slot.
+  DatapathSlot slots_[2];
+  std::atomic<std::uint64_t> epoch_{0};
+  /// Serialises update_weights writers (and their params_ mutation).
+  std::mutex update_mutex_;
+  /// Everything on the simulated device is single-threaded by contract —
+  /// the clock, the kernel trace, the span collector. This lock is that
+  /// contract made enforceable: infer / infer_batch / infer_from_ssd hold
+  /// it for their device work, update_weights takes it only for the brief
+  /// PCIe staging step, and the serving layer pins it around its own span
+  /// framing via lock_device(). Recursive so infer_from_ssd can nest
+  /// infer, and so the serving coalescer can hold it across infer_batch.
+  mutable std::recursive_mutex device_mutex_;
   FloatScratch float_scratch_;
   FixedScratch fixed_scratch_;
   std::unique_ptr<ThreadPool> batch_pool_;  ///< lazily created on first batch
   std::mutex batch_pool_mutex_;
   std::optional<xrt::BufferObject> weights_bo_;
-  std::uint32_t weight_updates_{0};
-  /// Guards the live datapath against update_weights hot swaps: infer /
-  /// infer_batch hold it shared, update_weights exclusively.
-  mutable std::shared_mutex swap_mutex_;
+  std::atomic<std::uint32_t> weight_updates_{0};
   std::atomic<bool> healthy_{true};
   std::atomic<std::uint32_t> degraded_serves_{0};
-  const baselines::HostBaseline* fallback_{nullptr};
+  std::atomic<const baselines::HostBaseline*> fallback_{nullptr};
 };
 
 }  // namespace csdml::kernels

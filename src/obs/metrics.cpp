@@ -144,15 +144,36 @@ std::string MetricsSnapshot::to_json() const {
   return out.str();
 }
 
+std::size_t MetricsRegistry::counter_stripe() {
+  static std::atomic<std::size_t> next{0};
+  thread_local const std::size_t stripe =
+      next.fetch_add(1, std::memory_order_relaxed) % kCounterStripes;
+  return stripe;
+}
+
 void MetricsRegistry::add_counter(const std::string& name, std::uint64_t delta) {
-  std::lock_guard<std::mutex> lock(mutex_);
-  counters_[name] += delta;
+  {
+    // Fast path: the counter exists (true after the first touch), so a
+    // shared lock plus one relaxed add on this thread's stripe suffices.
+    std::shared_lock<std::shared_mutex> lock(counters_mutex_);
+    const auto it = counters_.find(name);
+    if (it != counters_.end()) {
+      it->second->cells[counter_stripe()].value.fetch_add(
+          delta, std::memory_order_relaxed);
+      return;
+    }
+  }
+  std::unique_lock<std::shared_mutex> lock(counters_mutex_);
+  std::unique_ptr<ShardedCounter>& slot = counters_[name];
+  if (slot == nullptr) slot = std::make_unique<ShardedCounter>();
+  slot->cells[counter_stripe()].value.fetch_add(delta,
+                                                std::memory_order_relaxed);
 }
 
 std::uint64_t MetricsRegistry::counter_value(const std::string& name) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  std::shared_lock<std::shared_mutex> lock(counters_mutex_);
   const auto it = counters_.find(name);
-  return it == counters_.end() ? 0 : it->second;
+  return it == counters_.end() ? 0 : it->second->fold();
 }
 
 void MetricsRegistry::set_gauge(const std::string& name, double value) {
@@ -189,9 +210,15 @@ void MetricsRegistry::observe(const std::string& name, double value,
 }
 
 MetricsSnapshot MetricsRegistry::snapshot() const {
-  std::lock_guard<std::mutex> lock(mutex_);
   MetricsSnapshot snap;
-  snap.counters.assign(counters_.begin(), counters_.end());
+  {
+    std::shared_lock<std::shared_mutex> counters_lock(counters_mutex_);
+    snap.counters.reserve(counters_.size());
+    for (const auto& [name, counter] : counters_) {
+      snap.counters.emplace_back(name, counter->fold());
+    }
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
   snap.gauges.assign(gauges_.begin(), gauges_.end());
   snap.histograms.reserve(histograms_.size());
   for (const auto& [name, h] : histograms_) {
@@ -209,8 +236,11 @@ MetricsSnapshot MetricsRegistry::snapshot() const {
 }
 
 void MetricsRegistry::reset() {
+  {
+    std::unique_lock<std::shared_mutex> counters_lock(counters_mutex_);
+    counters_.clear();
+  }
   std::lock_guard<std::mutex> lock(mutex_);
-  counters_.clear();
   gauges_.clear();
   histograms_.clear();
 }

@@ -9,9 +9,13 @@
 // harness render or export snapshots.
 #pragma once
 
+#include <array>
+#include <atomic>
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <mutex>
+#include <shared_mutex>
 #include <string>
 #include <utility>
 #include <vector>
@@ -86,8 +90,34 @@ class MetricsRegistry {
     double max{0.0};
   };
 
-  mutable std::mutex mutex_;
-  std::map<std::string, std::uint64_t> counters_;
+  /// Hot counters are striped across cache-line-sized per-thread cells and
+  /// folded on read: ingestion threads incrementing the same counter from
+  /// different cores would otherwise bounce one line (and previously one
+  /// global mutex) between them on every API call.
+  static constexpr std::size_t kCounterStripes = 16;
+  struct alignas(64) CounterCell {
+    std::atomic<std::uint64_t> value{0};
+  };
+  struct ShardedCounter {
+    std::array<CounterCell, kCounterStripes> cells{};
+
+    std::uint64_t fold() const {
+      std::uint64_t total = 0;
+      for (const CounterCell& cell : cells) {
+        total += cell.value.load(std::memory_order_relaxed);
+      }
+      return total;
+    }
+  };
+  /// Stripe this thread writes; threads are assigned round-robin once.
+  static std::size_t counter_stripe();
+
+  /// Guards the name→counter map only; cell increments happen under a
+  /// shared lock (creation is the rare exclusive case).
+  mutable std::shared_mutex counters_mutex_;
+  std::map<std::string, std::unique_ptr<ShardedCounter>> counters_;
+
+  mutable std::mutex mutex_;  ///< gauges + histograms
   std::map<std::string, double> gauges_;
   std::map<std::string, Histogram> histograms_;
 };

@@ -1,0 +1,330 @@
+#include "serve/serving.hpp"
+
+#include <string>
+#include <utility>
+
+#include "common/error.hpp"
+#include "faults/fault_plan.hpp"
+#include "obs/metrics.hpp"
+#include "obs/span_trace.hpp"
+
+namespace csdml::serve {
+
+namespace {
+
+/// Micro-batch sizes are small powers of two by construction.
+const std::vector<double>& coalesce_bounds() {
+  static const std::vector<double> bounds{1, 2, 4, 8, 16, 32, 64, 128};
+  return bounds;
+}
+
+}  // namespace
+
+ServingPipeline::ServingPipeline(kernels::CsdLstmEngine& engine,
+                                 ServeConfig config, VerdictSink sink)
+    : engine_(engine), config_(std::move(config)), sink_(std::move(sink)) {
+  CSDML_REQUIRE(config_.shards > 0, "serve: shard count must be positive");
+  CSDML_REQUIRE(config_.coalesce_max > 0,
+                "serve: coalesce_max must be positive");
+  CSDML_REQUIRE(sink_ != nullptr, "serve: verdict sink required");
+  CSDML_REQUIRE(config_.detector.window_length > 0,
+                "serve: window must be positive");
+  CSDML_REQUIRE(config_.detector.hop > 0, "serve: hop must be positive");
+  CSDML_REQUIRE(config_.detector.consecutive_alerts > 0,
+                "serve: consecutive_alerts must be positive");
+  shards_.reserve(config_.shards);
+  for (std::size_t i = 0; i < config_.shards; ++i) {
+    shards_.push_back(std::make_unique<Shard>(config_.ring_capacity));
+  }
+  coalescer_ = std::thread([this] { coalescer_main(); });
+}
+
+ServingPipeline::~ServingPipeline() { stop(); }
+
+void ServingPipeline::ingest(detect::ProcessId process, nn::TokenId token) {
+  CSDML_REQUIRE(token >= 0 && token < engine_.model_config().vocab_size,
+                "API-call token outside model vocabulary");
+  ingested_.fetch_add(1, std::memory_order_relaxed);
+  Shard& shard = shard_of(process);
+  bool pushed = false;
+  {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    const bool new_process = !shard.processes.contains(process);
+    ProcessState& state = shard.processes[process];
+    if (new_process) state.window = detect::TokenRing(config_.detector.window_length);
+    state.window.push(token);
+    ++state.calls_seen;
+    ++state.calls_since_eval;
+
+    if (!state.window.full()) return;
+    // Same due-window rule as the synchronous detector: the call that
+    // first fills the window, then every `hop` calls.
+    const bool first_full_window =
+        state.calls_seen == config_.detector.window_length;
+    if (!first_full_window && state.calls_since_eval < config_.detector.hop) {
+      return;
+    }
+
+    const nn::TokenSpan view = state.window.view();
+    Request request;
+    request.process = process;
+    request.call_index = state.calls_seen;
+    request.window.assign(view.begin(), view.end());
+    request.enqueued_at = Clock::now();
+    // flush() must never observe a completed request it has not yet seen
+    // enqueued, so outstanding_ rises before the push and rolls back on a
+    // full ring.
+    outstanding_.fetch_add(1, std::memory_order_seq_cst);
+    if (shard.ring.try_push(std::move(request))) {
+      state.calls_since_eval = 0;
+      enqueued_.fetch_add(1, std::memory_order_relaxed);
+      pending_.fetch_add(1, std::memory_order_release);
+      pushed = true;
+    } else {
+      // Backpressure: shed to the deferral path, never drop. Priming the
+      // hop counter re-arms the classification on this process's next
+      // call, exactly like the CSD-unavailable deferral.
+      outstanding_.fetch_sub(1, std::memory_order_seq_cst);
+      state.calls_since_eval = config_.detector.hop;
+      state.deferred_pending = true;
+      shed_.fetch_add(1, std::memory_order_relaxed);
+      obs::registry().add_counter("serve.shed");
+    }
+  }
+  if (pushed && sleeping_.load(std::memory_order_acquire)) {
+    std::lock_guard<std::mutex> wake_lock(wake_mutex_);
+    wake_cv_.notify_one();
+  }
+}
+
+void ServingPipeline::forget(detect::ProcessId process) {
+  Shard& shard = shard_of(process);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  const auto it = shard.processes.find(process);
+  if (it == shard.processes.end()) {
+    obs::registry().add_counter("serve.forget_unknown");
+    return;
+  }
+  if (it->second.deferred_pending) {
+    obs::registry().add_counter("serve.forget_pending");
+  }
+  shard.processes.erase(it);
+  obs::registry().add_counter("serve.processes_forgotten");
+}
+
+void ServingPipeline::flush() {
+  while (outstanding_.load(std::memory_order_seq_cst) != 0) {
+    {
+      std::lock_guard<std::mutex> wake_lock(wake_mutex_);
+      wake_cv_.notify_one();
+    }
+    std::this_thread::sleep_for(std::chrono::microseconds(50));
+  }
+}
+
+void ServingPipeline::stop() {
+  if (stopping_.exchange(true)) {
+    if (coalescer_.joinable()) coalescer_.join();
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> wake_lock(wake_mutex_);
+    wake_cv_.notify_one();
+  }
+  if (coalescer_.joinable()) coalescer_.join();
+}
+
+ServingPipeline::Stats ServingPipeline::stats() const {
+  Stats stats;
+  stats.ingested = ingested_.load(std::memory_order_relaxed);
+  stats.enqueued = enqueued_.load(std::memory_order_relaxed);
+  stats.shed = shed_.load(std::memory_order_relaxed);
+  stats.deferred = deferred_.load(std::memory_order_relaxed);
+  stats.verdicts = verdicts_.load(std::memory_order_relaxed);
+  stats.alerts = alerts_.load(std::memory_order_relaxed);
+  stats.batches = batches_.load(std::memory_order_relaxed);
+  return stats;
+}
+
+void ServingPipeline::coalescer_main() {
+  std::vector<Request> batch;
+  batch.reserve(config_.coalesce_max);
+  while (true) {
+    batch.clear();
+    gather(batch);
+    if (!batch.empty()) {
+      process_batch(batch);
+      continue;
+    }
+    if (stopping_.load(std::memory_order_acquire)) {
+      // Drained and stopping: nothing can arrive after the rings emptied
+      // under `stopping_` (producers may still shed, which needs no us).
+      if (pending_.load(std::memory_order_acquire) == 0) return;
+      continue;
+    }
+    // Idle: publish the intent to sleep, re-check, then wait with a bound
+    // so a wake racing the flag costs one tick instead of a hang.
+    std::unique_lock<std::mutex> wake_lock(wake_mutex_);
+    sleeping_.store(true, std::memory_order_release);
+    if (pending_.load(std::memory_order_acquire) == 0 &&
+        !stopping_.load(std::memory_order_acquire)) {
+      wake_cv_.wait_for(wake_lock, std::chrono::milliseconds(1));
+    }
+    sleeping_.store(false, std::memory_order_release);
+  }
+}
+
+void ServingPipeline::gather(std::vector<Request>& batch) {
+  Clock::time_point deadline{};
+  std::size_t cursor = 0;
+  for (;;) {
+    bool drained = false;
+    for (std::size_t i = 0; i < shards_.size() && batch.size() < config_.coalesce_max;
+         ++i) {
+      Shard& shard = *shards_[(cursor + i) % shards_.size()];
+      Request request;
+      while (batch.size() < config_.coalesce_max &&
+             shard.ring.try_pop(request)) {
+        pending_.fetch_sub(1, std::memory_order_acq_rel);
+        if (batch.empty()) deadline = Clock::now() + config_.coalesce_deadline;
+        batch.push_back(std::move(request));
+        drained = true;
+      }
+    }
+    cursor = (cursor + 1) % shards_.size();
+    if (batch.size() >= config_.coalesce_max) return;
+    if (batch.empty()) return;
+    // Partial batch: dispatch once the deadline passes (or immediately on
+    // shutdown — no reason to ripen a batch nobody is feeding).
+    if (stopping_.load(std::memory_order_acquire)) return;
+    if (Clock::now() >= deadline) return;
+    if (!drained) std::this_thread::yield();
+  }
+}
+
+void ServingPipeline::process_batch(std::vector<Request>& batch) {
+  std::vector<nn::Sequence> sequences;
+  sequences.reserve(batch.size());
+  for (Request& request : batch) sequences.push_back(std::move(request.window));
+
+  // The serving layer frames the whole batch — coalesced count included —
+  // as one trace; the engine's own spans nest inside because the device
+  // lock is held (recursively) across the infer_batch call.
+  kernels::CsdLstmEngine::BatchResult result;
+  bool unavailable = false;
+  {
+    auto device_lock = engine_.lock_device();
+    obs::SpanTrace& spans = engine_.span_trace();
+    const bool traced = spans.enabled() && !spans.in_trace();
+    obs::SpanId root = 0;
+    if (traced) {
+      spans.begin_trace();
+      root = spans.begin_span("serve.batch", engine_.device_now());
+      spans.tag(root, "coalesced", std::to_string(batch.size()));
+    }
+    try {
+      result = engine_.infer_batch(sequences);
+    } catch (const faults::CsdUnavailableError&) {
+      unavailable = true;
+    }
+    if (traced) {
+      if (unavailable) spans.tag(root, "deferred", "1");
+      spans.end_span(root, engine_.device_now());
+      spans.end_trace();
+    }
+  }
+
+  batches_.fetch_add(1, std::memory_order_relaxed);
+  obs::registry().observe("serve.coalesce_batch",
+                          static_cast<double>(batch.size()),
+                          coalesce_bounds());
+  if (unavailable) {
+    defer_failed(batch);
+  } else {
+    complete(batch, result);
+  }
+  publish_queue_depths();
+}
+
+void ServingPipeline::complete(
+    std::vector<Request>& batch,
+    const kernels::CsdLstmEngine::BatchResult& result) {
+  obs::MetricsRegistry& metrics = obs::registry();
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    const Request& request = batch[i];
+    const double probability = result.probabilities[i];
+    bool alert = false;
+    {
+      Shard& shard = shard_of(request.process);
+      std::lock_guard<std::mutex> lock(shard.mutex);
+      const auto it = shard.processes.find(request.process);
+      // A process forgotten mid-flight still gets its verdict, but there
+      // is no streak left to debounce against, so it can never alert.
+      if (it != shard.processes.end()) {
+        ProcessState& state = it->second;
+        state.deferred_pending = false;
+        if (probability >= config_.detector.threshold) {
+          ++state.alert_streak;
+        } else {
+          state.alert_streak = 0;
+        }
+        alert = state.alert_streak >= config_.detector.consecutive_alerts;
+        if (!alert && state.alert_streak > 0) {
+          metrics.add_counter("serve.debounce_suppressions");
+        }
+      }
+    }
+
+    Verdict verdict;
+    verdict.process = request.process;
+    verdict.call_index = request.call_index;
+    verdict.probability = probability;
+    verdict.alert = alert;
+    verdict.degraded = result.degraded;
+    metrics.add_counter("serve.verdicts");
+    if (alert) {
+      alerts_.fetch_add(1, std::memory_order_relaxed);
+      metrics.add_counter("serve.alerts");
+    }
+    metrics.observe(
+        "serve.ingest_to_verdict_us",
+        std::chrono::duration<double, std::micro>(Clock::now() -
+                                                  request.enqueued_at)
+            .count());
+    // Sink runs outside every shard lock; only after it returns does the
+    // request count as completed, so flush() covers sink delivery too.
+    sink_(verdict);
+    verdicts_.fetch_add(1, std::memory_order_relaxed);
+    outstanding_.fetch_sub(1, std::memory_order_seq_cst);
+  }
+}
+
+void ServingPipeline::defer_failed(std::vector<Request>& batch) {
+  obs::MetricsRegistry& metrics = obs::registry();
+  for (const Request& request : batch) {
+    Shard& shard = shard_of(request.process);
+    {
+      std::lock_guard<std::mutex> lock(shard.mutex);
+      const auto it = shard.processes.find(request.process);
+      if (it != shard.processes.end()) {
+        // Re-arm for retry on the next call, the same never-drop contract
+        // as StreamingDetector's CsdUnavailable deferral.
+        it->second.calls_since_eval = config_.detector.hop;
+        it->second.deferred_pending = true;
+      }
+    }
+    deferred_.fetch_add(1, std::memory_order_relaxed);
+    metrics.add_counter("serve.deferred");
+    outstanding_.fetch_sub(1, std::memory_order_seq_cst);
+  }
+}
+
+void ServingPipeline::publish_queue_depths() {
+  obs::MetricsRegistry& metrics = obs::registry();
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    metrics.set_gauge("serve.shard" + std::to_string(i) + ".queue_depth",
+                      static_cast<double>(shards_[i]->ring.size()));
+  }
+}
+
+}  // namespace csdml::serve

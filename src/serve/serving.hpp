@@ -1,0 +1,207 @@
+// Sharded asynchronous serving pipeline for the streaming detector.
+//
+// The paper's deployment story has the CSD absorbing "traffic from millions
+// of users": per-call synchronous classification (StreamingDetector) makes
+// every ingestion thread wait out a full engine round-trip. This layer
+// decouples the two halves:
+//
+//   ingestion threads ──> shard (mutex + per-process windows)
+//                           │ due window (copied)
+//                           ▼
+//                         SPSC ring (bounded, lock-free)
+//                           │ drained round-robin
+//                           ▼
+//                     coalescer thread ──> micro-batch ──> infer_batch
+//                           │ verdicts, in enqueue order per process
+//                           ▼
+//                        VerdictSink
+//
+// Process state is sharded by pid so ingestion threads rarely contend;
+// each shard hands due windows to the single coalescer thread through a
+// bounded SPSC ring (the shard mutex serialises producers, the coalescer
+// is the only consumer). The coalescer gathers up to `coalesce_max`
+// windows — waiting at most `coalesce_deadline` past the first one — and
+// feeds them to the engine as one batch, so the engine-side cost
+// (availability probe, span framing, pool dispatch) amortises across the
+// batch. A full ring is backpressure, not loss: the due classification is
+// deferred exactly like the CSD-unavailable path (retried on the process's
+// next call) and counted in `serve.shed`.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "common/spsc_ring.hpp"
+#include "detect/detector.hpp"
+#include "kernels/engine.hpp"
+
+namespace csdml::serve {
+
+struct ServeConfig {
+  /// Process-state shards; ingestion threads hash (pid mod shards) so
+  /// distinct processes land on distinct locks.
+  std::size_t shards{4};
+  /// Per-shard request ring capacity (rounded up to a power of two). When
+  /// the ring is full the due classification is shed to the deferral path.
+  std::size_t ring_capacity{256};
+  /// Micro-batch cap: the coalescer never hands the engine more windows
+  /// than this in one infer_batch call.
+  std::size_t coalesce_max{32};
+  /// How long the coalescer waits past the first gathered window for the
+  /// batch to fill before dispatching a partial one.
+  std::chrono::microseconds coalesce_deadline{200};
+  /// Window/hop/threshold/debounce semantics, identical to the
+  /// synchronous StreamingDetector.
+  detect::DetectorConfig detector{};
+};
+
+/// One classification outcome, delivered to the sink in per-process call
+/// order (ring FIFO + single coalescer preserve enqueue order).
+struct Verdict {
+  detect::ProcessId process{0};
+  /// Index (per process) of the API call that completed the window.
+  std::uint64_t call_index{0};
+  double probability{0.0};
+  /// Over threshold for `consecutive_alerts` straight classifications.
+  bool alert{false};
+  /// Served by the host fallback while the CSD was unhealthy.
+  bool degraded{false};
+};
+
+/// Invoked from the coalescer thread, outside any shard lock — a slow sink
+/// backpressures the pipeline (rings fill, ingestion sheds) but never
+/// deadlocks it.
+using VerdictSink = std::function<void(const Verdict&)>;
+
+class ServingPipeline {
+ public:
+  /// Starts the coalescer thread. The engine must outlive the pipeline;
+  /// the sink is retained for the pipeline's lifetime.
+  ServingPipeline(kernels::CsdLstmEngine& engine, ServeConfig config,
+                  VerdictSink sink);
+  ~ServingPipeline();  ///< stop()
+
+  ServingPipeline(const ServingPipeline&) = delete;
+  ServingPipeline& operator=(const ServingPipeline&) = delete;
+
+  /// Feeds one API call of one process. Safe to call from any number of
+  /// threads concurrently; the caller only ever touches its shard's mutex
+  /// and ring — never the engine. Out-of-vocabulary tokens are rejected
+  /// with PreconditionError, as in the synchronous detector.
+  void ingest(detect::ProcessId process, nn::TokenId token);
+
+  /// Forgets a terminated process (unknown ids are a no-op). A pending
+  /// deferral dies with the process and is counted in
+  /// `serve.forget_pending`; an in-flight window of the process still
+  /// yields a verdict, with `alert` forced false (no streak to debounce
+  /// against).
+  void forget(detect::ProcessId process);
+
+  /// Blocks until every successfully enqueued window has either produced
+  /// a verdict or been deferred. Does not stop the coalescer.
+  void flush();
+
+  /// Drains the rings, then joins the coalescer. Idempotent; the
+  /// destructor calls it.
+  void stop();
+
+  /// Monotonic pipeline totals (relaxed reads; exact once flushed).
+  struct Stats {
+    std::uint64_t ingested{0};   ///< calls accepted by ingest()
+    std::uint64_t enqueued{0};   ///< due windows pushed into a ring
+    std::uint64_t shed{0};       ///< due windows deferred on a full ring
+    std::uint64_t deferred{0};   ///< enqueued windows deferred (CSD down)
+    std::uint64_t verdicts{0};   ///< windows that reached the sink
+    std::uint64_t alerts{0};     ///< verdicts with alert set
+    std::uint64_t batches{0};    ///< infer_batch calls issued
+  };
+  Stats stats() const;
+
+  const ServeConfig& config() const { return config_; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  /// A due window, snapshotted at enqueue time (the live ring keeps
+  /// sliding underneath, so the span cannot be handed over by reference).
+  struct Request {
+    detect::ProcessId process{0};
+    std::uint64_t call_index{0};
+    nn::Sequence window;
+    Clock::time_point enqueued_at{};
+  };
+
+  /// Same sliding-window bookkeeping as StreamingDetector::ProcessState,
+  /// owned by exactly one shard.
+  struct ProcessState {
+    detect::TokenRing window;
+    std::uint64_t calls_seen{0};
+    std::uint64_t calls_since_eval{0};
+    std::size_t alert_streak{0};
+    bool deferred_pending{false};
+  };
+
+  struct Shard {
+    std::mutex mutex;  ///< process map + ring producer side
+    std::unordered_map<detect::ProcessId, ProcessState> processes;
+    SpscRing<Request> ring;
+
+    explicit Shard(std::size_t ring_capacity) : ring(ring_capacity) {}
+  };
+
+  Shard& shard_of(detect::ProcessId process) {
+    return *shards_[process % shards_.size()];
+  }
+
+  void coalescer_main();
+  /// Drains rings round-robin into `batch` until coalesce_max, or until
+  /// `coalesce_deadline` elapsed past the first gathered request.
+  void gather(std::vector<Request>& batch);
+  void process_batch(std::vector<Request>& batch);
+  /// Successful batch: fold probabilities back into shard state (streaks,
+  /// debounce) and deliver verdicts.
+  void complete(std::vector<Request>& batch,
+                const kernels::CsdLstmEngine::BatchResult& result);
+  /// Failed batch (CSD unavailable, no fallback): re-arm every window's
+  /// process for retry on its next call — deferred, never dropped.
+  void defer_failed(std::vector<Request>& batch);
+  void publish_queue_depths();
+
+  kernels::CsdLstmEngine& engine_;
+  ServeConfig config_;
+  VerdictSink sink_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+
+  /// Requests sitting in rings, not yet gathered. The producer-side bump
+  /// plus the `sleeping_` check below is the wake protocol; the bounded
+  /// wait_for in the coalescer makes a lost race cost one tick, not a
+  /// hang.
+  std::atomic<std::uint64_t> pending_{0};
+  /// Requests enqueued but not yet completed (verdict or deferral) —
+  /// what flush() waits on.
+  std::atomic<std::uint64_t> outstanding_{0};
+  std::atomic<bool> stopping_{false};
+  std::atomic<bool> sleeping_{false};
+  std::mutex wake_mutex_;
+  std::condition_variable wake_cv_;
+
+  std::atomic<std::uint64_t> ingested_{0};
+  std::atomic<std::uint64_t> enqueued_{0};
+  std::atomic<std::uint64_t> shed_{0};
+  std::atomic<std::uint64_t> deferred_{0};
+  std::atomic<std::uint64_t> verdicts_{0};
+  std::atomic<std::uint64_t> alerts_{0};
+  std::atomic<std::uint64_t> batches_{0};
+
+  std::thread coalescer_;  ///< last member: started once everything above exists
+};
+
+}  // namespace csdml::serve

@@ -1,0 +1,378 @@
+// Serving-pipeline unit tests: the SPSC ring, async-vs-sync verdict
+// parity, backpressure shedding, hot-swap batch boundaries, and the
+// deferred-classification bookkeeping on forget().
+#include "serve/serving.hpp"
+
+#include <gtest/gtest.h>
+
+#include <condition_variable>
+#include <map>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/spsc_ring.hpp"
+#include "detect/detector.hpp"
+#include "detect/token_ring.hpp"
+#include "faults/fault_plan.hpp"
+#include "kernels/engine.hpp"
+#include "obs/metrics.hpp"
+
+namespace csdml::serve {
+namespace {
+
+nn::LstmConfig tiny_model() {
+  return nn::LstmConfig{.vocab_size = 32, .embed_dim = 4, .hidden_dim = 8};
+}
+
+std::vector<nn::TokenId> random_stream(std::uint64_t seed, std::size_t calls,
+                                       std::int32_t vocab) {
+  Rng rng(seed);
+  std::vector<nn::TokenId> stream;
+  stream.reserve(calls);
+  for (std::size_t i = 0; i < calls; ++i) {
+    stream.push_back(static_cast<nn::TokenId>(rng.uniform_int(0, vocab - 1)));
+  }
+  return stream;
+}
+
+struct LoggedVerdict {
+  std::uint64_t call_index{0};
+  double probability{0.0};
+  bool alert{false};
+};
+using VerdictLog = std::map<detect::ProcessId, std::vector<LoggedVerdict>>;
+
+/// The synchronous oracle: detector window/hop/debounce semantics replayed
+/// inline against engine.infer, every classification captured.
+VerdictLog sync_replay(kernels::CsdLstmEngine& engine,
+                       const detect::DetectorConfig& config,
+                       const std::map<detect::ProcessId,
+                                      std::vector<nn::TokenId>>& streams) {
+  VerdictLog log;
+  for (const auto& [pid, stream] : streams) {
+    detect::TokenRing window(config.window_length);
+    std::uint64_t calls_seen = 0;
+    std::uint64_t since_eval = 0;
+    std::size_t streak = 0;
+    for (const nn::TokenId token : stream) {
+      window.push(token);
+      ++calls_seen;
+      ++since_eval;
+      if (!window.full()) continue;
+      const bool first_full = calls_seen == config.window_length;
+      if (!first_full && since_eval < config.hop) continue;
+      since_eval = 0;
+      const kernels::InferenceResult result = engine.infer(window.view());
+      if (result.probability >= config.threshold) {
+        ++streak;
+      } else {
+        streak = 0;
+      }
+      log[pid].push_back({calls_seen, result.probability,
+                          streak >= config.consecutive_alerts});
+    }
+  }
+  return log;
+}
+
+TEST(SpscRing, FifoAcrossWraparound) {
+  SpscRing<int> ring(4);
+  EXPECT_EQ(ring.capacity(), 4u);
+  int out = 0;
+  EXPECT_FALSE(ring.try_pop(out));
+  // Several laps so head/tail wrap the mask repeatedly.
+  int next_push = 0;
+  int next_pop = 0;
+  for (int lap = 0; lap < 5; ++lap) {
+    while (ring.try_push(int{next_push})) ++next_push;
+    EXPECT_EQ(ring.size(), ring.capacity());
+    while (ring.try_pop(out)) {
+      EXPECT_EQ(out, next_pop);
+      ++next_pop;
+    }
+    EXPECT_TRUE(ring.empty());
+  }
+  EXPECT_EQ(next_push, next_pop);
+  EXPECT_EQ(next_push, 5 * static_cast<int>(ring.capacity()));
+}
+
+TEST(SpscRing, CapacityRoundsUpToPowerOfTwo) {
+  EXPECT_EQ(SpscRing<int>(1).capacity(), 1u);
+  EXPECT_EQ(SpscRing<int>(3).capacity(), 4u);
+  EXPECT_EQ(SpscRing<int>(5).capacity(), 8u);
+  EXPECT_EQ(SpscRing<int>(64).capacity(), 64u);
+}
+
+TEST(SpscRing, RejectsWhenFullWithoutLosingItems) {
+  SpscRing<int> ring(2);
+  EXPECT_TRUE(ring.try_push(1));
+  EXPECT_TRUE(ring.try_push(2));
+  EXPECT_FALSE(ring.try_push(3));
+  int out = 0;
+  EXPECT_TRUE(ring.try_pop(out));
+  EXPECT_EQ(out, 1);
+  EXPECT_TRUE(ring.try_push(3));
+  EXPECT_TRUE(ring.try_pop(out));
+  EXPECT_EQ(out, 2);
+  EXPECT_TRUE(ring.try_pop(out));
+  EXPECT_EQ(out, 3);
+}
+
+TEST(Serving, MatchesSynchronousReplayBitExactly) {
+  const nn::LstmConfig model = tiny_model();
+  Rng rng(11);
+  const nn::LstmParams params = nn::LstmParams::glorot(model, rng);
+  const detect::DetectorConfig detector{.window_length = 8, .hop = 3,
+                                        .consecutive_alerts = 2};
+  std::map<detect::ProcessId, std::vector<nn::TokenId>> streams;
+  for (detect::ProcessId pid = 1; pid <= 4; ++pid) {
+    streams[pid] = random_stream(100 + pid, 60, model.vocab_size);
+  }
+
+  VerdictLog oracle;
+  {
+    csd::SmartSsd board{csd::SmartSsdConfig{}};
+    xrt::Device device{board};
+    kernels::CsdLstmEngine engine(device, model, params, {});
+    oracle = sync_replay(engine, detector, streams);
+  }
+  ASSERT_FALSE(oracle.empty());
+
+  csd::SmartSsd board{csd::SmartSsdConfig{}};
+  xrt::Device device{board};
+  kernels::CsdLstmEngine engine(device, model, params, {});
+  ServeConfig config;
+  config.shards = 2;
+  config.detector = detector;
+  std::mutex log_mutex;
+  VerdictLog observed;
+  ServingPipeline pipeline(engine, config, [&](const Verdict& verdict) {
+    std::lock_guard<std::mutex> lock(log_mutex);
+    observed[verdict.process].push_back(
+        {verdict.call_index, verdict.probability, verdict.alert});
+  });
+  // Two ingestion threads, two processes each; per-process call order is
+  // preserved because one thread owns each process.
+  std::thread first([&] {
+    for (std::size_t i = 0; i < 60; ++i) {
+      pipeline.ingest(1, streams[1][i]);
+      pipeline.ingest(2, streams[2][i]);
+    }
+  });
+  std::thread second([&] {
+    for (std::size_t i = 0; i < 60; ++i) {
+      pipeline.ingest(3, streams[3][i]);
+      pipeline.ingest(4, streams[4][i]);
+    }
+  });
+  first.join();
+  second.join();
+  pipeline.flush();
+  pipeline.stop();
+
+  const ServingPipeline::Stats stats = pipeline.stats();
+  EXPECT_EQ(stats.shed, 0u);
+  EXPECT_EQ(stats.deferred, 0u);
+  EXPECT_EQ(stats.verdicts, stats.enqueued);
+
+  ASSERT_EQ(observed.size(), oracle.size());
+  for (const auto& [pid, expected] : oracle) {
+    ASSERT_TRUE(observed.contains(pid)) << "pid " << pid;
+    const auto& actual = observed[pid];
+    ASSERT_EQ(actual.size(), expected.size()) << "pid " << pid;
+    for (std::size_t i = 0; i < expected.size(); ++i) {
+      EXPECT_EQ(actual[i].call_index, expected[i].call_index);
+      // Bit-identical: the async batch path runs the same datapath.
+      EXPECT_EQ(actual[i].probability, expected[i].probability);
+      EXPECT_EQ(actual[i].alert, expected[i].alert);
+    }
+  }
+}
+
+TEST(Serving, DebouncesAlertsLikeTheDetector) {
+  const nn::LstmConfig model = tiny_model();
+  Rng rng(5);
+  const nn::LstmParams params = nn::LstmParams::glorot(model, rng);
+  csd::SmartSsd board{csd::SmartSsdConfig{}};
+  xrt::Device device{board};
+  kernels::CsdLstmEngine engine(device, model, params, {});
+
+  ServeConfig config;
+  // threshold 0 → every verdict is over threshold, so alerting reduces to
+  // pure debounce arithmetic: the first consecutive_alerts-1 verdicts are
+  // suppressed, everything after fires.
+  config.detector = detect::DetectorConfig{.window_length = 4, .hop = 1,
+                                           .threshold = 0.0,
+                                           .consecutive_alerts = 3};
+  std::vector<LoggedVerdict> verdicts;
+  ServingPipeline pipeline(engine, config, [&](const Verdict& verdict) {
+    verdicts.push_back({verdict.call_index, verdict.probability,
+                        verdict.alert});
+  });
+  const std::vector<nn::TokenId> stream =
+      random_stream(3, 10, model.vocab_size);
+  for (const nn::TokenId token : stream) pipeline.ingest(9, token);
+  pipeline.flush();
+  pipeline.stop();
+
+  ASSERT_EQ(verdicts.size(), 7u);  // calls 4..10, hop 1
+  for (std::size_t i = 0; i < verdicts.size(); ++i) {
+    EXPECT_EQ(verdicts[i].call_index, i + 4);
+    EXPECT_EQ(verdicts[i].alert, i >= 2) << "verdict " << i;
+  }
+  EXPECT_EQ(pipeline.stats().alerts, 5u);
+}
+
+TEST(Serving, ShedsToDeferralUnderBackpressureWithoutLoss) {
+  const nn::LstmConfig model = tiny_model();
+  Rng rng(7);
+  const nn::LstmParams params = nn::LstmParams::glorot(model, rng);
+  csd::SmartSsd board{csd::SmartSsdConfig{}};
+  xrt::Device device{board};
+  kernels::CsdLstmEngine engine(device, model, params, {});
+
+  ServeConfig config;
+  config.shards = 1;
+  config.ring_capacity = 4;
+  config.coalesce_max = 4;
+  config.detector = detect::DetectorConfig{.window_length = 4, .hop = 1};
+
+  // The sink blocks every delivery until released, so the coalescer wedges
+  // on its first batch, the ring fills, and further due windows must shed.
+  std::mutex sink_mutex;
+  std::condition_variable sink_cv;
+  bool released = false;
+  std::size_t delivered = 0;
+  ServingPipeline pipeline(engine, config, [&](const Verdict&) {
+    std::unique_lock<std::mutex> lock(sink_mutex);
+    sink_cv.wait(lock, [&] { return released; });
+    ++delivered;
+  });
+
+  const std::vector<nn::TokenId> stream =
+      random_stream(13, 100, model.vocab_size);
+  for (const nn::TokenId token : stream) pipeline.ingest(5, token);
+
+  {
+    std::lock_guard<std::mutex> lock(sink_mutex);
+    released = true;
+  }
+  sink_cv.notify_all();
+  pipeline.flush();
+  pipeline.stop();
+
+  const ServingPipeline::Stats stats = pipeline.stats();
+  // 97 due windows cannot fit a 4-deep ring while the sink is wedged.
+  EXPECT_GT(stats.shed, 0u);
+  EXPECT_EQ(stats.deferred, 0u);
+  // The conservation law: everything enqueued produced a verdict.
+  EXPECT_EQ(stats.verdicts, stats.enqueued);
+  EXPECT_EQ(stats.enqueued + stats.shed, 97u);
+  EXPECT_EQ(delivered, stats.verdicts);
+}
+
+TEST(Serving, HotSwapAppliesAtBatchBoundary) {
+  const nn::LstmConfig model = tiny_model();
+  Rng rng(17);
+  const nn::LstmParams params_a = nn::LstmParams::glorot(model, rng);
+  const nn::LstmParams params_b = nn::LstmParams::glorot(model, rng);
+  const kernels::FixedDatapath oracle_a(model, params_a);
+  const kernels::FixedDatapath oracle_b(model, params_b);
+
+  csd::SmartSsd board{csd::SmartSsdConfig{}};
+  xrt::Device device{board};
+  kernels::CsdLstmEngine engine(device, model, params_a, {});
+
+  ServeConfig config;
+  config.detector = detect::DetectorConfig{.window_length = 4, .hop = 4};
+  std::vector<double> probabilities;
+  ServingPipeline pipeline(engine, config, [&](const Verdict& verdict) {
+    probabilities.push_back(verdict.probability);
+  });
+
+  const std::vector<nn::TokenId> stream =
+      random_stream(23, 12, model.vocab_size);
+  for (std::size_t i = 0; i < 8; ++i) pipeline.ingest(2, stream[i]);
+  pipeline.flush();  // windows [0,4) and [4,8) classified under params_a
+  engine.update_weights(params_b);
+  for (std::size_t i = 8; i < 12; ++i) pipeline.ingest(2, stream[i]);
+  pipeline.flush();  // window [8,12) classified under params_b
+  pipeline.stop();
+
+  ASSERT_EQ(probabilities.size(), 3u);
+  const nn::Sequence w1(stream.begin(), stream.begin() + 4);
+  const nn::Sequence w2(stream.begin() + 4, stream.begin() + 8);
+  const nn::Sequence w3(stream.begin() + 8, stream.end());
+  EXPECT_EQ(probabilities[0], oracle_a.infer(w1));
+  EXPECT_EQ(probabilities[1], oracle_a.infer(w2));
+  EXPECT_EQ(probabilities[2], oracle_b.infer(w3));
+}
+
+TEST(Serving, ForgetIsANoOpForUnknownProcesses) {
+  const nn::LstmConfig model = tiny_model();
+  Rng rng(29);
+  const nn::LstmParams params = nn::LstmParams::glorot(model, rng);
+  csd::SmartSsd board{csd::SmartSsdConfig{}};
+  xrt::Device device{board};
+  kernels::CsdLstmEngine engine(device, model, params, {});
+  ServeConfig config;
+  config.detector = detect::DetectorConfig{.window_length = 4, .hop = 1};
+  ServingPipeline pipeline(engine, config, [](const Verdict&) {});
+  const std::uint64_t unknown_before =
+      obs::registry().counter_value("serve.forget_unknown");
+  pipeline.forget(404);
+  EXPECT_EQ(obs::registry().counter_value("serve.forget_unknown"),
+            unknown_before + 1);
+  pipeline.stop();
+}
+
+TEST(Detector, ForgetCountsPendingDeferral) {
+  const nn::LstmConfig model = tiny_model();
+  Rng rng(41);
+  const nn::LstmParams params = nn::LstmParams::glorot(model, rng);
+
+  // Every launch fails, no fallback: the due classification defers, and
+  // the process then dies with the deferral still owed.
+  faults::FaultConfig fault_config;
+  fault_config.seed = 1;
+  fault_config.xrt_launch_failure_probability = 1.0;
+  faults::FaultPlan plan(fault_config);
+  csd::SmartSsd board{csd::SmartSsdConfig{}};
+  board.set_fault_plan(&plan);
+  xrt::Device device{board};
+  kernels::CsdLstmEngine engine(device, model, params, {});
+  detect::StreamingDetector detector(
+      engine, detect::DetectorConfig{.window_length = 4, .hop = 4});
+
+  const std::vector<nn::TokenId> stream =
+      random_stream(43, 4, model.vocab_size);
+  for (const nn::TokenId token : stream) {
+    EXPECT_FALSE(detector.on_api_call(6, token).has_value());
+  }
+  EXPECT_EQ(detector.degraded_classifications(), 1u);
+
+  const std::uint64_t pending_before =
+      obs::registry().counter_value("detector.forget_pending");
+  detector.forget(6);
+  EXPECT_EQ(obs::registry().counter_value("detector.forget_pending"),
+            pending_before + 1);
+
+  // A process whose classification ran (healthy engine) must not count.
+  csd::SmartSsd clean_board{csd::SmartSsdConfig{}};
+  xrt::Device clean_device{clean_board};
+  kernels::CsdLstmEngine clean_engine(clean_device, model, params, {});
+  detect::StreamingDetector clean_detector(
+      clean_engine, detect::DetectorConfig{.window_length = 4, .hop = 4});
+  for (const nn::TokenId token : stream) clean_detector.on_api_call(8, token);
+  EXPECT_EQ(clean_detector.classifications_run(), 1u);
+  const std::uint64_t pending_mid =
+      obs::registry().counter_value("detector.forget_pending");
+  clean_detector.forget(8);
+  EXPECT_EQ(obs::registry().counter_value("detector.forget_pending"),
+            pending_mid);
+}
+
+}  // namespace
+}  // namespace csdml::serve

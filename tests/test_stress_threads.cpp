@@ -4,18 +4,25 @@
 // hammer the shared structures from multiple threads: the ThreadPool's
 // work distribution, the metrics registry, and — the regression that
 // motivated the suite — infer_batch racing update_weights hot swaps (the
-// engine's swap_mutex_ must serialise the datapath rebuild against
-// in-flight batches). Kept deliberately small so the TSan job stays fast.
+// engine's epoch-based two-slot swap must publish only fully built
+// datapaths, and EpochPin must never let a reader dereference the slot a
+// rebuild is writing). Kept deliberately small so the TSan job stays fast.
 #include "kernels/engine.hpp"
 
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <map>
+#include <mutex>
 #include <thread>
 #include <vector>
 
+#include "baselines/host_baseline.hpp"
 #include "common/thread_pool.hpp"
+#include "detect/token_ring.hpp"
+#include "faults/fault_plan.hpp"
 #include "obs/metrics.hpp"
+#include "serve/serving.hpp"
 
 namespace csdml::kernels {
 namespace {
@@ -111,6 +118,215 @@ TEST(StressThreads, InferBatchRacesUpdateWeightsSafely) {
   swapper.join();
   EXPECT_EQ(checked, 60u * batch.size());
   EXPECT_GT(swaps.load(), 0u);
+}
+
+TEST(StressThreads, ServingParityUnderEightThreadIngest) {
+  // Eight ingestion threads, one process per thread, racing through the
+  // sharded rings into the single coalescer. Per-process verdicts must be
+  // bit-identical to a single-threaded synchronous replay.
+  nn::LstmConfig model_config{.vocab_size = 32, .embed_dim = 4, .hidden_dim = 8};
+  Rng rng(31);
+  const nn::LstmParams params = nn::LstmParams::glorot(model_config, rng);
+  const detect::DetectorConfig detector{.window_length = 16, .hop = 8,
+                                        .consecutive_alerts = 2};
+  constexpr std::size_t kThreads = 8;
+  constexpr std::size_t kCalls = 200;
+
+  std::map<detect::ProcessId, std::vector<nn::TokenId>> streams;
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    Rng token_rng(100 + t);
+    std::vector<nn::TokenId>& stream = streams[t + 1];
+    for (std::size_t i = 0; i < kCalls; ++i) {
+      stream.push_back(static_cast<nn::TokenId>(
+          token_rng.uniform_int(0, model_config.vocab_size - 1)));
+    }
+  }
+
+  // Synchronous oracle: hand-rolled window/hop/debounce replay.
+  struct Expected {
+    std::uint64_t call_index;
+    double probability;
+    bool alert;
+  };
+  std::map<detect::ProcessId, std::vector<Expected>> oracle;
+  {
+    csd::SmartSsd board{csd::SmartSsdConfig{}};
+    xrt::Device device{board};
+    CsdLstmEngine engine(device, model_config, params, {});
+    for (const auto& [pid, stream] : streams) {
+      detect::TokenRing window(detector.window_length);
+      std::uint64_t calls_seen = 0;
+      std::uint64_t since_eval = 0;
+      std::size_t streak = 0;
+      for (const nn::TokenId token : stream) {
+        window.push(token);
+        ++calls_seen;
+        ++since_eval;
+        if (!window.full()) continue;
+        if (calls_seen != detector.window_length &&
+            since_eval < detector.hop) {
+          continue;
+        }
+        since_eval = 0;
+        const InferenceResult result = engine.infer(window.view());
+        streak = result.probability >= detector.threshold ? streak + 1 : 0;
+        oracle[pid].push_back({calls_seen, result.probability,
+                               streak >= detector.consecutive_alerts});
+      }
+    }
+  }
+
+  csd::SmartSsd board{csd::SmartSsdConfig{}};
+  xrt::Device device{board};
+  CsdLstmEngine engine(device, model_config, params, {});
+  serve::ServeConfig config;
+  config.shards = 4;
+  config.ring_capacity = 1024;
+  config.detector = detector;
+  std::mutex log_mutex;
+  std::map<detect::ProcessId, std::vector<Expected>> observed;
+  serve::ServingPipeline pipeline(
+      engine, config, [&](const serve::Verdict& verdict) {
+        std::lock_guard<std::mutex> lock(log_mutex);
+        observed[verdict.process].push_back(
+            {verdict.call_index, verdict.probability, verdict.alert});
+      });
+
+  std::vector<std::thread> feeders;
+  feeders.reserve(kThreads);
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    feeders.emplace_back([&pipeline, &streams, t] {
+      const detect::ProcessId pid = t + 1;
+      for (const nn::TokenId token : streams[pid]) {
+        pipeline.ingest(pid, token);
+      }
+    });
+  }
+  for (std::thread& feeder : feeders) feeder.join();
+  pipeline.flush();
+  pipeline.stop();
+
+  const serve::ServingPipeline::Stats stats = pipeline.stats();
+  EXPECT_EQ(stats.shed, 0u);
+  EXPECT_EQ(stats.verdicts, stats.enqueued);
+  ASSERT_EQ(observed.size(), oracle.size());
+  for (const auto& [pid, expected] : oracle) {
+    const auto& actual = observed[pid];
+    ASSERT_EQ(actual.size(), expected.size()) << "pid " << pid;
+    for (std::size_t i = 0; i < expected.size(); ++i) {
+      ASSERT_EQ(actual[i].call_index, expected[i].call_index);
+      ASSERT_EQ(actual[i].probability, expected[i].probability)
+          << "pid " << pid << " verdict " << i;
+      ASSERT_EQ(actual[i].alert, expected[i].alert);
+    }
+  }
+}
+
+TEST(StressThreads, ServingIngestRacesHotSwapsAndFaults) {
+  // The full gauntlet: four ingestion threads, a weight-swapper thread
+  // flipping between two parameter sets, and a fault plan injecting launch
+  // failures that latch the engine unhealthy until a recovery probe
+  // succeeds. A host fallback (pinned to params_a) keeps classifications
+  // flowing while degraded. Every verdict must be explainable by exactly
+  // one coherent model: params_a, params_b, or the fallback.
+  nn::LstmConfig model_config{.vocab_size = 32, .embed_dim = 4, .hidden_dim = 8};
+  Rng rng(47);
+  const nn::LstmParams params_a = nn::LstmParams::glorot(model_config, rng);
+  const nn::LstmParams params_b = nn::LstmParams::glorot(model_config, rng);
+  const FixedDatapath oracle_a(model_config, params_a);
+  const FixedDatapath oracle_b(model_config, params_b);
+  const baselines::HostBaseline fallback(
+      "stress-fallback", model_config, params_a,
+      baselines::HostLatencyConfig::xeon_cpu());
+
+  faults::FaultConfig fault_config;
+  fault_config.seed = 9;
+  fault_config.xrt_launch_failure_probability = 0.02;
+  faults::FaultPlan plan(fault_config);
+  csd::SmartSsd board{csd::SmartSsdConfig{}};
+  board.set_fault_plan(&plan);
+  xrt::Device device{board};
+  CsdLstmEngine engine(device, model_config, params_a, {});
+  engine.set_fallback(&fallback);
+
+  const detect::DetectorConfig detector{.window_length = 16, .hop = 8};
+  constexpr std::size_t kThreads = 4;
+  constexpr std::size_t kCalls = 160;
+  std::map<detect::ProcessId, std::vector<nn::TokenId>> streams;
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    Rng token_rng(200 + t);
+    std::vector<nn::TokenId>& stream = streams[t + 1];
+    for (std::size_t i = 0; i < kCalls; ++i) {
+      stream.push_back(static_cast<nn::TokenId>(
+          token_rng.uniform_int(0, model_config.vocab_size - 1)));
+    }
+  }
+
+  serve::ServeConfig config;
+  config.shards = 2;
+  config.ring_capacity = 1024;
+  config.detector = detector;
+  struct Seen {
+    detect::ProcessId process;
+    std::uint64_t call_index;
+    double probability;
+  };
+  std::mutex log_mutex;
+  std::vector<Seen> seen;
+  serve::ServingPipeline pipeline(
+      engine, config, [&](const serve::Verdict& verdict) {
+        std::lock_guard<std::mutex> lock(log_mutex);
+        seen.push_back(
+            {verdict.process, verdict.call_index, verdict.probability});
+      });
+
+  std::atomic<bool> stop_swapper{false};
+  std::thread swapper([&] {
+    bool use_b = true;
+    while (!stop_swapper.load(std::memory_order_relaxed)) {
+      engine.update_weights(use_b ? params_b : params_a);
+      use_b = !use_b;
+      std::this_thread::yield();
+    }
+  });
+
+  std::vector<std::thread> feeders;
+  feeders.reserve(kThreads);
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    feeders.emplace_back([&pipeline, &streams, t] {
+      const detect::ProcessId pid = t + 1;
+      for (const nn::TokenId token : streams[pid]) {
+        pipeline.ingest(pid, token);
+      }
+    });
+  }
+  for (std::thread& feeder : feeders) feeder.join();
+  pipeline.flush();
+  stop_swapper.store(true, std::memory_order_relaxed);
+  swapper.join();
+  pipeline.stop();
+
+  const serve::ServingPipeline::Stats stats = pipeline.stats();
+  // With a fallback wired in, a degraded engine still classifies: nothing
+  // defers, nothing is lost.
+  EXPECT_EQ(stats.deferred, 0u);
+  EXPECT_EQ(stats.verdicts, stats.enqueued);
+  EXPECT_GT(stats.verdicts, 0u);
+
+  for (const Seen& verdict : seen) {
+    const std::vector<nn::TokenId>& stream = streams[verdict.process];
+    ASSERT_GE(verdict.call_index, detector.window_length);
+    const nn::Sequence window(
+        stream.begin() +
+            static_cast<std::ptrdiff_t>(verdict.call_index -
+                                        detector.window_length),
+        stream.begin() + static_cast<std::ptrdiff_t>(verdict.call_index));
+    const double p = verdict.probability;
+    ASSERT_TRUE(p == oracle_a.infer(window) || p == oracle_b.infer(window) ||
+                p == fallback.infer(window))
+        << "torn or unexplained verdict for pid " << verdict.process
+        << " at call " << verdict.call_index;
+  }
 }
 
 }  // namespace

@@ -45,6 +45,49 @@ TEST(ThreadPool, SingleThreadPoolRunsOnCaller) {
   EXPECT_FALSE(wrong_thread.load());
 }
 
+TEST(ThreadPool, SmallRangesRunInlineOnCaller) {
+  // Below two indices per executor the wake handshake costs more than the
+  // work; the whole range must run on the caller as executor 0.
+  ThreadPool pool(4);
+  const std::thread::id caller = std::this_thread::get_id();
+  std::atomic<bool> off_caller{false};
+  std::atomic<std::size_t> done{0};
+  pool.parallel_for(2 * pool.thread_count() - 1,
+                    [&](std::size_t executor, std::size_t) {
+                      if (executor != 0 ||
+                          std::this_thread::get_id() != caller) {
+                        off_caller = true;
+                      }
+                      done.fetch_add(1, std::memory_order_relaxed);
+                    });
+  EXPECT_FALSE(off_caller.load());
+  EXPECT_EQ(done.load(), 2 * pool.thread_count() - 1);
+
+  // At the threshold the workers wake again.
+  std::atomic<std::size_t> wide_done{0};
+  pool.parallel_for(2 * pool.thread_count(), [&](std::size_t, std::size_t) {
+    wide_done.fetch_add(1, std::memory_order_relaxed);
+  });
+  EXPECT_EQ(wide_done.load(), 2 * pool.thread_count());
+}
+
+TEST(ThreadPool, InlinePathStopsAtFirstException) {
+  // Inline execution keeps sequential-loop semantics: indices after the
+  // throwing one never run.
+  ThreadPool pool(4);
+  std::atomic<std::size_t> ran{0};
+  EXPECT_THROW(pool.parallel_for(4,
+                                 [&](std::size_t, std::size_t index) {
+                                   ran.fetch_add(1,
+                                                 std::memory_order_relaxed);
+                                   if (index == 1) {
+                                     throw std::runtime_error("boom at 1");
+                                   }
+                                 }),
+               std::runtime_error);
+  EXPECT_EQ(ran.load(), 2u);
+}
+
 TEST(ThreadPool, ZeroCountIsANoop) {
   ThreadPool pool(2);
   pool.parallel_for(0, [&](std::size_t, std::size_t) { FAIL(); });
