@@ -8,6 +8,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "common/units.hpp"
@@ -29,6 +30,9 @@ struct SmartSsdConfig {
   PcieLinkConfig upstream{};   ///< device <-> host
   PcieLinkConfig internal{};   ///< SSD <-> FPGA through the switch
   Duration host_stage_copy_overhead{Duration::microseconds(2)};  ///< kernel buffer mgmt
+  /// Board identity in a multi-board fleet (e.g. "board2"); empty for the
+  /// single-board deployments, where nothing needs disambiguating.
+  std::string label{};
 };
 
 struct TransferResult {
@@ -40,6 +44,7 @@ class SmartSsd {
  public:
   explicit SmartSsd(SmartSsdConfig config);
 
+  const std::string& label() const { return config_.label; }
   SsdController& ssd() { return ssd_; }
   FpgaDevice& fpga() { return fpga_; }
   const FpgaDevice& fpga() const { return fpga_; }

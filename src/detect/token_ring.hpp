@@ -54,6 +54,16 @@ class TokenRing {
     size_ = 0;
   }
 
+  /// Rebuilds the window from a snapshot (oldest→newest) — e.g. when a
+  /// process migrates between fleet boards and its window must re-warm on
+  /// the destination so no classification context is lost. Snapshots
+  /// longer than the capacity keep only the newest `capacity` tokens,
+  /// exactly as if they had been pushed one by one.
+  void warm(nn::TokenSpan tokens) {
+    clear();
+    for (const nn::TokenId token : tokens) push(token);
+  }
+
  private:
   std::size_t capacity_{0};
   std::size_t write_{0};  ///< next physical slot in [0, capacity)

@@ -54,6 +54,17 @@ struct FaultConfig {
   std::uint64_t max_faults{UINT64_MAX};
 };
 
+/// A kill switch for one board: every kernel launch fails, so the engine
+/// exhausts its retries, latches unhealthy, and (without a fallback)
+/// defers classifications until the plan is detached. The fleet uses this
+/// for deterministic failover drills (`csdml serve --kill-board K@CALL`).
+inline FaultConfig lethal_launch_config(std::uint64_t seed) {
+  FaultConfig config;
+  config.seed = seed;
+  config.xrt_launch_failure_probability = 1.0;
+  return config;
+}
+
 /// One injected fault: where in the decision sequence, what kind, and a
 /// kind-specific detail (e.g. the bit index a PCIe corruption flipped).
 struct FaultRecord {

@@ -24,6 +24,7 @@
 #include "ransomware/families.hpp"
 #include "ransomware/sandbox.hpp"
 #include "ransomware/trace_io.hpp"
+#include "serve/fleet.hpp"
 #include "serve/serving.hpp"
 
 #include <thread>
@@ -65,10 +66,15 @@ commands:
                unhealthy
   serve        [--level L] [--calls N] [--seed N] [--ingest-threads N]
                [--serve-shards N] [--coalesce-max N]
-               [--coalesce-deadline-us N]
+               [--coalesce-deadline-us N] [--boards N] [--kill-board K@CALL]
                run the sample streams through the sharded asynchronous
                serving pipeline (lock-free rings + micro-batch coalescing)
-               and print the pipeline stats and latency percentiles
+               and print the pipeline stats and latency percentiles;
+               --boards scales out across a consistent-hashed CSD fleet,
+               --kill-board injects a lethal fault on board K after CALL
+               ingests to drill drain-and-rehash failover (exit 0 only if
+               the extended conservation law holds: nothing enqueued was
+               lost, and every migrated deferral resolved)
   attribute    --weights PATH --dataset PATH --row N [--top K]
                explain one window: occlusion attribution of its API calls
   timings      [--level L] [--cus N] [--stream]
@@ -461,6 +467,158 @@ int cmd_watch(const Flags& flags, std::ostream& out) {
   return final_health.verdict == obs::HealthVerdict::Unhealthy ? 1 : 0;
 }
 
+/// The serve-command workload: every ingestion thread owns three
+/// processes (one ransomware, two benign). Streams carry a small tail
+/// beyond `calls` so a fleet failover late in the run can still resolve
+/// migrated deferrals with a few extra per-process calls.
+struct ServeStreamSet {
+  std::vector<detect::ProcessId> pids;
+  std::vector<std::vector<nn::TokenId>> streams;
+};
+
+constexpr std::size_t kServeResolveTail = 16;
+
+std::vector<ServeStreamSet> serve_workload(std::size_t threads,
+                                           std::size_t calls,
+                                           std::uint64_t seed) {
+  const ransomware::SandboxTraceGenerator sandbox{ransomware::SandboxConfig{}};
+  const auto& families = ransomware::ransomware_families();
+  const auto& benign = ransomware::benign_profiles();
+  CSDML_REQUIRE(!families.empty() && benign.size() >= 2,
+                "corpus profiles unavailable");
+  const std::size_t length = calls + kServeResolveTail;
+  std::vector<ServeStreamSet> per_thread(threads);
+  for (std::size_t t = 0; t < threads; ++t) {
+    const auto variant = static_cast<std::uint32_t>((seed + t) %
+                                                    families.front().variants);
+    ServeStreamSet& set = per_thread[t];
+    set.pids = {static_cast<detect::ProcessId>(3 * t + 1),
+                static_cast<detect::ProcessId>(3 * t + 2),
+                static_cast<detect::ProcessId>(3 * t + 3)};
+    set.streams = {
+        sandbox.ransomware_trace(families.front(), variant, length),
+        sandbox.benign_trace(benign[0], variant + 1, length),
+        sandbox.benign_trace(benign[1], variant + 2, length),
+    };
+  }
+  return per_thread;
+}
+
+/// Multi-board serve: the same workload routed through a BoardFleet, with
+/// an optional deterministic kill drill. Exit 0 only when the extended
+/// conservation law holds after the dust settles.
+int serve_fleet(const kernels::OptimizationLevel level, std::size_t boards,
+                std::size_t threads, std::size_t calls, std::uint64_t seed,
+                const serve::ServeConfig& serve_config,
+                std::optional<std::size_t> kill_board, std::uint64_t kill_at,
+                std::ostream& out) {
+  obs::registry().reset();
+  nn::LstmConfig model_config;
+  Rng rng(seed);
+  const nn::LstmParams params = nn::LstmParams::glorot(model_config, rng);
+  const std::vector<ServeStreamSet> per_thread =
+      serve_workload(threads, calls, seed);
+
+  serve::FleetConfig fleet_config;
+  fleet_config.boards = boards;
+  fleet_config.seed = seed;
+  fleet_config.engine = kernels::EngineConfig{.level = level};
+  fleet_config.serve = serve_config;
+  // The demo workload blasts tokens with no pacing, so queueing delay —
+  // not board health — dominates ingest-to-verdict latency. A generous
+  // budget keeps the drill's failovers latch-driven (the SLO-burn path is
+  // exercised, with controlled traffic, in test_fleet).
+  fleet_config.slo.latency_slo_us = 10'000'000.0;
+  serve::BoardFleet fleet(model_config, params, fleet_config,
+                          [](const serve::Verdict&) {});
+
+  std::atomic<std::uint64_t> fed{0};
+  std::atomic<bool> kill_pending{kill_board.has_value()};
+  std::vector<std::thread> workers;
+  workers.reserve(threads);
+  for (std::size_t t = 0; t < threads; ++t) {
+    workers.emplace_back([&fleet, &fed, &kill_pending, &set = per_thread[t],
+                          calls, kill_board, kill_at] {
+      for (std::size_t i = 0; i < calls; ++i) {
+        for (std::size_t p = 0; p < set.streams.size(); ++p) {
+          fleet.ingest(set.pids[p], set.streams[p][i]);
+          const std::uint64_t total =
+              fed.fetch_add(1, std::memory_order_relaxed) + 1;
+          if (total >= kill_at &&
+              kill_pending.load(std::memory_order_relaxed) &&
+              kill_pending.exchange(false)) {
+            fleet.kill_board(*kill_board);
+          }
+        }
+      }
+    });
+  }
+  for (std::thread& worker : workers) worker.join();
+  fleet.flush();
+  // Final sweep: a board that latched unhealthy near the end of traffic
+  // still gets drained (and its pids rehashed) before accounting.
+  fleet.check_health();
+
+  // Resolution lap: if any migrated deferral is still owed, feed the
+  // stream tails so every carried window gets its re-served verdict.
+  serve::BoardFleet::Stats stats = fleet.stats();
+  if (stats.totals.migrated_resolved < stats.migrated_pending) {
+    for (std::size_t i = calls; i < calls + kServeResolveTail; ++i) {
+      for (const ServeStreamSet& set : per_thread) {
+        for (std::size_t p = 0; p < set.streams.size(); ++p) {
+          fleet.ingest(set.pids[p], set.streams[p][i]);
+        }
+      }
+    }
+    fleet.flush();
+  }
+  for (const ServeStreamSet& set : per_thread) {
+    for (const detect::ProcessId pid : set.pids) fleet.forget(pid);
+  }
+  fleet.stop();
+  stats = fleet.stats();
+
+  out << "serve: " << threads << " ingestion threads x 3 processes x " << calls
+      << " API calls across " << boards << " boards ("
+      << kernels::optimization_name(level) << " build)\n";
+  if (kill_board.has_value()) {
+    out << "kill drill: board " << *kill_board << " after " << kill_at
+        << " ingests\n";
+  }
+  out << "\n";
+  TextTable table({"fleet", "count"});
+  table.add_row({"ingested", std::to_string(stats.totals.ingested)});
+  table.add_row({"enqueued", std::to_string(stats.totals.enqueued)});
+  table.add_row({"shed (backpressure)", std::to_string(stats.totals.shed)});
+  table.add_row({"deferred (csd down)", std::to_string(stats.totals.deferred)});
+  table.add_row({"verdicts", std::to_string(stats.totals.verdicts)});
+  table.add_row({"alerts", std::to_string(stats.totals.alerts)});
+  table.add_row({"batches", std::to_string(stats.totals.batches)});
+  table.add_row({"failovers", std::to_string(stats.failovers)});
+  table.add_row({"migrations", std::to_string(stats.migrations)});
+  table.add_row({"migrated pending", std::to_string(stats.migrated_pending)});
+  table.add_row(
+      {"migrated resolved", std::to_string(stats.totals.migrated_resolved)});
+  table.add_row({"readmissions", std::to_string(stats.readmissions)});
+  table.add_row({"boards admitted", std::to_string(stats.boards_admitted)});
+  table.add_row({"weight version", std::to_string(stats.weight_version)});
+  table.print(out);
+  out << "\n" << obs::registry().snapshot().to_text();
+
+  // Extended conservation law: nothing enqueued was lost on any board,
+  // every deferral carried across a failover was re-served, and a
+  // requested kill actually exercised the drain-and-rehash path.
+  const bool conservation = stats.conservation_ok();
+  const bool resolved = stats.failover_resolved();
+  const bool drilled = !kill_board.has_value() || stats.failovers >= 1;
+  out << "\nconservation "
+      << (conservation ? "ok" : "VIOLATED (classifications lost)")
+      << ", migrated deferrals "
+      << (resolved ? "resolved" : "UNRESOLVED") << ", failover drill "
+      << (drilled ? "ok" : "NOT TRIGGERED") << "\n";
+  return conservation && resolved && drilled ? 0 : 1;
+}
+
 int cmd_serve(const Flags& flags, std::ostream& out) {
   const kernels::OptimizationLevel level =
       parse_level(flags.get("level").value_or("fixed-point"));
@@ -468,9 +626,25 @@ int cmd_serve(const Flags& flags, std::ostream& out) {
   const auto seed = static_cast<std::uint64_t>(flags.get_long("seed", 2024));
   const auto threads =
       static_cast<std::size_t>(flags.get_long("ingest-threads", 4));
+  const auto boards = static_cast<std::size_t>(flags.get_long("boards", 1));
   CSDML_REQUIRE(calls >= 200, "--calls must be at least 200");
   CSDML_REQUIRE(threads >= 1 && threads <= 64,
                 "--ingest-threads must be in [1, 64]");
+  CSDML_REQUIRE(boards >= 1 && boards <= 16, "--boards must be in [1, 16]");
+
+  std::optional<std::size_t> kill_board;
+  std::uint64_t kill_at = 0;
+  if (const auto spec = flags.get("kill-board")) {
+    const std::size_t at = spec->find('@');
+    CSDML_REQUIRE(at != std::string::npos, "--kill-board expects K@CALL");
+    kill_board = static_cast<std::size_t>(std::stoul(spec->substr(0, at)));
+    kill_at = static_cast<std::uint64_t>(std::stoull(spec->substr(at + 1)));
+    CSDML_REQUIRE(*kill_board < boards, "--kill-board index out of range");
+    CSDML_REQUIRE(boards >= 2,
+                  "--kill-board needs --boards >= 2 (no failover target)");
+    CSDML_REQUIRE(kill_at < calls * threads * 3,
+                  "--kill-board call index is past the workload");
+  }
 
   serve::ServeConfig serve_config;
   serve_config.shards =
@@ -481,6 +655,11 @@ int cmd_serve(const Flags& flags, std::ostream& out) {
       std::chrono::microseconds(flags.get_long("coalesce-deadline-us", 200));
   serve_config.detector = detect::DetectorConfig{
       .window_length = 100, .hop = 25, .consecutive_alerts = 2};
+
+  if (boards > 1 || kill_board.has_value()) {
+    return serve_fleet(level, boards, threads, calls, seed, serve_config,
+                       kill_board, kill_at, out);
+  }
 
   obs::registry().reset();
   nn::LstmConfig model_config;
@@ -495,29 +674,8 @@ int cmd_serve(const Flags& flags, std::ostream& out) {
   // processes (one ransomware, two benign) and feeds their streams
   // round-robin, so per-process call order is preserved per thread while
   // the pipeline absorbs the aggregate concurrently.
-  const ransomware::SandboxTraceGenerator sandbox{ransomware::SandboxConfig{}};
-  const auto& families = ransomware::ransomware_families();
-  const auto& benign = ransomware::benign_profiles();
-  CSDML_REQUIRE(!families.empty() && benign.size() >= 2,
-                "corpus profiles unavailable");
-  struct StreamSet {
-    std::vector<detect::ProcessId> pids;
-    std::vector<std::vector<nn::TokenId>> streams;
-  };
-  std::vector<StreamSet> per_thread(threads);
-  for (std::size_t t = 0; t < threads; ++t) {
-    const auto variant = static_cast<std::uint32_t>((seed + t) %
-                                                    families.front().variants);
-    StreamSet& set = per_thread[t];
-    set.pids = {static_cast<detect::ProcessId>(3 * t + 1),
-                static_cast<detect::ProcessId>(3 * t + 2),
-                static_cast<detect::ProcessId>(3 * t + 3)};
-    set.streams = {
-        sandbox.ransomware_trace(families.front(), variant, calls),
-        sandbox.benign_trace(benign[0], variant + 1, calls),
-        sandbox.benign_trace(benign[1], variant + 2, calls),
-    };
-  }
+  const std::vector<ServeStreamSet> per_thread =
+      serve_workload(threads, calls, seed);
 
   serve::ServingPipeline pipeline(engine, serve_config,
                                   [](const serve::Verdict&) {});
@@ -527,16 +685,14 @@ int cmd_serve(const Flags& flags, std::ostream& out) {
     workers.emplace_back([&pipeline, &set = per_thread[t], calls] {
       for (std::size_t i = 0; i < calls; ++i) {
         for (std::size_t p = 0; p < set.streams.size(); ++p) {
-          if (i < set.streams[p].size()) {
-            pipeline.ingest(set.pids[p], set.streams[p][i]);
-          }
+          pipeline.ingest(set.pids[p], set.streams[p][i]);
         }
       }
     });
   }
   for (std::thread& worker : workers) worker.join();
   pipeline.flush();
-  for (const StreamSet& set : per_thread) {
+  for (const ServeStreamSet& set : per_thread) {
     for (const detect::ProcessId pid : set.pids) pipeline.forget(pid);
   }
   pipeline.stop();

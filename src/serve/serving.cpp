@@ -32,6 +32,8 @@ ServingPipeline::ServingPipeline(kernels::CsdLstmEngine& engine,
   CSDML_REQUIRE(config_.detector.hop > 0, "serve: hop must be positive");
   CSDML_REQUIRE(config_.detector.consecutive_alerts > 0,
                 "serve: consecutive_alerts must be positive");
+  CSDML_REQUIRE(!config_.metrics_prefix.empty(),
+                "serve: metrics prefix must be non-empty");
   shards_.reserve(config_.shards);
   for (std::size_t i = 0; i < config_.shards; ++i) {
     shards_.push_back(std::make_unique<Shard>(config_.ring_capacity));
@@ -88,7 +90,7 @@ void ServingPipeline::ingest(detect::ProcessId process, nn::TokenId token) {
       state.calls_since_eval = config_.detector.hop;
       state.deferred_pending = true;
       shed_.fetch_add(1, std::memory_order_relaxed);
-      obs::registry().add_counter("serve.shed");
+      obs::registry().add_counter(metric("shed"));
     }
   }
   if (pushed && sleeping_.load(std::memory_order_acquire)) {
@@ -102,14 +104,57 @@ void ServingPipeline::forget(detect::ProcessId process) {
   std::lock_guard<std::mutex> lock(shard.mutex);
   const auto it = shard.processes.find(process);
   if (it == shard.processes.end()) {
-    obs::registry().add_counter("serve.forget_unknown");
+    obs::registry().add_counter(metric("forget_unknown"));
     return;
   }
   if (it->second.deferred_pending) {
-    obs::registry().add_counter("serve.forget_pending");
+    obs::registry().add_counter(metric("forget_pending"));
   }
   shard.processes.erase(it);
-  obs::registry().add_counter("serve.processes_forgotten");
+  obs::registry().add_counter(metric("processes_forgotten"));
+}
+
+std::vector<ServingPipeline::ProcessSnapshot>
+ServingPipeline::export_processes() {
+  std::vector<ProcessSnapshot> snapshots;
+  for (const std::unique_ptr<Shard>& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mutex);
+    for (auto& [process, state] : shard->processes) {
+      ProcessSnapshot snapshot;
+      snapshot.process = process;
+      const nn::TokenSpan view = state.window.view();
+      snapshot.window.assign(view.begin(), view.end());
+      snapshot.calls_seen = state.calls_seen;
+      snapshot.calls_since_eval = state.calls_since_eval;
+      snapshot.alert_streak = state.alert_streak;
+      snapshot.deferred_pending = state.deferred_pending;
+      snapshots.push_back(std::move(snapshot));
+    }
+    shard->processes.clear();
+  }
+  obs::registry().add_counter(metric("processes_exported"), snapshots.size());
+  return snapshots;
+}
+
+void ServingPipeline::import_process(const ProcessSnapshot& snapshot) {
+  Shard& shard = shard_of(snapshot.process);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  ProcessState& state = shard.processes[snapshot.process];
+  state.window = detect::TokenRing(config_.detector.window_length);
+  state.window.warm(nn::TokenSpan(snapshot.window.data(),
+                                  snapshot.window.size()));
+  state.calls_seen = snapshot.calls_seen;
+  // A carried deferral re-arms immediately: the next call is due. The
+  // migrated hop phase is otherwise preserved so the destination board
+  // classifies on the same call indices the source board would have.
+  state.calls_since_eval = snapshot.deferred_pending
+                               ? config_.detector.hop
+                               : snapshot.calls_since_eval;
+  state.alert_streak = snapshot.alert_streak;
+  state.deferred_pending = snapshot.deferred_pending;
+  state.migrated_pending = snapshot.deferred_pending;
+  migrated_in_.fetch_add(1, std::memory_order_relaxed);
+  obs::registry().add_counter(metric("migrated_in"));
 }
 
 void ServingPipeline::flush() {
@@ -143,6 +188,8 @@ ServingPipeline::Stats ServingPipeline::stats() const {
   stats.verdicts = verdicts_.load(std::memory_order_relaxed);
   stats.alerts = alerts_.load(std::memory_order_relaxed);
   stats.batches = batches_.load(std::memory_order_relaxed);
+  stats.migrated_in = migrated_in_.load(std::memory_order_relaxed);
+  stats.migrated_resolved = migrated_resolved_.load(std::memory_order_relaxed);
   return stats;
 }
 
@@ -219,8 +266,11 @@ void ServingPipeline::process_batch(std::vector<Request>& batch) {
     obs::SpanId root = 0;
     if (traced) {
       spans.begin_trace();
-      root = spans.begin_span("serve.batch", engine_.device_now());
+      root = spans.begin_span(metric("batch"), engine_.device_now());
       spans.tag(root, "coalesced", std::to_string(batch.size()));
+      if (!config_.board_label.empty()) {
+        spans.tag(root, "board", config_.board_label);
+      }
     }
     try {
       result = engine_.infer_batch(sequences);
@@ -235,7 +285,7 @@ void ServingPipeline::process_batch(std::vector<Request>& batch) {
   }
 
   batches_.fetch_add(1, std::memory_order_relaxed);
-  obs::registry().observe("serve.coalesce_batch",
+  obs::registry().observe(metric("coalesce_batch"),
                           static_cast<double>(batch.size()),
                           coalesce_bounds());
   if (unavailable) {
@@ -263,6 +313,14 @@ void ServingPipeline::complete(
       if (it != shard.processes.end()) {
         ProcessState& state = it->second;
         state.deferred_pending = false;
+        if (state.migrated_pending) {
+          // The deferral this process carried across a board failover has
+          // now produced its verdict — the migrated-then-resolved leg of
+          // the fleet conservation law.
+          state.migrated_pending = false;
+          migrated_resolved_.fetch_add(1, std::memory_order_relaxed);
+          metrics.add_counter(metric("migrated_resolved"));
+        }
         if (probability >= config_.detector.threshold) {
           ++state.alert_streak;
         } else {
@@ -270,7 +328,7 @@ void ServingPipeline::complete(
         }
         alert = state.alert_streak >= config_.detector.consecutive_alerts;
         if (!alert && state.alert_streak > 0) {
-          metrics.add_counter("serve.debounce_suppressions");
+          metrics.add_counter(metric("debounce_suppressions"));
         }
       }
     }
@@ -281,13 +339,13 @@ void ServingPipeline::complete(
     verdict.probability = probability;
     verdict.alert = alert;
     verdict.degraded = result.degraded;
-    metrics.add_counter("serve.verdicts");
+    metrics.add_counter(metric("verdicts"));
     if (alert) {
       alerts_.fetch_add(1, std::memory_order_relaxed);
-      metrics.add_counter("serve.alerts");
+      metrics.add_counter(metric("alerts"));
     }
     metrics.observe(
-        "serve.ingest_to_verdict_us",
+        metric("ingest_to_verdict_us"),
         std::chrono::duration<double, std::micro>(Clock::now() -
                                                   request.enqueued_at)
             .count());
@@ -314,7 +372,7 @@ void ServingPipeline::defer_failed(std::vector<Request>& batch) {
       }
     }
     deferred_.fetch_add(1, std::memory_order_relaxed);
-    metrics.add_counter("serve.deferred");
+    metrics.add_counter(metric("deferred"));
     outstanding_.fetch_sub(1, std::memory_order_seq_cst);
   }
 }
@@ -322,7 +380,7 @@ void ServingPipeline::defer_failed(std::vector<Request>& batch) {
 void ServingPipeline::publish_queue_depths() {
   obs::MetricsRegistry& metrics = obs::registry();
   for (std::size_t i = 0; i < shards_.size(); ++i) {
-    metrics.set_gauge("serve.shard" + std::to_string(i) + ".queue_depth",
+    metrics.set_gauge(metric("shard") + std::to_string(i) + ".queue_depth",
                       static_cast<double>(shards_[i]->ring.size()));
   }
 }

@@ -61,6 +61,13 @@ struct ServeConfig {
   /// Window/hop/threshold/debounce semantics, identical to the
   /// synchronous StreamingDetector.
   detect::DetectorConfig detector{};
+  /// Name prefix for every obs counter/gauge/histogram/span this pipeline
+  /// emits. A fleet gives each board its own prefix (e.g. "fleet.b2") so
+  /// per-board series stay separable; the default keeps the original
+  /// single-board "serve.*" names.
+  std::string metrics_prefix{"serve"};
+  /// Human-readable board identity tagged onto batch spans (empty = none).
+  std::string board_label{};
 };
 
 /// One classification outcome, delivered to the sink in per-process call
@@ -105,6 +112,32 @@ class ServingPipeline {
   /// against).
   void forget(detect::ProcessId process);
 
+  /// Portable copy of one process's sliding-window state — everything a
+  /// destination board needs to continue classifying where the source
+  /// board left off (window tokens oldest→newest, hop phase, debounce
+  /// streak, and whether a deferred classification is still owed).
+  struct ProcessSnapshot {
+    detect::ProcessId process{0};
+    std::vector<nn::TokenId> window;
+    std::uint64_t calls_seen{0};
+    std::uint64_t calls_since_eval{0};
+    std::size_t alert_streak{0};
+    bool deferred_pending{false};
+  };
+
+  /// Drains every process's state out of the pipeline (the shard maps end
+  /// up empty) for migration to other boards. Call only when quiescent for
+  /// the migrating pids: flush() first, and no concurrent ingest — the
+  /// fleet enforces this by holding its routing lock exclusively.
+  std::vector<ProcessSnapshot> export_processes();
+
+  /// Installs a migrated process (its TokenRing re-warmed from the
+  /// snapshot). A carried `deferred_pending` re-arms the owed
+  /// classification on the process's next call, and its eventual verdict
+  /// is counted in `migrated_resolved` — the never-drop contract extended
+  /// across board failover.
+  void import_process(const ProcessSnapshot& snapshot);
+
   /// Blocks until every successfully enqueued window has either produced
   /// a verdict or been deferred. Does not stop the coalescer.
   void flush();
@@ -122,6 +155,8 @@ class ServingPipeline {
     std::uint64_t verdicts{0};   ///< windows that reached the sink
     std::uint64_t alerts{0};     ///< verdicts with alert set
     std::uint64_t batches{0};    ///< infer_batch calls issued
+    std::uint64_t migrated_in{0};        ///< processes imported from other boards
+    std::uint64_t migrated_resolved{0};  ///< carried deferrals that verdict'd here
   };
   Stats stats() const;
 
@@ -147,6 +182,9 @@ class ServingPipeline {
     std::uint64_t calls_since_eval{0};
     std::size_t alert_streak{0};
     bool deferred_pending{false};
+    /// Imported from another board with a deferral owed; cleared (and
+    /// counted as resolved) by the first verdict delivered here.
+    bool migrated_pending{false};
   };
 
   struct Shard {
@@ -159,6 +197,11 @@ class ServingPipeline {
 
   Shard& shard_of(detect::ProcessId process) {
     return *shards_[process % shards_.size()];
+  }
+
+  /// `<metrics_prefix>.<name>` — every obs series this pipeline emits.
+  std::string metric(const char* name) const {
+    return config_.metrics_prefix + '.' + name;
   }
 
   void coalescer_main();
@@ -200,6 +243,8 @@ class ServingPipeline {
   std::atomic<std::uint64_t> verdicts_{0};
   std::atomic<std::uint64_t> alerts_{0};
   std::atomic<std::uint64_t> batches_{0};
+  std::atomic<std::uint64_t> migrated_in_{0};
+  std::atomic<std::uint64_t> migrated_resolved_{0};
 
   std::thread coalescer_;  ///< last member: started once everything above exists
 };

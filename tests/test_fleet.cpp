@@ -1,0 +1,458 @@
+// BoardFleet unit tests: consistent-hash placement (deterministic,
+// sticky, minimal disruption), latch- and SLO-driven failover with the
+// extended conservation law, canary-gated weight rollout, re-admission
+// probes, and the per-board observability surface.
+#include "serve/fleet.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <mutex>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "detect/detector.hpp"
+#include "detect/token_ring.hpp"
+#include "kernels/engine.hpp"
+#include "obs/metrics.hpp"
+#include "obs/prometheus.hpp"
+
+namespace csdml::serve {
+namespace {
+
+nn::LstmConfig tiny_model() {
+  return nn::LstmConfig{.vocab_size = 32, .embed_dim = 4, .hidden_dim = 8};
+}
+
+FleetConfig tiny_fleet_config(std::size_t boards) {
+  FleetConfig config;
+  config.boards = boards;
+  config.health_check_interval = 0;  // sweeps are explicit in these tests
+  config.serve.detector = detect::DetectorConfig{
+      .window_length = 20, .hop = 5, .consecutive_alerts = 2};
+  config.engine =
+      kernels::EngineConfig{.level = kernels::OptimizationLevel::FixedPoint};
+  // Tests drive failover deterministically (latch or synthetic burn);
+  // real queueing latency must never trip the SLO path underneath them.
+  config.slo.latency_slo_us = 1e7;
+  return config;
+}
+
+std::vector<nn::TokenId> random_stream(std::uint64_t seed, std::size_t calls,
+                                       std::int32_t vocab) {
+  Rng rng(seed);
+  std::vector<nn::TokenId> stream;
+  stream.reserve(calls);
+  for (std::size_t i = 0; i < calls; ++i) {
+    stream.push_back(static_cast<nn::TokenId>(rng.uniform_int(0, vocab - 1)));
+  }
+  return stream;
+}
+
+struct LoggedVerdict {
+  std::uint64_t call_index{0};
+  double probability{0.0};
+  bool alert{false};
+};
+using VerdictLog = std::map<detect::ProcessId, std::vector<LoggedVerdict>>;
+
+/// Thread-safe collecting sink shared by every fleet under test.
+struct Collector {
+  std::mutex mutex;
+  VerdictLog log;
+
+  VerdictSink sink() {
+    return [this](const Verdict& verdict) {
+      std::lock_guard<std::mutex> lock(mutex);
+      log[verdict.process].push_back(
+          {verdict.call_index, verdict.probability, verdict.alert});
+    };
+  }
+};
+
+using Streams = std::map<detect::ProcessId, std::vector<nn::TokenId>>;
+
+Streams make_streams(std::size_t processes, std::size_t calls,
+                     std::int32_t vocab) {
+  Streams streams;
+  for (std::size_t p = 0; p < processes; ++p) {
+    streams[static_cast<detect::ProcessId>(p + 1)] =
+        random_stream(1000 + p, calls, vocab);
+  }
+  return streams;
+}
+
+/// Feeds calls [begin, end) of every stream, single-threaded.
+void feed(BoardFleet& fleet, const Streams& streams, std::size_t begin,
+          std::size_t end) {
+  for (std::size_t i = begin; i < end; ++i) {
+    for (const auto& [pid, stream] : streams) {
+      if (i < stream.size()) fleet.ingest(pid, stream[i]);
+    }
+  }
+}
+
+/// Keeps feeding hop-sized slices until the victim's engine latches
+/// unhealthy (its next due batch exhausts retries against the kill plan).
+std::size_t feed_until_latched(BoardFleet& fleet, const Streams& streams,
+                               std::size_t from, std::size_t victim) {
+  std::size_t cursor = from;
+  const std::size_t limit = streams.begin()->second.size();
+  while (fleet.engine(victim).healthy() && cursor < limit) {
+    feed(fleet, streams, cursor, cursor + 5);
+    cursor += 5;
+    fleet.flush();
+  }
+  EXPECT_FALSE(fleet.engine(victim).healthy());
+  return cursor;
+}
+
+/// The synchronous oracle from test_serving, over one shared engine: the
+/// fleet's board-local windows must reproduce it bit-exactly.
+VerdictLog sync_replay(kernels::CsdLstmEngine& engine,
+                       const detect::DetectorConfig& config,
+                       const Streams& streams) {
+  VerdictLog log;
+  for (const auto& [pid, stream] : streams) {
+    detect::TokenRing window(config.window_length);
+    std::uint64_t calls_seen = 0;
+    std::uint64_t since_eval = 0;
+    std::size_t streak = 0;
+    for (const nn::TokenId token : stream) {
+      window.push(token);
+      ++calls_seen;
+      ++since_eval;
+      if (!window.full()) continue;
+      const bool first_full = calls_seen == config.window_length;
+      if (!first_full && since_eval < config.hop) continue;
+      since_eval = 0;
+      const kernels::InferenceResult result = engine.infer(window.view());
+      if (result.probability >= config.threshold) {
+        ++streak;
+      } else {
+        streak = 0;
+      }
+      log[pid].push_back({calls_seen, result.probability,
+                          streak >= config.consecutive_alerts});
+    }
+  }
+  return log;
+}
+
+TEST(Fleet, PlacementDeterministicAndSticky) {
+  const nn::LstmConfig model = tiny_model();
+  Rng rng(7);
+  const nn::LstmParams params = nn::LstmParams::glorot(model, rng);
+  obs::registry().reset();
+
+  Collector sink_a;
+  BoardFleet fleet_a(model, params, tiny_fleet_config(4), sink_a.sink());
+  Collector sink_b;
+  BoardFleet fleet_b(model, params, tiny_fleet_config(4), sink_b.sink());
+
+  // Same seed, same ring: identical placement for any pid, before and
+  // after the pid is actually seen.
+  std::map<detect::ProcessId, std::size_t> placed;
+  for (detect::ProcessId pid = 1; pid <= 64; ++pid) {
+    EXPECT_EQ(fleet_a.board_of(pid), fleet_b.board_of(pid));
+    placed[pid] = fleet_a.board_of(pid);
+  }
+  const Streams streams = make_streams(16, 30, model.vocab_size);
+  feed(fleet_a, streams, 0, 30);
+  fleet_a.flush();
+  for (const auto& [pid, stream] : streams) {
+    EXPECT_EQ(fleet_a.board_of(pid), placed[pid]) << "pid " << pid;
+  }
+  // Every board takes a share of 64 pids (hash quality smoke).
+  std::vector<std::size_t> counts(4, 0);
+  for (const auto& [pid, board] : placed) ++counts[board];
+  for (std::size_t k = 0; k < 4; ++k) {
+    EXPECT_GT(counts[k], 0u) << "board " << k << " owns no pids";
+  }
+}
+
+TEST(Fleet, VerdictsMatchSyncOracleAcrossBoards) {
+  const nn::LstmConfig model = tiny_model();
+  Rng rng(7);
+  const nn::LstmParams params = nn::LstmParams::glorot(model, rng);
+  const Streams streams = make_streams(8, 60, model.vocab_size);
+  const detect::DetectorConfig detector = tiny_fleet_config(1).serve.detector;
+
+  obs::registry().reset();
+  VerdictLog oracle;
+  {
+    csd::SmartSsd board{csd::SmartSsdConfig{}};
+    xrt::Device device{board};
+    kernels::CsdLstmEngine engine(
+        device, model, params,
+        kernels::EngineConfig{.level = kernels::OptimizationLevel::FixedPoint});
+    oracle = sync_replay(engine, detector, streams);
+  }
+
+  obs::registry().reset();
+  Collector collector;
+  BoardFleet fleet(model, params, tiny_fleet_config(3), collector.sink());
+  feed(fleet, streams, 0, 60);
+  fleet.flush();
+  fleet.stop();
+
+  // Board-local windows: scattering pids across boards must not change a
+  // single classification (probability, call index, alert) — bit-exact.
+  ASSERT_EQ(collector.log.size(), oracle.size());
+  for (const auto& [pid, expected] : oracle) {
+    const auto it = collector.log.find(pid);
+    ASSERT_NE(it, collector.log.end());
+    ASSERT_EQ(it->second.size(), expected.size()) << "pid " << pid;
+    for (std::size_t i = 0; i < expected.size(); ++i) {
+      EXPECT_EQ(it->second[i].call_index, expected[i].call_index);
+      EXPECT_EQ(it->second[i].probability, expected[i].probability);
+      EXPECT_EQ(it->second[i].alert, expected[i].alert);
+    }
+  }
+  EXPECT_TRUE(fleet.stats().conservation_ok());
+}
+
+TEST(Fleet, FailoverRemapsOnlyVictimPidsAndConserves) {
+  const nn::LstmConfig model = tiny_model();
+  Rng rng(7);
+  const nn::LstmParams params = nn::LstmParams::glorot(model, rng);
+  const Streams streams = make_streams(16, 120, model.vocab_size);
+  obs::registry().reset();
+  Collector collector;
+  BoardFleet fleet(model, params, tiny_fleet_config(4), collector.sink());
+
+  feed(fleet, streams, 0, 40);
+  fleet.flush();
+  std::map<detect::ProcessId, std::size_t> before;
+  for (const auto& [pid, stream] : streams) before[pid] = fleet.board_of(pid);
+  const std::size_t victim = fleet.board_of(1);
+
+  fleet.kill_board(victim);
+  const std::size_t cursor = feed_until_latched(fleet, streams, 40, victim);
+  fleet.check_health();
+
+  // Only the victim's pids moved; every survivor-owned pid kept its board.
+  EXPECT_FALSE(fleet.board_healthy(victim));
+  EXPECT_EQ(fleet.boards_admitted(), 3u);
+  for (const auto& [pid, board] : before) {
+    if (board == victim) {
+      EXPECT_NE(fleet.board_of(pid), victim) << "pid " << pid << " not moved";
+    } else {
+      EXPECT_EQ(fleet.board_of(pid), board) << "pid " << pid << " disrupted";
+    }
+  }
+
+  // Extended conservation law: finish the streams, every carried deferral
+  // must resolve on its destination board.
+  feed(fleet, streams, cursor, streams.begin()->second.size());
+  fleet.flush();
+  fleet.stop();
+  const BoardFleet::Stats stats = fleet.stats();
+  EXPECT_EQ(stats.failovers, 1u);
+  EXPECT_GT(stats.migrations, 0u);
+  EXPECT_GT(stats.migrated_pending, 0u);  // the kill left deferrals owed
+  EXPECT_TRUE(stats.conservation_ok());
+  EXPECT_TRUE(stats.failover_resolved());
+  EXPECT_EQ(stats.totals.migrated_resolved, stats.migrated_pending);
+}
+
+TEST(Fleet, SloBurnDrainsBoardAndProbeReadmits) {
+  const nn::LstmConfig model = tiny_model();
+  Rng rng(7);
+  const nn::LstmParams params = nn::LstmParams::glorot(model, rng);
+  const Streams streams = make_streams(12, 25, model.vocab_size);
+  obs::registry().reset();
+  Collector collector;
+  FleetConfig config = tiny_fleet_config(3);
+  config.slo.latency_slo_us = 5'000.0;  // this test trips the burn path
+  BoardFleet fleet(model, params, config, collector.sink());
+  feed(fleet, streams, 0, 25);
+  fleet.flush();
+
+  // Synthesize a collapsed latency tail on board 0's own series: every
+  // sample far past the budget, well over min_samples.
+  for (int i = 0; i < 64; ++i) {
+    obs::registry().observe("fleet.b0.ingest_to_verdict_us", 1e9);
+  }
+  fleet.check_health();
+  EXPECT_FALSE(fleet.board_healthy(0));  // drained by burn, engine healthy
+  EXPECT_TRUE(fleet.engine(0).healthy());
+  EXPECT_EQ(fleet.boards_admitted(), 2u);
+  EXPECT_EQ(fleet.stats().failovers, 1u);
+  // Nothing was deferred — the board was healthy, just slow.
+  EXPECT_EQ(fleet.stats().migrated_pending, 0u);
+  EXPECT_TRUE(fleet.stats().conservation_ok());
+
+  // The next sweep's recovery probe re-admits it (the engine serves the
+  // golden window fine).
+  fleet.check_health();
+  EXPECT_TRUE(fleet.board_healthy(0));
+  EXPECT_EQ(fleet.stats().readmissions, 1u);
+  fleet.stop();
+}
+
+TEST(Fleet, RolloutCanaryGatedWithVersionStamp) {
+  const nn::LstmConfig model = tiny_model();
+  Rng rng(7);
+  const nn::LstmParams params = nn::LstmParams::glorot(model, rng);
+  obs::registry().reset();
+  Collector collector;
+  BoardFleet fleet(model, params, tiny_fleet_config(3), collector.sink());
+  EXPECT_EQ(fleet.weight_version(), 1u);
+  for (std::size_t k = 0; k < 3; ++k) {
+    EXPECT_EQ(fleet.engine(k).weight_updates(), 1u);
+  }
+
+  Rng next_rng(8);
+  const nn::LstmParams next = nn::LstmParams::glorot(model, next_rng);
+  const RolloutReport report = fleet.update_weights(next);
+  EXPECT_TRUE(report.ok);
+  EXPECT_TRUE(report.canary_ok);
+  EXPECT_EQ(report.version, 2u);
+  EXPECT_EQ(fleet.weight_version(), 2u);
+  ASSERT_EQ(report.per_board_us.size(), 3u);
+  EXPECT_GT(report.canary_us, 0.0);
+  EXPECT_GE(report.total_us, report.canary_us);
+  // Every board flipped exactly once (construction + rollout).
+  for (std::size_t k = 0; k < 3; ++k) {
+    EXPECT_EQ(fleet.engine(k).weight_updates(), 2u);
+  }
+  fleet.stop();
+}
+
+TEST(Fleet, RolloutRejectedWhenCanaryUnhealthy) {
+  const nn::LstmConfig model = tiny_model();
+  Rng rng(7);
+  const nn::LstmParams params = nn::LstmParams::glorot(model, rng);
+  const Streams streams = make_streams(12, 120, model.vocab_size);
+  obs::registry().reset();
+  Collector collector;
+  BoardFleet fleet(model, params, tiny_fleet_config(2), collector.sink());
+
+  // Latch board 0 — the rollout's canary (first admitted board) — but do
+  // NOT sweep: it is still in the ring when the rollout is attempted.
+  fleet.kill_board(0);
+  feed_until_latched(fleet, streams, 0, 0);
+
+  Rng next_rng(8);
+  const nn::LstmParams next = nn::LstmParams::glorot(model, next_rng);
+  const RolloutReport report = fleet.update_weights(next);
+  EXPECT_FALSE(report.ok);
+  EXPECT_FALSE(report.canary_ok);
+  EXPECT_EQ(fleet.weight_version(), 1u);
+  // The gate held: board 1 never flipped; the canary was rolled back
+  // (flip + rollback = 2 extra stagings on board 0 only).
+  EXPECT_EQ(fleet.engine(1).weight_updates(), 1u);
+  EXPECT_EQ(fleet.engine(0).weight_updates(), 3u);
+  fleet.stop();
+}
+
+TEST(Fleet, ReadmissionCatchesUpOnWeightVersion) {
+  const nn::LstmConfig model = tiny_model();
+  Rng rng(7);
+  const nn::LstmParams params = nn::LstmParams::glorot(model, rng);
+  const Streams streams = make_streams(12, 120, model.vocab_size);
+  obs::registry().reset();
+  Collector collector;
+  BoardFleet fleet(model, params, tiny_fleet_config(3), collector.sink());
+
+  const std::size_t victim = fleet.board_of(1);
+  feed(fleet, streams, 0, 25);
+  fleet.flush();
+  fleet.kill_board(victim);
+  const std::size_t cursor = feed_until_latched(fleet, streams, 25, victim);
+  fleet.check_health();
+  ASSERT_FALSE(fleet.board_healthy(victim));
+
+  // Roll out new weights while the victim is out of the ring: only the
+  // two admitted boards flip.
+  Rng next_rng(8);
+  const RolloutReport report =
+      fleet.update_weights(nn::LstmParams::glorot(model, next_rng));
+  EXPECT_TRUE(report.ok);
+  EXPECT_EQ(report.per_board_us.size(), 2u);
+  EXPECT_EQ(fleet.engine(victim).weight_updates(), 1u);
+
+  // Revive: the probe re-admits the board and pushes the current version
+  // first, so it never serves stale weights.
+  fleet.revive_board(victim);
+  fleet.check_health();
+  EXPECT_TRUE(fleet.board_healthy(victim));
+  EXPECT_EQ(fleet.engine(victim).weight_updates(), 2u);
+  EXPECT_EQ(fleet.stats().readmissions, 1u);
+
+  feed(fleet, streams, cursor, 120);
+  fleet.flush();
+  fleet.stop();
+  EXPECT_TRUE(fleet.stats().conservation_ok());
+  EXPECT_TRUE(fleet.stats().failover_resolved());
+}
+
+TEST(Fleet, SingleBoardKillRidesDeferralPath) {
+  const nn::LstmConfig model = tiny_model();
+  Rng rng(7);
+  const nn::LstmParams params = nn::LstmParams::glorot(model, rng);
+  const Streams streams = make_streams(4, 80, model.vocab_size);
+  obs::registry().reset();
+  Collector collector;
+  BoardFleet fleet(model, params, tiny_fleet_config(1), collector.sink());
+
+  feed(fleet, streams, 0, 30);
+  fleet.flush();
+  fleet.kill_board(0);
+  const std::size_t cursor = feed_until_latched(fleet, streams, 30, 0);
+  fleet.check_health();
+  // No survivor: the board stays in the ring, deferring instead of
+  // migrating — the never-drop contract without a failover target.
+  EXPECT_EQ(fleet.stats().failovers, 0u);
+  EXPECT_EQ(fleet.boards_admitted(), 1u);
+
+  feed(fleet, streams, cursor, 80);
+  fleet.flush();
+  fleet.stop();
+  const BoardFleet::Stats stats = fleet.stats();
+  EXPECT_GT(stats.totals.deferred, 0u);
+  EXPECT_TRUE(stats.conservation_ok());
+}
+
+TEST(Fleet, PerBoardMetricsAndPrometheusSeries) {
+  const nn::LstmConfig model = tiny_model();
+  Rng rng(7);
+  const nn::LstmParams params = nn::LstmParams::glorot(model, rng);
+  const Streams streams = make_streams(12, 40, model.vocab_size);
+  obs::registry().reset();
+  Collector collector;
+  BoardFleet fleet(model, params, tiny_fleet_config(2), collector.sink());
+  feed(fleet, streams, 0, 40);
+  fleet.flush();
+  fleet.stop();
+
+  const obs::MetricsSnapshot snapshot = obs::registry().snapshot();
+  std::uint64_t verdicts_by_board = 0;
+  bool saw_b0 = false;
+  bool saw_b1 = false;
+  for (const auto& [name, value] : snapshot.counters) {
+    if (name == "fleet.b0.verdicts") {
+      saw_b0 = true;
+      verdicts_by_board += value;
+    }
+    if (name == "fleet.b1.verdicts") {
+      saw_b1 = true;
+      verdicts_by_board += value;
+    }
+  }
+  EXPECT_TRUE(saw_b0);
+  EXPECT_TRUE(saw_b1);
+  EXPECT_EQ(verdicts_by_board, fleet.stats().totals.verdicts);
+
+  // The per-board series surface as csdml_fleet_* in the exposition
+  // format, plus the fleet-level gauges.
+  const std::string text = obs::to_prometheus_text(snapshot);
+  EXPECT_NE(text.find("csdml_fleet_b0_verdicts"), std::string::npos);
+  EXPECT_NE(text.find("csdml_fleet_b1_verdicts"), std::string::npos);
+  EXPECT_NE(text.find("csdml_fleet_boards_admitted"), std::string::npos);
+  EXPECT_NE(text.find("csdml_fleet_weight_version"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace csdml::serve

@@ -7,6 +7,7 @@
 
 #include <condition_variable>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <thread>
 #include <vector>
@@ -271,6 +272,68 @@ TEST(Serving, ShedsToDeferralUnderBackpressureWithoutLoss) {
   EXPECT_EQ(stats.verdicts, stats.enqueued);
   EXPECT_EQ(stats.enqueued + stats.shed, 97u);
   EXPECT_EQ(delivered, stats.verdicts);
+}
+
+TEST(Serving, DestructorFlushesFullRingAndInFlightBatch) {
+  const nn::LstmConfig model = tiny_model();
+  Rng rng(77);
+  const nn::LstmParams params = nn::LstmParams::glorot(model, rng);
+  csd::SmartSsd board{csd::SmartSsdConfig{}};
+  xrt::Device device{board};
+  kernels::CsdLstmEngine engine(device, model, params, {});
+
+  ServeConfig config;
+  config.shards = 1;
+  config.ring_capacity = 4;
+  config.coalesce_max = 2;
+  config.detector = detect::DetectorConfig{.window_length = 4, .hop = 1};
+
+  // Wedge the coalescer mid-batch: the sink blocks every delivery until
+  // released, so by the time we tear the pipeline down there is an
+  // in-flight batch at the sink AND a full ring of undelivered requests
+  // behind it. The destructor's stop() must flush all of them.
+  std::mutex sink_mutex;
+  std::condition_variable sink_cv;
+  bool in_flight = false;
+  bool released = false;
+  std::size_t delivered = 0;
+  auto pipeline = std::make_unique<ServingPipeline>(
+      engine, config, [&](const Verdict&) {
+        std::unique_lock<std::mutex> lock(sink_mutex);
+        in_flight = true;
+        sink_cv.notify_all();
+        sink_cv.wait(lock, [&] { return released; });
+        ++delivered;
+      });
+
+  const std::vector<nn::TokenId> stream =
+      random_stream(23, 64, model.vocab_size);
+  for (const nn::TokenId token : stream) pipeline->ingest(9, token);
+  {
+    std::unique_lock<std::mutex> lock(sink_mutex);
+    sink_cv.wait(lock, [&] { return in_flight; });
+  }
+
+  // Ingestion is done, so `enqueued` is final; the sink is wedged, so the
+  // ring behind the in-flight batch is still full (the shed counter proves
+  // it overflowed).
+  const ServingPipeline::Stats pre = pipeline->stats();
+  EXPECT_GT(pre.shed, 0u);
+  EXPECT_GT(pre.enqueued, pre.verdicts);
+
+  // Begin destruction while the batch is still stuck at the sink, then
+  // release. stop() must drain the ring and deliver every enqueued
+  // request rather than dropping the backlog.
+  std::thread destroyer([&] { pipeline.reset(); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  {
+    std::lock_guard<std::mutex> lock(sink_mutex);
+    released = true;
+  }
+  sink_cv.notify_all();
+  destroyer.join();
+
+  EXPECT_EQ(delivered, pre.enqueued);
 }
 
 TEST(Serving, HotSwapAppliesAtBatchBoundary) {
