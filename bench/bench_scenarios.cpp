@@ -1,0 +1,156 @@
+// Scenario corpus benchmark: detection quality under adversarial
+// campaigns, as a trackable artefact.
+//
+// Replays every builtin scenario (benign + ransomware traces through the
+// board fleet, with mid-run kills/revives/rollouts) and reports, per
+// scenario, the detection-latency p50/p95 across its attack pids, the
+// benign false-positive rate, and the files encrypted before the verdict
+// landed — the three quality axes the paper's evaluation argues over —
+// plus the outcome digest and wall time. Exits non-zero when any
+// scenario's quality gates fail, so a model or serving regression fails
+// the bench run itself, not just a later analysis step.
+//
+// Emits BENCH_scenarios.json (into CSDML_METRICS_OUT when set, else the
+// working directory). `--tiny` serves the smoke model for CI lanes;
+// golden digests are full-model only, so the JSON records which model
+// produced the numbers.
+#include <algorithm>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "common/json_writer.hpp"
+#include "common/table.hpp"
+#include "scenario/corpus.hpp"
+#include "scenario/runner.hpp"
+#include "scenario/scorer.hpp"
+
+namespace {
+
+using namespace csdml;
+
+/// Nearest-rank percentile over an ascending vector; 0 when empty.
+std::uint64_t percentile(const std::vector<std::uint64_t>& sorted, double q) {
+  if (sorted.empty()) return 0;
+  const auto rank = static_cast<std::size_t>(q * (sorted.size() - 1) + 0.5);
+  return sorted[std::min(rank, sorted.size() - 1)];
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool tiny = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--tiny") == 0) {
+      tiny = true;
+    } else {
+      std::cerr << "usage: bench_scenarios [--tiny]\n";
+      return 2;
+    }
+  }
+
+  bench::print_header("Adversarial scenario corpus: detection quality");
+
+  scenario::RunOptions options;
+  options.tiny = tiny;
+  std::vector<scenario::RunResult> results;
+  for (const scenario::Scenario& spec : scenario::builtin_corpus()) {
+    results.push_back(scenario::run_scenario(spec, options));
+  }
+
+  std::vector<std::uint64_t> all_latencies;
+  bool gates_ok = true;
+  TextTable table({"scenario", "lat_p50", "lat_p95", "fpr", "files_lost",
+                   "deferred", "wall_ms", "pass"});
+  for (const scenario::RunResult& result : results) {
+    const scenario::ScoreSummary& s = result.summary;
+    all_latencies.insert(all_latencies.end(), s.latencies.begin(),
+                         s.latencies.end());
+    table.add_row({result.scenario.name,
+                   s.latencies.empty()
+                       ? "-"
+                       : std::to_string(percentile(s.latencies, 0.50)),
+                   s.latencies.empty()
+                       ? "-"
+                       : std::to_string(percentile(s.latencies, 0.95)),
+                   TextTable::num(s.fpr, 3), std::to_string(s.files_lost),
+                   std::to_string(s.fleet.totals.deferred),
+                   TextTable::num(result.wall_ms, 1),
+                   result.gates.pass() ? "yes" : "NO"});
+    gates_ok = gates_ok && result.gates.pass();
+  }
+  table.print(std::cout);
+  std::sort(all_latencies.begin(), all_latencies.end());
+  std::cout << "corpus: " << results.size() << " scenarios, latency p50 "
+            << percentile(all_latencies, 0.50) << " / p95 "
+            << percentile(all_latencies, 0.95) << " calls ("
+            << (tiny ? "tiny" : "full") << " model)\n";
+
+  // --- BENCH_scenarios.json ----------------------------------------------
+  JsonWriter json;
+  json.begin_object();
+  json.field("bench", "scenarios");
+  json.key("config");
+  json.begin_object();
+  json.field("tiny", tiny);
+  json.field("scenarios", static_cast<std::uint64_t>(results.size()));
+  json.field("model_test_accuracy",
+             results.empty() ? 0.0 : results.front().model_test_accuracy);
+  json.end_object();
+  json.field("latency_p50", percentile(all_latencies, 0.50));
+  json.field("latency_p95", percentile(all_latencies, 0.95));
+  json.key("scenarios");
+  json.begin_array();
+  for (const scenario::RunResult& result : results) {
+    const scenario::ScoreSummary& s = result.summary;
+    json.begin_object();
+    json.field("name", result.scenario.name);
+    json.field("digest", scenario::format_digest(result.digest));
+    json.field("attacks", s.attacks);
+    json.field("detected", s.detected);
+    json.field("latency_p50", percentile(s.latencies, 0.50));
+    json.field("latency_p95", percentile(s.latencies, 0.95));
+    json.field("fpr", s.fpr);
+    json.field("files_lost", s.files_lost);
+    json.field("false_positives", s.false_positives);
+    json.field("deferred", s.fleet.totals.deferred);
+    json.field("failovers", s.fleet.failovers);
+    json.field("rollouts", s.fleet.rollouts);
+    json.field("conservation_ok", s.fleet.conservation_ok());
+    json.field("pass", result.gates.pass());
+    json.field("wall_ms", result.wall_ms);
+    json.end_object();
+  }
+  json.end_array();
+  json.end_object();
+
+  const char* out_dir = std::getenv("CSDML_METRICS_OUT");
+  if (out_dir != nullptr && *out_dir != '\0') {
+    std::error_code ec;
+    std::filesystem::create_directories(out_dir, ec);  // best effort
+  }
+  const std::string json_path =
+      (out_dir != nullptr && *out_dir != '\0' ? std::string(out_dir) + "/"
+                                              : std::string()) +
+      "BENCH_scenarios.json";
+  {
+    std::ofstream out(json_path);
+    if (!out) {
+      std::cerr << "cannot write " << json_path << "\n";
+      return 1;
+    }
+    out << json.str() << '\n';
+  }
+  std::cout << "\nscenarios -> " << json_path << "\n";
+  bench::dump_metrics_json("bench_scenarios");
+
+  if (!gates_ok) {
+    std::cerr << "SCENARIO QUALITY GATES FAILED\n";
+    return 1;
+  }
+  return 0;
+}

@@ -1,6 +1,8 @@
 #include "host/cli.hpp"
 
+#include <algorithm>
 #include <fstream>
+#include <sstream>
 #include <map>
 #include <memory>
 #include <optional>
@@ -24,8 +26,13 @@
 #include "ransomware/families.hpp"
 #include "ransomware/sandbox.hpp"
 #include "ransomware/trace_io.hpp"
+#include "scenario/corpus.hpp"
+#include "scenario/runner.hpp"
+#include "scenario/scorer.hpp"
 #include "serve/fleet.hpp"
 #include "serve/serving.hpp"
+
+#include "common/json_writer.hpp"
 
 #include <thread>
 
@@ -77,6 +84,18 @@ commands:
                lost, and every migrated deferral resolved)
   attribute    --weights PATH --dataset PATH --row N [--top K]
                explain one window: occlusion attribution of its API calls
+  scenario     list | run | show [--all] [--name NAME] [--file PATH] [--seed N]
+               [--tiny] [--json] [--golden PATH] [--update-golden]
+               replay named end-to-end attack campaigns (benign + family
+               traces through the board fleet, with mid-run kills/revives/
+               rollouts) and grade them: detection latency per attack pid,
+               files encrypted before the verdict, benign FPR, conservation
+               laws. Each run prints a canonical outcome digest — same
+               seed, same digest, byte for byte. --golden compares digests
+               against a golden file (exit 1 on drift), --update-golden
+               rewrites it, --tiny serves a smaller model for smoke lanes,
+               --seed overrides every scenario's seed; exit 0 only when all
+               quality gates (and the golden comparison) pass
   timings      [--level L] [--cus N] [--stream]
                per-item kernel timings under the HLS cost model
   reports      Vitis-style synthesis reports for every kernel/level
@@ -766,6 +785,268 @@ int cmd_timings(const Flags& flags, std::ostream& out) {
   return 0;
 }
 
+/// Golden digest file: `<scenario-name> <16-hex-digest>` per line, `#`
+/// comments allowed. Missing file is an Error (exit 1), not a usage
+/// error — CI treats an absent golden as a broken gate, not a typo.
+std::map<std::string, std::string> load_golden_digests(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw Error("scenario: cannot open golden file `" + path + "`");
+  std::map<std::string, std::string> golden;
+  std::string line;
+  while (std::getline(in, line)) {
+    const std::size_t hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    std::istringstream fields(line);
+    std::string name, digest, extra;
+    if (!(fields >> name)) continue;
+    if (!(fields >> digest) || (fields >> extra)) {
+      throw Error("scenario: malformed golden line `" + line + "` in " + path);
+    }
+    golden[name] = digest;
+  }
+  return golden;
+}
+
+void write_golden_digests(const std::string& path,
+                          const std::map<std::string, std::string>& golden) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) throw Error("scenario: cannot write golden file `" + path + "`");
+  out << "# Golden scenario outcome digests (full model). Regenerate with\n";
+  out << "#   csdml scenario run --all --golden <this file> --update-golden\n";
+  for (const auto& [name, digest] : golden) {
+    out << name << " " << digest << "\n";
+  }
+}
+
+void emit_scenario_json(const std::vector<scenario::RunResult>& results,
+                        bool tiny, std::ostream& out) {
+  JsonWriter json;
+  json.begin_object();
+  json.field("tool", "scenario");
+  json.field("tiny", tiny);
+  json.field("model_test_accuracy",
+             results.empty() ? 0.0 : results.front().model_test_accuracy);
+  json.key("scenarios");
+  json.begin_array();
+  for (const scenario::RunResult& result : results) {
+    const scenario::ScoreSummary& s = result.summary;
+    json.begin_object();
+    json.field("name", result.scenario.name);
+    json.field("seed", result.scenario.seed);
+    json.field("boards", static_cast<std::uint64_t>(result.scenario.boards));
+    json.field("digest", scenario::format_digest(result.digest));
+    json.field("attacks", s.attacks);
+    json.field("detected", s.detected);
+    json.field("false_positives", s.false_positives);
+    json.field("fpr", s.fpr);
+    json.field("files_lost", s.files_lost);
+    json.key("detection_latency");
+    json.begin_array();
+    for (const std::uint64_t latency : s.latencies) json.value(latency);
+    json.end_array();
+    json.key("processes");
+    json.begin_array();
+    for (const scenario::ProcessOutcome& p : s.processes) {
+      const auto spec = std::find_if(
+          result.scenario.processes.begin(), result.scenario.processes.end(),
+          [&p](const scenario::ProcessSpec& candidate) {
+            return candidate.pid == p.pid;
+          });
+      json.begin_object();
+      json.field("pid", static_cast<std::uint64_t>(p.pid));
+      json.field("attack", p.attack);
+      if (spec != result.scenario.processes.end()) {
+        json.field("profile", spec->profile);
+        json.field("variant", static_cast<std::uint64_t>(spec->variant));
+      }
+      json.field("verdicts", p.verdicts);
+      json.field("alerts", p.alerts);
+      if (p.first_alert_call != scenario::kNever) {
+        json.field("first_alert_call", p.first_alert_call);
+        json.field("detection_latency", p.detection_latency);
+      }
+      json.field("files_lost", p.files_lost);
+      json.field("boards_seen", static_cast<std::uint64_t>(p.boards_seen));
+      json.end_object();
+    }
+    json.end_array();
+    json.field("verdicts", s.fleet.totals.verdicts);
+    json.field("deferred", s.fleet.totals.deferred);
+    json.field("shed", s.fleet.totals.shed);
+    json.field("failovers", s.fleet.failovers);
+    json.field("rollouts", s.fleet.rollouts);
+    json.field("conservation_ok", s.fleet.conservation_ok());
+    json.field("failover_resolved", s.fleet.failover_resolved());
+    json.field("pass", result.gates.pass());
+    json.field("wall_ms", result.wall_ms);
+    json.end_object();
+  }
+  json.end_array();
+  json.end_object();
+  out << json.str() << "\n";
+}
+
+int cmd_scenario(const std::vector<std::string>& args, std::ostream& out) {
+  if (args.size() < 2) {
+    throw PreconditionError(
+        "scenario: expected a subcommand (list | run | show)");
+  }
+  const std::string& sub = args[1];
+
+  if (sub == "list") {
+    Flags flags(args, 2, {});
+    (void)flags;
+    TextTable table({"scenario", "boards", "processes", "attacks", "events",
+                     "horizon", "latency-budget", "files-budget"});
+    for (const scenario::Scenario& s : scenario::builtin_corpus()) {
+      std::size_t attacks = 0;
+      for (const auto& p : s.processes) attacks += p.attack ? 1 : 0;
+      table.add_row({s.name, std::to_string(s.boards),
+                     std::to_string(s.processes.size()),
+                     std::to_string(attacks), std::to_string(s.events.size()),
+                     std::to_string(s.horizon()),
+                     std::to_string(s.budget.detection_latency),
+                     std::to_string(s.budget.files_lost)});
+    }
+    table.print(out);
+    return 0;
+  }
+
+  if (sub == "show") {
+    const Flags flags(args, 2, {});
+    const std::string name = flags.require("name");
+    const scenario::Scenario* found = scenario::find_scenario(name);
+    if (found == nullptr) {
+      throw PreconditionError("scenario: `" + name +
+                              "` is not in the corpus (see `scenario list`)");
+    }
+    out << scenario::serialize_scenario(*found);
+    return 0;
+  }
+
+  if (sub != "run") {
+    throw PreconditionError("scenario: unknown subcommand `" + sub +
+                            "` (list | run | show)");
+  }
+  const Flags flags(args, 2, {"all", "json", "tiny", "update-golden"});
+
+  std::vector<scenario::Scenario> selected;
+  if (const auto name = flags.get("name")) {
+    const scenario::Scenario* found = scenario::find_scenario(*name);
+    if (found == nullptr) {
+      throw PreconditionError("scenario: `" + *name +
+                              "` is not in the corpus (see `scenario list`)");
+    }
+    selected.push_back(*found);
+  }
+  if (const auto file = flags.get("file")) {
+    selected.push_back(scenario::load_scenario_file(*file));
+  }
+  if (selected.empty() || flags.has("all")) {
+    // Default (and --all): the whole builtin corpus, plus any explicit
+    // picks above.
+    for (const scenario::Scenario& s : scenario::builtin_corpus()) {
+      const bool already =
+          std::any_of(selected.begin(), selected.end(),
+                      [&s](const scenario::Scenario& have) {
+                        return have.name == s.name;
+                      });
+      if (!already) selected.push_back(s);
+    }
+  }
+
+  scenario::RunOptions options;
+  options.tiny = flags.has("tiny");
+  if (flags.has("seed")) {
+    options.seed = static_cast<std::uint64_t>(flags.get_long("seed", 0));
+  }
+  if (flags.has("update-golden") && !flags.has("golden")) {
+    throw PreconditionError("scenario: --update-golden requires --golden PATH");
+  }
+
+  std::vector<scenario::RunResult> results;
+  results.reserve(selected.size());
+  for (const scenario::Scenario& s : selected) {
+    results.push_back(scenario::run_scenario(s, options));
+  }
+
+  bool gates_ok = true;
+  if (flags.has("json")) {
+    emit_scenario_json(results, options.tiny, out);
+    for (const scenario::RunResult& result : results) {
+      gates_ok = gates_ok && result.gates.pass();
+    }
+  } else {
+    TextTable table({"scenario", "digest", "attacks", "detected",
+                     "latency(max)", "files-lost", "fpr", "deferred", "pass"});
+    for (const scenario::RunResult& result : results) {
+      const scenario::ScoreSummary& s = result.summary;
+      const std::uint64_t worst =
+          s.latencies.empty() ? 0 : s.latencies.back();
+      table.add_row(
+          {result.scenario.name, scenario::format_digest(result.digest),
+           std::to_string(s.attacks), std::to_string(s.detected),
+           s.detected > 0 ? std::to_string(worst) : "-",
+           std::to_string(s.files_lost), TextTable::num(s.fpr, 3),
+           std::to_string(s.fleet.totals.deferred),
+           result.gates.pass() ? "yes" : "NO"});
+      gates_ok = gates_ok && result.gates.pass();
+    }
+    table.print(out);
+    for (const scenario::RunResult& result : results) {
+      if (result.gates.pass()) continue;
+      const scenario::GateReport& g = result.gates;
+      out << result.scenario.name << " FAILED:";
+      if (!g.attacks_detected) out << " attacks-undetected";
+      if (!g.latency_within_budget) out << " latency-over-budget";
+      if (!g.files_within_budget) out << " files-lost-over-budget";
+      if (!g.fpr_within_budget) out << " fpr-over-budget";
+      if (!g.conservation) out << " conservation-violated";
+      if (!g.failover_resolved) out << " migrated-deferral-unresolved";
+      if (!g.nothing_shed) out << " backpressure-shed";
+      out << "\n";
+    }
+  }
+
+  bool golden_ok = true;
+  if (const auto golden_path = flags.get("golden")) {
+    if (flags.has("update-golden")) {
+      std::map<std::string, std::string> golden;
+      {
+        std::ifstream probe(*golden_path);
+        if (probe.good()) golden = load_golden_digests(*golden_path);
+      }
+      for (const scenario::RunResult& result : results) {
+        golden[result.scenario.name] = scenario::format_digest(result.digest);
+      }
+      write_golden_digests(*golden_path, golden);
+      out << "golden: updated " << *golden_path << " (" << results.size()
+          << " scenarios)\n";
+    } else {
+      const std::map<std::string, std::string> golden =
+          load_golden_digests(*golden_path);
+      for (const scenario::RunResult& result : results) {
+        const auto it = golden.find(result.scenario.name);
+        const std::string got = scenario::format_digest(result.digest);
+        if (it == golden.end()) {
+          out << "golden: " << result.scenario.name << " has no entry in "
+              << *golden_path << "\n";
+          golden_ok = false;
+        } else if (it->second != got) {
+          out << "golden: " << result.scenario.name << " drifted (expected "
+              << it->second << ", got " << got << ")\n";
+          golden_ok = false;
+        }
+      }
+      if (golden_ok) {
+        out << "golden: " << results.size() << " digests match\n";
+      }
+    }
+  }
+
+  return gates_ok && golden_ok ? 0 : 1;
+}
+
 int cmd_reports(std::ostream& out) {
   const hls::HlsCostModel model = hls::HlsCostModel::ultrascale_default();
   const hls::FpgaPart part = hls::FpgaPart::ku15p();
@@ -823,6 +1104,9 @@ int run_cli(const std::vector<std::string>& args, std::ostream& out,
     }
     if (command == "timings") {
       return cmd_timings(Flags(args, 1, {"stream"}), out);
+    }
+    if (command == "scenario") {
+      return cmd_scenario(args, out);
     }
     if (command == "reports") {
       return cmd_reports(out);

@@ -5,6 +5,27 @@
 
 namespace csdml::ransomware {
 
+std::size_t count_files_encrypted(nn::TokenSpan trace) {
+  const auto& vocab = ApiVocabulary::instance();
+  const nn::TokenId encrypt_a = vocab.require("CryptEncrypt");
+  const nn::TokenId encrypt_b = vocab.require("BCryptEncrypt");
+  const nn::TokenId rename_a = vocab.require("MoveFileExW");
+  const nn::TokenId rename_b = vocab.require("MoveFileW");
+  const nn::TokenId rename_c = vocab.require("ReplaceFileW");
+  std::size_t files = 0;
+  bool pending = false;
+  for (const nn::TokenId token : trace) {
+    if (token == encrypt_a || token == encrypt_b) {
+      pending = true;
+    } else if (pending &&
+               (token == rename_a || token == rename_b || token == rename_c)) {
+      ++files;
+      pending = false;
+    }
+  }
+  return files;
+}
+
 SandboxTraceGenerator::SandboxTraceGenerator(SandboxConfig config)
     : config_(config) {
   CSDML_REQUIRE(config_.background_noise_rate >= 0.0 &&

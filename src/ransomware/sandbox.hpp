@@ -27,6 +27,14 @@ struct SandboxConfig {
   std::size_t min_trace_length{400};
 };
 
+/// Completed file encryptions in a trace (or trace prefix): a file counts
+/// when a rename/replace call lands after a pending CryptEncrypt /
+/// BCryptEncrypt — the EncryptionLoop motif's per-file tail, where the
+/// ciphertext displaces the original. The scenario scorer feeds the attack
+/// trace up to the first alert through this to measure files lost before
+/// the verdict.
+std::size_t count_files_encrypted(nn::TokenSpan trace);
+
 class SandboxTraceGenerator {
  public:
   explicit SandboxTraceGenerator(SandboxConfig config);

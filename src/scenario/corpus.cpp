@@ -1,0 +1,185 @@
+#include "scenario/corpus.hpp"
+
+namespace csdml::scenario {
+
+namespace {
+
+std::vector<Scenario> build_corpus() {
+  std::vector<Scenario> corpus;
+
+  // Benign-only baseline: six ordinary desktop sessions, staggered
+  // arrivals. The FPR budget is zero — any alert here is a regression.
+  corpus.push_back(ScenarioBuilder("clean-benign")
+                       .seed(1101)
+                       .boards(1)
+                       .detector(100, 25, 4, 0.9)
+                       .benign(11, "Notepad++", 0, 0, 500)
+                       .benign(12, "7-Zip", 0, 40, 500)
+                       .benign(13, "VLC", 1, 80, 500)
+                       .benign(14, "FirefoxPortable", 0, 120, 500)
+                       .benign(15, "KeePass", 2, 160, 500)
+                       .benign(16, "manual-desktop-1", 0, 200, 500)
+                       .budget(0, 0, 0.0)
+                       .build());
+
+  // The canonical attack: one Lockbit variant bursts into a quiet mix.
+  corpus.push_back(ScenarioBuilder("single-family-burst")
+                       .seed(1102)
+                       .boards(1)
+                       .detector(100, 25, 4, 0.9)
+                       .benign(21, "SumatraPDF", 0, 0, 700)
+                       .benign(22, "ChromePortable", 0, 30, 700)
+                       .benign(23, "Everything", 2, 60, 700)
+                       .attack(29, "Lockbit", 2, 150, 600)
+                       .budget(150, 60, 0.0)
+                       .build());
+
+  // Slow-roll: heavy OS background noise dilutes the encryption motifs,
+  // stretching the calls-to-verdict tail the latency budget must cover.
+  corpus.push_back(ScenarioBuilder("slow-roll-encryptor")
+                       .seed(1103)
+                       .boards(1)
+                       .detector(100, 25, 4, 0.9)
+                       .benign(31, "LibreOfficePortable", 0, 0, 900)
+                       .benign(32, "Thunderbird", 0, 50, 900)
+                       .attack(39, "Teslacrypt", 4, 100, 900, 0.55)
+                       .budget(500, 80, 0.0)
+                       .build());
+
+  // Fleet-wide storm: four families land on a four-board fleet at once.
+  corpus.push_back(ScenarioBuilder("multi-family-storm")
+                       .seed(1104)
+                       .boards(4)
+                       .detector(100, 25, 4, 0.9)
+                       .benign(41, "VLC", 0, 0, 700)
+                       .benign(42, "IrfanView", 0, 25, 700)
+                       .benign(43, "FileZilla", 0, 50, 700)
+                       .benign(44, "PuTTY", 0, 75, 700)
+                       .benign(45, "MusicBee", 0, 100, 700)
+                       .benign(46, "manual-desktop-3", 0, 125, 700)
+                       .attack(51, "Ryuk", 1, 150, 650)
+                       .attack(52, "Cerber", 3, 170, 650)
+                       .attack(53, "Wannacry", 0, 190, 650)
+                       .attack(54, "BadRabbit", 2, 210, 650)
+                       .budget(200, 220, 0.0)
+                       .build());
+
+  // Mid-attack failover: the board owning the attack pid is killed while
+  // the encryptor is running; the pid must survive the rehash and still
+  // be caught on the surviving board.
+  corpus.push_back(ScenarioBuilder("attack-during-failover")
+                       .seed(1105)
+                       .boards(2)
+                       .detector(100, 25, 4, 0.9)
+                       .benign(61, "OBSPortable", 0, 0, 800)
+                       .benign(62, "Inkscape", 0, 40, 800)
+                       .benign(63, "CalibrePortable", 0, 80, 800)
+                       .attack(69, "Cryptowall", 5, 120, 700)
+                       .kill_owner(69, 260)
+                       .revive_board(0, 500)
+                       .revive_board(1, 500)
+                       .budget(350, 90, 0.0)
+                       .build());
+
+  // Mid-attack rollout: a canary-gated weight rollout lands while the
+  // attack stream is live; detection must not wobble across the flip and
+  // the version stamp must advance cleanly.
+  corpus.push_back(ScenarioBuilder("attack-during-canary-rollout")
+                       .seed(1106)
+                       .boards(2)
+                       .detector(100, 25, 4, 0.9)
+                       .benign(71, "ShareX", 0, 0, 700)
+                       .benign(72, "Blender", 0, 35, 700)
+                       .attack(79, "Locky", 1, 100, 650)
+                       .rollout(300)
+                       .budget(200, 70, 0.0)
+                       .build());
+
+  // Fault storm on a single board: the lone board latches, every due
+  // window rides the deferral path, then the fault clears and the board
+  // recovers in place — the attack must still be caught afterwards.
+  corpus.push_back(ScenarioBuilder("fault-storm-deferrals")
+                       .seed(1107)
+                       .boards(1)
+                       .detector(100, 25, 4, 0.9)
+                       .benign(81, "GIMPPortable", 0, 0, 900)
+                       .attack(89, "Chimera", 6, 80, 850)
+                       // Killed before the attack's first window completes,
+                       // so the whole early attack rides the deferral path.
+                       .kill_board(0, 150)
+                       .revive_board(0, 420)
+                       .budget(550, 110, 0.0)
+                       .build());
+
+  // The hardest negatives in the benign corpus: archivers, disk tools,
+  // and VeraCrypt's volume-encryption loop, which shares real API motifs
+  // with the attack families. Zero false positives allowed.
+  corpus.push_back(ScenarioBuilder("benign-hard-negatives")
+                       .seed(1108)
+                       .boards(1)
+                       .detector(100, 25, 4, 0.9)
+                       .benign(91, "VeraCryptPortable", 0, 0, 800)
+                       .benign(92, "7-Zip", 1, 40, 800)
+                       .benign(93, "Rufus", 0, 80, 800)
+                       .benign(94, "WinDirStat", 0, 120, 800)
+                       .benign(95, "Recuva", 0, 160, 800)
+                       .budget(0, 0, 0.0)
+                       .build());
+
+  // Saturation: a two-board fleet carries twelve tenants; two attacks
+  // arrive late, buried in the benign crowd.
+  corpus.push_back(ScenarioBuilder("multi-tenant-saturation")
+                       .seed(1109)
+                       .boards(2)
+                       .detector(100, 25, 4, 0.9)
+                       .benign(101, "Notepad++", 1, 0, 800)
+                       .benign(102, "VLC", 2, 20, 800)
+                       .benign(103, "KeePass", 0, 40, 800)
+                       .benign(104, "Audacity", 0, 60, 800)
+                       .benign(105, "FoxitReader", 0, 80, 800)
+                       .benign(106, "qBittorrent", 0, 100, 800)
+                       .benign(107, "CPU-Z", 0, 120, 800)
+                       .benign(108, "PaintDotNetPortable", 0, 140, 800)
+                       .benign(109, "manual-desktop-2", 0, 160, 800)
+                       .benign(110, "manual-desktop-5", 1, 180, 800)
+                       .attack(111, "Virlock", 7, 300, 600)
+                       .attack(112, "Cryptowall", 1, 340, 600)
+                       .budget(250, 110, 0.0)
+                       .build());
+
+  // Recovery wave: board 0 is killed and drained early, a rollout lands
+  // while it is out (so readmission must catch the version up), it is
+  // revived, and only then does the attack arrive — the fleet must be
+  // whole again when it matters.
+  corpus.push_back(ScenarioBuilder("attack-wave-after-recovery")
+                       .seed(1110)
+                       .boards(2)
+                       .detector(100, 25, 4, 0.9)
+                       .benign(121, "TeamViewerPortable", 0, 0, 900)
+                       .benign(122, "Blender", 1, 30, 900)
+                       .benign(123, "Everything", 2, 60, 900)
+                       .kill_board(0, 150)
+                       .rollout(250)
+                       .revive_board(0, 350)
+                       .attack(129, "Wannacry", 4, 450, 500)
+                       .budget(200, 60, 0.0)
+                       .build());
+
+  return corpus;
+}
+
+}  // namespace
+
+const std::vector<Scenario>& builtin_corpus() {
+  static const std::vector<Scenario> corpus = build_corpus();
+  return corpus;
+}
+
+const Scenario* find_scenario(const std::string& name) {
+  for (const Scenario& scenario : builtin_corpus()) {
+    if (scenario.name == name) return &scenario;
+  }
+  return nullptr;
+}
+
+}  // namespace csdml::scenario

@@ -1,0 +1,23 @@
+// The starter scenario corpus — the named campaigns CI gates on.
+//
+// Each entry exercises one operational story from the paper's deployment
+// pitch: detection under clean load, under hard-negative benign traffic,
+// mid-failover, mid-rollout, and through fault-induced deferral storms.
+// The text files under tests/scenarios/ are the serialized form of these
+// specs (a test asserts they stay in sync), and the golden digest file
+// records each one's expected outcome under the full model.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "scenario/scenario.hpp"
+
+namespace csdml::scenario {
+
+const std::vector<Scenario>& builtin_corpus();
+
+/// nullptr when the name is not in the corpus.
+const Scenario* find_scenario(const std::string& name);
+
+}  // namespace csdml::scenario

@@ -1,0 +1,48 @@
+#include "scenario/model.hpp"
+
+#include <memory>
+
+#include "nn/dataset.hpp"
+#include "nn/train.hpp"
+#include "ransomware/dataset_builder.hpp"
+
+namespace csdml::scenario {
+
+namespace {
+
+ScenarioModel train_model(bool tiny) {
+  // The full recipe is the integration test's (tests/test_integration.cpp):
+  // DatasetSpec::small scaled to 500/588 windows (the paper's 46%
+  // ransomware ratio), Rng(41) init, six epochs — lands >= 0.93 test
+  // accuracy. Tiny halves the dataset and epochs for smoke lanes.
+  ransomware::DatasetSpec spec = ransomware::DatasetSpec::small();
+  spec.ransomware_windows = tiny ? 250 : 500;
+  spec.benign_windows = tiny ? 294 : 588;
+  const ransomware::BuiltDataset built = ransomware::build_dataset(spec);
+  Rng rng(41);
+  const nn::TrainTestSplit split = nn::split_dataset(built.data, 0.2, rng);
+  ScenarioModel model;
+  nn::LstmClassifier classifier(model.config, rng);
+  nn::TrainConfig train_config;
+  train_config.epochs = tiny ? 4 : 6;
+  train_config.batch_size = 32;
+  const nn::TrainResult result =
+      nn::train(classifier, split.train, split.test, train_config);
+  model.params = classifier.params();
+  model.test_accuracy = result.best_test_accuracy;
+  return model;
+}
+
+}  // namespace
+
+const ScenarioModel& scenario_model(bool tiny) {
+  // Separate statics so asking for one mode never pays for the other.
+  if (tiny) {
+    static const ScenarioModel model = train_model(true);
+    return model;
+  }
+  static const ScenarioModel model = train_model(false);
+  return model;
+}
+
+}  // namespace csdml::scenario

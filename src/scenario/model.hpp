@@ -1,0 +1,28 @@
+// The detector weights every scenario run serves with.
+//
+// Scenario outcomes are only comparable (and only golden-digestable) if
+// every run classifies with the *same* weights, so the model is trained
+// once per process — deterministically, from a fixed dataset spec and RNG
+// seed, exactly like tests/test_integration.cpp — and cached. Two modes:
+// the full model (the integration-test recipe, ~5 s of training, the one
+// golden digests are minted against) and a tiny model (smaller dataset,
+// fewer epochs) for smoke lanes where wall clock matters more than the
+// last few accuracy points.
+#pragma once
+
+#include "nn/lstm.hpp"
+
+namespace csdml::scenario {
+
+struct ScenarioModel {
+  nn::LstmConfig config;
+  nn::LstmParams params;
+  double test_accuracy{0.0};
+};
+
+/// Trained on first use, then shared (function-local static; safe to call
+/// from any thread). The training itself is deterministic: same binary,
+/// same weights, every run.
+const ScenarioModel& scenario_model(bool tiny);
+
+}  // namespace csdml::scenario

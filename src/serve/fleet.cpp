@@ -71,8 +71,16 @@ BoardFleet::BoardFleet(const nn::LstmConfig& model,
     serve_config.metrics_prefix = "fleet.b" + std::to_string(k);
     serve_config.board_label = board->board.label();
     board->slo = obs::board_slo(serve_config.metrics_prefix, config_.slo);
+    // Stamp the board index onto every verdict before it reaches the
+    // shared sink, so consumers can attribute classifications across a
+    // failover (the scenario scorer keys on this).
     board->pipeline = std::make_unique<ServingPipeline>(
-        board->engine, std::move(serve_config), sink_);
+        board->engine, std::move(serve_config),
+        [this, k](const Verdict& verdict) {
+          Verdict stamped = verdict;
+          stamped.board = static_cast<std::uint32_t>(k);
+          sink_(stamped);
+        });
     boards_.push_back(std::move(board));
   }
 
@@ -206,7 +214,18 @@ void BoardFleet::check_health() {
     if (board.admitted.load(std::memory_order_acquire)) {
       const obs::HealthReport report =
           obs::evaluate_health(snapshot, board.engine.healthy(), board.slo);
-      if (report.verdict == obs::HealthVerdict::Unhealthy) failover(k);
+      if (report.verdict == obs::HealthVerdict::Unhealthy) {
+        failover(k);
+        // A lone board cannot drain — failover re-admits it on the spot —
+        // so its latch would otherwise stick even after the fault clears
+        // (revive_board only detaches the plan). Probe it in place: while
+        // the fault persists the probe fails and deferrals continue; once
+        // it clears the board resumes serving at the next sweep.
+        if (board.admitted.load(std::memory_order_acquire) &&
+            !board.engine.healthy() && probe(board)) {
+          obs::registry().add_counter("fleet.recovered_in_place");
+        }
+      }
     } else if (probe(board)) {
       readmit(k);
     }

@@ -138,8 +138,10 @@ class BoardFleet {
 
   /// One health sweep now: drain-and-rehash any admitted board whose SLO
   /// burn-rate verdict (or engine latch) is unhealthy, probe-and-readmit
-  /// any drained board that recovered. Also runs automatically from
-  /// ingest every health_check_interval calls.
+  /// any drained board that recovered. A lone unhealthy board (nowhere to
+  /// drain) is probed in place instead, so it resumes serving once its
+  /// fault clears. Also runs automatically from ingest every
+  /// health_check_interval calls.
   void check_health();
 
   /// Canary-gated coordinated rollout (see file header). Serialised;

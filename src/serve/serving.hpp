@@ -81,6 +81,10 @@ struct Verdict {
   bool alert{false};
   /// Served by the host fallback while the CSD was unhealthy.
   bool degraded{false};
+  /// Index of the board whose pipeline served this verdict. A standalone
+  /// ServingPipeline leaves it 0; BoardFleet stamps it per board, so a
+  /// sink can tell which side of a failover produced the classification.
+  std::uint32_t board{0};
 };
 
 /// Invoked from the coalescer thread, outside any shard lock — a slow sink

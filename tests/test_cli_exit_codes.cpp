@@ -1,0 +1,165 @@
+// Exit-code contract tests across the operational commands.
+//
+// The contract (documented in cli.hpp): 0 success, 2 usage error
+// (PreconditionError / malformed numbers), 1 runtime failure (unreadable
+// or unwritable files, unhealthy verdicts, quality-gate and golden-digest
+// failures). CI scripts branch on these, so the distinction between "you
+// typed it wrong" (2) and "the system is unhealthy / the gate failed" (1)
+// is load-bearing.
+#include "host/cli.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace csdml::host {
+namespace {
+
+struct CliRun {
+  int code;
+  std::string out;
+  std::string err;
+};
+
+CliRun run(const std::vector<std::string>& args) {
+  std::ostringstream out;
+  std::ostringstream err;
+  const int code = run_cli(args, out, err);
+  return CliRun{code, out.str(), err.str()};
+}
+
+std::string temp_path(const char* name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+std::string write_file(const char* name, const std::string& text) {
+  const std::string path = temp_path(name);
+  std::ofstream out(path, std::ios::trunc);
+  out << text;
+  return path;
+}
+
+/// A benign-only one-process scenario small enough for the tiny model to
+/// chew through in well under a second; the FPR budget of 1.0 keeps the
+/// quality gates out of the way so golden-file plumbing is what's tested.
+const char* kMiniScenario =
+    "scenario cli-mini\n"
+    "seed 77\n"
+    "boards 1\n"
+    "detector window=100 hop=50 debounce=2 threshold=0.5\n"
+    "benign pid=1 profile=VLC session=0 start=0 calls=150\n"
+    "budget latency=0 files-lost=0 fpr=1\n";
+
+TEST(CliExitCodes, ScenarioUsageErrorsReturnTwo) {
+  EXPECT_EQ(run({"scenario"}).code, 2);               // missing subcommand
+  EXPECT_EQ(run({"scenario", "frob"}).code, 2);       // unknown subcommand
+  EXPECT_EQ(run({"scenario", "run", "--name", "not-a-scenario"}).code, 2);
+  EXPECT_EQ(run({"scenario", "run", "--name"}).code, 2);  // missing value
+  EXPECT_EQ(run({"scenario", "run", "--update-golden"}).code, 2);
+  EXPECT_EQ(run({"scenario", "run", "--name", "clean-benign", "--seed",
+                 "notanumber"}).code, 2);
+  EXPECT_EQ(run({"scenario", "show"}).code, 2);       // missing --name
+  EXPECT_EQ(run({"scenario", "show", "--name", "not-a-scenario"}).code, 2);
+}
+
+TEST(CliExitCodes, ScenarioListAndShowSucceed) {
+  const CliRun list = run({"scenario", "list"});
+  EXPECT_EQ(list.code, 0);
+  EXPECT_NE(list.out.find("clean-benign"), std::string::npos);
+  EXPECT_NE(list.out.find("attack-during-failover"), std::string::npos);
+
+  const CliRun show = run({"scenario", "show", "--name", "clean-benign"});
+  EXPECT_EQ(show.code, 0);
+  EXPECT_NE(show.out.find("scenario clean-benign"), std::string::npos);
+  EXPECT_NE(show.out.find("budget "), std::string::npos);
+}
+
+TEST(CliExitCodes, ScenarioBadInputFilesAreFailuresNotUsage) {
+  // A missing or unparseable scenario file is a broken gate (1), not a
+  // typo (2): CI must not mistake a deleted corpus file for a bad flag.
+  EXPECT_EQ(run({"scenario", "run", "--file", "/nonexistent/x.scn"}).code, 1);
+  const std::string bad =
+      write_file("csdml_cli_bad.scn", "scenario x\nfrobnicate a=1\n");
+  EXPECT_EQ(run({"scenario", "run", "--file", bad}).code, 1);
+  std::remove(bad.c_str());
+}
+
+TEST(CliExitCodes, ScenarioGoldenLifecycle) {
+  const std::string scn = write_file("csdml_cli_mini.scn", kMiniScenario);
+  const std::string golden = temp_path("csdml_cli_golden.txt");
+  std::remove(golden.c_str());
+
+  // Comparing against an absent golden file is a failure…
+  EXPECT_EQ(run({"scenario", "run", "--file", scn, "--tiny", "--golden",
+                 golden}).code, 1);
+  // …an unwritable --update-golden target too…
+  EXPECT_EQ(run({"scenario", "run", "--file", scn, "--tiny", "--golden",
+                 "/nonexistent-dir/golden.txt", "--update-golden"}).code, 1);
+  // …but recording and then re-verifying round-trips to success.
+  EXPECT_EQ(run({"scenario", "run", "--file", scn, "--tiny", "--golden",
+                 golden, "--update-golden"}).code, 0);
+  const CliRun match = run(
+      {"scenario", "run", "--file", scn, "--tiny", "--golden", golden});
+  EXPECT_EQ(match.code, 0) << match.out;
+  EXPECT_NE(match.out.find("digests match"), std::string::npos);
+
+  // A drifted digest is a failure with a diagnostic naming the scenario.
+  std::ofstream(golden, std::ios::trunc)
+      << "cli-mini 0000000000000000\n";
+  const CliRun drift = run(
+      {"scenario", "run", "--file", scn, "--tiny", "--golden", golden});
+  EXPECT_EQ(drift.code, 1);
+  EXPECT_NE(drift.out.find("drifted"), std::string::npos);
+
+  std::remove(scn.c_str());
+  std::remove(golden.c_str());
+}
+
+TEST(CliExitCodes, ClassifyDistinguishesUsageFromMissingFiles) {
+  EXPECT_EQ(run({"classify"}).code, 2);  // missing required flags
+  EXPECT_EQ(run({"classify", "--weights", "/nonexistent/w.txt", "--dataset",
+                 "/nonexistent/d.csv"}).code, 1);
+}
+
+TEST(CliExitCodes, StatsUsageErrorsAndUnwritableTrace) {
+  EXPECT_EQ(run({"stats", "--level", "turbo"}).code, 2);
+  EXPECT_EQ(run({"stats", "--calls", "50"}).code, 2);       // below minimum
+  EXPECT_EQ(run({"stats", "--fault-rate", "1.5"}).code, 2);  // out of range
+  // The unwritable trace destination fails fast (before the workload).
+  EXPECT_EQ(
+      run({"stats", "--trace-out", "/nonexistent-dir/trace.json"}).code, 1);
+}
+
+TEST(CliExitCodes, WatchUsageErrors) {
+  EXPECT_EQ(run({"watch", "--rounds", "0"}).code, 2);
+  EXPECT_EQ(run({"watch", "--interval-calls", "10"}).code, 2);
+  EXPECT_EQ(run({"watch", "--fault-rate", "2"}).code, 2);
+}
+
+TEST(CliExitCodes, WatchUnhealthyVerdictExitsOne) {
+  // A near-certain launch-failure rate latches the engine: the final
+  // health verdict is Unhealthy and watch must say so in its exit code.
+  const CliRun sick = run({"watch", "--rounds", "2", "--interval-calls",
+                           "200", "--fault-rate", "0.95"});
+  EXPECT_EQ(sick.code, 1) << sick.out;
+  EXPECT_NE(sick.out.find("unhealthy"), std::string::npos);
+
+  const CliRun healthy =
+      run({"watch", "--rounds", "1", "--interval-calls", "200"});
+  EXPECT_EQ(healthy.code, 0) << healthy.out;
+}
+
+TEST(CliExitCodes, ServeUsageErrors) {
+  EXPECT_EQ(run({"serve", "--kill-board", "banana"}).code, 2);
+  EXPECT_EQ(run({"serve", "--kill-board", "0@100"}).code, 2);  // 1 board
+  EXPECT_EQ(run({"serve", "--boards", "99"}).code, 2);
+  EXPECT_EQ(run({"serve", "--ingest-threads", "0"}).code, 2);
+}
+
+}  // namespace
+}  // namespace csdml::host

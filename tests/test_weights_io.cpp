@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <fstream>
 #include <sstream>
 
 #include "common/error.hpp"
@@ -102,6 +103,77 @@ TEST(WeightsIo, RejectsMalformedInput) {
     EXPECT_THROW(load_weights(buffer), ParseError);
   }
   EXPECT_THROW(load_weights_file("/nonexistent/weights.txt"), ParseError);
+}
+
+/// A valid small weight file as text, for corruption-based negative paths.
+std::string small_weight_text() {
+  LstmConfig config{.vocab_size = 4, .embed_dim = 2, .hidden_dim = 3};
+  Rng rng(17);
+  std::stringstream buffer;
+  save_weights(buffer, config, LstmParams::glorot(config, rng));
+  return buffer.str();
+}
+
+std::string write_temp(const char* name, const std::string& text) {
+  const std::string path = ::testing::TempDir() + "/" + name;
+  std::ofstream out(path, std::ios::trunc);
+  out << text;
+  return path;
+}
+
+TEST(WeightsIo, TruncatedFileFailsCleanly) {
+  const std::string text = small_weight_text();
+  // Chop the file at several depths: mid-header, mid-matrix, and just
+  // before the final bias. Every cut must surface as a ParseError, never
+  // a crash or a silently short model.
+  for (const std::size_t keep :
+       {text.size() / 8, text.size() / 2, text.size() - 4}) {
+    const std::string path =
+        write_temp("csdml_truncated_weights.txt", text.substr(0, keep));
+    EXPECT_THROW(load_weights_file(path), ParseError) << "keep=" << keep;
+    std::remove(path.c_str());
+  }
+}
+
+TEST(WeightsIo, BadMagicFailsCleanly) {
+  std::string text = small_weight_text();
+  text.replace(0, 13, "csdml-wrights");  // same length, wrong magic
+  const std::string path = write_temp("csdml_bad_magic_weights.txt", text);
+  EXPECT_THROW(load_weights_file(path), ParseError);
+  std::remove(path.c_str());
+}
+
+TEST(WeightsIo, DimensionMismatchFailsCleanly) {
+  const std::string text = small_weight_text();
+  {
+    // Header claims a larger hidden dim than the payload carries: the
+    // reader runs out of numbers where it expects more matrix entries.
+    std::string grown = text;
+    const std::size_t at = grown.find("hidden 3");
+    ASSERT_NE(at, std::string::npos);
+    grown.replace(at, 8, "hidden 9");
+    std::stringstream buffer(grown);
+    EXPECT_THROW(load_weights(buffer), ParseError);
+  }
+  {
+    // Header claims a smaller embed dim: leftover numbers land where the
+    // next section keyword belongs.
+    std::string shrunk = text;
+    const std::size_t at = shrunk.find("embed 2");
+    ASSERT_NE(at, std::string::npos);
+    shrunk.replace(at, 7, "embed 1");
+    std::stringstream buffer(shrunk);
+    EXPECT_THROW(load_weights(buffer), ParseError);
+  }
+  {
+    // Zero dimensions are rejected before any allocation happens.
+    std::string zeroed = text;
+    const std::size_t at = zeroed.find("vocab 4");
+    ASSERT_NE(at, std::string::npos);
+    zeroed.replace(at, 7, "vocab 0");
+    std::stringstream buffer(zeroed);
+    EXPECT_THROW(load_weights(buffer), PreconditionError);
+  }
 }
 
 TEST(GruWeightsIo, RoundTripIsExact) {
