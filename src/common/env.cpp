@@ -1,0 +1,40 @@
+#include "common/env.hpp"
+
+#include <cctype>
+#include <cerrno>
+#include <cstdlib>
+
+#include "common/log.hpp"
+
+namespace csdml {
+
+std::uint64_t env_u64(const char* name, std::uint64_t fallback,
+                      std::uint64_t min, std::uint64_t max) {
+  const char* raw = std::getenv(name);
+  if (raw == nullptr || *raw == '\0') return fallback;
+
+  // strtoull accepts leading whitespace and a sign; a negative knob must
+  // not wrap around to a huge unsigned value, so reject '-' up front.
+  const char* cursor = raw;
+  while (std::isspace(static_cast<unsigned char>(*cursor))) ++cursor;
+  const bool negative = *cursor == '-';
+
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long parsed = std::strtoull(raw, &end, 10);
+  const bool overflowed = errno == ERANGE;
+  const bool numeric = end != raw && *end == '\0';
+
+  if (negative || !numeric || overflowed ||
+      parsed < min || parsed > max) {
+    CSDML_LOG_WARN("env") << "ignoring invalid " << name
+                          << kv("value", raw)
+                          << kv("expected_min", min)
+                          << kv("expected_max", max)
+                          << kv("fallback", fallback);
+    return fallback;
+  }
+  return static_cast<std::uint64_t>(parsed);
+}
+
+}  // namespace csdml

@@ -18,9 +18,11 @@
 #include "kernels/engine.hpp"
 #include "nn/train.hpp"
 #include "nn/weights_io.hpp"
+#include "obs/anomaly.hpp"
 #include "obs/health.hpp"
 #include "obs/metrics.hpp"
 #include "obs/prometheus.hpp"
+#include "obs/timeseries.hpp"
 #include "obs/trace_export.hpp"
 #include "ransomware/dataset_builder.hpp"
 #include "ransomware/families.hpp"
@@ -62,15 +64,26 @@ commands:
                [--health] [--prometheus] [--trace-out PATH]
                run a sample streaming detection and print the telemetry
                registry (counters, gauges, p50/p95/p99 histograms) plus the
-               device and request-span summaries; --json emits machine-
+               device and request-span summaries, the time-series store
+               totals and the alert-engine state; --json emits machine-
                readable metrics, --health the SLO verdict (JSON with
-               --json), --prometheus the text exposition format
+               --json), --prometheus the text exposition format (including
+               csdml_tsdb_* / csdml_alerts_active)
   watch        [--level L] [--rounds N] [--interval-calls N] [--seed N]
                [--fault-rate F] [--health]
-               run the sample stream in rounds and print per-round snapshot
-               deltas (classifications, alerts, deferrals, fallback serves,
-               p99, health verdict); exits 1 if the final verdict is
-               unhealthy
+               run the sample stream in rounds and print per-round deltas
+               sampled through the time-series store (classifications,
+               alerts, deferrals, fallback serves, p99, health verdict);
+               exits 1 if the final verdict is unhealthy
+  top          [--level L] [--boards N] [--rounds N] [--interval-calls N]
+               [--seed N] [--fault-rate F] [--once] [--json]
+               live per-board fleet console over the telemetry time-series:
+               throughput, p95/p99, shed/deferred, health verdict, latched
+               alerts and a p99 sparkline per board, plus a fleet summary
+               row with merged cross-board percentiles; --once prints a
+               single final frame, --json emits the machine-readable frame
+               (exit 1 on a latched critical alert or conservation
+               violation)
   serve        [--level L] [--calls N] [--seed N] [--ingest-threads N]
                [--serve-shards N] [--coalesce-max N]
                [--coalesce-deadline-us N] [--boards N] [--kill-board K@CALL]
@@ -384,8 +397,30 @@ int cmd_stats(const Flags& flags, std::ostream& out) {
 
   obs::registry().reset();
   SampleRig rig(level, seed, calls, fault_rate);
-  rig.run(0, calls);
+
+  // The workload runs in slices with a sampler tick between them, so the
+  // final snapshot carries populated tsdb.* / alerts.* series (the same
+  // path the fleet collector thread drives; here the timeline is the
+  // slice index, one synthetic second apart).
+  obs::TimeSeriesStore store(obs::TsdbConfig::from_env());
+  obs::SnapshotSampler sampler({
+      {"stats.classified.delta", obs::SampleSpec::Kind::CounterDelta,
+       "detector.classifications"},
+      {"stats.deferred.delta", obs::SampleSpec::Kind::CounterDelta,
+       "detector.degraded_classifications"},
+      {"stats.p99_us", obs::SampleSpec::Kind::HistP99,
+       "detector.inference_us"},
+  });
+  obs::AlertEngine alerts;
+  constexpr std::size_t kSlices = 4;
+  for (std::size_t slice = 0; slice < kSlices; ++slice) {
+    rig.run(slice * calls / kSlices, (slice + 1) * calls / kSlices);
+    const auto t_us = static_cast<std::int64_t>(slice + 1) * 1'000'000;
+    sampler.sample(t_us, obs::registry().snapshot(), &store);
+    alerts.evaluate(store, t_us);
+  }
   rig.forget_all();
+  store.publish_gauges();
 
   if (trace_out.has_value()) {
     obs::write_chrome_trace_file(*trace_out, rig.board().trace(),
@@ -408,6 +443,27 @@ int cmd_stats(const Flags& flags, std::ostream& out) {
   out << obs::trace_summary(rig.board().trace()) << "\n";
   out << rig.board().span_trace().summary() << "\n";
   out << snapshot.to_text();
+
+  out << "\n";
+  TextTable series_table({"series", "samples", "min", "mean", "max", "last"});
+  for (const std::string& name : store.names()) {
+    obs::TsBucket total;
+    for (const obs::TsBucket& bucket : store.buckets(name)) {
+      total.absorb(bucket);
+    }
+    series_table.add_row({name, std::to_string(store.samples(name)),
+                          TextTable::num(total.min, 2),
+                          TextTable::num(total.mean(), 2),
+                          TextTable::num(total.max, 2),
+                          TextTable::num(store.last(name), 2)});
+  }
+  series_table.print(out);
+  const obs::TimeSeriesStore::Totals totals = store.totals();
+  out << "time series: " << totals.series << " series, " << totals.samples
+      << " samples, " << totals.promotions << " tier promotions\n";
+  out << "alerts: " << alerts.active_count() << " active ("
+      << alerts.rule_count() << " rules)\n";
+
   if (flags.has("health")) out << "\n" << health.to_text();
   if (trace_out.has_value()) {
     out << "\ntrace -> " << *trace_out
@@ -437,46 +493,43 @@ int cmd_watch(const Flags& flags, std::ostream& out) {
   if (fault_rate > 0.0) out << ", fault rate " << TextTable::num(fault_rate, 3);
   out << ")\n";
 
-  // Each round feeds the next slice of every stream, snapshots the
-  // registry, and prints the delta since the previous round — a top-style
-  // live view over the simulated workload.
+  // Each round feeds the next slice of every stream and runs one sampler
+  // tick: the per-round deltas come out of the shared SnapshotSampler (the
+  // same machinery behind the fleet collector and `csdml top`) instead of
+  // a private prev_-counter loop, and the round history lands in a real
+  // time-series store as a side effect.
+  obs::TimeSeriesStore store(obs::TsdbConfig::from_env());
+  obs::SnapshotSampler sampler({
+      {"watch.classified", obs::SampleSpec::Kind::CounterDelta,
+       "detector.classifications"},
+      {"watch.deferred", obs::SampleSpec::Kind::CounterDelta,
+       "detector.degraded_classifications"},
+      {"watch.fallback", obs::SampleSpec::Kind::CounterDelta,
+       "engine.fallback_inferences"},
+      {"watch.retries", obs::SampleSpec::Kind::CounterDelta,
+       "engine.retries"},
+      {"watch.p99_us", obs::SampleSpec::Kind::HistP99,
+       "detector.inference_us"},
+  });
   TextTable table({"round", "classified", "alerts", "deferred", "fallback",
                    "retries", "p99_us", "health"});
-  std::uint64_t classified_prev = 0;
-  std::uint64_t deferred_prev = 0;
-  std::uint64_t fallback_prev = 0;
-  std::uint64_t retries_prev = 0;
   for (std::size_t round = 0; round < rounds; ++round) {
     const std::size_t alerts =
         rig.run(round * interval, (round + 1) * interval);
     const obs::MetricsSnapshot snapshot = obs::registry().snapshot();
     const obs::HealthReport health =
         obs::evaluate_health(snapshot, rig.detector().csd_healthy());
-    const std::uint64_t classified =
-        snapshot_counter(snapshot, "detector.classifications");
-    const std::uint64_t deferred =
-        snapshot_counter(snapshot, "detector.degraded_classifications");
-    const std::uint64_t fallback =
-        snapshot_counter(snapshot, "engine.fallback_inferences");
-    const std::uint64_t retries = snapshot_counter(snapshot, "engine.retries");
-    double p99 = 0.0;
-    for (const obs::HistogramSnapshot& histogram : snapshot.histograms) {
-      if (histogram.name == "detector.inference_us") {
-        p99 = histogram.percentile(0.99);
-      }
-    }
-    table.add_row({std::to_string(round + 1),
-                   std::to_string(classified - classified_prev),
-                   std::to_string(alerts),
-                   std::to_string(deferred - deferred_prev),
-                   std::to_string(fallback - fallback_prev),
-                   std::to_string(retries - retries_prev),
-                   TextTable::num(p99, 1),
-                   obs::health_verdict_name(health.verdict)});
-    classified_prev = classified;
-    deferred_prev = deferred;
-    fallback_prev = fallback;
-    retries_prev = retries;
+    const std::map<std::string, double> frame = sampler.sample(
+        static_cast<std::int64_t>(round + 1) * 1'000'000, snapshot, &store);
+    table.add_row(
+        {std::to_string(round + 1),
+         std::to_string(static_cast<std::uint64_t>(frame.at("watch.classified"))),
+         std::to_string(alerts),
+         std::to_string(static_cast<std::uint64_t>(frame.at("watch.deferred"))),
+         std::to_string(static_cast<std::uint64_t>(frame.at("watch.fallback"))),
+         std::to_string(static_cast<std::uint64_t>(frame.at("watch.retries"))),
+         TextTable::num(frame.at("watch.p99_us"), 1),
+         obs::health_verdict_name(health.verdict)});
   }
   rig.forget_all();
   table.print(out);
@@ -733,6 +786,296 @@ int cmd_serve(const Flags& flags, std::ostream& out) {
   out << "\n" << obs::registry().snapshot().to_text();
   // Conservation law of the pipeline: everything enqueued came out.
   return stats.verdicts + stats.deferred == stats.enqueued ? 0 : 1;
+}
+
+/// Eight-level unicode sparkline over the retained raw buckets of one
+/// series (newest up to `width` buckets, bucket means, scaled to range).
+std::string sparkline(const obs::TimeSeriesStore& store,
+                      const std::string& series, std::size_t width = 16) {
+  static const char* kBlocks[] = {"▁", "▂", "▃", "▄",
+                                  "▅", "▆", "▇", "█"};
+  std::vector<obs::TsBucket> buckets = store.buckets(series);
+  if (buckets.empty()) return "-";
+  if (buckets.size() > width) {
+    buckets.erase(buckets.begin(),
+                  buckets.end() - static_cast<std::ptrdiff_t>(width));
+  }
+  double lo = buckets.front().mean();
+  double hi = lo;
+  for (const obs::TsBucket& bucket : buckets) {
+    lo = std::min(lo, bucket.mean());
+    hi = std::max(hi, bucket.mean());
+  }
+  std::string line;
+  for (const obs::TsBucket& bucket : buckets) {
+    const double norm = hi > lo ? (bucket.mean() - lo) / (hi - lo) : 0.0;
+    line += kBlocks[std::min<std::size_t>(
+        7, static_cast<std::size_t>(norm * 8.0))];
+  }
+  return line;
+}
+
+/// Default per-board console rules: an EWMA z-score watch on the p99 tail
+/// (catches a latency regression relative to the board's own history) and
+/// a deferral watch (any deferrals in a frame mean the CSD path is
+/// unavailable). Warning severity: the console surfaces them without
+/// feeding the fleet's critical-alert drain gate.
+std::vector<obs::AlertRule> top_default_rules(std::size_t boards) {
+  std::vector<obs::AlertRule> rules;
+  for (std::size_t k = 0; k < boards; ++k) {
+    const std::string prefix = "fleet.b" + std::to_string(k);
+    obs::AlertRule p99;
+    p99.id = "b" + std::to_string(k) + ".p99.regression";
+    p99.series = prefix + ".p99_us";
+    p99.kind = obs::AlertRuleKind::EwmaZScore;
+    p99.threshold = 6.0;
+    p99.min_samples = 3;
+    p99.fire_for = 2;
+    p99.clear_for = 3;
+    p99.severity = obs::AlertSeverity::Warning;
+    p99.board = static_cast<int>(k);
+    rules.push_back(std::move(p99));
+
+    obs::AlertRule deferrals;
+    deferrals.id = "b" + std::to_string(k) + ".deferrals";
+    deferrals.series = prefix + ".deferred.delta";
+    deferrals.kind = obs::AlertRuleKind::AboveThreshold;
+    deferrals.threshold = 0.0;
+    deferrals.min_samples = 1;
+    deferrals.fire_for = 1;
+    deferrals.clear_for = 2;
+    deferrals.severity = obs::AlertSeverity::Warning;
+    deferrals.board = static_cast<int>(k);
+    rules.push_back(std::move(deferrals));
+  }
+  return rules;
+}
+
+int cmd_top(const Flags& flags, std::ostream& out) {
+  const kernels::OptimizationLevel level =
+      parse_level(flags.get("level").value_or("fixed-point"));
+  const auto boards = static_cast<std::size_t>(flags.get_long("boards", 2));
+  const auto rounds = static_cast<std::size_t>(flags.get_long("rounds", 6));
+  const auto interval =
+      static_cast<std::size_t>(flags.get_long("interval-calls", 200));
+  const auto seed = static_cast<std::uint64_t>(flags.get_long("seed", 2024));
+  const double fault_rate = flags.get_double("fault-rate", 0.0);
+  CSDML_REQUIRE(boards >= 1 && boards <= 16, "--boards must be in [1, 16]");
+  CSDML_REQUIRE(rounds > 0, "--rounds must be positive");
+  CSDML_REQUIRE(interval >= 100, "--interval-calls must be at least 100");
+  CSDML_REQUIRE(fault_rate >= 0.0 && fault_rate < 1.0,
+                "--fault-rate must be in [0, 1)");
+  const bool once = flags.has("once");
+  const bool json = flags.has("json");
+
+  obs::registry().reset();
+  nn::LstmConfig model_config;
+  Rng rng(seed);
+  const nn::LstmParams params = nn::LstmParams::glorot(model_config, rng);
+  const std::size_t calls = rounds * interval;
+  // Two stream sets (six pids) spread processes over the hash ring even
+  // with a couple of boards; ingest is single-threaded and paced per
+  // frame, so the console run is deterministic.
+  const std::vector<ServeStreamSet> workload = serve_workload(2, calls, seed);
+
+  serve::FleetConfig fleet_config;
+  fleet_config.boards = boards;
+  fleet_config.seed = seed;
+  fleet_config.fault_rate = fault_rate;
+  fleet_config.engine = kernels::EngineConfig{.level = level};
+  fleet_config.serve.detector = detect::DetectorConfig{
+      .window_length = 100, .hop = 25, .consecutive_alerts = 2};
+  fleet_config.slo.latency_slo_us = 10'000'000.0;  // unpaced demo workload
+  // Deterministic telemetry: no collector thread — one tick per frame on
+  // a synthetic timeline that advances a second per round.
+  std::int64_t sim_us = 0;
+  fleet_config.telemetry.collector_thread = false;
+  fleet_config.telemetry.clock = [&sim_us] { return sim_us; };
+  fleet_config.telemetry.rules = top_default_rules(boards);
+
+  serve::BoardFleet fleet(model_config, params, fleet_config,
+                          [](const serve::Verdict&) {});
+  obs::TelemetryCollector& collector = *fleet.telemetry();
+  obs::AlertEngine& alerts = *fleet.alert_engine();
+
+  std::map<std::string, double> frame;
+  for (std::size_t round = 0; round < rounds; ++round) {
+    for (std::size_t i = round * interval; i < (round + 1) * interval; ++i) {
+      for (const ServeStreamSet& set : workload) {
+        for (std::size_t p = 0; p < set.streams.size(); ++p) {
+          fleet.ingest(set.pids[p], set.streams[p][i]);
+        }
+      }
+    }
+    fleet.flush();
+    sim_us += 1'000'000;
+    collector.tick();
+
+    if (once || json) continue;  // final frame only
+    out << "\x1b[2J\x1b[H";  // live mode: clear + home between frames
+    out << "csdml top — frame " << round + 1 << "/" << rounds << "\n";
+    TextTable live({"board", "health", "verdicts", "thru/s", "p99_us",
+                    "defer", "alerts", "trend"});
+    for (std::size_t k = 0; k < boards; ++k) {
+      const std::string prefix = "fleet.b" + std::to_string(k);
+      const obs::TimeSeriesStore& store = collector.store();
+      std::size_t active = 0;
+      for (const obs::Alert& alert : alerts.active_alerts()) {
+        if (alert.board == static_cast<int>(k)) ++active;
+      }
+      live.add_row(
+          {std::to_string(k), fleet.board_healthy(k) ? "ok" : "DOWN",
+           std::to_string(static_cast<std::uint64_t>(
+               store.last(prefix + ".verdicts.delta"))),
+           TextTable::num(store.last(prefix + ".throughput"), 1),
+           TextTable::num(store.last(prefix + ".p99_us"), 1),
+           std::to_string(static_cast<std::uint64_t>(
+               store.last(prefix + ".deferred.delta"))),
+           std::to_string(active), sparkline(store, prefix + ".p99_us")});
+    }
+    live.print(out);
+  }
+
+  for (const ServeStreamSet& set : workload) {
+    for (const detect::ProcessId pid : set.pids) fleet.forget(pid);
+  }
+  fleet.flush();
+  collector.tick();
+  const serve::BoardFleet::Stats stats = fleet.stats();
+  const obs::MetricsSnapshot snapshot = obs::registry().snapshot();
+  const obs::TimeSeriesStore& store = collector.store();
+  const obs::TimeSeriesStore::Totals totals = store.totals();
+  const std::vector<obs::Alert> all_alerts = alerts.alerts();
+
+  // Fleet summary percentiles: per-board latency histograms merged into
+  // one (identical default bounds), not an average of percentiles.
+  obs::HistogramSnapshot fleet_latency;
+  for (const obs::HistogramSnapshot& histogram : snapshot.histograms) {
+    if (histogram.name.rfind("fleet.b", 0) == 0 &&
+        histogram.name.find(".ingest_to_verdict_us") != std::string::npos) {
+      fleet_latency.merge(histogram);
+    }
+  }
+
+  bool critical_latched = false;
+  for (const obs::Alert& alert : all_alerts) {
+    if (alert.active && alert.severity == obs::AlertSeverity::Critical) {
+      critical_latched = true;
+    }
+  }
+
+  if (json) {
+    JsonWriter writer;
+    writer.begin_object();
+    writer.field("tool", "top");
+    writer.field("rounds", static_cast<std::uint64_t>(rounds));
+    writer.field("interval_calls", static_cast<std::uint64_t>(interval));
+    writer.key("boards");
+    writer.begin_array();
+    for (std::size_t k = 0; k < boards; ++k) {
+      const std::string prefix = "fleet.b" + std::to_string(k);
+      const serve::ServingPipeline::Stats board = fleet.board_stats(k);
+      writer.begin_object();
+      writer.field("board", static_cast<std::uint64_t>(k));
+      writer.field("healthy", fleet.board_healthy(k));
+      writer.field("verdicts", board.verdicts);
+      writer.field("shed", board.shed);
+      writer.field("deferred", board.deferred);
+      obs::TsBucket rate;
+      for (const obs::TsBucket& bucket :
+           store.buckets(prefix + ".throughput")) {
+        rate.absorb(bucket);
+      }
+      writer.field("throughput", rate.mean());
+      writer.field("p95_us", store.last(prefix + ".p95_us"));
+      writer.field("p99_us", store.last(prefix + ".p99_us"));
+      writer.end_object();
+    }
+    writer.end_array();
+    writer.key("fleet");
+    writer.begin_object();
+    writer.field("verdicts", stats.totals.verdicts);
+    writer.field("deferred", stats.totals.deferred);
+    writer.field("shed", stats.totals.shed);
+    writer.field("boards_admitted",
+                 static_cast<std::uint64_t>(stats.boards_admitted));
+    writer.field("p95_us", fleet_latency.percentile(0.95));
+    writer.field("p99_us", fleet_latency.percentile(0.99));
+    writer.field("conservation_ok", stats.conservation_ok());
+    writer.end_object();
+    writer.key("alerts");
+    writer.begin_array();
+    for (const obs::Alert& alert : all_alerts) {
+      writer.begin_object();
+      writer.field("rule", alert.rule_id);
+      writer.field("severity", obs::alert_severity_name(alert.severity));
+      writer.field("board", static_cast<std::int64_t>(alert.board));
+      writer.field("active", alert.active);
+      writer.field("fire_count", alert.fire_count);
+      writer.end_object();
+    }
+    writer.end_array();
+    writer.key("tsdb");
+    writer.begin_object();
+    writer.field("series", static_cast<std::uint64_t>(totals.series));
+    writer.field("samples", totals.samples);
+    writer.field("promotions", totals.promotions);
+    writer.end_object();
+    writer.end_object();
+    out << writer.str() << "\n";
+  } else {
+    out << "csdml top — " << boards << " boards, " << rounds << " rounds x "
+        << interval << " calls (" << kernels::optimization_name(level)
+        << " build)\n\n";
+    TextTable table({"board", "health", "verdicts", "thru/s", "p95_us",
+                     "p99_us", "shed", "defer", "alerts", "trend"});
+    for (std::size_t k = 0; k < boards; ++k) {
+      const std::string prefix = "fleet.b" + std::to_string(k);
+      const serve::ServingPipeline::Stats board = fleet.board_stats(k);
+      std::size_t active = 0;
+      for (const obs::Alert& alert : all_alerts) {
+        if (alert.active && alert.board == static_cast<int>(k)) ++active;
+      }
+      // Mean rate over the retained window, not the (post-flush) last tick.
+      obs::TsBucket rate;
+      for (const obs::TsBucket& bucket :
+           store.buckets(prefix + ".throughput")) {
+        rate.absorb(bucket);
+      }
+      table.add_row(
+          {std::to_string(k), fleet.board_healthy(k) ? "ok" : "DOWN",
+           std::to_string(board.verdicts),
+           TextTable::num(rate.mean(), 1),
+           TextTable::num(store.last(prefix + ".p95_us"), 1),
+           TextTable::num(store.last(prefix + ".p99_us"), 1),
+           std::to_string(board.shed), std::to_string(board.deferred),
+           std::to_string(active), sparkline(store, prefix + ".p99_us")});
+    }
+    table.add_row({"fleet",
+                   stats.boards_admitted == boards ? "ok" : "degraded",
+                   std::to_string(stats.totals.verdicts), "-",
+                   TextTable::num(fleet_latency.percentile(0.95), 1),
+                   TextTable::num(fleet_latency.percentile(0.99), 1),
+                   std::to_string(stats.totals.shed),
+                   std::to_string(stats.totals.deferred),
+                   std::to_string(alerts.active_count()), "-"});
+    table.print(out);
+    out << "\ntime series: " << totals.series << " series, " << totals.samples
+        << " samples, " << totals.promotions << " tier promotions over "
+        << collector.ticks() << " ticks\n";
+    for (const obs::Alert& alert : all_alerts) {
+      if (alert.fire_count == 0) continue;
+      out << "alert " << alert.rule_id << " ["
+          << obs::alert_severity_name(alert.severity) << "] "
+          << (alert.active ? "ACTIVE" : "cleared") << " (fired "
+          << alert.fire_count << "x)\n";
+    }
+    out << "conservation "
+        << (stats.conservation_ok() ? "ok" : "VIOLATED (classifications lost)")
+        << "\n";
+  }
+  fleet.stop();
+  return stats.conservation_ok() && !critical_latched ? 0 : 1;
 }
 
 int cmd_attribute(const Flags& flags, std::ostream& out) {
@@ -1095,6 +1438,9 @@ int run_cli(const std::vector<std::string>& args, std::ostream& out,
     }
     if (command == "watch") {
       return cmd_watch(Flags(args, 1, {"health"}), out);
+    }
+    if (command == "top") {
+      return cmd_top(Flags(args, 1, {"once", "json"}), out);
     }
     if (command == "serve") {
       return cmd_serve(Flags(args, 1, {}), out);

@@ -8,6 +8,7 @@
 #include <ostream>
 #include <sstream>
 
+#include "common/env.hpp"
 #include "common/log.hpp"
 
 namespace csdml::obs {
@@ -25,12 +26,11 @@ std::size_t round_up_pow2(std::size_t n) {
 }
 
 std::size_t capacity_from_env() {
-  const char* env = std::getenv("CSDML_FLIGHT_EVENTS");
-  if (env == nullptr || *env == '\0') return kDefaultCapacity;
-  const long parsed = std::strtol(env, nullptr, 10);
-  if (parsed <= 0) return kDefaultCapacity;
-  return std::clamp(static_cast<std::size_t>(parsed), kMinCapacity,
-                    kMaxCapacity);
+  // Hardened: a garbled knob warns once and uses the default instead of
+  // silently clamping to whatever strtol salvaged.
+  return static_cast<std::size_t>(env_u64("CSDML_FLIGHT_EVENTS",
+                                          kDefaultCapacity, kMinCapacity,
+                                          kMaxCapacity));
 }
 
 void copy_field(char* dst, std::size_t dst_size, const char* src) {

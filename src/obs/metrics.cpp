@@ -67,6 +67,25 @@ double HistogramSnapshot::percentile(double p) const {
   return max;
 }
 
+void HistogramSnapshot::merge(const HistogramSnapshot& other) {
+  if (other.count == 0 && other.bounds.empty()) return;
+  if (count == 0 && bounds.empty()) {
+    *this = other;
+    return;
+  }
+  CSDML_REQUIRE(bounds == other.bounds,
+                "HistogramSnapshot::merge requires identical bounds");
+  for (std::size_t i = 0; i < buckets.size(); ++i) {
+    buckets[i] += other.buckets[i];
+  }
+  if (other.count > 0) {
+    if (count == 0 || other.min < min) min = other.min;
+    if (count == 0 || other.max > max) max = other.max;
+  }
+  count += other.count;
+  sum += other.sum;
+}
+
 std::string MetricsSnapshot::to_text() const {
   std::ostringstream out;
   if (!counters.empty() || !gauges.empty()) {

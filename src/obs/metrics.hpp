@@ -37,6 +37,13 @@ struct HistogramSnapshot {
   /// Estimated p-quantile (p in [0,1]): linear interpolation inside the
   /// bucket containing the rank, clamped to the observed [min, max].
   double percentile(double p) const;
+
+  /// Folds `other` into this snapshot for cross-source aggregation (e.g.
+  /// fleet-level percentiles over per-board latency histograms). Requires
+  /// identical bounds — per-board histograms share the default layout —
+  /// and throws PreconditionError otherwise. Merging into an empty
+  /// snapshot adopts `other` wholesale (including its name and bounds).
+  void merge(const HistogramSnapshot& other);
 };
 
 /// Point-in-time copy of every metric, sorted by name.

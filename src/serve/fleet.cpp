@@ -64,6 +64,16 @@ BoardFleet::BoardFleet(const nn::LstmConfig& model,
   CSDML_REQUIRE(config_.vnodes > 0, "fleet: need at least one vnode per board");
   CSDML_REQUIRE(sink_ != nullptr, "fleet: verdict sink required");
 
+  if (config_.telemetry.enabled) {
+    alerts_ = std::make_unique<obs::AlertEngine>();
+    for (const obs::AlertRule& rule : config_.telemetry.rules) {
+      alerts_->add_rule(rule);
+    }
+    if (config_.telemetry.drift) {
+      alerts_->enable_drift(*config_.telemetry.drift);
+    }
+  }
+
   boards_.reserve(config_.boards);
   for (std::size_t k = 0; k < config_.boards; ++k) {
     auto board = std::make_unique<Board>(model, params, config_, k);
@@ -79,6 +89,9 @@ BoardFleet::BoardFleet(const nn::LstmConfig& model,
         [this, k](const Verdict& verdict) {
           Verdict stamped = verdict;
           stamped.board = static_cast<std::uint32_t>(k);
+          // Every served probability feeds the drift monitor, so model-
+          // quality decay is watched fleet-wide, not per board.
+          if (alerts_) alerts_->observe_score(verdict.probability);
           sink_(stamped);
         });
     boards_.push_back(std::move(board));
@@ -109,6 +122,22 @@ BoardFleet::BoardFleet(const nn::LstmConfig& model,
 
   obs::registry().set_gauge("fleet.boards", static_cast<double>(boards_.size()));
   publish_fleet_gauges();
+
+  if (config_.telemetry.enabled) {
+    std::vector<obs::SampleSpec> specs;
+    for (std::size_t k = 0; k < boards_.size(); ++k) {
+      for (obs::SampleSpec& spec :
+           obs::board_sample_specs("fleet.b" + std::to_string(k))) {
+        specs.push_back(std::move(spec));
+      }
+    }
+    obs::CollectorConfig collector_config;
+    collector_config.tsdb = config_.telemetry.tsdb;
+    collector_config.clock = config_.telemetry.clock;
+    collector_config.start_thread = config_.telemetry.collector_thread;
+    collector_ = std::make_unique<obs::TelemetryCollector>(
+        std::move(collector_config), std::move(specs), alerts_.get());
+  }
 }
 
 BoardFleet::~BoardFleet() { stop(); }
@@ -155,6 +184,9 @@ void BoardFleet::flush() {
 }
 
 void BoardFleet::stop() {
+  // Collector first: once pipelines stop, sampling their metrics is
+  // pointless (and the alert engine must not drain boards mid-teardown).
+  if (collector_) collector_->stop();
   for (const std::unique_ptr<Board>& board : boards_) {
     board->pipeline->stop();
   }
@@ -209,12 +241,21 @@ void BoardFleet::check_health() {
   if (!health_mutex_.try_lock()) return;
   const std::lock_guard<std::mutex> sweep(health_mutex_, std::adopt_lock);
   const obs::MetricsSnapshot snapshot = obs::registry().snapshot();
+  const bool alert_gate = alerts_ != nullptr && config_.telemetry.alerts_gate_health;
   for (std::size_t k = 0; k < boards_.size(); ++k) {
     Board& board = *boards_[k];
     if (board.admitted.load(std::memory_order_acquire)) {
       const obs::HealthReport report =
           obs::evaluate_health(snapshot, board.engine.healthy(), board.slo);
-      if (report.verdict == obs::HealthVerdict::Unhealthy) {
+      // Alert state feeds the drain decision alongside the SLO burn: a
+      // latched critical alert naming this board drains it even while the
+      // instantaneous burn-rate verdict still reads healthy.
+      bool drain = report.verdict == obs::HealthVerdict::Unhealthy;
+      if (!drain && alert_gate && alerts_->board_alerted(static_cast<int>(k))) {
+        drain = true;
+        obs::registry().add_counter("fleet.alert_drains");
+      }
+      if (drain) {
         failover(k);
         // A lone board cannot drain — failover re-admits it on the spot —
         // so its latch would otherwise stick even after the fault clears
@@ -226,6 +267,10 @@ void BoardFleet::check_health() {
           obs::registry().add_counter("fleet.recovered_in_place");
         }
       }
+    } else if (alert_gate && alerts_->board_alerted(static_cast<int>(k))) {
+      // Readmission waits for the alert to clear through its hysteresis
+      // window, so a flapping board cannot bounce back into the ring.
+      obs::registry().add_counter("fleet.readmit_held_by_alert");
     } else if (probe(board)) {
       readmit(k);
     }

@@ -49,11 +49,37 @@
 #include "csd/smartssd.hpp"
 #include "faults/fault_plan.hpp"
 #include "kernels/engine.hpp"
+#include "obs/anomaly.hpp"
 #include "obs/health.hpp"
+#include "obs/timeseries.hpp"
 #include "serve/serving.hpp"
 #include "xrt/runtime.hpp"
 
 namespace csdml::serve {
+
+/// Fleet telemetry: the collector thread sampling per-board series into
+/// the time-series store, and the alert engine evaluated on every tick.
+/// Rules default to empty, so a fleet without explicit rules behaves —
+/// verdict for verdict — exactly like one without telemetry (the scenario
+/// golden digests depend on this).
+struct FleetTelemetryConfig {
+  bool enabled{true};
+  /// When false the owner drives collector ticks explicitly (tests,
+  /// `csdml top` frames) instead of running the background thread.
+  bool collector_thread{true};
+  obs::TsdbConfig tsdb{};
+  /// Declarative alert rules; rules with `board >= 0` participate in the
+  /// health sweep's drain/readmit decision (see alerts_gate_health).
+  std::vector<obs::AlertRule> rules{};
+  /// Enables verdict-score drift monitoring when set (scores stream in
+  /// from every board's verdict sink).
+  std::optional<obs::DriftConfig> drift{};
+  /// Health sweeps drain a board with a latched critical alert and hold
+  /// its readmission until the alert clears.
+  bool alerts_gate_health{true};
+  /// Injected timeline for deterministic tests; empty = steady clock.
+  std::function<std::int64_t()> clock{};
+};
 
 struct FleetConfig {
   std::size_t boards{2};
@@ -77,6 +103,7 @@ struct FleetConfig {
   /// SLO thresholds for the per-board burn-rate verdict; the latency
   /// histogram name is overridden per board (obs::board_slo).
   obs::SloConfig slo{};
+  FleetTelemetryConfig telemetry{};
 };
 
 /// One coordinated weight rollout, as measured (bench_fleet reports the
@@ -175,6 +202,13 @@ class BoardFleet {
   ServingPipeline::Stats board_stats(std::size_t board) const;
   kernels::CsdLstmEngine& engine(std::size_t board);
 
+  /// Telemetry collector (null when telemetry is disabled). Owners in
+  /// deterministic mode call telemetry()->tick() per frame.
+  obs::TelemetryCollector* telemetry() { return collector_.get(); }
+  /// Alert engine (null when telemetry is disabled).
+  obs::AlertEngine* alert_engine() { return alerts_.get(); }
+  const obs::AlertEngine* alert_engine() const { return alerts_.get(); }
+
   const FleetConfig& config() const { return config_; }
 
  private:
@@ -213,7 +247,12 @@ class BoardFleet {
   FleetConfig config_;
   nn::LstmConfig model_;
   VerdictSink sink_;
+  /// Built before the boards so verdict sinks can feed scores to the
+  /// drift monitor from the very first classification.
+  std::unique_ptr<obs::AlertEngine> alerts_;
   std::vector<std::unique_ptr<Board>> boards_;
+  /// Built last (samples the boards' metric prefixes); stopped first.
+  std::unique_ptr<obs::TelemetryCollector> collector_;
   /// Sorted consistent-hash ring: (point, board index).
   std::vector<std::pair<std::uint64_t, std::size_t>> ring_;
   std::vector<nn::Sequence> golden_;

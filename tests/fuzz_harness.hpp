@@ -32,6 +32,7 @@
 #include <vector>
 
 #include "baselines/host_baseline.hpp"
+#include "common/env.hpp"
 #include "csd/nvme.hpp"
 #include "detect/detector.hpp"
 #include "faults/fault_plan.hpp"
@@ -43,11 +44,10 @@ namespace csdml::testing {
 
 /// Iterations for a fuzz loop: `CSDML_FUZZ_ITERS` when set (so `ctest -L
 /// fuzz` can run long campaigns locally), else `fallback` (the CI budget).
+/// Invalid values (non-numeric, zero, overflow) warn and use the fallback.
 inline std::size_t fuzz_iterations(std::size_t fallback) {
-  const char* env = std::getenv("CSDML_FUZZ_ITERS");
-  if (env == nullptr || *env == '\0') return fallback;
-  const long long parsed = std::atoll(env);
-  return parsed > 0 ? static_cast<std::size_t>(parsed) : fallback;
+  return static_cast<std::size_t>(
+      env_u64("CSDML_FUZZ_ITERS", fallback, 1, 1ull << 32));
 }
 
 struct FuzzConfig {

@@ -154,6 +154,36 @@ TEST(CliExitCodes, WatchUnhealthyVerdictExitsOne) {
   EXPECT_EQ(healthy.code, 0) << healthy.out;
 }
 
+TEST(CliExitCodes, TopUsageErrors) {
+  EXPECT_EQ(run({"top", "--boards", "0"}).code, 2);
+  EXPECT_EQ(run({"top", "--boards", "99"}).code, 2);
+  EXPECT_EQ(run({"top", "--rounds", "0"}).code, 2);
+  EXPECT_EQ(run({"top", "--interval-calls", "10"}).code, 2);
+  EXPECT_EQ(run({"top", "--fault-rate", "1.5"}).code, 2);
+  EXPECT_EQ(run({"top", "--level", "turbo"}).code, 2);
+}
+
+TEST(CliExitCodes, TopOnceAndJsonSucceed) {
+  // --once renders the final frame only: no live-mode clear-screen
+  // escapes in the output, exit 0 while conservation holds and nothing
+  // critical latched.
+  const CliRun text = run({"top", "--once", "--rounds", "2",
+                           "--interval-calls", "100", "--boards", "2"});
+  EXPECT_EQ(text.code, 0) << text.out;
+  EXPECT_NE(text.out.find("time series:"), std::string::npos);
+  EXPECT_NE(text.out.find("conservation ok"), std::string::npos);
+  EXPECT_EQ(text.out.find("\x1b[2J"), std::string::npos);
+
+  const CliRun json = run({"top", "--json", "--rounds", "2",
+                           "--interval-calls", "100", "--boards", "2"});
+  EXPECT_EQ(json.code, 0) << json.err;
+  EXPECT_NE(json.out.find("\"tool\":\"top\""), std::string::npos);
+  EXPECT_NE(json.out.find("\"fleet\":"), std::string::npos);
+  EXPECT_NE(json.out.find("\"alerts\":"), std::string::npos);
+  EXPECT_NE(json.out.find("\"tsdb\":"), std::string::npos);
+  EXPECT_NE(json.out.find("\"conservation_ok\":true"), std::string::npos);
+}
+
 TEST(CliExitCodes, ServeUsageErrors) {
   EXPECT_EQ(run({"serve", "--kill-board", "banana"}).code, 2);
   EXPECT_EQ(run({"serve", "--kill-board", "0@100"}).code, 2);  // 1 board

@@ -454,5 +454,129 @@ TEST(Fleet, PerBoardMetricsAndPrometheusSeries) {
   EXPECT_NE(text.find("csdml_fleet_weight_version"), std::string::npos);
 }
 
+TEST(Fleet, AlertLatchDrainsBoardAndHoldsReadmission) {
+  // A latched critical alert naming a board must drain it at the next
+  // health sweep even though its SLO verdict is green, and readmission
+  // must wait for the alert's clear hysteresis — all on an injected
+  // clock with manual collector ticks.
+  obs::registry().reset();
+  const nn::LstmConfig model = tiny_model();
+  Rng rng(7);
+  const nn::LstmParams params = nn::LstmParams::glorot(model, rng);
+
+  std::int64_t sim_us = 0;
+  FleetConfig config = tiny_fleet_config(2);
+  config.telemetry.collector_thread = false;
+  config.telemetry.clock = [&sim_us] { return sim_us; };
+  // Fires whenever board 0 produced any verdict in the last tick — a
+  // condition the test can assert and then deterministically un-assert
+  // by simply not feeding the board.
+  obs::AlertRule rule;
+  rule.id = "b0.saturated";
+  rule.series = "fleet.b0.verdicts.delta";
+  rule.kind = obs::AlertRuleKind::AboveThreshold;
+  rule.threshold = 0.5;
+  rule.min_samples = 1;
+  rule.fire_for = 1;
+  rule.clear_for = 2;
+  rule.severity = obs::AlertSeverity::Critical;
+  rule.board = 0;
+  config.telemetry.rules = {rule};
+
+  Collector sink;
+  BoardFleet fleet(model, params, config, sink.sink());
+  obs::TelemetryCollector& collector = *fleet.telemetry();
+  const obs::AlertEngine& alerts = *fleet.alert_engine();
+  const auto tick = [&] {
+    sim_us += 100'000;
+    collector.tick();
+  };
+
+  detect::ProcessId victim = 0;
+  for (detect::ProcessId pid = 1; pid <= 64 && victim == 0; ++pid) {
+    if (fleet.board_of(pid) == 0) victim = pid;
+  }
+  ASSERT_NE(victim, detect::ProcessId{0});
+
+  const std::vector<nn::TokenId> stream = random_stream(42, 60, 32);
+  for (const nn::TokenId token : stream) fleet.ingest(victim, token);
+  fleet.flush();
+  tick();  // verdicts.delta > 0 -> latch (fire_for = 1)
+  EXPECT_TRUE(alerts.board_alerted(0));
+  EXPECT_FALSE(alerts.board_alerted(1));
+
+  EXPECT_EQ(fleet.boards_admitted(), 2u);
+  fleet.check_health();
+  EXPECT_FALSE(fleet.board_healthy(0)) << "alert gate should have drained b0";
+  EXPECT_EQ(fleet.boards_admitted(), 1u);
+  EXPECT_GE(obs::registry().counter_value("fleet.alert_drains"), 1u);
+
+  // One quiet tick: delta back to 0, but clear_for = 2 keeps the latch —
+  // the sweep must hold readmission, not bounce the board back in.
+  tick();
+  EXPECT_TRUE(alerts.board_alerted(0));
+  fleet.check_health();
+  EXPECT_FALSE(fleet.board_healthy(0));
+  EXPECT_GE(obs::registry().counter_value("fleet.readmit_held_by_alert"), 1u);
+
+  // Second quiet tick clears the alert; the next sweep probes and
+  // readmits the board.
+  tick();
+  EXPECT_FALSE(alerts.board_alerted(0));
+  fleet.check_health();
+  EXPECT_TRUE(fleet.board_healthy(0));
+  EXPECT_EQ(fleet.boards_admitted(), 2u);
+
+  const BoardFleet::Stats stats = fleet.stats();
+  EXPECT_GE(stats.failovers, 1u);
+  EXPECT_GE(stats.readmissions, 1u);
+  EXPECT_TRUE(stats.conservation_ok());
+  fleet.stop();
+}
+
+TEST(Fleet, TelemetryCollectorSamplesBoardSeries) {
+  // The fleet-owned collector derives the documented per-board series
+  // from the registry; without explicit rules nothing ever alerts and
+  // health sweeps behave exactly as an alert-free fleet (the golden
+  // digests depend on this default).
+  obs::registry().reset();
+  const nn::LstmConfig model = tiny_model();
+  Rng rng(7);
+  const nn::LstmParams params = nn::LstmParams::glorot(model, rng);
+
+  std::int64_t sim_us = 0;
+  FleetConfig config = tiny_fleet_config(2);
+  config.telemetry.collector_thread = false;
+  config.telemetry.clock = [&sim_us] { return sim_us; };
+
+  Collector sink;
+  BoardFleet fleet(model, params, config, sink.sink());
+  ASSERT_NE(fleet.telemetry(), nullptr);
+  ASSERT_NE(fleet.alert_engine(), nullptr);
+
+  const Streams streams = make_streams(4, 40, 32);
+  feed(fleet, streams, 0, 40);
+  fleet.flush();
+  sim_us += 100'000;
+  fleet.telemetry()->tick();
+
+  const obs::TimeSeriesStore& store = fleet.telemetry()->store();
+  for (std::size_t k = 0; k < 2; ++k) {
+    const std::string prefix = "fleet.b" + std::to_string(k);
+    EXPECT_TRUE(store.has(prefix + ".verdicts.delta")) << prefix;
+    EXPECT_TRUE(store.has(prefix + ".throughput")) << prefix;
+    EXPECT_TRUE(store.has(prefix + ".p99_us")) << prefix;
+  }
+  const double total_delta = store.last("fleet.b0.verdicts.delta") +
+                             store.last("fleet.b1.verdicts.delta");
+  EXPECT_DOUBLE_EQ(total_delta,
+                   static_cast<double>(fleet.stats().totals.verdicts));
+
+  fleet.check_health();  // no rules: the sweep must not drain anything
+  EXPECT_EQ(fleet.boards_admitted(), 2u);
+  EXPECT_EQ(fleet.alert_engine()->active_count(), 0u);
+  fleet.stop();
+}
+
 }  // namespace
 }  // namespace csdml::serve

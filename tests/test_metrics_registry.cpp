@@ -90,6 +90,62 @@ TEST(MetricsRegistry, CustomBoundsBindOnFirstUse) {
   EXPECT_EQ(h.buckets, (std::vector<std::uint64_t>{1, 1, 1}));
 }
 
+TEST(MetricsRegistry, MergeAggregatesAcrossRegistries) {
+  // Fleet summary percentiles merge per-board histograms rather than
+  // averaging per-board percentiles: the merged snapshot must be
+  // indistinguishable from one registry that saw every observation.
+  MetricsRegistry board0;
+  MetricsRegistry board1;
+  MetricsRegistry combined;
+  for (int i = 1; i <= 60; ++i) {
+    board0.observe("lat", static_cast<double>(i));
+    combined.observe("lat", static_cast<double>(i));
+  }
+  for (int i = 400; i <= 440; ++i) {
+    board1.observe("lat", static_cast<double>(i));
+    combined.observe("lat", static_cast<double>(i));
+  }
+
+  HistogramSnapshot merged = board0.snapshot().histograms[0];
+  merged.merge(board1.snapshot().histograms[0]);
+  const HistogramSnapshot oracle = combined.snapshot().histograms[0];
+  EXPECT_EQ(merged.count, oracle.count);
+  EXPECT_DOUBLE_EQ(merged.sum, oracle.sum);
+  EXPECT_DOUBLE_EQ(merged.min, oracle.min);
+  EXPECT_DOUBLE_EQ(merged.max, oracle.max);
+  EXPECT_EQ(merged.buckets, oracle.buckets);
+  for (const double p : {0.5, 0.95, 0.99}) {
+    EXPECT_DOUBLE_EQ(merged.percentile(p), oracle.percentile(p));
+  }
+  // The slow board dominates the merged tail even though the fast board
+  // contributed more observations.
+  EXPECT_GT(merged.percentile(0.99), 300.0);
+}
+
+TEST(MetricsRegistry, MergeEdgeCases) {
+  MetricsRegistry reg;
+  reg.observe("lat", 5.0);
+  const HistogramSnapshot populated = reg.snapshot().histograms[0];
+
+  // Merging into a default-constructed snapshot adopts it wholesale...
+  HistogramSnapshot empty;
+  empty.merge(populated);
+  EXPECT_EQ(empty.count, 1u);
+  EXPECT_DOUBLE_EQ(empty.percentile(0.5), 5.0);
+
+  // ...merging an empty one in is a no-op...
+  HistogramSnapshot copy = populated;
+  copy.merge(HistogramSnapshot{});
+  EXPECT_EQ(copy.count, 1u);
+  EXPECT_DOUBLE_EQ(copy.sum, populated.sum);
+
+  // ...and mismatched bucket layouts are a hard error, not silent junk.
+  MetricsRegistry other;
+  other.observe("occ", 0.75, {0.5, 1.0});
+  HistogramSnapshot custom = other.snapshot().histograms[0];
+  EXPECT_THROW(custom.merge(populated), PreconditionError);
+}
+
 TEST(MetricsRegistry, RejectsBadBounds) {
   MetricsRegistry reg;
   EXPECT_THROW(reg.observe("h", 1.0, {}), PreconditionError);
